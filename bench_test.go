@@ -1,0 +1,242 @@
+package llbp
+
+// The benchmark suite regenerates every table and figure of the paper at
+// micro scale — one benchmark per artifact, as indexed in DESIGN.md §3.
+// Each benchmark logs the regenerated table (run with -v to see it) and
+// reports its headline number as a custom metric.
+//
+// The harness memoizes simulation runs, so the first iteration pays the
+// simulation cost and subsequent iterations are cache hits; any
+// -benchtime works, and -benchtime=1x gives the fastest full pass.
+// cmd/experiments runs the same experiments at full scale.
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"llbp/internal/core"
+	"llbp/internal/experiments"
+	"llbp/internal/predictor"
+	"llbp/internal/report"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+var (
+	benchOnce    sync.Once
+	benchHarness *experiments.Harness
+)
+
+// benchH returns the shared micro-budget harness: four representative
+// workloads, ~200k branches each.
+func benchH() *experiments.Harness {
+	benchOnce.Do(func() {
+		names := []string{"NodeApp", "Kafka", "Tomcat", "Merced"}
+		var wls []*workload.Source
+		for _, n := range names {
+			wl, err := workload.ByName(n)
+			if err != nil {
+				panic(err)
+			}
+			wls = append(wls, wl)
+		}
+		benchHarness = experiments.NewHarness(experiments.Config{
+			Warmup:       50_000,
+			Measure:      150_000,
+			SweepWarmup:  30_000,
+			SweepMeasure: 100_000,
+			Workloads:    wls,
+		})
+	})
+	return benchHarness
+}
+
+// runExperiment drives one experiment under the bench harness, logging its
+// tables once and reporting metric (extracted by pick) per iteration.
+func runExperiment(b *testing.B, run func(*experiments.Harness) ([]*report.Table, error),
+	metric string, pick func([]*report.Table) float64) {
+	b.Helper()
+	h := benchH()
+	var tables []*report.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = run(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, t := range tables {
+		b.Log("\n" + t.String())
+	}
+	if pick != nil {
+		b.ReportMetric(pick(tables), metric)
+	}
+}
+
+// cell parses the numeric cell at (rowLabel, col) of the first table.
+func cell(tables []*report.Table, rowLabel string, col int) float64 {
+	if len(tables) == 0 {
+		return 0
+	}
+	for _, row := range tables[0].Rows {
+		if len(row) > col && row[0] == rowLabel {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+func BenchmarkTable1Workloads(b *testing.B) {
+	runExperiment(b, experiments.Table1, "", nil)
+}
+
+func BenchmarkTable2CoreConfig(b *testing.B) {
+	runExperiment(b, experiments.Table2, "", nil)
+}
+
+func BenchmarkTable3LatencyEnergy(b *testing.B) {
+	runExperiment(b, experiments.Table3, "LLBP-rel-energy", func(t []*report.Table) float64 {
+		return cell(t, "LLBP", 3)
+	})
+}
+
+func BenchmarkFig01WastedCycles(b *testing.B) {
+	runExperiment(b, experiments.Fig1, "gmean-wasted-%", func(t []*report.Table) float64 {
+		return cell(t, "GMean", 1)
+	})
+}
+
+func BenchmarkFig02MPKILimit(b *testing.B) {
+	runExperiment(b, experiments.Fig2, "infTSL-reduction-%", func(t []*report.Table) float64 {
+		return cell(t, "Mean", 5)
+	})
+}
+
+func BenchmarkFig03aCumulativeMispred(b *testing.B) {
+	runExperiment(b, experiments.Fig3a, "inf-total-vs-64k", func(t []*report.Table) float64 {
+		return cell(t, "inftsl", 1)
+	})
+}
+
+func BenchmarkFig03bPatternsPerBranch(b *testing.B) {
+	runExperiment(b, experiments.Fig3b, "mean-patterns", func(t []*report.Table) float64 {
+		return cell(t, "mean (all branches)", 1)
+	})
+}
+
+func BenchmarkFig05ContextLocality(b *testing.B) {
+	runExperiment(b, experiments.Fig5, "p95-at-W32", func(t []*report.Table) float64 {
+		return cell(t, "W=32", 3)
+	})
+}
+
+func BenchmarkFig09MPKIReduction(b *testing.B) {
+	runExperiment(b, experiments.Fig9, "mean-llbp-reduction-%", func(t []*report.Table) float64 {
+		return cell(t, "Mean", 1)
+	})
+}
+
+func BenchmarkFig10Speedup(b *testing.B) {
+	runExperiment(b, experiments.Fig10, "mean-llbp-speedup-%", func(t []*report.Table) float64 {
+		return cell(t, "Mean", 1)
+	})
+}
+
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	runExperiment(b, experiments.Fig11, "pb64-read-b/i", func(t []*report.Table) float64 {
+		return cell(t, "64-entry PB", 1)
+	})
+}
+
+func BenchmarkFig12Energy(b *testing.B) {
+	runExperiment(b, experiments.Fig12, "llbp-pb64-total", func(t []*report.Table) float64 {
+		return cell(t, "LLBP w/ 64-entry PB", 5)
+	})
+}
+
+func BenchmarkFig13CIDSensitivity(b *testing.B) {
+	runExperiment(b, experiments.Fig13, "uncond-D4-reduction-%", func(t []*report.Table) float64 {
+		return cell(t, "Uncond", 3)
+	})
+}
+
+func BenchmarkFig14PatternSets(b *testing.B) {
+	runExperiment(b, experiments.Fig14, "", nil)
+}
+
+func BenchmarkFig15Breakdown(b *testing.B) {
+	runExperiment(b, experiments.Fig15, "llbp-provides-%", func(t []*report.Table) float64 {
+		return cell(t, "LLBP provides (matches)", 1)
+	})
+}
+
+func BenchmarkAblationDesignChoices(b *testing.B) {
+	runExperiment(b, experiments.Ablations, "", nil)
+}
+
+// --- Raw predictor throughput micro-benchmarks ---
+
+// benchStream materializes a fixed branch stream once.
+var (
+	streamOnce sync.Once
+	stream     []trace.Branch
+)
+
+func benchStream() []trace.Branch {
+	streamOnce.Do(func() {
+		wl, err := workload.ByName("Tomcat")
+		if err != nil {
+			panic(err)
+		}
+		r := &trace.LimitReader{R: wl.Open(), Max: 100_000}
+		var b trace.Branch
+		for {
+			if err := r.Read(&b); err != nil {
+				break
+			}
+			stream = append(stream, b)
+		}
+	})
+	return stream
+}
+
+// benchPredictor measures raw predict+update throughput.
+func benchPredictor(b *testing.B, build func(*predictor.Clock) predictor.Predictor) {
+	s := benchStream()
+	clock := &predictor.Clock{}
+	p := build(clock)
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		br := &s[n]
+		if br.Type.IsConditional() {
+			pred := p.Predict(br.PC)
+			p.Update(br.PC, br.Taken)
+			_ = pred
+		} else {
+			p.TrackOther(br.PC, br.Target, br.Type)
+		}
+		clock.Advance(float64(br.Instructions) * 0.5)
+		n++
+		if n == len(s) {
+			n = 0
+		}
+	}
+}
+
+func BenchmarkPredict64KTSL(b *testing.B) {
+	benchPredictor(b, func(*predictor.Clock) predictor.Predictor {
+		return tsl.MustNew(tsl.Config64K())
+	})
+}
+
+func BenchmarkPredictLLBP(b *testing.B) {
+	benchPredictor(b, func(c *predictor.Clock) predictor.Predictor {
+		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), c)
+	})
+}

@@ -1,0 +1,79 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	experiments                 # run everything
+//	experiments -run fig9,fig10 # selected experiments
+//	experiments -measure 4000000 -warmup 800000
+//	experiments -csv            # CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"llbp/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids (see DESIGN.md), or 'all'")
+		warmup  = flag.Uint64("warmup", 200_000, "warmup branches for headline experiments")
+		measure = flag.Uint64("measure", 1_000_000, "measured branches for headline experiments")
+		sweepW  = flag.Uint64("sweep-warmup", 100_000, "warmup branches for design-space sweeps")
+		sweepM  = flag.Uint64("sweep-measure", 400_000, "measured branches for design-space sweeps")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		charts  = flag.Bool("charts", false, "render an ASCII bar chart of each table's first numeric column")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	exps, err := experiments.ByID(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := experiments.Config{
+		Warmup:       *warmup,
+		Measure:      *measure,
+		SweepWarmup:  *sweepW,
+		SweepMeasure: *sweepM,
+	}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	h := experiments.NewHarness(cfg)
+
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+		tables, err := e.Run(h)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			var werr error
+			if *csv {
+				werr = t.WriteCSV(os.Stdout)
+			} else {
+				werr = t.WriteText(os.Stdout)
+			}
+			if werr == nil && *charts && !*csv {
+				if c := experiments.Chart(t); c != nil {
+					werr = c.WriteText(os.Stdout)
+				}
+			}
+			if werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "== %s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,159 @@
+// Command llbpsim runs one predictor configuration over one (or all)
+// catalog workloads and prints MPKI and cycle metrics.
+//
+// Usage:
+//
+//	llbpsim -predictor llbp -workload Tomcat -warmup 200000 -measure 1000000
+//	llbpsim -predictor 64k -workload all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llbp/internal/core"
+	"llbp/internal/gshare"
+	"llbp/internal/perceptron"
+	"llbp/internal/predictor"
+	"llbp/internal/sim"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+func main() {
+	var (
+		predName  = flag.String("predictor", "64k", "predictor: 64k, 128k, 256k, 512k, 1m, inftage, inftsl, llbp, llbp0lat, llbpvirt, llbpgate, gshare, perceptron")
+		wlName    = flag.String("workload", "all", "catalog workload name, or 'all'")
+		traceFile = flag.String("trace", "", "replay a binary trace file instead of a catalog workload")
+		warmup    = flag.Uint64("warmup", 200_000, "warmup branches")
+		measure   = flag.Uint64("measure", 1_000_000, "measured branches")
+		verbose   = flag.Bool("v", false, "print LLBP internal statistics")
+		breakdown = flag.Bool("breakdown", false, "print per-behaviour-class misprediction breakdown (catalog workloads only)")
+	)
+	flag.Parse()
+
+	var sources []trace.Source
+	switch {
+	case *traceFile != "":
+		src, err := trace.NewFileSource(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sources = []trace.Source{src}
+	case *wlName == "all":
+		for _, src := range workload.Catalog() {
+			sources = append(sources, src)
+		}
+	default:
+		src, err := workload.ByName(*wlName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sources = []trace.Source{src}
+	}
+
+	fmt.Printf("%-11s %-10s %10s %8s %8s %8s %7s\n",
+		"workload", "predictor", "instrs", "condBr", "misses", "MPKI", "IPC")
+	for _, src := range sources {
+		clock := &predictor.Clock{}
+		p, err := buildPredictor(*predName, clock)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts := sim.Options{
+			WarmupBranches:  *warmup,
+			MeasureBranches: *measure,
+			Clock:           clock,
+		}
+		var classes map[uint64]workload.BehaviorClass
+		execBy := map[string]uint64{}
+		missBy := map[string]uint64{}
+		if *breakdown {
+			wl, ok := src.(*workload.Source)
+			if !ok {
+				fmt.Fprintln(os.Stderr, "llbpsim: -breakdown requires a catalog workload")
+				os.Exit(1)
+			}
+			classes = wl.ClassMap()
+			opts.Observer = func(b *trace.Branch, pred bool, _ predictor.Detail) {
+				cls := "loop-header"
+				if c, ok := classes[b.PC]; ok {
+					cls = c.String()
+				}
+				execBy[cls]++
+				if pred != b.Taken {
+					missBy[cls]++
+				}
+			}
+		}
+		res, err := sim.Run(src, p, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-11s %-10s %10d %8d %8d %8.3f %7.2f\n",
+			res.Workload, res.Predictor, res.Instructions, res.CondBranches,
+			res.Mispredicts, res.MPKI, res.IPC)
+		if *breakdown {
+			fmt.Printf("  %-12s %10s %10s %9s\n", "class", "execs", "misses", "missrate")
+			for _, cls := range []string{"biased", "marker", "local", "global", "context", "noisy", "loop-header"} {
+				e, m := execBy[cls], missBy[cls]
+				rate := 0.0
+				if e > 0 {
+					rate = float64(m) / float64(e)
+				}
+				fmt.Printf("  %-12s %10d %10d %9.4f\n", cls, e, m, rate)
+			}
+		}
+		if *verbose {
+			if lp, ok := p.(*core.Predictor); ok {
+				s := lp.Stats()
+				fmt.Printf("  llbp: matches=%d overrides=%d good=%d bad=%d bothOK=%d bothKO=%d\n",
+					s.Matches, s.Overrides, s.GoodOverride, s.BadOverride, s.BothCorrect, s.BothWrong)
+				fmt.Printf("  llbp: reads=%d writes=%d cdLookups=%d pbHits=%d notReady=%d pbMiss=%d ctxAllocs=%d patAllocs=%d resets=%d live=%d\n",
+					s.LLBPReads, s.LLBPWrites, s.CDLookups, s.PBHits, s.NotReady, s.PBMisses,
+					s.CtxAllocs, s.PatternAllocs, s.Resets, lp.Directory().Live())
+			}
+		}
+	}
+}
+
+// buildPredictor maps a CLI name to a predictor instance.
+func buildPredictor(name string, clock *predictor.Clock) (predictor.Predictor, error) {
+	switch strings.ToLower(name) {
+	case "64k":
+		return tsl.MustNew(tsl.Config64K()), nil
+	case "128k":
+		return tsl.MustNew(tsl.ConfigScaled(1)), nil
+	case "256k":
+		return tsl.MustNew(tsl.ConfigScaled(2)), nil
+	case "512k":
+		return tsl.MustNew(tsl.ConfigScaled(3)), nil
+	case "1m":
+		return tsl.MustNew(tsl.ConfigScaled(4)), nil
+	case "inftage":
+		return tsl.MustNew(tsl.ConfigInfTAGE()), nil
+	case "inftsl":
+		return tsl.MustNew(tsl.ConfigInfTSL()), nil
+	case "llbp":
+		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+	case "llbp0lat":
+		return core.MustNew(core.ZeroLatConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+	case "llbpvirt":
+		return core.MustNew(core.VirtualizedConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+	case "llbpgate":
+		return core.MustNew(core.AutoDisableConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+	case "gshare":
+		return gshare.New(gshare.Default())
+	case "perceptron":
+		return perceptron.New(perceptron.Default())
+	default:
+		return nil, fmt.Errorf("llbpsim: unknown predictor %q", name)
+	}
+}

@@ -1,0 +1,79 @@
+// Command tracegen materializes a synthetic workload as a binary trace
+// file (the on-disk format of internal/trace), so external tools — or
+// repeated experiments — can replay the identical stream without
+// regenerating it.
+//
+// Usage:
+//
+//	tracegen -workload Tomcat -branches 2000000 -o tomcat.llbptrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "Tomcat", "catalog workload name")
+		branches = flag.Uint64("branches", 2_000_000, "number of branch records to write")
+		out      = flag.String("o", "", "output file (default <workload>.llbptrc)")
+	)
+	flag.Parse()
+
+	src, err := workload.ByName(*wlName)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *wlName + ".llbptrc"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	w, err := trace.NewWriter(f, src.Name())
+	if err != nil {
+		fatal(err)
+	}
+	r := &trace.LimitReader{R: src.Open(), Max: *branches}
+	var b trace.Branch
+	var n, instrs uint64
+	for {
+		if err := r.Read(&b); err != nil {
+			if trace.IsEOF(err) {
+				break
+			}
+			fatal(err)
+		}
+		if err := w.Write(&b); err != nil {
+			fatal(err)
+		}
+		n++
+		instrs += uint64(b.Instructions)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d branches, %d instructions, %d bytes (%.2f bytes/branch)\n",
+		path, n, instrs, st.Size(), float64(st.Size())/float64(n))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command traceinfo summarizes a binary trace file: record counts by
+// branch type, instruction totals, working-set size, and the
+// conditional/unconditional ratio the paper's analyses rest on.
+//
+// Usage:
+//
+//	traceinfo tomcat.llbptrc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llbp/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo <file.llbptrc>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewFileReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := trace.Collect(r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload:        %s\n", r.Name())
+	fmt.Printf("branches:        %d\n", s.Branches)
+	fmt.Printf("instructions:    %d\n", s.Instructions)
+	fmt.Printf("unique PCs:      %d\n", len(s.UniquePCs))
+	fmt.Printf("cond/uncond:     %.2f\n", s.CondPerUncond())
+	if c := s.Conditional(); c > 0 {
+		fmt.Printf("taken rate:      %.1f%%\n", float64(s.TakenCond)/float64(c)*100)
+	}
+	for t := trace.CondDirect; t <= trace.IndirectCall; t++ {
+		fmt.Printf("  %-6s %12d\n", t, s.ByType[t])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+package llbp_test
+
+import (
+	"fmt"
+
+	"llbp"
+)
+
+// The canonical flow: open a workload, build a predictor, simulate.
+func Example() {
+	wl, err := llbp.Workload("Kafka")
+	if err != nil {
+		panic(err)
+	}
+	base, err := llbp.NewBaseline(llbp.Size64K)
+	if err != nil {
+		panic(err)
+	}
+	res, err := llbp.Simulate(wl, base, llbp.SimOptions{
+		WarmupBranches:  50_000,
+		MeasureBranches: 200_000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Workload, res.Predictor, res.MPKI > 0)
+	// Output: Kafka 64K TSL true
+}
+
+// Building the LLBP composite: the returned clock drives the
+// prefetch-latency model and must be passed to Simulate.
+func ExampleNewLLBP() {
+	pred, clock, err := llbp.NewLLBP()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pred.Name(), clock.Now())
+	// Output: LLBP 0
+}
+
+// Customizing the design point: any §VI parameter can be changed before
+// construction.
+func ExampleNewLLBPWithConfig() {
+	cfg := llbp.DefaultLLBPConfig()
+	cfg.PBEntries = 256 // a larger pattern buffer (Figure 11's sweep)
+	cfg.Label = "LLBP-PB256"
+	pred, _, err := llbp.NewLLBPWithConfig(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pred.Name())
+	// Output: LLBP-PB256
+}
+
+// Enumerating the Table I catalog.
+func ExampleWorkloads() {
+	for _, wl := range llbp.Workloads()[:3] {
+		fmt.Println(wl.Name())
+	}
+	// Output:
+	// NodeApp
+	// PHPWiki
+	// TPCC
+}

@@ -1,0 +1,57 @@
+// Capacitysweep reproduces the §II-C capacity study for one workload: it
+// sweeps TAGE-SC-L from the 64K baseline through 128K..1M up to the
+// infinite-capacity limit and prints the MPKI curve — the evidence that
+// "significantly increasing storage capacity is the primary means to
+// improve TAGE's accuracy", and that doing so naively has steeply
+// diminishing returns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"llbp"
+)
+
+func main() {
+	wlName := flag.String("workload", "Tomcat", "Table I workload to sweep")
+	measure := flag.Uint64("measure", 1_000_000, "measured branches")
+	flag.Parse()
+
+	wl, err := llbp.Workload(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sizes := []struct {
+		name string
+		size llbp.Size
+	}{
+		{"64K TSL", llbp.Size64K},
+		{"128K TSL", llbp.Size128K},
+		{"256K TSL", llbp.Size256K},
+		{"512K TSL", llbp.Size512K},
+		{"1M TSL", llbp.Size1M},
+		{"Inf TAGE", llbp.SizeInfTAGE},
+		{"Inf TSL", llbp.SizeInfTSL},
+	}
+
+	fmt.Printf("capacity sweep on %s (%d measured branches)\n\n", wl.Name(), *measure)
+	fmt.Printf("%-10s %8s %12s\n", "config", "MPKI", "vs 64K")
+	var base float64
+	for _, s := range sizes {
+		p, err := llbp.NewBaseline(s.size)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := llbp.Simulate(wl, p, llbp.SimOptions{MeasureBranches: *measure})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.MPKI
+		}
+		fmt.Printf("%-10s %8.3f %11.1f%%\n", s.name, res.MPKI, (base-res.MPKI)/base*100)
+	}
+}

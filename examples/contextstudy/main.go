@@ -1,0 +1,98 @@
+// Contextstudy reproduces the §IV context-locality validation for one
+// workload: it finds the most-mispredicted branches under infinite
+// capacity, then counts how many distinct useful patterns each program
+// context needs as the context window W (the number of unconditional
+// branches hashed into the context ID) grows. The paper's core insight is
+// that the per-context pattern count collapses by orders of magnitude —
+// which is what makes a small fixed-size pattern set per context viable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"llbp"
+	"llbp/internal/core"
+	"llbp/internal/predictor"
+	"llbp/internal/sim"
+	"llbp/internal/stats"
+	"llbp/internal/trace"
+)
+
+func main() {
+	wlName := flag.String("workload", "Tomcat", "Table I workload")
+	topN := flag.Int("top", 128, "restrict to the N most-mispredicted branches")
+	flag.Parse()
+
+	wl, err := llbp.Workload(*wlName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pass 1: rank branches by mispredictions under infinite capacity.
+	inf, err := llbp.NewBaseline(llbp.SizeInfTSL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker := stats.NewBranchTracker()
+	if _, err := sim.Run(wl, inf, sim.Options{
+		WarmupBranches:  100_000,
+		MeasureBranches: 400_000,
+		Observer:        tracker.Observe,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	top := make(map[uint64]struct{}, *topN)
+	for i, b := range tracker.Branches() {
+		if i >= *topN {
+			break
+		}
+		top[b.PC] = struct{}{}
+	}
+
+	// Pass 2: count useful patterns per context for several window
+	// sizes simultaneously.
+	windows := []int{0, 2, 4, 8, 16, 32}
+	rcrs := map[int]*core.RCR{}
+	trackers := map[int]*stats.ContextTracker{}
+	for _, w := range windows {
+		if w > 0 {
+			rcrs[w] = core.NewRCR(w, 0, 31, true)
+		}
+		trackers[w] = stats.NewContextTracker(top)
+	}
+	inf2, err := llbp.NewBaseline(llbp.SizeInfTSL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sim.Run(wl, inf2, sim.Options{
+		WarmupBranches:  100_000,
+		MeasureBranches: 400_000,
+		Observer: func(b *trace.Branch, pred bool, det predictor.Detail) {
+			for _, w := range windows {
+				ctx := uint64(0)
+				if w > 0 {
+					ctx = rcrs[w].CCID()
+				}
+				trackers[w].Observe(ctx, b, pred, det)
+			}
+		},
+		UncondObserver: func(b *trace.Branch) {
+			for _, r := range rcrs {
+				r.Push(b.PC)
+			}
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("context locality on %s (top-%d branches)\n\n", wl.Name(), *topN)
+	fmt.Printf("%-6s %10s %8s %8s %8s\n", "W", "contexts", "p50", "p95", "max")
+	for _, w := range windows {
+		vals := trackers[w].PatternsPerContext()
+		fmt.Printf("W=%-4d %10d %8.0f %8.0f %8.0f\n", w, len(vals),
+			stats.Percentile(vals, 50), stats.Percentile(vals, 95), stats.Percentile(vals, 100))
+	}
+	fmt.Println("\nDeeper windows localize each branch's patterns to a handful per context (§IV).")
+}

@@ -1,0 +1,85 @@
+// Powergate demonstrates the §V power optimization: "when the accuracy of
+// TAGE is sufficiently high, LLBP can be disabled to save power." It runs
+// the auto-disable configuration against the always-on design on two
+// workloads — one where LLBP earns its keep and one where the baseline is
+// already accurate — and reports how much LLBP activity the gate removed
+// and what it cost in accuracy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llbp"
+	"llbp/internal/core"
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+// easyService builds a workload dominated by strongly biased branches —
+// the regime where TAGE alone is accurate and LLBP is wasted power.
+func easyService() *workload.Source {
+	p := llbp.Workloads()[5].Params() // start from Kafka's params
+	p.Name = "EasyService"
+	p.Seed = 777
+	p.FracContext = 0
+	p.FracNoisy = 0
+	p.FracGlobal = 0.01
+	p.FracLocal = 0.02
+	p.FracMarker = 0.02 // context-constant branches are the main residual
+	p.ContextLoops = false
+	p.IndirectMissRate = 0.001
+	p.MidBiasFrac = 0 // no hard-biased sites: TAGE alone is near-perfect
+	src, err := llbp.NewWorkload(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return src
+}
+
+func main() {
+	easy := easyService()
+	sources := []trace.Source{easy}
+	for _, n := range []string{"Merced", "Kafka"} {
+		wl, err := llbp.Workload(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sources = append(sources, wl)
+	}
+	for _, wl := range sources {
+
+		always, clockA, err := llbp.NewLLBP()
+		if err != nil {
+			log.Fatal(err)
+		}
+		resAlways, err := llbp.Simulate(wl, always, llbp.SimOptions{Clock: clockA})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cfg := core.AutoDisableConfig()
+		// The shipping default (0.2%) models a hardware design point where
+		// only near-perfectly-predicted phases power LLBP down. The
+		// synthetic workloads carry a higher irreducible floor than real
+		// traces (mid-biased and noisy branches), so this demo relaxes the
+		// threshold to "baseline already below 2% missrate".
+		cfg.DisableMissFrac = 0.02
+		gated, clockG, err := llbp.NewLLBPWithConfig(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resGated, err := llbp.Simulate(wl, gated, llbp.SimOptions{Clock: clockG})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		sg := gated.Stats()
+		offPct := float64(sg.DisabledPredictions) / float64(sg.CondPredictions) * 100
+		fmt.Printf("%-12s always-on MPKI %.3f | gated MPKI %.3f | LLBP off %5.1f%% of predictions (%d sleeps)\n",
+			wl.Name(), resAlways.MPKI, resGated.MPKI, offPct, sg.DisableEvents)
+	}
+	fmt.Println("\nThe gate removes LLBP lookups, CD searches and prefetch traffic during")
+	fmt.Println("phases where the baseline alone is accurate enough, trading a small")
+	fmt.Println("accuracy loss on those phases for the bulk of LLBP's access energy.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: build the paper's LLBP design over a 64K TAGE-SC-L
+// baseline, replay one Table I workload through both, and report the MPKI
+// reduction — the headline Figure 9 measurement for a single workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"llbp"
+)
+
+func main() {
+	wl, err := llbp.Workload("Tomcat")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the 64KiB TAGE-SC-L championship design.
+	base, err := llbp.NewBaseline(llbp.Size64K)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := llbp.Simulate(wl, base, llbp.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// LLBP: 512KB of context-organized pattern storage backing a fresh
+	// 64K TSL. The returned clock drives the prefetch-latency model and
+	// must be handed to Simulate.
+	pred, clock, err := llbp.NewLLBP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	llbpRes, err := llbp.Simulate(wl, pred, llbp.SimOptions{Clock: clock})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:        %s\n", wl.Name())
+	fmt.Printf("64K TSL MPKI:    %.3f (IPC %.2f)\n", baseRes.MPKI, baseRes.IPC)
+	fmt.Printf("LLBP MPKI:       %.3f (IPC %.2f)\n", llbpRes.MPKI, llbpRes.IPC)
+	fmt.Printf("MPKI reduction:  %.1f%%\n", (baseRes.MPKI-llbpRes.MPKI)/baseRes.MPKI*100)
+	fmt.Printf("speedup:         %.2f%%\n", (llbpRes.Speedup(baseRes)-1)*100)
+
+	s := pred.Stats()
+	fmt.Printf("LLBP provided a prediction for %.1f%% of conditional branches;\n",
+		float64(s.Matches)/float64(s.CondPredictions)*100)
+	fmt.Printf("of its %d overrides, %d fixed a baseline miss and %d broke a hit.\n",
+		s.Overrides, s.GoodOverride, s.BadOverride)
+}

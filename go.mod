@@ -1,0 +1,3 @@
+module llbp
+
+go 1.22

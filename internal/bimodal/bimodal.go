@@ -1,0 +1,68 @@
+// Package bimodal implements the untagged fall-back predictor used by
+// TAGE-SC-L: a direction-bit table with shared hysteresis bits, as in
+// Seznec's championship implementations. When no tagged TAGE table
+// matches, the bimodal table provides the prediction.
+package bimodal
+
+import "fmt"
+
+// Table is a bimodal predictor with 2^logSize direction bits and
+// 2^(logSize-hystShift) shared hysteresis bits.
+type Table struct {
+	pred      []bool // direction bits
+	hyst      []bool // hysteresis bits (shared between 1<<hystShift neighbours)
+	logSize   int
+	hystShift uint
+}
+
+// New returns a bimodal table with 2^logSize prediction bits; hysteresis
+// bits are shared 4:1 (the TAGE-SC-L arrangement).
+func New(logSize int) *Table {
+	if logSize < 2 || logSize > 28 {
+		panic(fmt.Sprintf("bimodal: invalid logSize %d", logSize))
+	}
+	const hystShift = 2
+	return &Table{
+		pred:      make([]bool, 1<<logSize),
+		hyst:      make([]bool, 1<<(logSize-hystShift)),
+		logSize:   logSize,
+		hystShift: hystShift,
+	}
+}
+
+func (t *Table) index(pc uint64) uint64 {
+	return (pc >> 2) & (uint64(len(t.pred)) - 1)
+}
+
+// Predict returns the predicted direction for pc.
+func (t *Table) Predict(pc uint64) bool {
+	return t.pred[t.index(pc)]
+}
+
+// Update trains the entry for pc with the resolved direction, implementing
+// the shared-hysteresis 2-bit counter state machine: the hysteresis bit
+// must be overcome before the direction bit flips.
+func (t *Table) Update(pc uint64, taken bool) {
+	i := t.index(pc)
+	hi := i >> t.hystShift
+	if t.pred[i] == taken {
+		t.hyst[hi] = true
+		return
+	}
+	if t.hyst[hi] {
+		t.hyst[hi] = false
+		return
+	}
+	t.pred[i] = taken
+}
+
+// Confident reports whether the entry's hysteresis bit is set, i.e. the
+// prediction has been reinforced since it last changed.
+func (t *Table) Confident(pc uint64) bool {
+	return t.hyst[t.index(pc)>>t.hystShift]
+}
+
+// StorageBits returns the storage cost of the table in bits.
+func (t *Table) StorageBits() int {
+	return len(t.pred) + len(t.hyst)
+}

@@ -1,0 +1,102 @@
+package bimodal
+
+import "testing"
+
+func TestConvergesToBias(t *testing.T) {
+	b := New(10)
+	pc := uint64(0x400040)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Error("must predict taken after consistent taken training")
+	}
+	for i := 0; i < 10; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Error("must predict not-taken after consistent not-taken training")
+	}
+}
+
+func TestHysteresisResistsSingleFlip(t *testing.T) {
+	b := New(10)
+	pc := uint64(0x400040)
+	for i := 0; i < 4; i++ {
+		b.Update(pc, true)
+	}
+	// One contrary outcome clears hysteresis but must not flip the
+	// direction bit.
+	b.Update(pc, false)
+	if !b.Predict(pc) {
+		t.Error("single contrary outcome must not flip a reinforced entry")
+	}
+	// A second contrary outcome flips.
+	b.Update(pc, false)
+	if b.Predict(pc) {
+		t.Error("second contrary outcome must flip")
+	}
+}
+
+func TestConfident(t *testing.T) {
+	b := New(10)
+	pc := uint64(0x12340)
+	if b.Confident(pc) {
+		t.Error("fresh entry must not be confident")
+	}
+	b.Update(pc, false)
+	// Entry agreed (zero value = not-taken): hysteresis set.
+	if !b.Confident(pc) {
+		t.Error("reinforced entry must be confident")
+	}
+}
+
+func TestSharedHysteresisNeighbours(t *testing.T) {
+	b := New(10)
+	// Two PCs in the same hysteresis group (consecutive entries share
+	// 4:1): indexes differ in low bits above the >>2 shift.
+	pcA := uint64(0 << 2)
+	pcB := uint64(1 << 2)
+	for i := 0; i < 4; i++ {
+		b.Update(pcA, true)
+	}
+	// pcB's direction bit is independent even though hysteresis is
+	// shared.
+	if b.Predict(pcB) {
+		t.Error("neighbour direction bit must be independent")
+	}
+}
+
+func TestDistinctPCsIndependent(t *testing.T) {
+	b := New(12)
+	pcT := uint64(0x1000)
+	pcN := uint64(0x2000)
+	for i := 0; i < 8; i++ {
+		b.Update(pcT, true)
+		b.Update(pcN, false)
+	}
+	if !b.Predict(pcT) || b.Predict(pcN) {
+		t.Error("distinct PCs must train independently")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	b := New(14)
+	want := (1 << 14) + (1 << 12) // pred bits + shared hysteresis
+	if got := b.StorageBits(); got != want {
+		t.Errorf("StorageBits = %d, want %d", got, want)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, bad := range []int{0, 1, 29} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) must panic", bad)
+				}
+			}()
+			New(bad)
+		}()
+	}
+}

@@ -1,0 +1,225 @@
+// Package btb models the front end's target-prediction structures from
+// Table II: a set-associative branch target buffer (16K entries, 8-way),
+// a return-address stack, and a small history-hashed indirect-target
+// predictor (an ITTAGE-flavoured second level over a per-PC last-target
+// table).
+//
+// The simulation driver can use this model to *derive* target
+// mispredictions (pipeline resets) from the branch stream instead of
+// consuming the trace's precomputed MispredictedTarget flags — target
+// misses are what keep resetting LLBP's prefetcher (§VI), so modelling
+// them rather than replaying them makes the reset behaviour a function of
+// the front-end configuration.
+package btb
+
+import "fmt"
+
+// Config sizes the front-end structures.
+type Config struct {
+	// LogSets and Ways give the BTB geometry (Table II: 16K entries,
+	// 8-way -> 2048 sets × 8).
+	LogSets int
+	Ways    int
+	// RASDepth is the return-address-stack depth.
+	RASDepth int
+	// IndirectLogSets and IndirectWays size the history-hashed
+	// indirect-target table.
+	IndirectLogSets int
+	IndirectWays    int
+	// TargetHistLen is the number of recent indirect targets hashed
+	// into the indirect index.
+	TargetHistLen int
+}
+
+// Default returns the Table II configuration.
+func Default() Config {
+	return Config{
+		LogSets:         11, // 2048 sets × 8 ways = 16K entries
+		Ways:            8,
+		RASDepth:        32,
+		IndirectLogSets: 9, // 512 sets × 4 ways
+		IndirectWays:    4,
+		TargetHistLen:   8,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LogSets < 1 || c.LogSets > 20 {
+		return fmt.Errorf("btb: logSets %d out of range [1,20]", c.LogSets)
+	}
+	if c.Ways < 1 || c.Ways > 32 {
+		return fmt.Errorf("btb: ways %d out of range [1,32]", c.Ways)
+	}
+	if c.RASDepth < 1 || c.RASDepth > 256 {
+		return fmt.Errorf("btb: rasDepth %d out of range [1,256]", c.RASDepth)
+	}
+	if c.IndirectLogSets < 1 || c.IndirectLogSets > 20 {
+		return fmt.Errorf("btb: indirectLogSets %d out of range", c.IndirectLogSets)
+	}
+	if c.IndirectWays < 1 || c.IndirectWays > 32 {
+		return fmt.Errorf("btb: indirectWays %d out of range", c.IndirectWays)
+	}
+	if c.TargetHistLen < 0 || c.TargetHistLen > 64 {
+		return fmt.Errorf("btb: targetHistLen %d out of range", c.TargetHistLen)
+	}
+	return nil
+}
+
+// entry is one BTB way.
+type entry struct {
+	valid  bool
+	tag    uint32
+	target uint64
+	lru    uint64
+}
+
+// Stats counts front-end target events.
+type Stats struct {
+	Lookups       uint64
+	BTBMisses     uint64 // taken transfer absent from the BTB
+	WrongTarget   uint64 // BTB hit with a stale direct target
+	IndirectWrong uint64 // indirect transfer predicted to a wrong target
+	ReturnWrong   uint64 // RAS-predicted return to a wrong address
+	RASOverflows  uint64
+	RASUnderflows uint64
+}
+
+// Model is a front-end target predictor instance.
+type Model struct {
+	cfg  Config
+	sets [][]entry
+	tick uint64
+
+	ras    []uint64
+	rasTop int
+
+	// Indirect-target predictor: a per-PC fallback (in the BTB itself)
+	// is refined by a history-hashed table keyed by recent targets.
+	ind        [][]entry
+	indTick    uint64
+	targetHist uint64
+
+	stats Stats
+}
+
+// New builds a front-end model.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{cfg: cfg, ras: make([]uint64, cfg.RASDepth)}
+	m.sets = make([][]entry, 1<<uint(cfg.LogSets))
+	for i := range m.sets {
+		m.sets[i] = make([]entry, cfg.Ways)
+	}
+	m.ind = make([][]entry, 1<<uint(cfg.IndirectLogSets))
+	for i := range m.ind {
+		m.ind[i] = make([]entry, cfg.IndirectWays)
+	}
+	return m, nil
+}
+
+// Stats returns the event counters.
+func (m *Model) Stats() Stats { return m.stats }
+
+func (m *Model) setIndex(pc uint64) uint64 {
+	return (pc >> 2) & (uint64(len(m.sets)) - 1)
+}
+
+func tagOf(pc uint64, logSets int) uint32 {
+	return uint32((pc >> uint(2+logSets)) & 0xffff)
+}
+
+// lookup returns the BTB entry for pc, or nil.
+func (m *Model) lookup(pc uint64) *entry {
+	set := m.sets[m.setIndex(pc)]
+	tag := tagOf(pc, m.cfg.LogSets)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			m.tick++
+			set[i].lru = m.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert installs pc->target in the BTB, evicting the LRU way.
+func (m *Model) insert(pc, target uint64) {
+	set := m.sets[m.setIndex(pc)]
+	tag := tagOf(pc, m.cfg.LogSets)
+	victim := 0
+	var vl uint64 = ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < vl {
+			victim, vl = i, set[i].lru
+		}
+	}
+	m.tick++
+	set[victim] = entry{valid: true, tag: tag, target: target, lru: m.tick}
+}
+
+func (m *Model) indIndex(pc uint64) uint64 {
+	h := (pc >> 2) ^ m.targetHist ^ (m.targetHist >> uint(m.cfg.IndirectLogSets))
+	return h & (uint64(len(m.ind)) - 1)
+}
+
+// lookupIndirect consults the history-hashed indirect table.
+func (m *Model) lookupIndirect(pc uint64) *entry {
+	set := m.ind[m.indIndex(pc)]
+	tag := tagOf(pc, m.cfg.IndirectLogSets)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			m.indTick++
+			set[i].lru = m.indTick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+func (m *Model) insertIndirect(pc, target uint64) {
+	set := m.ind[m.indIndex(pc)]
+	tag := tagOf(pc, m.cfg.IndirectLogSets)
+	victim := 0
+	var vl uint64 = ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < vl {
+			victim, vl = i, set[i].lru
+		}
+	}
+	m.indTick++
+	set[victim] = entry{valid: true, tag: tag, target: target, lru: m.indTick}
+}
+
+// pushRAS records a call's return address.
+func (m *Model) pushRAS(returnAddr uint64) {
+	if m.rasTop == len(m.ras) {
+		// Overflow: drop the oldest by shifting the window (modelled
+		// as a circular overwrite).
+		copy(m.ras, m.ras[1:])
+		m.rasTop--
+		m.stats.RASOverflows++
+	}
+	m.ras[m.rasTop] = returnAddr
+	m.rasTop++
+}
+
+// popRAS returns the predicted return address.
+func (m *Model) popRAS() (uint64, bool) {
+	if m.rasTop == 0 {
+		m.stats.RASUnderflows++
+		return 0, false
+	}
+	m.rasTop--
+	return m.ras[m.rasTop], true
+}

@@ -1,0 +1,188 @@
+package btb
+
+import (
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+func mustNew(t *testing.T) *Model {
+	t.Helper()
+	m, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.LogSets = 0 },
+		func(c *Config) { c.Ways = 0 },
+		func(c *Config) { c.RASDepth = 0 },
+		func(c *Config) { c.IndirectLogSets = 0 },
+		func(c *Config) { c.IndirectWays = 0 },
+		func(c *Config) { c.TargetHistLen = 65 },
+	}
+	for i, mod := range bad {
+		cfg := Default()
+		mod(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDirectBranchLearnsTarget(t *testing.T) {
+	m := mustNew(t)
+	b := &trace.Branch{PC: 0x4000, Target: 0x5000, Type: trace.Jump, Taken: true}
+	if out := m.Process(b); !out.TargetMiss || out.Source != "btb-miss" {
+		t.Errorf("cold jump: %+v, want btb-miss", out)
+	}
+	if out := m.Process(b); out.TargetMiss {
+		t.Errorf("warm jump still misses: %+v", out)
+	}
+}
+
+func TestNotTakenConditionalNeverMisses(t *testing.T) {
+	m := mustNew(t)
+	b := &trace.Branch{PC: 0x4000, Target: 0x5000, Type: trace.CondDirect, Taken: false}
+	for i := 0; i < 3; i++ {
+		if out := m.Process(b); out.TargetMiss {
+			t.Fatal("not-taken conditional charged a target miss")
+		}
+	}
+	// Taken for the first time: miss, then learned.
+	b.Taken = true
+	if out := m.Process(b); !out.TargetMiss {
+		t.Error("first taken occurrence must miss")
+	}
+	if out := m.Process(b); out.TargetMiss {
+		t.Error("second taken occurrence must hit")
+	}
+}
+
+func TestCallReturnViaRAS(t *testing.T) {
+	m := mustNew(t)
+	call := &trace.Branch{PC: 0x4000, Target: 0x8000, Type: trace.Call, Taken: true}
+	ret := &trace.Branch{PC: 0x8010, Target: 0x4004, Type: trace.Return, Taken: true}
+	m.Process(call) // cold: BTB miss, pushes RAS
+	// The return target (PC+4 of the call) must be RAS-predicted even
+	// though the return was never seen.
+	if out := m.Process(ret); out.TargetMiss {
+		t.Errorf("RAS-predicted return missed: %+v", out)
+	}
+	// Nested calls return in LIFO order.
+	callB := &trace.Branch{PC: 0x4100, Target: 0x9000, Type: trace.Call, Taken: true}
+	retB := &trace.Branch{PC: 0x9010, Target: 0x4104, Type: trace.Return, Taken: true}
+	m.Process(call)
+	m.Process(callB)
+	if out := m.Process(retB); out.TargetMiss {
+		t.Error("inner return mispredicted")
+	}
+	if out := m.Process(ret); out.TargetMiss {
+		t.Error("outer return mispredicted")
+	}
+}
+
+func TestRASUnderflow(t *testing.T) {
+	m := mustNew(t)
+	ret := &trace.Branch{PC: 0x8010, Target: 0x4004, Type: trace.Return, Taken: true}
+	out := m.Process(ret)
+	if !out.TargetMiss {
+		t.Error("return with empty RAS and cold BTB must miss")
+	}
+	if m.Stats().RASUnderflows != 1 {
+		t.Error("underflow not counted")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	cfg := Default()
+	cfg.RASDepth = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 calls into a 4-deep stack: the two oldest return addresses are
+	// lost.
+	for i := 0; i < 6; i++ {
+		m.Process(&trace.Branch{PC: uint64(0x4000 + i*0x100), Target: 0x8000, Type: trace.Call, Taken: true})
+	}
+	if m.Stats().RASOverflows != 2 {
+		t.Errorf("overflows = %d, want 2", m.Stats().RASOverflows)
+	}
+	// Returns for the newest 4 predict fine.
+	for i := 5; i >= 2; i-- {
+		ret := &trace.Branch{PC: 0x8010, Target: uint64(0x4000 + i*0x100 + 4), Type: trace.Return, Taken: true}
+		if out := m.Process(ret); out.TargetMiss {
+			t.Errorf("return %d mispredicted after overflow", i)
+		}
+	}
+}
+
+func TestIndirectMonomorphic(t *testing.T) {
+	m := mustNew(t)
+	b := &trace.Branch{PC: 0x4000, Target: 0x9000, Type: trace.IndirectCall, Taken: true}
+	m.Process(b) // cold miss
+	for i := 0; i < 5; i++ {
+		if out := m.Process(b); out.TargetMiss {
+			t.Fatalf("monomorphic indirect missed on iteration %d", i)
+		}
+		// Pop the RAS entries the indirect calls push.
+		m.popRAS()
+	}
+}
+
+func TestIndirectPolymorphicHistoryPredicted(t *testing.T) {
+	// An indirect branch alternating between two targets, where the
+	// target correlates with the preceding indirect target: the
+	// history-hashed table should learn it while a last-target
+	// predictor alone would always miss.
+	m := mustNew(t)
+	targets := []uint64{0x9000, 0xA000}
+	warmMisses, lateMisses := 0, 0
+	for i := 0; i < 400; i++ {
+		b := &trace.Branch{PC: 0x4000, Target: targets[i%2], Type: trace.IndirectJump, Taken: true}
+		out := m.Process(b)
+		if out.TargetMiss {
+			if i < 200 {
+				warmMisses++
+			} else {
+				lateMisses++
+			}
+		}
+	}
+	if lateMisses > 20 {
+		t.Errorf("history-correlated indirect still missing %d/200 after warmup (warm %d)", lateMisses, warmMisses)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mustNew(t)
+	m.Process(&trace.Branch{PC: 0x10, Target: 0x20, Type: trace.Jump, Taken: true})
+	m.Process(&trace.Branch{PC: 0x10, Target: 0x30, Type: trace.Jump, Taken: true}) // target changed
+	s := m.Stats()
+	if s.Lookups != 2 || s.BTBMisses != 1 || s.WrongTarget != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	cfg := Default()
+	cfg.LogSets = 2 // 4 sets × 8 ways = 32 entries
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 distinct jumps: half must have been evicted; re-processing the
+	// first ones misses again.
+	for i := 0; i < 64; i++ {
+		m.Process(&trace.Branch{PC: uint64(0x1000 + i*4), Target: 0x2000, Type: trace.Jump, Taken: true})
+	}
+	missBefore := m.Stats().BTBMisses
+	m.Process(&trace.Branch{PC: 0x1000, Target: 0x2000, Type: trace.Jump, Taken: true})
+	if m.Stats().BTBMisses == missBefore {
+		t.Error("expected an eviction-induced miss after overflowing the BTB")
+	}
+}

@@ -1,0 +1,109 @@
+package btb
+
+import "llbp/internal/trace"
+
+// Outcome describes the front end's handling of one control transfer.
+type Outcome struct {
+	// TargetMiss reports whether the front end redirected late (BTB
+	// miss on a taken transfer, or a mispredicted indirect/return
+	// target) — a pipeline reset.
+	TargetMiss bool
+	// Source labels the mispredicting structure for diagnostics.
+	Source string
+}
+
+// Process runs one resolved branch through the front-end model: it
+// predicts the target, compares with the actual transfer, trains the
+// structures, and reports whether a reset occurred.
+//
+// Conditional branches only charge a target miss when taken (a not-taken
+// conditional needs no target). Calls push the RAS; returns pop it.
+func (m *Model) Process(b *trace.Branch) Outcome {
+	m.stats.Lookups++
+	out := Outcome{}
+
+	switch b.Type {
+	case trace.Return:
+		pred, ok := m.popRAS()
+		e := m.lookup(b.PC)
+		if !ok || pred != b.Target {
+			// RAS miss; fall back to the BTB entry if it happens
+			// to match.
+			if e == nil || e.target != b.Target {
+				out.TargetMiss, out.Source = true, "return"
+				m.stats.ReturnWrong++
+			}
+		}
+		if e == nil {
+			m.insert(b.PC, b.Target)
+		} else {
+			e.target = b.Target
+		}
+		return out
+
+	case trace.IndirectCall, trace.IndirectJump:
+		// Two-level indirect prediction: the history-hashed table
+		// refines the BTB's last-target.
+		var predicted uint64
+		havePred := false
+		if ie := m.lookupIndirect(b.PC); ie != nil {
+			predicted, havePred = ie.target, true
+		} else if e := m.lookup(b.PC); e != nil {
+			predicted, havePred = e.target, true
+		}
+		if !havePred {
+			out.TargetMiss, out.Source = true, "btb-miss"
+			m.stats.BTBMisses++
+		} else if predicted != b.Target {
+			out.TargetMiss, out.Source = true, "indirect"
+			m.stats.IndirectWrong++
+		}
+		// Train both levels and the target history.
+		if e := m.lookup(b.PC); e == nil {
+			m.insert(b.PC, b.Target)
+		} else {
+			e.target = b.Target
+		}
+		m.insertIndirect(b.PC, b.Target)
+		m.targetHist = (m.targetHist << 3) ^ (b.Target >> 2)
+		if b.Type == trace.IndirectCall {
+			m.pushRAS(b.PC + 4)
+		}
+		return out
+
+	case trace.Call:
+		m.pushRAS(b.PC + 4)
+		fallthrough
+
+	case trace.Jump:
+		e := m.lookup(b.PC)
+		switch {
+		case e == nil:
+			out.TargetMiss, out.Source = true, "btb-miss"
+			m.stats.BTBMisses++
+			m.insert(b.PC, b.Target)
+		case e.target != b.Target:
+			out.TargetMiss, out.Source = true, "wrong-target"
+			m.stats.WrongTarget++
+			e.target = b.Target
+		}
+		return out
+
+	default: // conditional
+		if !b.Taken {
+			return out
+		}
+		e := m.lookup(b.PC)
+		switch {
+		case e == nil:
+			out.TargetMiss, out.Source = true, "btb-miss"
+			m.stats.BTBMisses++
+			m.insert(b.PC, b.Target)
+		case e.target != b.Target:
+			out.TargetMiss, out.Source = true, "wrong-target"
+			m.stats.WrongTarget++
+			e.target = b.Target
+		}
+		return out
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import "fmt"
+
+// CDEntry is one context-directory entry: the validity bit, partial
+// context tag, confidence-based replacement metadata, and — standing in
+// for the paper's "pattern set storage location" — ownership of the
+// backing pattern set in LLBP storage (§V-A).
+type CDEntry struct {
+	Valid bool
+	Tag   uint32
+	// Conf is the 2-bit replacement counter tracking how many
+	// high-confidence patterns the set holds (§V-D step 1); the entry
+	// with the lowest count is the eviction victim.
+	Conf uint8
+	// Set is the pattern set in LLBP bulk storage.
+	Set *PatternSet
+	// CID is the full context ID (diagnostics and PB invalidation).
+	CID uint64
+	// lastUse is the LRU timestamp (ReplacementLRU ablation only).
+	lastUse uint64
+}
+
+// Directory is the context directory plus the LLBP bulk storage it
+// indexes. Two organizations are supported: the production design's
+// set-associative array (2048 sets × 7 ways = 14336 contexts, 11-bit set
+// index + 3-bit tag, §VI), and the fully associative variant with wide
+// tags used by the Figure 14 design-space study.
+type Directory struct {
+	// Set-associative organization.
+	sets    [][]CDEntry
+	setBits uint
+
+	// Fully associative organization.
+	assoc    map[uint64]*CDEntry
+	entries  []*CDEntry // insertion-ordered backing for deterministic eviction
+	capacity int
+	cursor   int
+
+	patternsPerSet int
+	confMax        int
+	lru            bool
+	tick           uint64
+
+	evictions uint64
+}
+
+// newDirectory builds a directory for cfg.
+func newDirectory(cfg *Config) *Directory {
+	d := &Directory{
+		patternsPerSet: cfg.PatternsPerSet,
+		confMax:        3,
+		lru:            cfg.ReplacementLRU,
+	}
+	if cfg.FullAssocCD {
+		d.assoc = make(map[uint64]*CDEntry, cfg.NumContexts)
+		d.capacity = cfg.NumContexts
+		return d
+	}
+	ways := cfg.NumContexts / cfg.CDSets
+	if ways < 1 {
+		ways = 1
+	}
+	setBits := 0
+	for 1<<uint(setBits) < cfg.CDSets {
+		setBits++
+	}
+	if 1<<uint(setBits) != cfg.CDSets {
+		panic(fmt.Sprintf("core: CDSets %d must be a power of two", cfg.CDSets))
+	}
+	d.setBits = uint(setBits)
+	d.sets = make([][]CDEntry, cfg.CDSets)
+	for i := range d.sets {
+		d.sets[i] = make([]CDEntry, ways)
+	}
+	return d
+}
+
+func (d *Directory) setAndTag(cid uint64) (uint64, uint32) {
+	set := cid & (uint64(len(d.sets)) - 1)
+	tag := uint32(cid >> d.setBits)
+	return set, tag
+}
+
+// Lookup returns the directory entry for cid, or nil on a miss.
+func (d *Directory) Lookup(cid uint64) *CDEntry {
+	d.tick++
+	if d.assoc != nil {
+		e := d.assoc[cid]
+		if e != nil {
+			e.lastUse = d.tick
+		}
+		return e
+	}
+	set, tag := d.setAndTag(cid)
+	for i := range d.sets[set] {
+		e := &d.sets[set][i]
+		if e.Valid && e.Tag == tag {
+			e.lastUse = d.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// victimScore returns the replacement priority of an entry (lower =
+// preferred victim) under the configured policy.
+func (d *Directory) victimScore(e *CDEntry) uint64 {
+	if d.lru {
+		return e.lastUse
+	}
+	return uint64(e.Conf)
+}
+
+// Insert allocates a directory entry (and a fresh pattern set) for cid,
+// evicting the lowest-confidence candidate if necessary. It returns the
+// new entry and, when an eviction occurred, the CID of the victim (so the
+// caller can invalidate any pattern-buffer copy).
+func (d *Directory) Insert(cid uint64) (e *CDEntry, evictedCID uint64, evicted bool) {
+	if d.assoc != nil {
+		return d.insertAssoc(cid)
+	}
+	set, tag := d.setAndTag(cid)
+	victim := -1
+	victimScore := ^uint64(0)
+	for i := range d.sets[set] {
+		ent := &d.sets[set][i]
+		if !ent.Valid {
+			victim = i
+			break
+		}
+		if s := d.victimScore(ent); s < victimScore {
+			victim, victimScore = i, s
+		}
+	}
+	ent := &d.sets[set][victim]
+	if ent.Valid {
+		evictedCID, evicted = ent.CID, true
+		d.evictions++
+	}
+	*ent = CDEntry{
+		Valid:   true,
+		Tag:     tag,
+		Set:     newPatternSet(d.patternsPerSet),
+		CID:     cid,
+		lastUse: d.tick,
+	}
+	return ent, evictedCID, evicted
+}
+
+// insertAssoc allocates in the fully associative organization: when at
+// capacity, a deterministic rotating window of candidates is scanned and
+// the lowest-confidence entry is evicted (an O(1)-amortized stand-in for a
+// global min-confidence scan).
+func (d *Directory) insertAssoc(cid uint64) (*CDEntry, uint64, bool) {
+	var evictedCID uint64
+	evicted := false
+	if len(d.entries) >= d.capacity {
+		const window = 64
+		victim := -1
+		victimScore := ^uint64(0)
+		for i := 0; i < window && i < len(d.entries); i++ {
+			pos := (d.cursor + i) % len(d.entries)
+			e := d.entries[pos]
+			if s := d.victimScore(e); s < victimScore {
+				victim, victimScore = pos, s
+			}
+			if victimScore == 0 {
+				break
+			}
+		}
+		d.cursor = (d.cursor + window) % (len(d.entries) + 1)
+		v := d.entries[victim]
+		evictedCID, evicted = v.CID, true
+		delete(d.assoc, v.CID)
+		last := len(d.entries) - 1
+		d.entries[victim] = d.entries[last]
+		d.entries = d.entries[:last]
+		d.evictions++
+	}
+	e := &CDEntry{
+		Valid:   true,
+		Set:     newPatternSet(d.patternsPerSet),
+		CID:     cid,
+		lastUse: d.tick,
+	}
+	d.assoc[cid] = e
+	d.entries = append(d.entries, e)
+	return e, evictedCID, evicted
+}
+
+// RefreshConf recomputes the entry's replacement counter from its pattern
+// set (the hardware tracks this incrementally; recomputation is
+// equivalent and simpler).
+func (d *Directory) RefreshConf(e *CDEntry) {
+	e.Conf = uint8(e.Set.ConfidentCount(d.confMax))
+}
+
+// Live returns the number of valid contexts currently tracked.
+func (d *Directory) Live() int {
+	if d.assoc != nil {
+		return len(d.entries)
+	}
+	n := 0
+	for _, set := range d.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Evictions returns the cumulative number of context evictions.
+func (d *Directory) Evictions() uint64 { return d.evictions }

@@ -1,0 +1,222 @@
+package core
+
+import "testing"
+
+func testDirCfg() *Config {
+	cfg := DefaultConfig()
+	cfg.NumContexts = 56 // 8 sets × 7 ways
+	cfg.CDSets = 8
+	return &cfg
+}
+
+func TestDirectoryInsertLookup(t *testing.T) {
+	d := newDirectory(testDirCfg())
+	e, _, evicted := d.Insert(0x123)
+	if evicted {
+		t.Error("first insert must not evict")
+	}
+	if e == nil || !e.Valid || e.CID != 0x123 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	if got := d.Lookup(0x123); got != e {
+		t.Error("lookup must return the inserted entry")
+	}
+	if d.Lookup(0x999) != nil {
+		t.Error("lookup of absent CID must be nil")
+	}
+	if d.Live() != 1 {
+		t.Errorf("Live = %d", d.Live())
+	}
+}
+
+func TestDirectoryEvictsLowestConfidence(t *testing.T) {
+	d := newDirectory(testDirCfg())
+	// Fill one set: CIDs with identical low 3 bits land in the same
+	// set (8 sets); 7 ways available.
+	var cids []uint64
+	for i := 0; i < 7; i++ {
+		cid := uint64(i)<<3 | 0x5
+		cids = append(cids, cid)
+		e, _, _ := d.Insert(cid)
+		e.Conf = uint8(i % 4) // victim should be conf==0
+	}
+	// One entry (i=0 and i=4) has conf 0; the eviction must pick one.
+	_, victim, evicted := d.Insert(uint64(9)<<3 | 0x5)
+	if !evicted {
+		t.Fatal("full set must evict")
+	}
+	if got := d.Lookup(victim); got != nil {
+		t.Error("victim still present after eviction")
+	}
+	vConf := -1
+	for _, cid := range cids {
+		if cid == victim {
+			vConf = int(cid>>3) % 4
+		}
+	}
+	if vConf != 0 {
+		t.Errorf("evicted conf-%d entry; want a conf-0 victim", vConf)
+	}
+}
+
+func TestDirectoryLRUMode(t *testing.T) {
+	cfg := testDirCfg()
+	cfg.ReplacementLRU = true
+	d := newDirectory(cfg)
+	var cids []uint64
+	for i := 0; i < 7; i++ {
+		cid := uint64(i)<<3 | 0x5
+		cids = append(cids, cid)
+		e, _, _ := d.Insert(cid)
+		e.Conf = 3 // confidence must be ignored in LRU mode
+	}
+	// Touch all but the first.
+	for _, cid := range cids[1:] {
+		d.Lookup(cid)
+	}
+	_, victim, evicted := d.Insert(uint64(9)<<3 | 0x5)
+	if !evicted || victim != cids[0] {
+		t.Errorf("LRU mode evicted %#x, want %#x", victim, cids[0])
+	}
+}
+
+func TestDirectoryFullAssoc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FullAssocCD = true
+	cfg.CIDBits = 31
+	cfg.NumContexts = 32
+	d := newDirectory(&cfg)
+	for i := 0; i < 32; i++ {
+		d.Insert(uint64(i) * 0x1111)
+	}
+	if d.Live() != 32 {
+		t.Fatalf("Live = %d, want 32", d.Live())
+	}
+	// Over capacity: evictions must keep Live at capacity.
+	for i := 32; i < 200; i++ {
+		_, _, evicted := d.Insert(uint64(i) * 0x1111)
+		if !evicted {
+			t.Fatal("insert beyond capacity must evict")
+		}
+	}
+	if d.Live() != 32 {
+		t.Errorf("Live = %d after churn, want 32", d.Live())
+	}
+	if d.Evictions() != 168 {
+		t.Errorf("Evictions = %d, want 168", d.Evictions())
+	}
+}
+
+func TestRefreshConf(t *testing.T) {
+	d := newDirectory(testDirCfg())
+	e, _, _ := d.Insert(0x1)
+	e.Set.insert(0x10, 0, true, 4, 16)
+	e.Set.insert(0x20, 4, true, 4, 16)
+	for i := range e.Set.Pats {
+		if e.Set.Pats[i].Valid {
+			e.Set.Pats[i].Ctr = 3
+		}
+	}
+	d.RefreshConf(e)
+	if e.Conf != 2 {
+		t.Errorf("Conf = %d, want 2", e.Conf)
+	}
+}
+
+func TestBufferLookupInsertLRU(t *testing.T) {
+	b := newBuffer(8, 4) // 2 sets × 4 ways
+	ents := make([]*CDEntry, 8)
+	for i := range ents {
+		ents[i] = &CDEntry{Valid: true, CID: uint64(i*2) | 1, Set: newPatternSet(4)}
+	}
+	// Fill one set (odd low bit → set 1).
+	for i := 0; i < 4; i++ {
+		b.Insert(ents[i].CID, ents[i], 0)
+	}
+	if b.Live() != 4 {
+		t.Fatalf("Live = %d", b.Live())
+	}
+	// Touch entries 1..3 so entry 0 is LRU.
+	for i := 1; i < 4; i++ {
+		if b.Lookup(ents[i].CID) == nil {
+			t.Fatalf("lost entry %d", i)
+		}
+	}
+	_, evicted := b.Insert(ents[4].CID, ents[4], 0)
+	if !evicted.Valid || evicted.CID != ents[0].CID {
+		t.Errorf("evicted %#x, want LRU %#x", evicted.CID, ents[0].CID)
+	}
+}
+
+func TestBufferDirtyEvictionSignalled(t *testing.T) {
+	b := newBuffer(4, 4)
+	ent := &CDEntry{Valid: true, CID: 0x2, Set: newPatternSet(4)}
+	e, _ := b.Insert(0x2, ent, 0)
+	e.Dirty = true
+	// Evict by filling the single set.
+	var ev PBEntry
+	for i := 1; i <= 4; i++ {
+		_, out := b.Insert(uint64(i*4), &CDEntry{Valid: true, CID: uint64(i * 4), Set: newPatternSet(4)}, 0)
+		if out.Valid && out.CID == 0x2 {
+			ev = out
+		}
+	}
+	if !ev.Valid || !ev.Dirty {
+		t.Error("dirty eviction must be visible to the caller for writeback accounting")
+	}
+}
+
+func TestBufferInvalidate(t *testing.T) {
+	b := newBuffer(8, 4)
+	ent := &CDEntry{Valid: true, CID: 0x6, Set: newPatternSet(4)}
+	e, _ := b.Insert(0x6, ent, 0)
+	e.Dirty = true
+	out := b.Invalidate(0x6)
+	if !out.Valid || !out.Dirty {
+		t.Error("invalidate must return the dropped entry")
+	}
+	if b.Lookup(0x6) != nil {
+		t.Error("entry still present after invalidate")
+	}
+	if out := b.Invalidate(0x6); out.Valid {
+		t.Error("double invalidate must be a no-op")
+	}
+}
+
+func TestBufferSquashInflightSkipsDirtyAndReady(t *testing.T) {
+	b := newBuffer(8, 4)
+	mk := func(cid uint64, ready float64, dirty bool) {
+		e, _ := b.Insert(cid, &CDEntry{Valid: true, CID: cid, Set: newPatternSet(4)}, ready)
+		e.Dirty = dirty
+	}
+	mk(0x10, 100, false) // in-flight, clean -> squashed
+	mk(0x12, 100, true)  // in-flight, dirty -> kept (pinned)
+	mk(0x14, 5, false)   // ready -> kept
+	n := b.SquashInflight(50)
+	if n != 1 {
+		t.Errorf("squashed %d entries, want 1", n)
+	}
+	if b.Lookup(0x10) != nil {
+		t.Error("clean in-flight entry survived the squash")
+	}
+	if b.Lookup(0x12) == nil || b.Lookup(0x14) == nil {
+		t.Error("dirty/ready entries must survive the squash")
+	}
+}
+
+func TestBufferGeometryValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { newBuffer(0, 4) },
+		func() { newBuffer(7, 4) },
+		func() { newBuffer(24, 4) }, // 6 sets: not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

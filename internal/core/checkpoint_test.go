@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+)
+
+// feedCorrectPath drives n random-ish branches through p (predict +
+// commit update + occasional unconditional transfers), mirroring every
+// call into twin when non-nil. Outcomes are deterministic in rng.
+func feedCorrectPath(p, twin *Predictor, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			pc := uint64(0x8000 + rng.Intn(64)*0x40)
+			p.TrackOther(pc, pc+0x1000, trace.Call)
+			if twin != nil {
+				twin.TrackOther(pc, pc+0x1000, trace.Call)
+			}
+			continue
+		}
+		pc := uint64(0x4000 + rng.Intn(32)*4)
+		taken := rng.Intn(3) != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+		if twin != nil {
+			twin.Predict(pc)
+			twin.Update(pc, taken)
+		}
+	}
+}
+
+// wrongPath models speculative fetch beyond a misprediction: history-only
+// updates with predicted (garbage) outcomes, no commits.
+func wrongPath(p *Predictor, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			pc := uint64(0xF000 + rng.Intn(16)*0x40)
+			// Wrong-path unconditional: pollutes RCR and histories.
+			p.pushHistory(true)
+			p.rcr.Push(pc)
+			continue
+		}
+		p.pushHistory(rng.Intn(2) == 0)
+	}
+}
+
+// TestRollbackRestoresBehaviour is the §V-E2 property: after wandering
+// down a wrong path and rolling back, the predictor must behave exactly
+// like a twin that never left the correct path.
+func TestRollbackRestoresBehaviour(t *testing.T) {
+	mk := func() *Predictor {
+		clock := &predictor.Clock{}
+		return MustNew(ZeroLatConfig(), tsl.MustNew(tsl.Config64K()), clock)
+	}
+	p, twin := mk(), mk()
+	rng := rand.New(rand.NewSource(11))
+	feedCorrectPath(p, twin, rng, 3000)
+
+	// Checkpoint at the "branch", wander down a wrong path, roll back.
+	cp := p.CheckpointHistory()
+	wrongPath(p, rand.New(rand.NewSource(99)), 200)
+	p.RestoreHistory(cp)
+
+	// Both predictors must now agree on every subsequent prediction
+	// (same histories, same tables — wrong-path work never committed).
+	rng2 := rand.New(rand.NewSource(12))
+	for i := 0; i < 3000; i++ {
+		if rng2.Intn(5) == 0 {
+			pc := uint64(0x8000 + rng2.Intn(64)*0x40)
+			p.TrackOther(pc, pc+0x1000, trace.Call)
+			twin.TrackOther(pc, pc+0x1000, trace.Call)
+			continue
+		}
+		pc := uint64(0x4000 + rng2.Intn(32)*4)
+		taken := rng2.Intn(3) != 0
+		got := p.Predict(pc)
+		want := twin.Predict(pc)
+		if got != want {
+			t.Fatalf("step %d: rolled-back predictor diverged from the twin", i)
+		}
+		p.Update(pc, taken)
+		twin.Update(pc, taken)
+	}
+}
+
+// TestRollbackRestoresCCID: the RCR-specific §V-E2 mechanism — the CCID
+// and prefetch CID must be bit-identical after rollback.
+func TestRollbackRestoresCCID(t *testing.T) {
+	clock := &predictor.Clock{}
+	p := MustNew(DefaultConfig(), tsl.MustNew(tsl.Config64K()), clock)
+	rng := rand.New(rand.NewSource(21))
+	feedCorrectPath(p, nil, rng, 500)
+	ccid, pcid := p.rcr.CCID(), p.rcr.PrefetchCID()
+	cp := p.CheckpointHistory()
+	wrongPath(p, rng, 100)
+	if p.rcr.CCID() == ccid && p.rcr.PrefetchCID() == pcid {
+		t.Log("wrong path happened not to disturb the RCR; weak test input")
+	}
+	p.RestoreHistory(cp)
+	if p.rcr.CCID() != ccid || p.rcr.PrefetchCID() != pcid {
+		t.Error("rollback did not restore the context IDs")
+	}
+}
+
+// TestCheckpointIsImmutable: mutating the predictor after a checkpoint
+// must not corrupt the checkpoint (deep snapshot).
+func TestCheckpointIsImmutable(t *testing.T) {
+	clock := &predictor.Clock{}
+	p := MustNew(ZeroLatConfig(), tsl.MustNew(tsl.Config64K()), clock)
+	rng := rand.New(rand.NewSource(31))
+	feedCorrectPath(p, nil, rng, 1000)
+	cp := p.CheckpointHistory()
+	ccid := p.rcr.CCID()
+	wrongPath(p, rng, 300)
+	p.RestoreHistory(cp)
+	first := p.rcr.CCID()
+	wrongPath(p, rng, 300)
+	p.RestoreHistory(cp)
+	if second := p.rcr.CCID(); second != first || first != ccid {
+		t.Error("checkpoint must survive multiple restores unchanged")
+	}
+}
+
+func TestRestoreMismatchedCheckpointPanics(t *testing.T) {
+	clock := &predictor.Clock{}
+	p := MustNew(DefaultConfig(), tsl.MustNew(tsl.Config64K()), clock)
+	cfg := DefaultConfig()
+	cfg.HistLengths = cfg.HistLengths[:4]
+	q := MustNew(cfg, tsl.MustNew(tsl.Config64K()), clock)
+	cp := q.CheckpointHistory()
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched checkpoint must panic")
+		}
+	}()
+	p.RestoreHistory(cp)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"llbp/internal/predictor"
+	"llbp/internal/tsl"
+)
+
+// TestAutoDisableOnEasyWorkload: a trivially predictable stream gives LLBP
+// no useful overrides, so the gate must power it down for most of the run.
+func TestAutoDisableOnEasyWorkload(t *testing.T) {
+	cfg := AutoDisableConfig()
+	cfg.DisableWindow = 2000 // small windows so the test converges fast
+	p, clock := newTestLLBP(t, cfg)
+	pushContext(p, clock, 0x100, 0x200, 0x300, 0x400, 0x500, 0x600, 0x700, 0x800)
+	for i := 0; i < 60_000; i++ {
+		pc := uint64(0x4000 + (i%9)*4)
+		p.Predict(pc)
+		p.Update(pc, pc%3 == 0) // fully biased: baseline handles it
+		clock.Advance(2)
+	}
+	s := p.Stats()
+	if s.DisableEvents == 0 {
+		t.Fatal("gate never fired on a trivially predictable stream")
+	}
+	if frac := float64(s.DisabledPredictions) / float64(s.CondPredictions); frac < 0.4 {
+		t.Errorf("gated only %.0f%% of predictions on an easy stream", frac*100)
+	}
+}
+
+// TestAutoDisableAccuracyNeutralOnEasyWorkload: gating must not change
+// predictions on an easy stream (the baseline predicts either way).
+func TestAutoDisableAccuracyNeutral(t *testing.T) {
+	run := func(cfg Config) int {
+		p, clock := newTestLLBP(t, cfg)
+		miss := 0
+		for i := 0; i < 40_000; i++ {
+			pc := uint64(0x4000 + (i%9)*4)
+			taken := pc%3 == 0
+			if p.Predict(pc) != taken {
+				miss++
+			}
+			p.Update(pc, taken)
+			clock.Advance(2)
+		}
+		return miss
+	}
+	gated := AutoDisableConfig()
+	gated.DisableWindow = 2000
+	mGated := run(gated)
+	mPlain := run(DefaultConfig())
+	diff := mGated - mPlain
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > mPlain/10+20 {
+		t.Errorf("gating changed misses %d vs %d", mGated, mPlain)
+	}
+}
+
+// TestAutoDisableProbationRecovers: after the gate fires, probation
+// windows must keep sampling so a phase change can re-enable LLBP. We
+// check the mechanism directly: DisabledPredictions stops growing once
+// the stream turns context-correlated and useful overrides return.
+func TestAutoDisableProbationRecovers(t *testing.T) {
+	cfg := AutoDisableConfig()
+	cfg.DisableWindow = 1000
+	cfg.PrefetchDelay = 0
+	p, clock := newTestLLBP(t, cfg)
+	pushContext(p, clock, 0x100, 0x200, 0x300, 0x400, 0x500, 0x600, 0x700, 0x800)
+	// Phase 1: easy stream — the gate fires.
+	for i := 0; i < 20_000; i++ {
+		pc := uint64(0x4000 + (i%9)*4)
+		p.Predict(pc)
+		p.Update(pc, true)
+		clock.Advance(2)
+	}
+	if p.Stats().DisableEvents == 0 {
+		t.Fatal("gate never fired in the easy phase")
+	}
+	// Phase 2: long-history-correlated stream the baseline handles
+	// poorly but LLBP learns. Track the gated share over the phase: it
+	// must drop well below 100% (probation re-enabled LLBP).
+	before := p.Stats().DisabledPredictions
+	const phase2 = 60_000
+	h := func(i int) bool {
+		x := uint64(i/37)*0x9E3779B97F4A7C15 + uint64(i%37)
+		x ^= x >> 29
+		return x&1 == 1
+	}
+	for i := 0; i < phase2; i++ {
+		p.Predict(0x7040)
+		p.Update(0x7040, h(i))
+		clock.Advance(2)
+	}
+	gatedShare := float64(p.Stats().DisabledPredictions-before) / phase2
+	if gatedShare > 0.95 {
+		t.Errorf("LLBP stayed off for %.0f%% of the hard phase — probation broken", gatedShare*100)
+	}
+}
+
+// TestGateKeepsHistoriesInSync: predictions immediately after a probation
+// re-enable must behave identically to a never-gated predictor given the
+// same stream (histories kept warm while gated).
+func TestGateKeepsHistoriesInSync(t *testing.T) {
+	mk := func(gate bool) *Predictor {
+		cfg := DefaultConfig()
+		cfg.PrefetchDelay = 0
+		if gate {
+			cfg.AutoDisable = true
+			cfg.DisableWindow = 500
+		}
+		clock := &predictor.Clock{}
+		p := MustNew(cfg, tsl.MustNew(tsl.Config64K()), clock)
+		return p
+	}
+	a, b := mk(true), mk(false)
+	// Identical easy stream: the gated predictor powers down, the plain
+	// one does not; their *baseline* predictions must stay identical
+	// because histories advance identically.
+	for i := 0; i < 10_000; i++ {
+		pc := uint64(0x4000 + (i%5)*4)
+		taken := i%4 != 0
+		pa := a.Predict(pc)
+		pb := b.Predict(pc)
+		da, db := a.LastDetail(), b.LastDetail()
+		if da.BaselineTaken != db.BaselineTaken {
+			t.Fatalf("step %d: baselines diverged (gated %v vs plain %v)", i, pa, pb)
+		}
+		a.Update(pc, taken)
+		b.Update(pc, taken)
+	}
+}

@@ -1,0 +1,579 @@
+package core
+
+import (
+	"fmt"
+
+	"llbp/internal/history"
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+)
+
+// Stats are LLBP's event counters, the raw material for Figures 11, 12
+// and 15.
+type Stats struct {
+	CondPredictions uint64 // conditional branches predicted
+	Matches         uint64 // LLBP found a matching pattern
+	Overrides       uint64 // match won the length arbitration
+	NoOverride      uint64 // match lost to a longer TAGE pattern
+
+	// Override outcome breakdown (Figure 15).
+	GoodOverride uint64 // baseline wrong, LLBP right
+	BadOverride  uint64 // baseline right, LLBP wrong
+	BothCorrect  uint64 // override redundant, both right
+	BothWrong    uint64 // both wrong
+
+	LLBPReads  uint64 // pattern-set fetches LLBP -> PB
+	LLBPWrites uint64 // dirty pattern-set writebacks PB -> LLBP
+	CDLookups  uint64 // context-directory searches (per context switch)
+	PBHits     uint64 // prediction-time PB hits (ready)
+	NotReady   uint64 // PB entry present/known but prefetch incomplete
+	PBMisses   uint64 // CCID absent from the PB at prediction time
+
+	CtxAllocs     uint64 // new contexts installed in the CD
+	PatternAllocs uint64 // patterns allocated into sets
+	Resets        uint64 // pipeline resets observed
+	Squashes      uint64 // in-flight prefetches squashed by resets
+
+	// Power gating (Config.AutoDisable, §V).
+	DisabledPredictions uint64 // predictions made with LLBP powered down
+	DisableEvents       uint64 // enabled -> disabled transitions
+}
+
+// Predictor is the composite LLBP + TAGE-SC-L predictor (§V): the
+// unmodified baseline runs in parallel with the pattern buffer, and the
+// longest matching pattern across the two supplies the final prediction.
+// It implements predictor.Predictor, predictor.Detailer and
+// predictor.Resettable.
+type Predictor struct {
+	cfg   Config
+	base  *tsl.Predictor
+	clock *predictor.Clock
+
+	rcr *RCR
+	dir *Directory
+	pb  *Buffer
+
+	// LLBP's own history mirrors (identical content to TAGE's, §V-B).
+	ghr   *history.Global
+	fold1 []*history.Folded // per distinct history length, TagBits wide
+	fold2 []*history.Folded // per distinct history length, TagBits-1 wide
+	// lenFold maps a HistLengths index to its distinct-length fold index.
+	lenFold []int
+
+	stats  Stats
+	detail predictor.Detail
+
+	// Power gating state (Config.AutoDisable).
+	gateOff      bool // LLBP prediction path powered down
+	sleepLeft    int  // disabled windows remaining before probation
+	windowLeft   int
+	windowGood   int
+	windowBad    int
+	windowMatch  int
+	windowMisses int // baseline mispredictions this window
+	windowsSeen  int
+
+	// Per-prediction scratch.
+	lastPC     uint64
+	baseTaken  bool
+	tageTaken  bool
+	tageLen    int
+	cid        uint64
+	pbe        *PBEntry
+	matched    bool
+	matchSlot  int
+	llbpTaken  bool
+	llbpLenIdx int
+	llbpWins   bool // match won the length arbitration (LLBP is provider)
+	override   bool // provider match was confident enough to override
+	finalTaken bool
+}
+
+var (
+	_ predictor.Predictor  = (*Predictor)(nil)
+	_ predictor.Detailer   = (*Predictor)(nil)
+	_ predictor.Resettable = (*Predictor)(nil)
+)
+
+// New composes an LLBP instance over the given baseline predictor. The
+// clock supplies simulation time for the prefetch-latency model; pass a
+// fresh clock that the simulation driver advances.
+func New(cfg Config, base *tsl.Predictor, clock *predictor.Clock) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		return nil, fmt.Errorf("core: nil baseline predictor")
+	}
+	if clock == nil {
+		return nil, fmt.Errorf("core: nil clock")
+	}
+	p := &Predictor{
+		cfg:   cfg,
+		base:  base,
+		clock: clock,
+		rcr:   NewRCR(cfg.W, cfg.D, cfg.CIDBits, cfg.ShiftedHash),
+		dir:   newDirectory(&cfg),
+		pb:    newBuffer(cfg.PBEntries, cfg.PBWays),
+		ghr:   history.NewGlobal(),
+	}
+	p.lenFold = make([]int, len(cfg.HistLengths))
+	seen := map[int]int{}
+	for i, h := range cfg.HistLengths {
+		fi, ok := seen[h.Len]
+		if !ok {
+			fi = len(p.fold1)
+			seen[h.Len] = fi
+			p.fold1 = append(p.fold1, history.NewFolded(h.Len, cfg.TagBits))
+			p.fold2 = append(p.fold2, history.NewFolded(h.Len, cfg.TagBits-1))
+		}
+		p.lenFold[i] = fi
+	}
+	return p, nil
+}
+
+// MustNew is New panicking on error, for the always-valid package configs.
+func MustNew(cfg Config, base *tsl.Predictor, clock *predictor.Clock) *Predictor {
+	p, err := New(cfg, base, clock)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Label != "" {
+		return p.cfg.Label
+	}
+	return "LLBP"
+}
+
+// Config returns the LLBP configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+// Base returns the underlying baseline predictor.
+func (p *Predictor) Base() *tsl.Predictor { return p.base }
+
+// Stats returns a snapshot of the event counters.
+func (p *Predictor) Stats() Stats { return p.stats }
+
+// Directory exposes the context directory (diagnostics and tests).
+func (p *Predictor) Directory() *Directory { return p.dir }
+
+// PatternBuffer exposes the pattern buffer (diagnostics and tests).
+func (p *Predictor) PatternBuffer() *Buffer { return p.pb }
+
+// tagFor computes the pattern tag for pc at history-length index lenIdx.
+// AltHash variants (the * lengths of §VI) combine the same folded
+// histories differently, like the baseline TAGE's modified hash.
+func (p *Predictor) tagFor(pc uint64, lenIdx int) uint32 {
+	fi := p.lenFold[lenIdx]
+	f1 := p.fold1[fi].Value()
+	f2 := p.fold2[fi].Value()
+	mask := uint64(1)<<uint(p.cfg.TagBits) - 1
+	if p.cfg.HistLengths[lenIdx].AltHash {
+		rot := (f1 << 3) | (f1 >> uint(p.cfg.TagBits-3))
+		return uint32(((pc >> 2) ^ rot ^ (f2 << 2)) & mask)
+	}
+	return uint32(((pc >> 2) ^ f1 ^ (f2 << 1)) & mask)
+}
+
+// Predict implements predictor.Predictor: the baseline predicts, the PB is
+// probed with the current context ID, and the longest match wins (§V-B).
+func (p *Predictor) Predict(pc uint64) bool {
+	p.stats.CondPredictions++
+	p.lastPC = pc
+	p.baseTaken = p.base.Predict(pc)
+	p.tageTaken = p.base.TAGE().LastTaken()
+	p.tageLen = p.base.TAGE().ProviderLen()
+	baseDetail := p.base.LastDetail()
+
+	if p.cfg.AutoDisable {
+		p.tickGate()
+	}
+	if p.gateOff {
+		// LLBP's prediction path is powered down (§V): the baseline
+		// predicts alone. Histories and the RCR keep running (cheap
+		// registers), so re-enabling is seamless.
+		p.stats.DisabledPredictions++
+		p.matched, p.llbpWins, p.override = false, false, false
+		p.pbe = nil
+		p.finalTaken = p.baseTaken
+		p.detail = baseDetail
+		p.detail.BaselineTaken = p.baseTaken
+		return p.finalTaken
+	}
+
+	p.cid = p.rcr.CCID()
+	p.matched = false
+	p.pbe = p.pb.Lookup(p.cid)
+	switch {
+	case p.pbe != nil && p.pbe.Ready <= p.clock.NowF():
+		p.stats.PBHits++
+		p.matchPatterns(pc)
+	case p.pbe != nil:
+		p.stats.NotReady++
+		p.pbe = nil // unusable this cycle
+	default:
+		p.stats.PBMisses++
+	}
+
+	p.override, p.llbpWins = false, false
+	p.finalTaken = p.baseTaken
+	if p.matched {
+		p.stats.Matches++
+		p.windowMatch++
+		p.llbpWins = p.cfg.HistLengths[p.llbpLenIdx].Len >= p.tageLen
+		// Longest history wins (§V-B); but a newly allocated,
+		// still-weak pattern defers to the baseline for the final
+		// prediction, mirroring TAGE's use-alt-on-newly-allocated
+		// heuristic — a weak counter carries no evidence yet. The
+		// pattern still trains as the provider.
+		pat := &p.pbe.Ent.Set.Pats[p.matchSlot]
+		confident := pat.Ctr >= 1 || pat.Ctr <= -2
+		if p.llbpWins && confident {
+			p.override = true
+			p.finalTaken = p.llbpTaken
+			p.stats.Overrides++
+		} else {
+			p.stats.NoOverride++
+		}
+	}
+
+	p.detail = baseDetail
+	p.detail.BaselineTaken = p.baseTaken
+	p.detail.LLBPMatched = p.matched
+	p.detail.LLBPOverrode = p.override
+	if p.override {
+		p.detail.Provider = predictor.ProviderLLBP
+		p.detail.ProviderLen = p.cfg.HistLengths[p.llbpLenIdx].Len
+		p.detail.PatternKey = p.llbpPatternKey()
+	}
+	return p.finalTaken
+}
+
+// tickGate advances the power-gating window state machine (§V, see
+// Config.AutoDisable): LLBP powers down when TAGE alone is accurate
+// enough, or when LLBP keeps matching without net benefit. A warm-up
+// grace period protects LLBP's initial training, and every sleep ends in
+// a probation window so phase changes re-enable it.
+func (p *Predictor) tickGate() {
+	if p.windowLeft > 0 {
+		p.windowLeft--
+		return
+	}
+	window := p.cfg.DisableWindow
+	if window <= 0 {
+		window = 32768
+	}
+	p.windowsSeen++
+	const graceWindows = 4
+	switch {
+	case p.gateOff:
+		p.sleepLeft--
+		if p.sleepLeft <= 0 {
+			p.gateOff = false // probation window
+		}
+	case p.windowsSeen <= graceWindows:
+		// Warm-up grace: let LLBP learn before judging it.
+	default:
+		baselineAccurate := float64(p.windowMisses) < p.cfg.DisableMissFrac*float64(window)
+		matchedALot := p.windowMatch > window/50
+		noBenefit := p.windowGood-p.windowBad < p.cfg.DisableThreshold
+		if baselineAccurate || (matchedALot && noBenefit) {
+			p.gateOff = true
+			p.sleepLeft = 4
+			p.stats.DisableEvents++
+		}
+	}
+	p.windowGood, p.windowBad, p.windowMatch, p.windowMisses = 0, 0, 0, 0
+	p.windowLeft = window - 1
+}
+
+// matchPatterns scans the current pattern set for the longest matching
+// pattern. Sets are kept in ascending history-length order, so the last
+// match in slot order is the longest (§V-B).
+func (p *Predictor) matchPatterns(pc uint64) {
+	set := p.pbe.Ent.Set
+	var tags [maxLengths]uint32
+	var computed [maxLengths]bool
+	for i := range set.Pats {
+		pat := &set.Pats[i]
+		if !pat.Valid {
+			continue
+		}
+		li := int(pat.LenIdx)
+		if !computed[li] {
+			tags[li] = p.tagFor(pc, li)
+			computed[li] = true
+		}
+		if pat.Tag == tags[li] {
+			p.matched = true
+			p.matchSlot = i
+			p.llbpTaken = pat.Ctr >= 0
+			p.llbpLenIdx = li
+		}
+	}
+}
+
+// maxLengths bounds the per-prediction tag scratch.
+const maxLengths = 256
+
+func (p *Predictor) llbpPatternKey() uint64 {
+	set := p.pbe.Ent.Set
+	pat := set.Pats[p.matchSlot]
+	return 1<<63 | p.cid<<20 | uint64(pat.Tag)<<5 | uint64(pat.LenIdx)
+}
+
+// Update implements predictor.Predictor (unknown target; see
+// UpdateWithTarget).
+func (p *Predictor) Update(pc uint64, taken bool) {
+	p.UpdateWithTarget(pc, pc+4, taken)
+}
+
+// UpdateWithTarget implements predictor.TargetUpdater: trains the
+// providing component, allocates longer-history patterns on provider
+// mispredictions (§V-D), and advances LLBP's history mirrors.
+func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
+	if pc != p.lastPC {
+		panic(fmt.Sprintf("core: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+	}
+	if p.baseTaken != taken {
+		p.windowMisses++
+	}
+	// Figure 15 bookkeeping for overrides.
+	if p.override {
+		baseRight := p.baseTaken == taken
+		llbpRight := p.llbpTaken == taken
+		switch {
+		case !baseRight && llbpRight:
+			p.stats.GoodOverride++
+			p.windowGood++
+		case baseRight && !llbpRight:
+			p.stats.BadOverride++
+			p.windowBad++
+		case baseRight && llbpRight:
+			p.stats.BothCorrect++
+		default:
+			p.stats.BothWrong++
+		}
+	}
+
+	if p.gateOff {
+		// Powered down: the baseline trains alone; no LLBP training or
+		// allocation.
+		p.base.UpdateWithTarget(pc, target, taken)
+		p.pushHistory(taken)
+		if p.cfg.CtxType.Feeds(trace.CondDirect, taken) {
+			p.rcr.Push(pc)
+		}
+		return
+	}
+
+	providerWrong := false
+	providerLenIdx := -1
+	if p.llbpWins {
+		// LLBP is the provider: train the pattern whether or not its
+		// confidence allowed the override (like TAGE training a
+		// newly allocated provider while the alt prediction is
+		// used).
+		pat := &p.pbe.Ent.Set.Pats[p.matchSlot]
+		if taken {
+			if pat.Ctr < p.ctrMax() {
+				pat.Ctr++
+			}
+		} else if pat.Ctr > p.ctrMin() {
+			pat.Ctr--
+		}
+		p.pbe.Dirty = true
+		p.dir.RefreshConf(p.pbe.Ent)
+		providerWrong = p.llbpTaken != taken
+		providerLenIdx = p.llbpLenIdx
+	} else {
+		providerWrong = p.tageTaken != taken
+	}
+	if p.override {
+		// TAGE cancels its update when overridden (§V-D).
+		p.base.UpdateAsOverridden(pc, target, taken)
+	} else {
+		p.base.UpdateWithTarget(pc, target, taken)
+	}
+
+	if providerWrong {
+		provLen := p.tageLen
+		if providerLenIdx >= 0 {
+			provLen = p.cfg.HistLengths[providerLenIdx].Len
+		}
+		p.allocate(pc, taken, provLen)
+	}
+
+	p.pushHistory(taken)
+	if p.cfg.CtxType.Feeds(trace.CondDirect, taken) {
+		p.rcr.Push(pc)
+		p.onContextSwitch()
+	}
+}
+
+func (p *Predictor) ctrMax() int8 { return int8(1)<<(p.cfg.CtrBits-1) - 1 }
+func (p *Predictor) ctrMin() int8 { return -int8(1) << (p.cfg.CtrBits - 1) }
+
+// allocate installs a new pattern for the current context with the
+// smallest LLBP history length strictly longer than the mispredicting
+// provider's (§V-D steps 1–4).
+func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
+	lenIdx := -1
+	for i, h := range p.cfg.HistLengths {
+		if h.Len > provLen {
+			lenIdx = i
+			break
+		}
+	}
+	if lenIdx < 0 {
+		return // provider already used the maximum length
+	}
+	ent := p.dir.Lookup(p.cid)
+	if ent == nil {
+		// Step 1: install the context.
+		var evictedCID uint64
+		var evicted bool
+		ent, evictedCID, evicted = p.dir.Insert(p.cid)
+		p.stats.CtxAllocs++
+		if evicted {
+			if old := p.pb.Invalidate(evictedCID); old.Valid && old.Dirty {
+				p.stats.LLBPWrites++
+			}
+		}
+	}
+	pbe := p.pb.Lookup(p.cid)
+	if pbe == nil {
+		// The set is (now) resident in LLBP but not cached; pull it
+		// in. New patterns are created core-side, so the entry is
+		// immediately usable.
+		pbe = p.fetchIntoPB(p.cid, ent, 0)
+	}
+	pbe.Ent = ent
+	// Steps 2–4: replace the least-confident pattern in the target
+	// bucket and keep the bucket sorted.
+	ent.Set.insert(p.tagFor(pc, lenIdx), uint8(lenIdx), taken, p.cfg.Buckets, len(p.cfg.HistLengths))
+	pbe.Dirty = true
+	p.dir.RefreshConf(ent)
+	p.stats.PatternAllocs++
+}
+
+// fetchIntoPB models a pattern-set transfer from LLBP storage to the PB,
+// accounting the read and any dirty-victim writeback.
+func (p *Predictor) fetchIntoPB(cid uint64, ent *CDEntry, delay float64) *PBEntry {
+	p.stats.LLBPReads++
+	ins, ev := p.pb.Insert(cid, ent, p.clock.NowF()+delay)
+	if ev.Valid && ev.Dirty {
+		p.stats.LLBPWrites++
+		p.dir.RefreshConf(ev.Ent)
+	}
+	return ins
+}
+
+// TrackOther implements predictor.Predictor: maintains the baseline's and
+// LLBP's histories and drives the context-switch machinery (§V-C).
+func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
+	p.base.TrackOther(pc, target, t)
+	p.pushHistory(true)
+	if p.cfg.CtxType.Feeds(t, true) {
+		p.rcr.Push(pc)
+		p.onContextSwitch()
+	}
+}
+
+// onContextSwitch runs once per context-feeding branch: it searches the CD
+// with the prefetch CID and pulls the upcoming pattern set into the PB
+// ahead of use; it also issues a demand fetch if the *current* context is
+// known but absent from the PB (the post-reset path, §V-C).
+func (p *Predictor) onContextSwitch() {
+	if p.gateOff {
+		return // powered down: no CD searches or prefetches
+	}
+	p.stats.CDLookups++
+	pcid := p.rcr.PrefetchCID()
+	if ent := p.dir.Lookup(pcid); ent != nil && p.pb.Lookup(pcid) == nil {
+		p.fetchIntoPB(pcid, ent, p.cfg.PrefetchDelay)
+	}
+	if p.cfg.D == 0 {
+		return // prefetch CID == CCID; already handled
+	}
+	ccid := p.rcr.CCID()
+	if p.pb.Lookup(ccid) == nil {
+		if ent := p.dir.Lookup(ccid); ent != nil {
+			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay)
+		}
+	}
+}
+
+// pushHistory advances LLBP's global-history mirror.
+func (p *Predictor) pushHistory(taken bool) {
+	p.ghr.Push(taken)
+	for i := range p.fold1 {
+		p.fold1[i].Update(p.ghr)
+		p.fold2[i].Update(p.ghr)
+	}
+}
+
+// OnPipelineReset implements predictor.Resettable: squash in-flight
+// prefetches and restart prefetching for the current context (§VI).
+func (p *Predictor) OnPipelineReset() {
+	now := p.clock.NowF()
+	p.stats.Resets++
+	p.stats.Squashes += uint64(p.pb.SquashInflight(now))
+	ccid := p.rcr.CCID()
+	if p.pb.Lookup(ccid) == nil {
+		if ent := p.dir.Lookup(ccid); ent != nil {
+			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay)
+		}
+	}
+}
+
+// LastDetail implements predictor.Detailer.
+func (p *Predictor) LastDetail() predictor.Detail { return p.detail }
+
+// HistoryCheckpoint captures the composite predictor's speculative state:
+// the baseline's histories plus LLBP's history mirror and the rolling
+// context register — the exact state §V-E2 checkpoints per branch ("a
+// snapshot of the CCID and a pointer to the head of the RCR").
+type HistoryCheckpoint struct {
+	base  *tsl.HistoryCheckpoint
+	ghr   history.Global
+	fold1 []uint64
+	fold2 []uint64
+	rcr   []uint64
+}
+
+// CheckpointHistory snapshots the speculative history state.
+func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
+	cp := &HistoryCheckpoint{
+		base:  p.base.CheckpointHistory(),
+		ghr:   p.ghr.Snapshot(),
+		fold1: make([]uint64, len(p.fold1)),
+		fold2: make([]uint64, len(p.fold2)),
+		rcr:   p.rcr.Snapshot(),
+	}
+	for i := range p.fold1 {
+		cp.fold1[i] = p.fold1[i].Snapshot()
+		cp.fold2[i] = p.fold2[i].Snapshot()
+	}
+	return cp
+}
+
+// RestoreHistory rewinds the speculative history state to a checkpoint
+// (the §V-E2 misprediction-recovery path).
+func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
+	if len(cp.fold1) != len(p.fold1) {
+		panic(fmt.Sprintf("core: checkpoint for %d folds restored into %d", len(cp.fold1), len(p.fold1)))
+	}
+	p.base.RestoreHistory(cp.base)
+	p.ghr.Restore(cp.ghr)
+	for i := range p.fold1 {
+		p.fold1[i].Restore(cp.fold1[i])
+		p.fold2[i].Restore(cp.fold2[i])
+	}
+	p.rcr.Restore(cp.rcr)
+}

@@ -1,0 +1,201 @@
+package core
+
+import "fmt"
+
+// HistLen describes one of LLBP's allowed history lengths. The paper's
+// configuration uses 16 lengths, four of which repeat a previous length
+// with a modified hash function (marked with * in §VI); AltHash selects
+// that variant.
+type HistLen struct {
+	Len     int
+	AltHash bool
+}
+
+// DefaultHistLengths is the empirically chosen set from §VI: history
+// lengths 12, 26, 54, 54*, 78, 78*, 112, 112*, 161, 161*, 232, 336, 482,
+// 695, 1444, 3000 — a 16-length subset of the baseline TAGE's 21 lengths,
+// split across four buckets of four.
+var DefaultHistLengths = []HistLen{
+	{12, false}, {26, false}, {54, false}, {54, true},
+	{78, false}, {78, true}, {112, false}, {112, true},
+	{161, false}, {161, true}, {232, false}, {336, false},
+	{482, false}, {695, false}, {1444, false}, {3000, false},
+}
+
+// Pattern is one LLBP pattern (§V-B): a prediction counter, a partial tag,
+// and a history-length field selecting the hash used to match the tag. In
+// hardware this is 18 bits (3b ctr + 13b tag + 2b length-within-bucket);
+// here lenIdx stores the global index into Config.HistLengths, from which
+// the 2-bit in-bucket field is derivable.
+type Pattern struct {
+	Tag    uint32
+	Ctr    int8
+	LenIdx uint8
+	Valid  bool
+}
+
+// Confident reports whether the pattern's counter is in a high-confidence
+// state (saturated or one off saturation for a 3-bit counter).
+func (p *Pattern) Confident() bool {
+	return p.Valid && (p.Ctr >= 2 || p.Ctr <= -3)
+}
+
+// PatternSet is the complete set of patterns for one program context
+// (§V-A). Patterns are stored in ascending history-length order so the
+// same multiplexer cascade as TAGE selects the longest match (§V-B); with
+// bucketing enabled (§V-D) the order is maintained per four-pattern bucket,
+// and bucket b may only hold history lengths 4b..4b+3.
+type PatternSet struct {
+	Pats []Pattern
+}
+
+// newPatternSet returns an empty set of n pattern slots.
+func newPatternSet(n int) *PatternSet {
+	return &PatternSet{Pats: make([]Pattern, n)}
+}
+
+// clone deep-copies the set (used by the PB/LLBP storage transfer model).
+func (s *PatternSet) clone() *PatternSet {
+	out := &PatternSet{Pats: make([]Pattern, len(s.Pats))}
+	copy(out.Pats, s.Pats)
+	return out
+}
+
+// ConfidentCount returns the number of high-confidence patterns, saturated
+// at max — the CD replacement metadata (§V-D, step 1).
+func (s *PatternSet) ConfidentCount(max int) int {
+	n := 0
+	for i := range s.Pats {
+		if s.Pats[i].Confident() {
+			n++
+			if n >= max {
+				return max
+			}
+		}
+	}
+	return n
+}
+
+// bucketRange returns the slot range [lo,hi) of the bucket that may hold
+// global history-length index lenIdx, for a set of setSize patterns split
+// into nBuckets. With nBuckets == 0 (bucketing disabled, the Figure 14
+// study mode) the whole set is one bucket.
+func bucketRange(lenIdx, setSize, nBuckets, nLengths int) (lo, hi int) {
+	if nBuckets <= 0 {
+		return 0, setSize
+	}
+	perBucket := setSize / nBuckets
+	lensPerBucket := (nLengths + nBuckets - 1) / nBuckets
+	b := lenIdx / lensPerBucket
+	if b >= nBuckets {
+		b = nBuckets - 1
+	}
+	return b * perBucket, (b + 1) * perBucket
+}
+
+// insert allocates a pattern with the given tag/length into the set,
+// following §V-D steps 2–4: within the allowed bucket, replace the
+// least-confident pattern (ties broken toward the lower-order slot), set
+// the counter to the weak state for the resolved direction, and restore
+// ascending history-length order inside the bucket.
+func (s *PatternSet) insert(tag uint32, lenIdx uint8, taken bool, nBuckets, nLengths int) {
+	lo, hi := bucketRange(int(lenIdx), len(s.Pats), nBuckets, nLengths)
+	if lo < 0 || hi > len(s.Pats) || lo >= hi {
+		panic(fmt.Sprintf("core: bad bucket range [%d,%d) for set of %d", lo, hi, len(s.Pats)))
+	}
+	// If the identical pattern already exists, refresh its counter
+	// instead of duplicating it.
+	for i := lo; i < hi; i++ {
+		p := &s.Pats[i]
+		if p.Valid && p.Tag == tag && p.LenIdx == lenIdx {
+			p.Ctr = weakCtr(taken)
+			return
+		}
+	}
+	victim := lo
+	victimScore := 127
+	for i := lo; i < hi; i++ {
+		p := &s.Pats[i]
+		if !p.Valid {
+			victim = i
+			victimScore = -1
+			break
+		}
+		score := int(p.Ctr)
+		if score < 0 {
+			score = -score - 1 // counter magnitude: -1,-4 -> 0,3
+		}
+		if score < victimScore {
+			victim, victimScore = i, score
+		}
+	}
+	s.Pats[victim] = Pattern{Tag: tag, Ctr: weakCtr(taken), LenIdx: lenIdx, Valid: true}
+	s.sortBucket(lo, hi)
+}
+
+// sortBucket restores ascending LenIdx order among the valid patterns of
+// slots [lo,hi), keeping invalid slots at the end. Buckets hold four
+// patterns, so insertion sort is the hardware-faithful (and fastest)
+// choice.
+func (s *PatternSet) sortBucket(lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		p := s.Pats[i]
+		j := i - 1
+		for j >= lo && less(p, s.Pats[j]) {
+			s.Pats[j+1] = s.Pats[j]
+			j--
+		}
+		s.Pats[j+1] = p
+	}
+}
+
+// less orders valid patterns before invalid ones, then by ascending
+// history length.
+func less(a, b Pattern) bool {
+	if a.Valid != b.Valid {
+		return a.Valid
+	}
+	if !a.Valid {
+		return false
+	}
+	return a.LenIdx < b.LenIdx
+}
+
+// weakCtr returns the weak 3-bit counter state for a direction.
+func weakCtr(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}
+
+// sorted reports whether valid patterns appear in ascending length order
+// within each bucket (and invalid slots trail) — the §V-B invariant the
+// multiplexer cascade relies on. Exposed for property tests.
+func (s *PatternSet) sorted(nBuckets, nLengths int) bool {
+	size := len(s.Pats)
+	per := size
+	if nBuckets > 0 {
+		per = size / nBuckets
+	}
+	for lo := 0; lo < size; lo += per {
+		hi := lo + per
+		seenInvalid := false
+		last := -1
+		for i := lo; i < hi && i < size; i++ {
+			p := s.Pats[i]
+			if !p.Valid {
+				seenInvalid = true
+				continue
+			}
+			if seenInvalid {
+				return false
+			}
+			if int(p.LenIdx) < last {
+				return false
+			}
+			last = int(p.LenIdx)
+		}
+	}
+	return true
+}

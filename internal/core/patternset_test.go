@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	testBuckets = 4
+	testLengths = 16
+	testSetSize = 16
+)
+
+func TestBucketRange(t *testing.T) {
+	// 16 patterns, 4 buckets, 16 lengths: bucket b covers slots
+	// [4b,4b+4) and lengths [4b,4b+4).
+	cases := []struct{ lenIdx, lo, hi int }{
+		{0, 0, 4}, {3, 0, 4}, {4, 4, 8}, {7, 4, 8},
+		{8, 8, 12}, {11, 8, 12}, {12, 12, 16}, {15, 12, 16},
+	}
+	for _, c := range cases {
+		lo, hi := bucketRange(c.lenIdx, testSetSize, testBuckets, testLengths)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bucketRange(%d) = [%d,%d), want [%d,%d)", c.lenIdx, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Bucketing disabled: whole set.
+	lo, hi := bucketRange(9, testSetSize, 0, testLengths)
+	if lo != 0 || hi != testSetSize {
+		t.Errorf("free-form range = [%d,%d)", lo, hi)
+	}
+}
+
+func TestInsertKeepsSortedInvariant(t *testing.T) {
+	s := newPatternSet(testSetSize)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		lenIdx := uint8(rng.Intn(testLengths))
+		s.insert(uint32(rng.Intn(1<<13)), lenIdx, rng.Intn(2) == 0, testBuckets, testLengths)
+		if !s.sorted(testBuckets, testLengths) {
+			t.Fatalf("after insert %d, set violates the sorted invariant: %+v", i, s.Pats)
+		}
+	}
+}
+
+func TestInsertFreeFormSorted(t *testing.T) {
+	s := newPatternSet(testSetSize)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 500; i++ {
+		s.insert(uint32(rng.Intn(1<<13)), uint8(rng.Intn(testLengths)), true, 0, testLengths)
+		if !s.sorted(0, testLengths) {
+			t.Fatalf("free-form set unsorted after insert %d: %+v", i, s.Pats)
+		}
+	}
+}
+
+func TestInsertPropertySortedness(t *testing.T) {
+	f := func(ops []uint32, buckets uint8) bool {
+		nb := int(buckets % 5) // 0..4 buckets
+		if nb == 3 {
+			nb = 4 // 16 % 3 != 0; keep divisible choices {0,1,2,4}
+		}
+		s := newPatternSet(testSetSize)
+		for _, op := range ops {
+			tag := op & 0x1fff
+			lenIdx := uint8((op >> 13) % testLengths)
+			taken := op&(1<<20) != 0
+			s.insert(tag, lenIdx, taken, nb, testLengths)
+			if !s.sorted(nb, testLengths) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInsertRefreshesExistingPattern(t *testing.T) {
+	s := newPatternSet(testSetSize)
+	s.insert(0x123, 2, true, testBuckets, testLengths)
+	// Strengthen the pattern.
+	for i := range s.Pats {
+		if s.Pats[i].Valid {
+			s.Pats[i].Ctr = 3
+		}
+	}
+	// Re-inserting the identical (tag, len) resets to weak rather than
+	// duplicating.
+	s.insert(0x123, 2, false, testBuckets, testLengths)
+	n := 0
+	for _, p := range s.Pats {
+		if p.Valid {
+			n++
+			if p.Ctr != -1 {
+				t.Errorf("refreshed ctr = %d, want -1", p.Ctr)
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("duplicate pattern created: %d valid", n)
+	}
+}
+
+func TestInsertEvictsLeastConfident(t *testing.T) {
+	s := newPatternSet(testSetSize)
+	// Fill bucket 0 (lengths 0..3).
+	for i := 0; i < 4; i++ {
+		s.insert(uint32(0x100+i), uint8(i), true, testBuckets, testLengths)
+	}
+	// Make slots confident except the pattern with tag 0x102.
+	for i := range s.Pats[:4] {
+		if s.Pats[i].Tag == 0x102 {
+			s.Pats[i].Ctr = 0 // weak
+		} else {
+			s.Pats[i].Ctr = 3 // saturated
+		}
+	}
+	s.insert(0x999, 1, true, testBuckets, testLengths)
+	for _, p := range s.Pats[:4] {
+		if p.Valid && p.Tag == 0x102 {
+			t.Error("least-confident pattern was not the victim")
+		}
+	}
+	found := false
+	for _, p := range s.Pats[:4] {
+		if p.Valid && p.Tag == 0x999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("new pattern missing after insert")
+	}
+}
+
+func TestConfidentCount(t *testing.T) {
+	s := newPatternSet(testSetSize)
+	if s.ConfidentCount(3) != 0 {
+		t.Error("empty set must have zero confident patterns")
+	}
+	s.insert(0x1, 0, true, testBuckets, testLengths)
+	s.insert(0x2, 4, true, testBuckets, testLengths)
+	s.insert(0x3, 8, true, testBuckets, testLengths)
+	if s.ConfidentCount(3) != 0 {
+		t.Error("weak patterns must not count as confident")
+	}
+	for i := range s.Pats {
+		if s.Pats[i].Valid {
+			s.Pats[i].Ctr = 3
+		}
+	}
+	if got := s.ConfidentCount(3); got != 3 {
+		t.Errorf("ConfidentCount = %d, want 3", got)
+	}
+	// Saturation at max.
+	s.insert(0x4, 12, true, testBuckets, testLengths)
+	for i := range s.Pats {
+		if s.Pats[i].Valid {
+			s.Pats[i].Ctr = -4
+		}
+	}
+	if got := s.ConfidentCount(3); got != 3 {
+		t.Errorf("ConfidentCount must saturate at 3, got %d", got)
+	}
+}
+
+func TestPatternConfident(t *testing.T) {
+	cases := []struct {
+		ctr  int8
+		want bool
+	}{{0, false}, {-1, false}, {1, false}, {-2, false}, {2, true}, {3, true}, {-3, true}, {-4, true}}
+	for _, c := range cases {
+		p := Pattern{Ctr: c.ctr, Valid: true}
+		if got := p.Confident(); got != c.want {
+			t.Errorf("ctr %d confident = %v, want %v", c.ctr, got, c.want)
+		}
+	}
+	inv := Pattern{Ctr: 3, Valid: false}
+	if inv.Confident() {
+		t.Error("invalid pattern cannot be confident")
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := newPatternSet(4)
+	s.insert(0x42, 0, true, 0, testLengths)
+	c := s.clone()
+	c.Pats[0].Ctr = 3
+	if s.Pats[0].Ctr == 3 {
+		t.Error("clone must deep-copy patterns")
+	}
+}

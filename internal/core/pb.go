@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// PBEntry is one pattern-buffer slot: a cached pattern set close to the
+// core, with the prefetch-timing and writeback metadata the model needs.
+type PBEntry struct {
+	Valid bool
+	CID   uint64
+	// Ent points at the owning context-directory entry; its Set is the
+	// pattern storage (the PB and LLBP storage exchange 288-bit pattern
+	// sets in hardware; sharing the pointer models the same contents
+	// with explicit read/writeback accounting by the caller).
+	Ent *CDEntry
+	// Dirty is set when a pattern was trained while cached; a dirty
+	// eviction costs one writeback (§V-E1).
+	Dirty bool
+	// Ready is the cycle at which the prefetched set becomes usable
+	// (issue cycle + the 6-cycle CD+LLBP access delay, §VI).
+	Ready float64
+	lru   uint64
+}
+
+// Buffer is the pattern buffer (§V-A): a small set-associative cache of
+// pattern sets (64 entries, 4-way, LRU in the evaluated design) accessed
+// in parallel with the baseline TAGE predictor.
+type Buffer struct {
+	sets [][]PBEntry
+	tick uint64
+}
+
+// newBuffer builds a pattern buffer with the given total entries and
+// associativity.
+func newBuffer(entries, ways int) *Buffer {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("core: invalid PB geometry %d entries / %d ways", entries, ways))
+	}
+	nsets := entries / ways
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("core: PB set count %d must be a power of two", nsets))
+	}
+	b := &Buffer{sets: make([][]PBEntry, nsets)}
+	for i := range b.sets {
+		b.sets[i] = make([]PBEntry, ways)
+	}
+	return b
+}
+
+func (b *Buffer) set(cid uint64) []PBEntry {
+	return b.sets[cid&(uint64(len(b.sets))-1)]
+}
+
+// Lookup returns the entry caching cid, bumping its LRU age, or nil.
+func (b *Buffer) Lookup(cid uint64) *PBEntry {
+	set := b.set(cid)
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.CID == cid {
+			b.tick++
+			e.lru = b.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// Insert caches a pattern set, evicting the LRU way of the target set.
+// It returns the displaced entry (by value) so the caller can account a
+// writeback if it was dirty; evicted.Valid is false when a free way was
+// used.
+func (b *Buffer) Insert(cid uint64, ent *CDEntry, ready float64) (inserted *PBEntry, evicted PBEntry) {
+	set := b.set(cid)
+	victim := 0
+	var victimLRU uint64 = ^uint64(0)
+	for i := range set {
+		e := &set[i]
+		if !e.Valid {
+			victim = i
+			victimLRU = 0
+			break
+		}
+		if e.lru < victimLRU {
+			victim, victimLRU = i, e.lru
+		}
+	}
+	evicted = set[victim]
+	b.tick++
+	set[victim] = PBEntry{Valid: true, CID: cid, Ent: ent, Ready: ready, lru: b.tick}
+	return &set[victim], evicted
+}
+
+// Invalidate drops the entry caching cid (used when the context directory
+// evicts the backing context). It returns the dropped entry by value;
+// Valid is false if cid was not cached.
+func (b *Buffer) Invalidate(cid uint64) PBEntry {
+	set := b.set(cid)
+	for i := range set {
+		e := &set[i]
+		if e.Valid && e.CID == cid {
+			out := *e
+			*e = PBEntry{}
+			return out
+		}
+	}
+	return PBEntry{}
+}
+
+// SquashInflight invalidates every entry whose prefetch has not completed
+// by cycle now — the paper squashes all in-flight prefetches on a pipeline
+// reset (§VI). It returns the number of squashed prefetches.
+func (b *Buffer) SquashInflight(now float64) int {
+	n := 0
+	for _, set := range b.sets {
+		for i := range set {
+			e := &set[i]
+			if e.Valid && e.Ready > now && !e.Dirty {
+				// Dirty entries hold trained state pending
+				// writeback (the hardware pins sets with
+				// unresolved predictions, §V-E2); only clean
+				// in-flight fetches are squashed.
+				*e = PBEntry{}
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Live returns the number of valid entries.
+func (b *Buffer) Live() int {
+	n := 0
+	for _, set := range b.sets {
+		for i := range set {
+			if set[i].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

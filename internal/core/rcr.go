@@ -1,0 +1,170 @@
+// Package core implements the Last-Level Branch Predictor (LLBP), the
+// paper's contribution (§V): a large-capacity, context-organized pattern
+// store backing an unmodified TAGE-SC-L predictor.
+//
+// The four hardware structures map to types in this package:
+//
+//   - RCR (rolling context register): hashes the PCs of recent
+//     unconditional branches into the current context ID (CCID) and a
+//     prefetch context ID computed D unconditional branches ahead.
+//   - CD (context directory): a set-associative tag array mapping context
+//     IDs to pattern sets, with confidence-based replacement.
+//   - LLBP storage: the bulk pattern-set array (owned by the CD entries in
+//     this model; the paper's direct-mapped layout is an implementation
+//     detail of the physical array).
+//   - PB (pattern buffer): a small, set-associative, LRU-managed cache of
+//     pattern sets close to the core, fed by prefetches.
+//
+// Predictor composes all of the above with a tsl.Predictor and implements
+// the longest-match arbitration between the two (§V-B).
+package core
+
+import (
+	"fmt"
+
+	"llbp/internal/trace"
+)
+
+// ContextType selects which branch types feed the rolling context register
+// — the Figure 13 design-space axis.
+type ContextType uint8
+
+const (
+	// CtxUncond hashes all unconditional branches (jumps, calls,
+	// returns; the paper's choice).
+	CtxUncond ContextType = iota
+	// CtxCallRet hashes only calls and returns.
+	CtxCallRet
+	// CtxAll hashes every branch, conditional included.
+	CtxAll
+)
+
+// String returns the Figure 13 label of the context type.
+func (t ContextType) String() string {
+	switch t {
+	case CtxUncond:
+		return "Uncond"
+	case CtxCallRet:
+		return "Call/Ret"
+	case CtxAll:
+		return "All"
+	default:
+		return fmt.Sprintf("ContextType(%d)", uint8(t))
+	}
+}
+
+// Feeds reports whether a branch of type bt (with outcome taken)
+// contributes to this context history.
+func (t ContextType) Feeds(bt trace.BranchType, taken bool) bool {
+	switch t {
+	case CtxUncond:
+		return bt.IsUnconditional()
+	case CtxCallRet:
+		return bt.IsCallOrReturn()
+	case CtxAll:
+		return bt.IsUnconditional() || taken
+	default:
+		return false
+	}
+}
+
+// RCR is the rolling context register (§V-C, Figure 8): a shift register of
+// the PCs of the last W+D context-feeding branches. The current context ID
+// (CCID) hashes the W entries that exclude the D most recent; the prefetch
+// CID hashes the most recent W. When D more context-feeding branches
+// execute, the prefetch CID becomes the CCID — giving the prefetcher a
+// D-branch head start.
+type RCR struct {
+	pcs   []uint64 // ring buffer, len W+D
+	head  int      // index of most recent PC
+	w     int
+	d     int
+	bits  int  // CID width in bits
+	shift bool // position-dependent shifting (§V-E3); false = plain XOR ablation
+}
+
+// NewRCR returns a rolling context register with hash window w, prefetch
+// distance d, and cidBits-wide context IDs. shifted selects the paper's
+// position-shifted XOR hash (§V-E3); passing false gives the plain-XOR
+// ablation in which repeated PCs cancel.
+func NewRCR(w, d, cidBits int, shifted bool) *RCR {
+	if w <= 0 || w > 64 {
+		panic(fmt.Sprintf("core: RCR window %d out of range [1,64]", w))
+	}
+	if d < 0 || d > 64 {
+		panic(fmt.Sprintf("core: RCR distance %d out of range [0,64]", d))
+	}
+	if cidBits < 4 || cidBits > 63 {
+		panic(fmt.Sprintf("core: cidBits %d out of range [4,63]", cidBits))
+	}
+	return &RCR{
+		pcs:   make([]uint64, w+d),
+		w:     w,
+		d:     d,
+		bits:  cidBits,
+		shift: shifted,
+	}
+}
+
+// Push records a new context-feeding branch PC.
+func (r *RCR) Push(pc uint64) {
+	r.head = (r.head + 1) % len(r.pcs)
+	r.pcs[r.head] = pc
+}
+
+// hashWindow hashes the W PCs starting at `offset` branches before the most
+// recent one. Position i (0 = newest in the window) is shifted by 2*i so
+// repeated addresses in tight loops do not cancel (§V-E3).
+func (r *RCR) hashWindow(offset int) uint64 {
+	var h uint64
+	for i := 0; i < r.w; i++ {
+		pos := r.head - offset - i
+		for pos < 0 {
+			pos += len(r.pcs)
+		}
+		pc := r.pcs[pos] >> 1
+		if r.shift {
+			pc <<= uint(2*i) % 48
+		}
+		h ^= pc
+	}
+	// Fold the 64-bit mix down to the CID width.
+	h ^= h >> uint(r.bits)
+	h ^= h >> uint(2*r.bits)
+	return h & (uint64(1)<<uint(r.bits) - 1)
+}
+
+// CCID returns the current context ID (excluding the D most recent
+// context-feeding branches).
+func (r *RCR) CCID() uint64 { return r.hashWindow(r.d) }
+
+// PrefetchCID returns the context ID that will become current after D more
+// context-feeding branches.
+func (r *RCR) PrefetchCID() uint64 { return r.hashWindow(0) }
+
+// Snapshot captures the register for checkpoint/rollback tests.
+func (r *RCR) Snapshot() []uint64 {
+	out := make([]uint64, len(r.pcs))
+	for i := range out {
+		pos := r.head - i
+		for pos < 0 {
+			pos += len(r.pcs)
+		}
+		out[i] = r.pcs[pos]
+	}
+	return out
+}
+
+// Restore rewinds the register to a snapshot taken with Snapshot.
+func (r *RCR) Restore(s []uint64) {
+	if len(s) != len(r.pcs) {
+		panic(fmt.Sprintf("core: RCR snapshot length %d != %d", len(s), len(r.pcs)))
+	}
+	r.head = len(r.pcs) - 1
+	for i, pc := range s {
+		r.pcs[r.head-i] = pc
+	}
+}
+
+// Window returns (W, D).
+func (r *RCR) Window() (w, d int) { return r.w, r.d }

@@ -1,0 +1,126 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// within reports whether got is within frac of want.
+func within(got, want, frac float64) bool {
+	return math.Abs(got-want) <= frac*want
+}
+
+// TestTableIIIFit: the analytic model must land near the paper's CACTI
+// numbers (Table III). Tolerances are deliberately loose — the model is a
+// power-law fit, not CACTI.
+func TestTableIIIFit(t *testing.T) {
+	cases := []struct {
+		s              Structure
+		lat, eng       float64
+		cycles         int
+		latTol, engTol float64
+	}{
+		{TSL64K, 1.0, 1.0, 2, 0.01, 0.01},
+		{TSL512K, 2.55, 4.58, 4, 0.05, 0.05},
+		{LLBP, 2.68, 4.44, 4, 0.10, 0.10},
+		{CD, 0.80, 0.30, 1, 0.10, 0.10},
+		{PB64, 0.62, 0.25, 1, 0.10, 0.40},
+	}
+	for _, c := range cases {
+		if got := c.s.RelativeLatency(); !within(got, c.lat, c.latTol) {
+			t.Errorf("%s latency = %.3f, want %.2f ±%.0f%%", c.s.Name, got, c.lat, c.latTol*100)
+		}
+		if got := c.s.RelativeEnergy(); !within(got, c.eng, c.engTol) {
+			t.Errorf("%s energy = %.3f, want %.2f ±%.0f%%", c.s.Name, got, c.eng, c.engTol*100)
+		}
+		if got := c.s.Cycles(); got != c.cycles {
+			t.Errorf("%s cycles = %d, want %d", c.s.Name, got, c.cycles)
+		}
+	}
+}
+
+func TestMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for _, kib := range []float64{2, 8, 32, 64, 128, 512, 2048} {
+		s := Structure{Name: "x", KiB: kib, Ways: 1, AccessBytes: 42}
+		lat := s.RelativeLatency()
+		if lat <= prev {
+			t.Errorf("latency not monotone at %v KiB", kib)
+		}
+		prev = lat
+	}
+	prev = 0
+	for _, kib := range []float64{2, 8, 32, 64, 128, 512, 2048} {
+		s := Structure{Name: "x", KiB: kib, Ways: 1, AccessBytes: 42}
+		e := s.RelativeEnergy()
+		if e <= prev {
+			t.Errorf("energy not monotone at %v KiB", kib)
+		}
+		prev = e
+	}
+}
+
+func TestAssociativityCosts(t *testing.T) {
+	dm := Structure{KiB: 64, Ways: 1, AccessBytes: 42}
+	sa := Structure{KiB: 64, Ways: 8, AccessBytes: 42}
+	if sa.RelativeLatency() <= dm.RelativeLatency() {
+		t.Error("associativity must cost latency")
+	}
+	if sa.RelativeEnergy() <= dm.RelativeEnergy() {
+		t.Error("associativity must cost energy")
+	}
+}
+
+func TestWidthCostsEnergy(t *testing.T) {
+	narrow := Structure{KiB: 64, Ways: 1, AccessBytes: 1}
+	wide := Structure{KiB: 64, Ways: 1, AccessBytes: 42}
+	if narrow.RelativeEnergy() >= wide.RelativeEnergy() {
+		t.Error("narrow accesses must cost less energy")
+	}
+}
+
+func TestPBCapacity(t *testing.T) {
+	if got := PB(64).KiB; got != 2.25 {
+		t.Errorf("PB(64) = %v KiB, want 2.25 (§VI)", got)
+	}
+	if PB(16).KiB >= PB(256).KiB {
+		t.Error("PB capacity must scale with entries")
+	}
+}
+
+func TestTableIIIOrder(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 5 {
+		t.Fatalf("TableIII has %d rows", len(rows))
+	}
+	want := []string{"64KiB TSL", "512KiB TSL", "LLBP", "CD", "PB (64 entries)"}
+	for i, w := range want {
+		if rows[i].Name != w {
+			t.Errorf("row %d = %s, want %s", i, rows[i].Name, w)
+		}
+	}
+}
+
+// TestDesignEnergyFig12Regime: with the paper's access rates (PB every
+// prediction, CD every ~1.6 predictions, LLBP transfer every ~2
+// predictions), the LLBP structures should cost a fraction of the 64K TSL
+// and the whole design should land well below the 512K TSL's 4.58×.
+func TestDesignEnergyFig12Regime(t *testing.T) {
+	d := DesignEnergy{Components: []Component{
+		{TSL64K, 1},
+		{CD, 0.6},
+		{PB64, 1},
+		{LLBP, 0.5},
+	}}
+	total := d.Total()
+	if total <= 1 {
+		t.Errorf("design total %.2f must exceed the baseline alone", total)
+	}
+	if total >= TSL512K.RelativeEnergy() {
+		t.Errorf("design total %.2f must be far below the 512K TSL %.2f", total, TSL512K.RelativeEnergy())
+	}
+	llbpOnly := DesignEnergy{Components: []Component{{CD, 0.6}, {PB64, 1}, {LLBP, 0.5}}}
+	if frac := llbpOnly.Total(); frac < 0.2 || frac > 4 {
+		t.Errorf("LLBP-structures energy %.2f implausible", frac)
+	}
+}

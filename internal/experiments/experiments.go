@@ -1,0 +1,254 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each experiment
+// produces report.Tables whose rows correspond to the paper's plotted
+// series; cmd/experiments and the root bench suite drive them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llbp/internal/core"
+	"llbp/internal/predictor"
+	"llbp/internal/report"
+	"llbp/internal/sim"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+// Config sets the simulation budgets for the experiment suite. The paper
+// warms 100M and measures 200M instructions; the defaults here are scaled
+// down ~40× to laptop scale (shapes, not absolute numbers, are the
+// reproduction target — DESIGN.md §3).
+type Config struct {
+	// Warmup/Measure are the branch budgets of headline experiments.
+	Warmup  uint64
+	Measure uint64
+	// SweepWarmup/SweepMeasure are the (smaller) budgets of wide
+	// design-space sweeps (Figures 5, 13, 14).
+	SweepWarmup  uint64
+	SweepMeasure uint64
+	// Workloads is the workload set (defaults to the full catalog).
+	Workloads []*workload.Source
+	// Progress, when non-nil, receives one line per completed
+	// simulation run.
+	Progress func(format string, args ...interface{})
+}
+
+// DefaultConfig returns the standard laptop-scale budgets.
+func DefaultConfig() Config {
+	return Config{
+		Warmup:       200_000,
+		Measure:      1_000_000,
+		SweepWarmup:  100_000,
+		SweepMeasure: 400_000,
+	}
+}
+
+func (c *Config) workloads() []*workload.Source {
+	if len(c.Workloads) > 0 {
+		return c.Workloads
+	}
+	return workload.Catalog()
+}
+
+func (c *Config) progress(format string, args ...interface{}) {
+	if c.Progress != nil {
+		c.Progress(format, args...)
+	}
+}
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the short identifier used by -run flags (e.g. "fig9").
+	ID string
+	// Title describes the paper artifact being reproduced.
+	Title string
+	// Run executes the experiment and returns its tables.
+	Run func(h *Harness) ([]*report.Table, error)
+}
+
+// Registry lists all experiments in paper order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", "Table I: evaluated workloads", Table1},
+		{"table2", "Table II: simulated core parameters", Table2},
+		{"fig1", "Figure 1: execution cycles wasted on cond. mispredictions", Fig1},
+		{"fig2", "Figure 2: MPKI of 64K TSL vs Inf TAGE vs Inf TSL", Fig2},
+		{"fig3a", "Figure 3a: cumulative mispredictions per static branch (Tomcat)", Fig3a},
+		{"fig3b", "Figure 3b: useful patterns per static branch (Tomcat, Inf)", Fig3b},
+		{"fig5", "Figure 5: patterns per context vs context window W", Fig5},
+		{"fig9", "Figure 9: branch MPKI reduction over 64K TSL", Fig9},
+		{"fig10", "Figure 10: speedup over 64K TSL", Fig10},
+		{"fig11", "Figure 11: LLBP transfer bandwidth vs PB size", Fig11},
+		{"table3", "Table III: relative access latency and energy", Table3},
+		{"fig12", "Figure 12: relative energy vs design", Fig12},
+		{"fig13", "Figure 13: CID history type and prefetch distance", Fig13},
+		{"fig14", "Figure 14: pattern-set count and size sensitivity", Fig14},
+		{"fig15", "Figure 15: LLBP prediction breakdown", Fig15},
+		{"ablation", "Ablations: bucketing, replacement, CID hash", Ablations},
+		{"extdelay", "Extension: storage-virtualization latency sensitivity", ExtDelay},
+		{"extgate", "Extension: auto-disable power gate", ExtAutoDisable},
+		{"extbaselines", "Extension: gshare/perceptron baseline spectrum", ExtBaselines},
+		{"extscale", "Extension: simulation-budget sensitivity", ExtScale},
+	}
+}
+
+// ByID resolves a comma-separated list of experiment IDs ("all" for every
+// experiment).
+func ByID(ids string) ([]Experiment, error) {
+	all := Registry()
+	if ids == "" || ids == "all" {
+		return all, nil
+	}
+	idx := make(map[string]Experiment, len(all))
+	for _, e := range all {
+		idx[e.ID] = e
+	}
+	var out []Experiment
+	for _, id := range strings.Split(ids, ",") {
+		e, ok := idx[strings.TrimSpace(id)]
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown id %q", id)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Harness memoizes simulation runs so experiments sharing configurations
+// (e.g. Figures 9, 10, 12 and 15 all need the LLBP runs) pay once.
+type Harness struct {
+	Cfg   Config
+	cache map[string]*RunOutput
+}
+
+// NewHarness returns a harness with the given budgets.
+func NewHarness(cfg Config) *Harness {
+	if cfg.Warmup == 0 && cfg.Measure == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Harness{Cfg: cfg, cache: make(map[string]*RunOutput)}
+}
+
+// RunOutput is one simulation's collected results.
+type RunOutput struct {
+	Res  *sim.Result
+	LLBP core.Stats
+	// HasLLBP reports whether LLBP is part of the predictor.
+	HasLLBP bool
+}
+
+// PredictorSpec names a predictor configuration for the cache key and
+// builds fresh instances.
+type PredictorSpec struct {
+	Key   string
+	Build func(clock *predictor.Clock) predictor.Predictor
+}
+
+// Standard specs.
+func specTSL(label string, cfg tsl.Config) PredictorSpec {
+	return PredictorSpec{
+		Key:   label,
+		Build: func(*predictor.Clock) predictor.Predictor { return tsl.MustNew(cfg) },
+	}
+}
+
+// Spec64K .. SpecInfTSL are the TAGE-SC-L family of §VI.
+func Spec64K() PredictorSpec  { return specTSL("64k", tsl.Config64K()) }
+func Spec128K() PredictorSpec { return specTSL("128k", tsl.ConfigScaled(1)) }
+func Spec256K() PredictorSpec { return specTSL("256k", tsl.ConfigScaled(2)) }
+func Spec512K() PredictorSpec { return specTSL("512k", tsl.ConfigScaled(3)) }
+func Spec1M() PredictorSpec   { return specTSL("1m", tsl.ConfigScaled(4)) }
+func SpecInfTAGE() PredictorSpec {
+	return specTSL("inftage", tsl.ConfigInfTAGE())
+}
+func SpecInfTSL() PredictorSpec { return specTSL("inftsl", tsl.ConfigInfTSL()) }
+
+// SpecLLBP builds an LLBP spec with the given core configuration; key must
+// uniquely describe cfg.
+func SpecLLBP(key string, cfg core.Config) PredictorSpec {
+	return PredictorSpec{
+		Key: key,
+		Build: func(clock *predictor.Clock) predictor.Predictor {
+			return core.MustNew(cfg, tsl.MustNew(tsl.Config64K()), clock)
+		},
+	}
+}
+
+// SpecLLBPDefault returns the evaluated LLBP design point.
+func SpecLLBPDefault() PredictorSpec { return SpecLLBP("llbp", core.DefaultConfig()) }
+
+// SpecLLBP0Lat returns the zero-latency LLBP configuration.
+func SpecLLBP0Lat() PredictorSpec { return SpecLLBP("llbp0lat", core.ZeroLatConfig()) }
+
+// Run simulates spec over wl with the headline budgets, memoized.
+func (h *Harness) Run(wl *workload.Source, spec PredictorSpec) (*RunOutput, error) {
+	return h.runBudget(wl, spec, h.Cfg.Warmup, h.Cfg.Measure)
+}
+
+// RunSweep simulates with the (smaller) sweep budgets, memoized.
+func (h *Harness) RunSweep(wl *workload.Source, spec PredictorSpec) (*RunOutput, error) {
+	return h.runBudget(wl, spec, h.Cfg.SweepWarmup, h.Cfg.SweepMeasure)
+}
+
+func (h *Harness) runBudget(wl *workload.Source, spec PredictorSpec, warm, meas uint64) (*RunOutput, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d", wl.Name(), spec.Key, warm, meas)
+	if out, ok := h.cache[key]; ok {
+		return out, nil
+	}
+	clock := &predictor.Clock{}
+	p := spec.Build(clock)
+	res, err := sim.Run(wl, p, sim.Options{
+		WarmupBranches:  warm,
+		MeasureBranches: meas,
+		Clock:           clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s on %s: %w", spec.Key, wl.Name(), err)
+	}
+	out := &RunOutput{Res: res}
+	if lp, ok := p.(*core.Predictor); ok {
+		out.LLBP = lp.Stats()
+		out.HasLLBP = true
+	}
+	h.Cfg.progress("  ran %-10s on %-10s MPKI=%.3f", spec.Key, wl.Name(), res.MPKI)
+	h.cache[key] = out
+	return out, nil
+}
+
+// meanRow computes the arithmetic mean of a float column.
+func meanRow(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// sortedKeys returns the map's keys sorted (for deterministic tables).
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Chart renders t's first numeric column as an ASCII bar chart, or nil if
+// no column parses (cmd/experiments -charts).
+func Chart(t *report.Table) *report.BarChart {
+	for col := 1; col < len(t.Header); col++ {
+		c := report.ChartFromTable(t, col, "")
+		if len(c.Values) >= 2 {
+			c.Title = fmt.Sprintf("[%s]", t.Header[col])
+			return c
+		}
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llbp/internal/core"
+	"llbp/internal/predictor"
+	"llbp/internal/report"
+	"llbp/internal/sim"
+	"llbp/internal/stats"
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+// Fig1 reproduces Figure 1: the fraction of execution cycles wasted on
+// conditional mispredictions for the ten server workloads under the 64K
+// TSL (paper: 3.6-20%, avg 9.2%).
+func Fig1(h *Harness) ([]*report.Table, error) {
+	t := report.New("Figure 1: execution cycles wasted on cond. mispredictions",
+		"workload", "wasted-cycles-%", "mpki", "ipc")
+	var wasted []float64
+	for _, wl := range workload.ServerWorkloads() {
+		out, err := h.Run(wl, Spec64K())
+		if err != nil {
+			return nil, err
+		}
+		w := out.Res.WastedFraction * 100
+		wasted = append(wasted, w)
+		t.AddRow(wl.Name(), w, out.Res.MPKI, out.Res.IPC)
+	}
+	t.AddRow("GMean", stats.GeoMean(wasted), "", "")
+	t.Caption = "Paper: 3.6-20% wasted, 9.2% on average (Intel Sapphire Rapids, Top-Down)."
+	return []*report.Table{t}, nil
+}
+
+// Fig2 reproduces Figure 2: MPKI of 64K TSL vs Inf TAGE vs Inf TSL for all
+// 14 workloads (paper: avg 2.91 / ~2.0 / 1.55; Inf TSL cuts 36.5%, Inf
+// TAGE captures 87% of that).
+func Fig2(h *Harness) ([]*report.Table, error) {
+	t := report.New("Figure 2: branch MPKI for TAGE-SC-L capacity limits",
+		"workload", "64K-TSL", "Inf-TAGE", "Inf-TSL", "InfTAGE-red%", "InfTSL-red%")
+	var base, infTage, infTsl []float64
+	for _, wl := range h.Cfg.workloads() {
+		b, err := h.Run(wl, Spec64K())
+		if err != nil {
+			return nil, err
+		}
+		it, err := h.Run(wl, SpecInfTAGE())
+		if err != nil {
+			return nil, err
+		}
+		is, err := h.Run(wl, SpecInfTSL())
+		if err != nil {
+			return nil, err
+		}
+		base = append(base, b.Res.MPKI)
+		infTage = append(infTage, it.Res.MPKI)
+		infTsl = append(infTsl, is.Res.MPKI)
+		t.AddRow(wl.Name(), b.Res.MPKI, it.Res.MPKI, is.Res.MPKI,
+			stats.Reduction(b.Res.MPKI, it.Res.MPKI),
+			stats.Reduction(b.Res.MPKI, is.Res.MPKI))
+	}
+	mb, mt, ms := meanRow(base), meanRow(infTage), meanRow(infTsl)
+	t.AddRow("Mean", mb, mt, ms, stats.Reduction(mb, mt), stats.Reduction(mb, ms))
+	t.Caption = "Paper means: 2.91 / ~2.0 / 1.55 MPKI; Inf TSL -36.5%, Inf TAGE captures 87% of it."
+	return []*report.Table{t}, nil
+}
+
+// trackedRun runs spec over wl with a BranchTracker attached (uncached —
+// observers are per-call).
+func (h *Harness) trackedRun(wl *workload.Source, spec PredictorSpec, warm, meas uint64) (*sim.Result, *stats.BranchTracker, error) {
+	clock := &predictor.Clock{}
+	p := spec.Build(clock)
+	tracker := stats.NewBranchTracker()
+	res, err := sim.Run(wl, p, sim.Options{
+		WarmupBranches:  warm,
+		MeasureBranches: meas,
+		Clock:           clock,
+		Observer:        tracker.Observe,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	h.Cfg.progress("  tracked %-10s on %-10s MPKI=%.3f branches=%d", spec.Key, wl.Name(), res.MPKI, tracker.Len())
+	return res, tracker, nil
+}
+
+// fig3Workload is the workload the paper studies in Figure 3.
+const fig3Workload = "Tomcat"
+
+// Fig3a reproduces Figure 3a: cumulative mispredictions over static
+// branches (sorted by misses) for capacities 64K..1M and Inf, normalized
+// to 64K TSL's total mispredictions.
+func Fig3a(h *Harness) ([]*report.Table, error) {
+	wl, err := workload.ByName(fig3Workload)
+	if err != nil {
+		return nil, err
+	}
+	specs := []PredictorSpec{Spec64K(), Spec128K(), Spec256K(), Spec512K(), Spec1M(), SpecInfTSL()}
+	ks := []int{160, 500, 1000, 2000, 5000, 10000}
+
+	t := report.New(fmt.Sprintf("Figure 3a: cumulative mispredictions (%s), normalized to 64K TSL total", fig3Workload),
+		"config", "total/64K", "top160", "top500", "top1k", "top2k", "top5k", "top10k", "static-branches")
+	var baseTotal float64
+	for _, spec := range specs {
+		_, tracker, err := h.trackedRun(wl, spec, h.Cfg.Warmup, h.Cfg.Measure)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(tracker.TotalMisses())
+		if spec.Key == "64k" {
+			baseTotal = total
+		}
+		fr := tracker.CumulativeMissFraction(ks)
+		rel := total / baseTotal
+		t.AddRow(spec.Key, rel,
+			fr[0]*rel, fr[1]*rel, fr[2]*rel, fr[3]*rel, fr[4]*rel, fr[5]*rel,
+			tracker.Len())
+	}
+	t.Caption = "Paper: 0.8% of branches (160 of 20.5K) cause 40% of 64K TSL misses; Inf total ≈ 0.65 of 64K."
+	return []*report.Table{t}, nil
+}
+
+// Fig3b reproduces Figure 3b: the distribution of useful patterns per
+// static branch under infinite capacity (paper: mean 14.13; the 100
+// most-mispredicted branches have >100, up to 9500).
+func Fig3b(h *Harness) ([]*report.Table, error) {
+	wl, err := workload.ByName(fig3Workload)
+	if err != nil {
+		return nil, err
+	}
+	_, tracker, err := h.trackedRun(wl, SpecInfTSL(), h.Cfg.Warmup, h.Cfg.Measure)
+	if err != nil {
+		return nil, err
+	}
+	perBranch := tracker.UsefulPerBranch() // ordered by descending misses
+	top100 := perBranch
+	if len(top100) > 100 {
+		top100 = perBranch[:100]
+	}
+	t := report.New(fmt.Sprintf("Figure 3b: useful patterns per static branch (%s, Inf TSL)", fig3Workload),
+		"statistic", "patterns")
+	t.AddRow("mean (all branches)", stats.Mean(perBranch))
+	t.AddRow("mean (top-100 most-mispredicted)", stats.Mean(top100))
+	t.AddRow("max", stats.Percentile(perBranch, 100))
+	t.AddRow("p50", stats.Percentile(perBranch, 50))
+	t.AddRow("p90", stats.Percentile(perBranch, 90))
+	t.AddRow("p99", stats.Percentile(perBranch, 99))
+	t.Caption = "Paper: mean 14.13; top-100 >100 patterns, up to 9500."
+	return []*report.Table{t}, nil
+}
+
+// fig5Windows are the context-window sizes of Figure 5.
+var fig5Windows = []int{0, 2, 4, 8, 16, 32}
+
+// Fig5 reproduces Figure 5: the distribution of useful patterns per
+// program context as the context window W grows, for the top-128
+// most-mispredicted branches (paper: W=0 p50=298/p95=2384 collapsing to
+// p50=1/p95=9 at W=32).
+func Fig5(h *Harness) ([]*report.Table, error) {
+	// Pool the per-context pattern counts across workloads, as the
+	// paper's violins do.
+	pooled := make(map[int][]float64, len(fig5Windows))
+
+	for _, wl := range h.Cfg.workloads() {
+		// Pass 1: find the top-128 most-mispredicted branches under
+		// infinite capacity.
+		_, tracker, err := h.trackedRun(wl, SpecInfTSL(), h.Cfg.SweepWarmup, h.Cfg.SweepMeasure)
+		if err != nil {
+			return nil, err
+		}
+		top := make(map[uint64]struct{}, 128)
+		for i, b := range tracker.Branches() {
+			if i >= 128 {
+				break
+			}
+			top[b.PC] = struct{}{}
+		}
+		// Pass 2: one run, observing all W values simultaneously with
+		// independent observer RCRs.
+		rcrs := make(map[int]*core.RCR, len(fig5Windows))
+		trackers := make(map[int]*stats.ContextTracker, len(fig5Windows))
+		for _, w := range fig5Windows {
+			if w > 0 {
+				rcrs[w] = core.NewRCR(w, 0, 31, true)
+			}
+			trackers[w] = stats.NewContextTracker(top)
+		}
+		clock := &predictor.Clock{}
+		p := SpecInfTSL().Build(clock)
+		_, err = sim.Run(wl, p, sim.Options{
+			WarmupBranches:  h.Cfg.SweepWarmup,
+			MeasureBranches: h.Cfg.SweepMeasure,
+			Clock:           clock,
+			Observer: func(b *trace.Branch, pred bool, d predictor.Detail) {
+				for _, w := range fig5Windows {
+					ctx := uint64(0)
+					if w > 0 {
+						ctx = rcrs[w].CCID()
+					}
+					trackers[w].Observe(ctx, b, pred, d)
+				}
+			},
+			UncondObserver: func(b *trace.Branch) {
+				for _, w := range fig5Windows {
+					if w > 0 {
+						rcrs[w].Push(b.PC)
+					}
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, w := range fig5Windows {
+			pooled[w] = append(pooled[w], trackers[w].PatternsPerContext()...)
+		}
+		h.Cfg.progress("  fig5 pooled %s", wl.Name())
+	}
+
+	t := report.New("Figure 5: useful patterns per context vs window W (top-128 branches)",
+		"W", "contexts", "p50", "p95", "max")
+	for _, w := range fig5Windows {
+		vals := pooled[w]
+		t.AddRow(fmt.Sprintf("W=%d", w), len(vals),
+			stats.Percentile(vals, 50), stats.Percentile(vals, 95), stats.Percentile(vals, 100))
+	}
+	t.Caption = "Paper: W=0 p50=298/p95=2384; W=2 p50=3/p95=121; W=32 p50=1/p95=9."
+	return []*report.Table{t}, nil
+}

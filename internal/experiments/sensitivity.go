@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llbp/internal/core"
+	"llbp/internal/report"
+	"llbp/internal/stats"
+)
+
+// fig13Types and fig13Distances are the Figure 13 axes.
+var (
+	fig13Types     = []core.ContextType{core.CtxUncond, core.CtxCallRet, core.CtxAll}
+	fig13Distances = []int{0, 2, 4, 6, 8, 12}
+)
+
+// Fig13 reproduces Figure 13: mean MPKI reduction as a function of the
+// branch types hashed into the CID and the prefetch distance D (paper:
+// all types poor at D=0; Uncond peaks ≈8.9% at D=4; Call/Ret coarser and
+// lower; All degrades as D grows).
+func Fig13(h *Harness) ([]*report.Table, error) {
+	t := report.New("Figure 13: CID sensitivity — mean MPKI reduction [%] vs prefetch distance",
+		"history", "D=0", "D=2", "D=4", "D=6", "D=8", "D=12")
+	for _, ct := range fig13Types {
+		row := make([]interface{}, 0, len(fig13Distances)+1)
+		row = append(row, ct.String())
+		for _, d := range fig13Distances {
+			cfg := core.DefaultConfig()
+			cfg.CtxType = ct
+			cfg.D = d
+			cfg.Label = fmt.Sprintf("LLBP-%s-D%d", ct, d)
+			spec := SpecLLBP(fmt.Sprintf("llbp:ctx=%d,d=%d", ct, d), cfg)
+			var reds []float64
+			for _, wl := range h.Cfg.workloads() {
+				base, err := h.RunSweep(wl, Spec64K())
+				if err != nil {
+					return nil, err
+				}
+				out, err := h.RunSweep(wl, spec)
+				if err != nil {
+					return nil, err
+				}
+				reds = append(reds, stats.Reduction(base.Res.MPKI, out.Res.MPKI))
+			}
+			row = append(row, meanRow(reds))
+		}
+		t.AddRow(row...)
+	}
+	t.Caption = "Paper: D=0 3.5-4.8% for all; Uncond best (8.9% at D=4); All degrades with D."
+	return []*report.Table{t}, nil
+}
+
+// fig14Contexts and fig14SetSizes are the Figure 14 axes. The paper
+// sweeps 8K-128K contexts; at this reproduction's ~40×-smaller instruction
+// budgets the context working set is proportionally smaller (a few
+// thousand live contexts), so the sweep extends further down to expose the
+// capacity knee, which sits near 2-4K contexts here instead of 8-16K.
+var (
+	fig14Contexts = []int{1024, 2048, 4096, 8192, 14336, 32768}
+	fig14SetSizes = []int{8, 16, 32, 64}
+)
+
+// Fig14 reproduces Figure 14: MPKI reduction and LLBP capacity as
+// functions of the number of pattern sets and the pattern-set size, using
+// the study configuration of §VII-F: LLBP-0Lat, fully associative context
+// index with 31-bit tags, and no pattern bucketing.
+func Fig14(h *Harness) ([]*report.Table, error) {
+	t := report.New("Figure 14: pattern-set sensitivity — mean MPKI reduction [%] (capacity KiB)",
+		"contexts", "8-patterns", "16-patterns", "32-patterns", "64-patterns")
+	for _, nctx := range fig14Contexts {
+		row := []interface{}{fmt.Sprint(nctx)}
+		for _, ps := range fig14SetSizes {
+			cfg := core.DefaultConfig()
+			cfg.FullAssocCD = true
+			cfg.CIDBits = 31
+			cfg.Buckets = 0
+			cfg.PrefetchDelay = 0
+			cfg.NumContexts = nctx
+			cfg.PatternsPerSet = ps
+			cfg.Label = fmt.Sprintf("LLBP-%dctx-%dp", nctx, ps)
+			spec := SpecLLBP(fmt.Sprintf("llbp:nctx=%d,ps=%d", nctx, ps), cfg)
+			var reds []float64
+			for _, wl := range h.Cfg.workloads() {
+				base, err := h.RunSweep(wl, Spec64K())
+				if err != nil {
+					return nil, err
+				}
+				out, err := h.RunSweep(wl, spec)
+				if err != nil {
+					return nil, err
+				}
+				reds = append(reds, stats.Reduction(base.Res.MPKI, out.Res.MPKI))
+			}
+			// Capacity uses the production 18-bit pattern (§VI), as
+			// the paper's capacity axis does.
+			capKiB := float64(nctx*ps*18) / 8 / 1024
+			row = append(row, fmt.Sprintf("%.1f (%.0fKiB)", meanRow(reds), capKiB))
+		}
+		t.AddRow(row...)
+	}
+	t.Caption = "Paper: 16K×8 ≈11%; doubling to 16 patterns +2.6%; beyond 32 negligible; reduction scales with contexts up to the context working set (8-16K in the paper, 2-4K at this scaled-down budget)."
+	return []*report.Table{t}, nil
+}
+
+// Ablations quantifies the design choices §V-D calls out, beyond the
+// paper's own figures: pattern-set bucketing, confidence-based vs LRU
+// pattern-set replacement, and the position-shifted CID hash (§V-E3).
+func Ablations(h *Harness) ([]*report.Table, error) {
+	smallCD := func(c *core.Config) {
+		// The replacement policy only acts once the directory fills;
+		// at laptop-scale budgets the 14K-set directory never does, so
+		// the policy ablation runs on a deliberately small directory.
+		c.NumContexts = 1024
+		c.CDSets = 256
+		c.CIDBits = 11
+	}
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"default (bucketed, conf-replacement, shifted hash)", func(*core.Config) {}},
+		{"no bucketing (free-form sets)", func(c *core.Config) { c.Buckets = 0 }},
+		{"small CD (1K ctx), conf-replacement", smallCD},
+		{"small CD (1K ctx), LRU replacement", func(c *core.Config) { smallCD(c); c.ReplacementLRU = true }},
+		{"plain-XOR CID hash (no position shift)", func(c *core.Config) { c.ShiftedHash = false }},
+	}
+	t := report.New("Ablations: mean MPKI reduction over 64K TSL [%]",
+		"variant", "reduction-%")
+	for i, v := range variants {
+		cfg := core.DefaultConfig()
+		v.mod(&cfg)
+		spec := SpecLLBP(fmt.Sprintf("llbp:ablation=%d", i), cfg)
+		var reds []float64
+		for _, wl := range h.Cfg.workloads() {
+			base, err := h.RunSweep(wl, Spec64K())
+			if err != nil {
+				return nil, err
+			}
+			out, err := h.RunSweep(wl, spec)
+			if err != nil {
+				return nil, err
+			}
+			reds = append(reds, stats.Reduction(base.Res.MPKI, out.Res.MPKI))
+		}
+		t.AddRow(v.name, meanRow(reds))
+	}
+	t.Caption = "§V-D: the paper found bucketing cheap and LRU replacement poor; §V-E3: shifting prevents repeated PCs cancelling. The replacement rows use a 1K-context directory so evictions actually occur."
+	return []*report.Table{t}, nil
+}

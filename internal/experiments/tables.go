@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"llbp/internal/energy"
+	"llbp/internal/pipeline"
+	"llbp/internal/report"
+	"llbp/internal/trace"
+)
+
+// Table1 reproduces Table I: the evaluated workloads. For each synthetic
+// workload it reports the static structure and a measured sample of the
+// stream composition (the paper's invariants: ~4 conditional branches per
+// unconditional one, multi-thousand-branch working sets).
+func Table1(h *Harness) ([]*report.Table, error) {
+	t := report.New("Table I: workloads",
+		"workload", "functions", "static-branches", "cond/uncond", "uncond-share%", "l1i-mpki")
+	for _, wl := range h.Cfg.workloads() {
+		r := &trace.LimitReader{R: wl.Open(), Max: 200_000}
+		s, err := trace.Collect(r)
+		if err != nil {
+			return nil, fmt.Errorf("table1: %s: %w", wl.Name(), err)
+		}
+		t.AddRow(wl.Name(),
+			wl.Params().Functions,
+			wl.StaticBranches(),
+			s.CondPerUncond(),
+			float64(s.Unconditional())/float64(s.Branches)*100,
+			wl.Params().L1IMissesPerKI)
+	}
+	t.Caption = "Synthetic stand-ins for the paper's gem5 and Google traces (DESIGN.md §1)."
+	return []*report.Table{t}, nil
+}
+
+// Table2 reproduces Table II: the simulated core parameters.
+func Table2(*Harness) ([]*report.Table, error) {
+	cfg := pipeline.Default()
+	t := report.New("Table II: simulated processor", "parameter", "value")
+	t.AddRow("Core", fmt.Sprintf("%.0fGHz, %d-way OoO, %d ROB, %d/%d LQ/SQ",
+		cfg.ClockGHz, cfg.FetchWidth, cfg.ROB, cfg.LQ, cfg.SQ))
+	t.AddRow("Branch Pred", "64KiB TAGE-SC-L")
+	t.AddRow("Base CPI (correct path)", fmt.Sprintf("%.2f", cfg.BaseCPI))
+	t.AddRow("Mispredict penalty", fmt.Sprintf("%.0f cycles", cfg.MispredictPenalty))
+	t.AddRow("Target-miss penalty", fmt.Sprintf("%.0f cycles", cfg.TargetMissPenalty))
+	t.Caption = "Cycle-accounting stand-in for the paper's ChampSim configuration (DESIGN.md §1)."
+	return []*report.Table{t}, nil
+}
+
+// Table3 reproduces Table III: access latency and energy of the LLBP
+// structures relative to the 64K TSL, from the analytic SRAM model.
+func Table3(*Harness) ([]*report.Table, error) {
+	t := report.New("Table III: access latency and energy (relative to 64K TSL)",
+		"component", "rel-latency", "cycles", "rel-energy")
+	for _, s := range energy.TableIII() {
+		t.AddRow(s.Name, s.RelativeLatency(), s.Cycles(), s.RelativeEnergy())
+	}
+	t.Caption = "Paper values: 512K TSL 2.55/4/4.58; LLBP 2.68/4/4.44; CD 0.8/1/0.3; PB 0.62/1/0.25."
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,114 @@
+// Package gshare implements the classic gshare predictor (McFarling): a
+// single table of 2-bit counters indexed by the branch PC XORed with the
+// global history. The paper's related work (§VIII) contrasts TAGE-class
+// designs with such single-table, fixed-history predictors — Jiménez's
+// latency study applied its pre-selection technique to exactly this
+// design. It serves here as a pre-TAGE baseline that quantifies how much
+// of the server-workload problem TAGE itself already solves.
+package gshare
+
+import (
+	"fmt"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	// LogSize is log2 of the counter table (2-bit counters); 18 gives a
+	// 64KiB table.
+	LogSize int
+	// HistBits is the global-history length XORed into the index.
+	HistBits int
+}
+
+// Default returns the 64KiB-class configuration.
+func Default() Config { return Config{LogSize: 18, HistBits: 16} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LogSize < 4 || c.LogSize > 26 {
+		return fmt.Errorf("gshare: logSize %d out of range [4,26]", c.LogSize)
+	}
+	if c.HistBits < 1 || c.HistBits > c.LogSize {
+		return fmt.Errorf("gshare: histBits %d out of range [1,%d]", c.HistBits, c.LogSize)
+	}
+	return nil
+}
+
+// Predictor is a gshare instance implementing predictor.Predictor.
+type Predictor struct {
+	cfg  Config
+	ctrs []uint8 // 2-bit saturating counters
+	ghr  uint64
+
+	lastIdx uint32
+	lastPC  uint64
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)
+
+// New builds a gshare predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{cfg: cfg, ctrs: make([]uint8, 1<<uint(cfg.LogSize))}
+	// Weakly taken initial state avoids a cold all-not-taken bias.
+	for i := range p.ctrs {
+		p.ctrs[i] = 2
+	}
+	return p, nil
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string {
+	return fmt.Sprintf("gshare-%dKB", (len(p.ctrs)*2)/8/1024)
+}
+
+func (p *Predictor) index(pc uint64) uint32 {
+	h := p.ghr & (uint64(1)<<uint(p.cfg.HistBits) - 1)
+	return uint32(((pc >> 2) ^ h) & (uint64(len(p.ctrs)) - 1))
+}
+
+// Predict implements predictor.Predictor.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.lastPC = pc
+	p.lastIdx = p.index(pc)
+	return p.ctrs[p.lastIdx] >= 2
+}
+
+// Update implements predictor.Predictor.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	if pc != p.lastPC {
+		panic(fmt.Sprintf("gshare: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+	}
+	c := p.ctrs[p.lastIdx]
+	if taken {
+		if c < 3 {
+			p.ctrs[p.lastIdx] = c + 1
+		}
+	} else if c > 0 {
+		p.ctrs[p.lastIdx] = c - 1
+	}
+	p.push(taken)
+}
+
+// TrackOther implements predictor.Predictor.
+func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
+	_ = pc
+	_ = target
+	_ = t
+	p.push(true)
+}
+
+func (p *Predictor) push(taken bool) {
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}
+
+// StorageBits returns the table cost in bits.
+func (p *Predictor) StorageBits() int { return len(p.ctrs) * 2 }

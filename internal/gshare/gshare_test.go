@@ -1,0 +1,96 @@
+package gshare
+
+import "testing"
+
+func drive(p *Predictor, n int, next func(i int) (uint64, bool)) float64 {
+	miss, cnt := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := next(i)
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/2 {
+			cnt++
+			if pred != taken {
+				miss++
+			}
+		}
+	}
+	return float64(miss) / float64(cnt)
+}
+
+func mustNew(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{LogSize: 2, HistBits: 1}); err == nil {
+		t.Error("tiny logSize must fail")
+	}
+	if _, err := New(Config{LogSize: 18, HistBits: 20}); err == nil {
+		t.Error("histBits > logSize must fail")
+	}
+}
+
+func TestBiased(t *testing.T) {
+	p := mustNew(t)
+	if mr := drive(p, 4000, func(int) (uint64, bool) { return 0x40, true }); mr > 0.02 {
+		t.Errorf("always-taken missrate %.3f", mr)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	p := mustNew(t)
+	if mr := drive(p, 20000, func(i int) (uint64, bool) { return 0x40, i%2 == 0 }); mr > 0.02 {
+		t.Errorf("alternating missrate %.3f", mr)
+	}
+}
+
+func TestShortPattern(t *testing.T) {
+	p := mustNew(t)
+	pat := []bool{true, false, false, true, true}
+	if mr := drive(p, 40000, func(i int) (uint64, bool) { return 0x80, pat[i%5] }); mr > 0.05 {
+		t.Errorf("period-5 missrate %.3f", mr)
+	}
+}
+
+func TestAliasingHurts(t *testing.T) {
+	// gshare's known weakness: destructive aliasing across many
+	// branches. A working set far beyond the table with random-ish
+	// per-(branch,phase) outcomes must do clearly worse than a single
+	// branch with the same local behaviour.
+	small, _ := New(Config{LogSize: 8, HistBits: 8})
+	gen := func(i int) (uint64, bool) {
+		b := i % 5000
+		return uint64(0x1000 + b*4), uint64(b)*2654435761%3 == 0
+	}
+	mr := drive(small, 200000, gen)
+	if mr < 0.02 {
+		t.Errorf("expected visible aliasing on an undersized table, missrate %.3f", mr)
+	}
+}
+
+func TestUpdateWithoutPredictPanics(t *testing.T) {
+	p := mustNew(t)
+	p.Predict(0x40)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Update must panic")
+		}
+	}()
+	p.Update(0x44, true)
+}
+
+func TestStorageBits(t *testing.T) {
+	p := mustNew(t)
+	if got := p.StorageBits(); got != (1<<18)*2 {
+		t.Errorf("StorageBits = %d", got)
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}

@@ -1,0 +1,158 @@
+// Package history implements the branch-history machinery shared by the
+// TAGE-SC-L baseline and LLBP: a long global history register (GHR), the
+// folded (cyclic-shift-register) histories TAGE uses to hash thousands of
+// history bits on the fly, and a short path history.
+//
+// Keeping this machinery in one package guarantees TAGE and LLBP compute
+// identical hashes for identical history lengths — a requirement for the
+// paper's longest-match arbitration between the two predictors (§V-B).
+package history
+
+import "fmt"
+
+// MaxLength is the maximum supported global history length in bits. The
+// paper's longest table uses 3000 bits; 4096 leaves headroom.
+const MaxLength = 4096
+
+// Global is a global branch-history register of up to MaxLength bits,
+// stored as a circular bit buffer. Bit 0 is the most recent outcome.
+type Global struct {
+	bits [MaxLength / 64]uint64
+	head int // index of the most recent bit
+}
+
+// NewGlobal returns an empty global history register.
+func NewGlobal() *Global { return &Global{} }
+
+// Push shifts a new outcome bit into the history.
+func (g *Global) Push(taken bool) {
+	g.head = (g.head + 1) % MaxLength
+	word, off := g.head/64, uint(g.head%64)
+	if taken {
+		g.bits[word] |= 1 << off
+	} else {
+		g.bits[word] &^= 1 << off
+	}
+}
+
+// Bit returns the i-th most recent outcome (i=0 is the last pushed bit).
+// i must be < MaxLength.
+func (g *Global) Bit(i int) uint64 {
+	pos := g.head - i
+	if pos < 0 {
+		pos += MaxLength
+	}
+	return (g.bits[pos/64] >> uint(pos%64)) & 1
+}
+
+// Snapshot captures the register state for later restoration.
+func (g *Global) Snapshot() Global { return *g }
+
+// Restore resets the register to a prior snapshot.
+func (g *Global) Restore(s Global) { *g = s }
+
+// Hash folds the most recent length bits of history into a width-bit value
+// by XOR-folding. This is the "recompute from scratch" reference used to
+// validate the incrementally maintained Folded registers; predictors use
+// Folded for speed.
+func (g *Global) Hash(length, width int) uint64 {
+	if width <= 0 || width > 63 {
+		panic(fmt.Sprintf("history: invalid fold width %d", width))
+	}
+	var h, chunk uint64
+	n := 0
+	for i := 0; i < length; i++ {
+		chunk |= g.Bit(i) << uint(n)
+		n++
+		if n == width {
+			h ^= chunk
+			chunk, n = 0, 0
+		}
+	}
+	return h ^ chunk
+}
+
+// Folded is an incrementally maintained XOR-fold of the most recent
+// OrigLength history bits down to CompLength bits — the classic TAGE
+// folded-history register (Michaud, PPM-like predictor). Update must be
+// called exactly once per Global.Push, before pushing older bits out of
+// range, i.e. with the same Global the register folds.
+type Folded struct {
+	comp       uint64
+	CompLength int // folded width in bits
+	OrigLength int // history length being folded
+	outpoint   int // OrigLength % CompLength
+}
+
+// NewFolded returns a folded register of origLength history bits compressed
+// to compLength bits.
+func NewFolded(origLength, compLength int) *Folded {
+	if compLength <= 0 || compLength > 63 {
+		panic(fmt.Sprintf("history: invalid folded width %d", compLength))
+	}
+	if origLength < 0 || origLength > MaxLength {
+		panic(fmt.Sprintf("history: invalid folded length %d", origLength))
+	}
+	return &Folded{
+		CompLength: compLength,
+		OrigLength: origLength,
+		outpoint:   origLength % compLength,
+	}
+}
+
+// Update incorporates the newest history bit (just pushed into g) and
+// retires the bit that fell outside OrigLength.
+//
+// The caller must have already pushed the new outcome into g, so that
+// g.Bit(0) is the incoming bit and g.Bit(OrigLength) is the outgoing bit.
+func (f *Folded) Update(g *Global) {
+	if f.OrigLength == 0 {
+		return
+	}
+	mask := uint64(1)<<uint(f.CompLength) - 1
+	f.comp = (f.comp << 1) | g.Bit(0)
+	f.comp ^= g.Bit(f.OrigLength) << uint(f.outpoint)
+	f.comp ^= f.comp >> uint(f.CompLength)
+	f.comp &= mask
+}
+
+// Value returns the current folded history.
+func (f *Folded) Value() uint64 { return f.comp }
+
+// Reset clears the folded state (matching an all-zero Global).
+func (f *Folded) Reset() { f.comp = 0 }
+
+// Snapshot captures the folded value for later restoration.
+func (f *Folded) Snapshot() uint64 { return f.comp }
+
+// Restore resets the folded value to a prior snapshot.
+func (f *Folded) Restore(v uint64) { f.comp = v }
+
+// Path is a short path-history register of branch-address bits, as used by
+// TAGE's index hash. Each branch shifts in one low-order PC bit.
+type Path struct {
+	bits uint64
+	len  int
+}
+
+// NewPath returns a path history of length bits (max 32).
+func NewPath(length int) *Path {
+	if length <= 0 || length > 32 {
+		panic(fmt.Sprintf("history: invalid path length %d", length))
+	}
+	return &Path{len: length}
+}
+
+// Push shifts one bit of the branch PC into the path history.
+func (p *Path) Push(pc uint64) {
+	p.bits = ((p.bits << 1) | (pc & 1)) & (uint64(1)<<uint(p.len) - 1)
+}
+
+// Value returns the current path history bits.
+func (p *Path) Value() uint64 { return p.bits }
+
+// Snapshot captures the path history.
+func (p *Path) Snapshot() uint64 { return p.bits }
+
+// Restore resets the path history to a prior snapshot.
+func (p *Path) Restore(v uint64) { p.bits = v }

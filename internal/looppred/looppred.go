@@ -1,0 +1,161 @@
+// Package looppred implements the loop predictor of TAGE-SC-L: a small
+// associative table that learns the trip count of regular loops and
+// predicts the loop-exit (not-taken) iteration that global-history
+// predictors systematically miss (§II-B).
+package looppred
+
+import "fmt"
+
+// confidenceMax is the number of consecutive identical trip counts
+// required before the predictor is allowed to override.
+const confidenceMax = 3
+
+// loopEntry tracks one loop branch.
+type loopEntry struct {
+	tag         uint32
+	pastIter    uint32 // learned trip count
+	currentIter uint32
+	confidence  uint8
+	age         uint8
+	valid       bool
+}
+
+// Predictor is a loop predictor instance.
+type Predictor struct {
+	sets    [][]loopEntry
+	logSets int
+	ways    int
+
+	// Scratch between Predict and Update.
+	lastHit   bool
+	lastSet   uint32
+	lastWay   int
+	lastPred  bool
+	lastValid bool
+}
+
+// New constructs a loop predictor with 2^logSets sets of the given
+// associativity (the modelled design uses 64 entries, 4-way).
+func New(logSets, ways int) (*Predictor, error) {
+	if logSets < 1 || logSets > 12 {
+		return nil, fmt.Errorf("looppred: logSets %d out of range [1,12]", logSets)
+	}
+	if ways < 1 || ways > 16 {
+		return nil, fmt.Errorf("looppred: ways %d out of range [1,16]", ways)
+	}
+	p := &Predictor{logSets: logSets, ways: ways}
+	p.sets = make([][]loopEntry, 1<<uint(logSets))
+	for i := range p.sets {
+		p.sets[i] = make([]loopEntry, ways)
+	}
+	return p, nil
+}
+
+func (p *Predictor) setIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & (uint32(len(p.sets)) - 1)
+}
+
+// tagOf extracts the partial tag from the PC bits just above the set
+// index, mixed with higher bits so nearby branches stay distinct.
+func (p *Predictor) tagOf(pc uint64) uint32 {
+	return uint32((pc>>(2+uint(p.logSets)))^(pc>>(12+uint(p.logSets)))) & 0x3fff
+}
+
+// Predict returns (taken, valid): valid is true only when the predictor has
+// a confident trip count for this branch, in which case taken is the
+// predicted direction for the *current* iteration. Must be followed by one
+// Update for the same branch.
+func (p *Predictor) Predict(pc uint64) (taken, valid bool) {
+	set := p.setIndex(pc)
+	tag := p.tagOf(pc)
+	p.lastSet, p.lastHit, p.lastValid = set, false, false
+	for w, e := range p.sets[set] {
+		if e.valid && e.tag == tag {
+			p.lastHit = true
+			p.lastWay = w
+			// Predict taken while iterations remain (currentIter
+			// counts completed iterations this trip), then
+			// predict the exit.
+			p.lastPred = e.currentIter < e.pastIter
+			p.lastValid = e.confidence >= confidenceMax && e.pastIter > 0
+			return p.lastPred, p.lastValid
+		}
+	}
+	return false, false
+}
+
+// Update trains the loop entry with the resolved direction, allocating on
+// mispredicted exits.
+func (p *Predictor) Update(pc uint64, taken bool, tageWrong bool) {
+	set := p.setIndex(pc)
+	tag := p.tagOf(pc)
+	if p.lastHit {
+		e := &p.sets[set][p.lastWay]
+		if e.valid && e.tag == tag {
+			if taken {
+				e.currentIter++
+				if e.pastIter > 0 && e.currentIter > e.pastIter {
+					// Trip count exceeded what we learned:
+					// unstable loop, drop confidence.
+					e.confidence = 0
+					e.pastIter = 0
+				}
+			} else {
+				// Loop exit: check the trip count.
+				if e.currentIter == e.pastIter {
+					if e.confidence < confidenceMax {
+						e.confidence++
+					}
+					if e.age < 255 {
+						e.age++
+					}
+				} else {
+					if e.pastIter == 0 {
+						// First observed full loop.
+						e.pastIter = e.currentIter
+						e.confidence = 1
+					} else {
+						e.confidence = 0
+						e.pastIter = e.currentIter
+					}
+				}
+				e.currentIter = 0
+			}
+			return
+		}
+	}
+	// Allocate only on a TAGE misprediction of a loop exit — the entry
+	// pays off only if it can predict exits TAGE misses.
+	if !taken && tageWrong {
+		victim := -1
+		for w := range p.sets[set] {
+			e := &p.sets[set][w]
+			if !e.valid {
+				victim = w
+				break
+			}
+			if e.age == 0 {
+				victim = w
+			}
+		}
+		if victim < 0 {
+			// Age everyone; allocate next time.
+			for w := range p.sets[set] {
+				if p.sets[set][w].age > 0 {
+					p.sets[set][w].age--
+				}
+			}
+			return
+		}
+		p.sets[set][victim] = loopEntry{tag: tag, valid: true, age: 16}
+	}
+}
+
+// Valid reports whether the last Predict produced a confident prediction.
+func (p *Predictor) Valid() bool { return p.lastValid }
+
+// StorageBits returns the approximate storage cost in bits
+// (tag 14 + 2×iter 14 + confidence 2 + age 8 + valid 1 per entry).
+func (p *Predictor) StorageBits() int {
+	return len(p.sets) * p.ways * (14 + 14 + 14 + 2 + 8 + 1)
+}

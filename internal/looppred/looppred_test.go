@@ -1,0 +1,146 @@
+package looppred
+
+import "testing"
+
+// runLoop feeds `trips` full loop executions of `trip` taken iterations
+// plus one not-taken exit each, and returns the misprediction count over
+// the last `measure` executions counting only valid (confident)
+// predictions as predictions.
+func runLoop(t *testing.T, p *Predictor, pc uint64, trip, execs int) (validMisses, validPreds int) {
+	t.Helper()
+	for e := 0; e < execs; e++ {
+		for i := 0; i < trip; i++ {
+			pred, valid := p.Predict(pc)
+			if valid {
+				validPreds++
+				if !pred {
+					validMisses++
+				}
+			}
+			// The simulated TAGE predicts the loop bias (taken), so
+			// it is right on every iteration...
+			p.Update(pc, true, false)
+		}
+		pred, valid := p.Predict(pc)
+		if valid {
+			validPreds++
+			if pred {
+				validMisses++
+			}
+		}
+		// ...and wrong on the exit — the case the loop predictor is
+		// allocated for.
+		p.Update(pc, false, true)
+	}
+	return
+}
+
+func mustNew(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLearnsFixedTripCount(t *testing.T) {
+	p := mustNew(t)
+	// Warm up until confident, then every valid prediction must be
+	// correct, including the exits.
+	runLoop(t, p, 0x4000, 7, 6)
+	misses, preds := runLoop(t, p, 0x4000, 7, 10)
+	if preds == 0 {
+		t.Fatal("predictor never became confident on a regular loop")
+	}
+	if misses != 0 {
+		t.Errorf("%d/%d confident mispredictions on a regular loop", misses, preds)
+	}
+}
+
+func TestTripCountOne(t *testing.T) {
+	// Alternating taken/not-taken is a trip-count-1 loop; the historical
+	// off-by-one bug predicted the exit one iteration early.
+	p := mustNew(t)
+	runLoop(t, p, 0x4000, 1, 8)
+	misses, preds := runLoop(t, p, 0x4000, 1, 10)
+	if preds > 0 && misses != 0 {
+		t.Errorf("%d/%d confident mispredictions on trip-count-1 loop", misses, preds)
+	}
+}
+
+func TestUnstableLoopLosesConfidence(t *testing.T) {
+	p := mustNew(t)
+	runLoop(t, p, 0x4000, 5, 6) // learn trip 5
+	// Change the trip count: confidence must drop, so valid predictions
+	// stop until relearned.
+	runLoop(t, p, 0x4000, 9, 1)
+	_, valid := p.Predict(0x4000)
+	p.Update(0x4000, true, false)
+	if valid {
+		t.Error("confidence must drop after a trip-count change")
+	}
+}
+
+func TestAllocatesOnlyOnTageWrongExit(t *testing.T) {
+	p := mustNew(t)
+	pc := uint64(0x8000)
+	// Exit misprediction with tageWrong=false must not allocate.
+	p.Predict(pc)
+	p.Update(pc, false, false)
+	if _, valid := p.Predict(pc); valid {
+		t.Error("no entry should exist without a TAGE-wrong exit")
+	}
+	p.Update(pc, false, false)
+	// Now a TAGE-wrong exit allocates.
+	p.Predict(pc)
+	p.Update(pc, false, true)
+	// The entry exists (hit path) even though not yet confident.
+	p.Predict(pc)
+	p.Update(pc, true, false)
+	// No crash and still not confident: the entry needs full trips.
+	if _, valid := p.Predict(pc); valid {
+		t.Error("entry must not be confident after one observation")
+	}
+	p.Update(pc, true, false)
+}
+
+func TestDistinctLoopsInSameSet(t *testing.T) {
+	p := mustNew(t)
+	// Two loops mapping to the same set (same low bits): both learnable
+	// thanks to tags and 4 ways.
+	pcA := uint64(0x1000)
+	pcB := pcA + 4<<4 // same set index (pc>>2 & 15), different tag bits
+	runLoop(t, p, pcA, 3, 8)
+	runLoop(t, p, pcB, 6, 8)
+	mA, pA := runLoop(t, p, pcA, 3, 5)
+	mB, pB := runLoop(t, p, pcB, 6, 5)
+	if pA == 0 || pB == 0 {
+		t.Skip("aliasing prevented confidence; acceptable for shared sets")
+	}
+	if mA != 0 || mB != 0 {
+		t.Errorf("confident misses: A=%d/%d B=%d/%d", mA, pA, mB, pB)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("logSets 0 must fail")
+	}
+	if _, err := New(13, 4); err == nil {
+		t.Error("logSets 13 must fail")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("ways 0 must fail")
+	}
+	if _, err := New(4, 17); err == nil {
+		t.Error("ways 17 must fail")
+	}
+}
+
+func TestStorageBitsPositive(t *testing.T) {
+	p := mustNew(t)
+	if p.StorageBits() <= 0 {
+		t.Error("storage must be positive")
+	}
+}

@@ -1,0 +1,167 @@
+// Package perceptron implements Jiménez & Lin's perceptron branch
+// predictor: per-branch weight vectors dotted with the global history,
+// trained when the margin is below an adaptive threshold. It is the
+// ML-flavoured baseline the paper's related work contrasts with TAGE
+// (§VIII cites the multiperspective perceptron and perceptron-based
+// context-switch work) and completes this repository's baseline spectrum:
+// bimodal < gshare < perceptron < TAGE-SC-L < TAGE-SC-L + LLBP.
+package perceptron
+
+import (
+	"fmt"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+// Config sizes the predictor.
+type Config struct {
+	// LogRows is log2 of the perceptron table.
+	LogRows int
+	// HistBits is the history length (weights per perceptron, plus
+	// bias).
+	HistBits int
+	// WeightBits bounds the weight magnitude (8-bit weights: ±127).
+	WeightBits int
+}
+
+// Default returns a 64KiB-class configuration: 1024 rows × (32+1) 8-bit
+// weights ≈ 33KB of weights plus history — comparable to the other 64K
+// baselines once the bias/threshold state is counted.
+func Default() Config { return Config{LogRows: 11, HistBits: 32, WeightBits: 8} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.LogRows < 2 || c.LogRows > 20 {
+		return fmt.Errorf("perceptron: logRows %d out of range [2,20]", c.LogRows)
+	}
+	if c.HistBits < 1 || c.HistBits > 64 {
+		return fmt.Errorf("perceptron: histBits %d out of range [1,64]", c.HistBits)
+	}
+	if c.WeightBits < 4 || c.WeightBits > 16 {
+		return fmt.Errorf("perceptron: weightBits %d out of range [4,16]", c.WeightBits)
+	}
+	return nil
+}
+
+// Predictor is a perceptron predictor implementing predictor.Predictor.
+type Predictor struct {
+	cfg     Config
+	weights [][]int16 // [row][bias + HistBits weights]
+	ghr     uint64
+	theta   int // training threshold: 1.93*h + 14 (Jiménez & Lin)
+
+	lastPC   uint64
+	lastRow  int
+	lastSum  int
+	lastPred bool
+}
+
+var _ predictor.Predictor = (*Predictor)(nil)
+
+// New builds a perceptron predictor.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Predictor{
+		cfg:   cfg,
+		theta: int(1.93*float64(cfg.HistBits) + 14),
+	}
+	p.weights = make([][]int16, 1<<uint(cfg.LogRows))
+	for i := range p.weights {
+		p.weights[i] = make([]int16, cfg.HistBits+1)
+	}
+	return p, nil
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string {
+	return fmt.Sprintf("perceptron-%dx%d", len(p.weights), p.cfg.HistBits)
+}
+
+func (p *Predictor) row(pc uint64) int {
+	return int((pc >> 2) % uint64(len(p.weights)))
+}
+
+// Predict implements predictor.Predictor: y = bias + Σ w_i · x_i with
+// x_i ∈ {-1, +1} from the global history.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.lastPC = pc
+	p.lastRow = p.row(pc)
+	w := p.weights[p.lastRow]
+	sum := int(w[0])
+	for i := 0; i < p.cfg.HistBits; i++ {
+		if p.ghr&(1<<uint(i)) != 0 {
+			sum += int(w[i+1])
+		} else {
+			sum -= int(w[i+1])
+		}
+	}
+	p.lastSum = sum
+	p.lastPred = sum >= 0
+	return p.lastPred
+}
+
+// Update implements predictor.Predictor: train on a misprediction or a
+// low-margin correct prediction (the perceptron learning rule).
+func (p *Predictor) Update(pc uint64, taken bool) {
+	if pc != p.lastPC {
+		panic(fmt.Sprintf("perceptron: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+	}
+	if p.lastPred != taken || abs(p.lastSum) <= p.theta {
+		w := p.weights[p.lastRow]
+		limit := int16(1)<<(p.cfg.WeightBits-1) - 1
+		dir := int16(-1)
+		if taken {
+			dir = 1
+		}
+		w[0] = clamp(w[0]+dir, limit)
+		for i := 0; i < p.cfg.HistBits; i++ {
+			x := int16(-1)
+			if p.ghr&(1<<uint(i)) != 0 {
+				x = 1
+			}
+			// Agreeing bits strengthen, disagreeing weaken.
+			w[i+1] = clamp(w[i+1]+dir*x, limit)
+		}
+	}
+	p.push(taken)
+}
+
+// TrackOther implements predictor.Predictor.
+func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
+	_ = pc
+	_ = target
+	_ = t
+	p.push(true)
+}
+
+func (p *Predictor) push(taken bool) {
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}
+
+// StorageBits returns the weight-table cost in bits.
+func (p *Predictor) StorageBits() int {
+	return len(p.weights) * (p.cfg.HistBits + 1) * p.cfg.WeightBits
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clamp(v, limit int16) int16 {
+	if v > limit {
+		return limit
+	}
+	if v < -limit-1 {
+		return -limit - 1
+	}
+	return v
+}

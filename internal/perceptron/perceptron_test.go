@@ -1,0 +1,150 @@
+package perceptron
+
+import "testing"
+
+func drive(p *Predictor, n int, next func(i int) (uint64, bool)) float64 {
+	miss, cnt := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := next(i)
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/2 {
+			cnt++
+			if pred != taken {
+				miss++
+			}
+		}
+	}
+	return float64(miss) / float64(cnt)
+}
+
+func mustNew(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidation(t *testing.T) {
+	for i, cfg := range []Config{
+		{LogRows: 1, HistBits: 32, WeightBits: 8},
+		{LogRows: 11, HistBits: 0, WeightBits: 8},
+		{LogRows: 11, HistBits: 32, WeightBits: 2},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestBiased(t *testing.T) {
+	p := mustNew(t)
+	if mr := drive(p, 4000, func(int) (uint64, bool) { return 0x40, true }); mr > 0.02 {
+		t.Errorf("always-taken missrate %.3f", mr)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	p := mustNew(t)
+	if mr := drive(p, 20000, func(i int) (uint64, bool) { return 0x40, i%2 == 0 }); mr > 0.02 {
+		t.Errorf("alternating missrate %.3f", mr)
+	}
+}
+
+// TestLinearlySeparable: the perceptron's defining strength — a branch
+// whose outcome is one specific history bit (parity of no more than one
+// bit is linearly separable).
+func TestLinearlySeparable(t *testing.T) {
+	p := mustNew(t)
+	var outcomes []bool
+	mr := drive(p, 40000, func(i int) (uint64, bool) {
+		// Outcome = outcome of the branch 7 executions ago.
+		var taken bool
+		if len(outcomes) < 7 {
+			taken = i%3 == 0
+		} else {
+			taken = outcomes[len(outcomes)-7]
+		}
+		outcomes = append(outcomes, taken)
+		return 0x40, taken
+	})
+	if mr > 0.05 {
+		t.Errorf("history-bit-correlated missrate %.3f", mr)
+	}
+}
+
+// TestXORNotLearnable documents the perceptron's known limit: the XOR of
+// two independent random history bits is not linearly separable, so
+// accuracy stays near chance — exactly why TAGE's pattern matching wins
+// on such branches. Branch A produces seeded random outcomes; branch B's
+// outcome is the XOR of A's last two.
+func TestXORNotLearnable(t *testing.T) {
+	p := mustNew(t)
+	seed := uint64(0x1234)
+	rnd := func() bool {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed&1 == 1
+	}
+	a1, a2 := false, true
+	miss, cnt := 0, 0
+	const rounds = 30000
+	for i := 0; i < rounds; i++ {
+		// Branch A: random.
+		aTaken := rnd()
+		p.Predict(0x80)
+		p.Update(0x80, aTaken)
+		a2, a1 = a1, aTaken
+		// Branch B: XOR of A's last two outcomes.
+		bTaken := a1 != a2
+		pred := p.Predict(0x40)
+		p.Update(0x40, bTaken)
+		if i > rounds/2 {
+			cnt++
+			if pred != bTaken {
+				miss++
+			}
+		}
+	}
+	if mr := float64(miss) / float64(cnt); mr < 0.2 {
+		t.Errorf("XOR of random bits unexpectedly learnable by a perceptron (missrate %.3f)", mr)
+	}
+}
+
+func TestWeightsSaturate(t *testing.T) {
+	p := mustNew(t)
+	for i := 0; i < 100000; i++ {
+		p.Predict(0x40)
+		p.Update(0x40, true)
+	}
+	limit := int16(1)<<(p.cfg.WeightBits-1) - 1
+	for _, w := range p.weights[p.row(0x40)] {
+		if w > limit || w < -limit-1 {
+			t.Fatalf("weight %d escaped the clamp ±%d", w, limit)
+		}
+	}
+}
+
+func TestUpdateWithoutPredictPanics(t *testing.T) {
+	p := mustNew(t)
+	p.Predict(0x40)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Update must panic")
+		}
+	}()
+	p.Update(0x44, true)
+}
+
+func TestStorageBitsAndName(t *testing.T) {
+	p := mustNew(t)
+	if p.StorageBits() != (1<<11)*33*8 {
+		t.Errorf("StorageBits = %d", p.StorageBits())
+	}
+	if p.Name() == "" {
+		t.Error("empty name")
+	}
+}

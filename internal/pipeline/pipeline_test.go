@@ -1,0 +1,84 @@
+package pipeline
+
+import "testing"
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Default()
+	bad.BaseCPI = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero CPI must fail")
+	}
+	bad = Default()
+	bad.MispredictPenalty = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative penalty must fail")
+	}
+}
+
+func TestAccountingArithmetic(t *testing.T) {
+	a, err := NewAccounting(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Retire(1000)
+	if c != 500 {
+		t.Errorf("1000 instructions at CPI 0.5 = %v cycles, want 500", c)
+	}
+	if got := a.Mispredict(); got != 20 {
+		t.Errorf("mispredict penalty = %v", got)
+	}
+	if got := a.TargetMiss(); got != 20 {
+		t.Errorf("target-miss penalty = %v", got)
+	}
+	if a.Cycles() != 540 {
+		t.Errorf("total cycles = %v, want 540", a.Cycles())
+	}
+	if w := a.WastedFraction(); w != 20.0/540 {
+		t.Errorf("WastedFraction = %v", w)
+	}
+	if ipc := a.IPC(); ipc != 1000.0/540 {
+		t.Errorf("IPC = %v", ipc)
+	}
+	if a.Mispredictions != 1 || a.TargetMisses != 1 || a.Instructions != 1000 {
+		t.Error("counters wrong")
+	}
+}
+
+func TestEmptyAccounting(t *testing.T) {
+	a, err := NewAccounting(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WastedFraction() != 0 || a.IPC() != 0 {
+		t.Error("empty ledger must report zeros")
+	}
+}
+
+// TestWastedFractionMatchesPaperRegime: at the paper's average 2.91 MPKI,
+// the model should waste roughly 9-11% of cycles (Figure 1 reports 9.2%).
+func TestWastedFractionMatchesPaperRegime(t *testing.T) {
+	a, err := NewAccounting(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instructions = 1_000_000
+	a.Retire(instructions)
+	for i := 0; i < int(2.91*instructions/1000); i++ {
+		a.Mispredict()
+	}
+	if w := a.WastedFraction(); w < 0.08 || w < 0.0 || w > 0.13 {
+		t.Errorf("wasted fraction at 2.91 MPKI = %.3f, want ≈0.092", w)
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	if _, err := NewAccounting(Config{}); err == nil {
+		t.Error("zero config must be rejected")
+	}
+}

@@ -1,0 +1,41 @@
+package predictor
+
+import "testing"
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 || c.NowF() != 0 {
+		t.Error("fresh clock must read zero")
+	}
+	c.Advance(2.5)
+	if c.Now() != 2 {
+		t.Errorf("Now = %d, want 2", c.Now())
+	}
+	c.Advance(0.5)
+	if c.Now() != 3 {
+		t.Errorf("fractional cycles must accumulate: Now = %d, want 3", c.Now())
+	}
+	if c.NowF() != 3.0 {
+		t.Errorf("NowF = %v", c.NowF())
+	}
+	c.Reset()
+	if c.NowF() != 0 {
+		t.Error("Reset must rewind to zero")
+	}
+}
+
+func TestComponentString(t *testing.T) {
+	want := map[Component]string{
+		ProviderBimodal: "bimodal",
+		ProviderTAGE:    "tage",
+		ProviderLoop:    "loop",
+		ProviderSC:      "sc",
+		ProviderLLBP:    "llbp",
+		Component(99):   "unknown",
+	}
+	for c, w := range want {
+		if got := c.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", c, got, w)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarChart renders one numeric column of a table as a horizontal ASCII
+// bar chart — the terminal-friendly rendering of the paper's bar figures
+// (cmd/experiments prints these next to the tables).
+type BarChart struct {
+	// Title heads the chart.
+	Title string
+	// Labels and Values are the bars, in order.
+	Labels []string
+	Values []float64
+	// Unit is appended to the printed values (e.g. "%").
+	Unit string
+	// Width is the maximum bar width in characters (default 48).
+	Width int
+}
+
+// ChartFromTable builds a bar chart from a table column (1-based value
+// column index; column 0 is the label). Rows whose cell does not parse as
+// a number are skipped.
+func ChartFromTable(t *Table, col int, unit string) *BarChart {
+	c := &BarChart{Title: t.Title, Unit: unit}
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(row[col], "%g", &v); err != nil {
+			continue
+		}
+		c.Labels = append(c.Labels, row[0])
+		c.Values = append(c.Values, v)
+	}
+	return c
+}
+
+// WriteText renders the chart.
+func (c *BarChart) WriteText(w io.Writer) error {
+	width := c.Width
+	if width <= 0 {
+		width = 48
+	}
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	labelW := 0
+	for _, l := range c.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	maxV := 0.0
+	for _, v := range c.Values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	for i, l := range c.Labels {
+		v := c.Values[i]
+		n := 0
+		if maxV > 0 && v > 0 {
+			n = int(v / maxV * float64(width))
+			if n == 0 {
+				n = 1 // visible sliver for small positive values
+			}
+		}
+		bar := strings.Repeat("#", n)
+		if _, err := fmt.Fprintf(w, "  %-*s |%-*s %.2f%s\n", labelW, l, width, bar, v, c.Unit); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// String renders the chart as text.
+func (c *BarChart) String() string {
+	var sb strings.Builder
+	_ = c.WriteText(&sb)
+	return sb.String()
+}

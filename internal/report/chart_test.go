@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartFromTable(t *testing.T) {
+	tab := New("MPKI", "workload", "mpki")
+	tab.AddRow("Tomcat", 6.0)
+	tab.AddRow("Kafka", 3.0)
+	tab.AddRow("note", "n/a") // non-numeric: skipped
+	c := ChartFromTable(tab, 1, "")
+	if len(c.Labels) != 2 || len(c.Values) != 2 {
+		t.Fatalf("chart rows = %d/%d, want 2", len(c.Labels), len(c.Values))
+	}
+	if c.Values[0] != 6 || c.Values[1] != 3 {
+		t.Errorf("values = %v", c.Values)
+	}
+}
+
+func TestChartBarsProportional(t *testing.T) {
+	c := &BarChart{
+		Labels: []string{"big", "half", "zero"},
+		Values: []float64{10, 5, 0},
+		Width:  40,
+	}
+	out := c.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart lines = %d", len(lines))
+	}
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[0]) != 40 {
+		t.Errorf("max bar = %d chars, want 40", count(lines[0]))
+	}
+	if got := count(lines[1]); got < 19 || got > 21 {
+		t.Errorf("half bar = %d chars, want ≈20", got)
+	}
+	if count(lines[2]) != 0 {
+		t.Errorf("zero bar must be empty")
+	}
+}
+
+func TestChartSmallPositiveVisible(t *testing.T) {
+	c := &BarChart{Labels: []string{"a", "b"}, Values: []float64{1000, 0.5}, Width: 30}
+	lines := strings.Split(strings.TrimSpace(c.String()), "\n")
+	if strings.Count(lines[1], "#") != 1 {
+		t.Error("small positive values must render a visible sliver")
+	}
+}
+
+func TestChartAllZero(t *testing.T) {
+	c := &BarChart{Labels: []string{"a"}, Values: []float64{0}}
+	if out := c.String(); !strings.Contains(out, "0.00") {
+		t.Error("all-zero chart must still render values")
+	}
+}
+
+func TestChartWithTitleAndUnit(t *testing.T) {
+	c := &BarChart{Title: "Speedup", Labels: []string{"x"}, Values: []float64{1.5}, Unit: "%"}
+	out := c.String()
+	if !strings.Contains(out, "Speedup") || !strings.Contains(out, "1.50%") {
+		t.Errorf("chart rendering wrong: %q", out)
+	}
+}

@@ -1,0 +1,133 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func demo() *Table {
+	t := New("Demo", "name", "mpki", "note")
+	t.AddRow("Tomcat", 4.231, "baseline")
+	t.AddRow("NodeApp", 2.5, 7)
+	t.Caption = "caption line"
+	return t
+}
+
+func TestWriteTextAligned(t *testing.T) {
+	out := demo().String()
+	if !strings.Contains(out, "## Demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(out, "\n")
+	var header, rule string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header, rule = l, lines[i+1]
+			break
+		}
+	}
+	if header == "" {
+		t.Fatal("missing header line")
+	}
+	if len(rule) != len(header) {
+		t.Errorf("rule width %d != header width %d", len(rule), len(header))
+	}
+	if !strings.Contains(out, "4.231") {
+		t.Error("floats must render with 3 decimals")
+	}
+	if !strings.Contains(out, "caption line") {
+		t.Error("missing caption")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := demo().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if lines[0] != "name,mpki,note" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "Tomcat,4.231,baseline" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestNoTitleNoCaption(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow(1, 2)
+	out := tab.String()
+	if strings.Contains(out, "##") {
+		t.Error("untitled table must not render a heading")
+	}
+}
+
+func TestShortRow(t *testing.T) {
+	tab := New("x", "a", "b", "c")
+	tab.AddRow("only")
+	if out := tab.String(); !strings.Contains(out, "only") {
+		t.Error("short rows must render")
+	}
+}
+
+func TestColumnWidthsGrowWithData(t *testing.T) {
+	tab := New("x", "a")
+	tab.AddRow("a-very-long-cell-value")
+	out := tab.String()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "---") && len(l) < len("a-very-long-cell-value") {
+			t.Error("rule must span the widest cell")
+		}
+	}
+}
+
+// failWriter fails after n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errFail
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errFail
+	}
+	return n, nil
+}
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "writer failed" }
+
+func TestWriteTextPropagatesErrors(t *testing.T) {
+	tab := demo()
+	for _, budget := range []int{0, 5, 30, 60} {
+		if err := tab.WriteText(&failWriter{left: budget}); err == nil {
+			t.Errorf("budget %d: error not propagated", budget)
+		}
+	}
+}
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	tab := demo()
+	if err := tab.WriteCSV(&failWriter{left: 3}); err == nil {
+		t.Error("CSV error not propagated")
+	}
+}
+
+func TestChartWritePropagatesErrors(t *testing.T) {
+	c := &BarChart{Title: "x", Labels: []string{"a"}, Values: []float64{1}}
+	if err := c.WriteText(&failWriter{left: 0}); err == nil {
+		t.Error("chart error not propagated")
+	}
+}

@@ -1,0 +1,109 @@
+package sc
+
+// Local-history and IMLI components of the statistical corrector.
+// TAGE-SC-L's corrector is not purely global-history: it also votes with
+// per-branch local histories and Seznec's IMLI (inner-most loop iteration)
+// counter, which captures loop-correlated behaviour that global history
+// dilutes. Both are optional components summed into the GEHL vote.
+
+// localState holds the local-history machinery.
+type localState struct {
+	// histories holds per-branch local histories (indexed by PC hash).
+	histories []uint32
+	// table is the signed-counter bank indexed by pc ^ local history.
+	table []int8
+	// histBits is the local history length.
+	histBits int
+
+	lastIdx  uint32
+	lastHist uint32
+}
+
+// newLocalState builds the local component: 2^logHistories local history
+// registers of histBits bits and a counter bank of 2^logEntries.
+func newLocalState(logHistories, histBits, logEntries int) *localState {
+	return &localState{
+		histories: make([]uint32, 1<<uint(logHistories)),
+		table:     make([]int8, 1<<uint(logEntries)),
+		histBits:  histBits,
+	}
+}
+
+func (l *localState) histIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & (uint32(len(l.histories)) - 1)
+}
+
+// vote returns the local component's contribution for pc.
+func (l *localState) vote(pc uint64) int {
+	h := l.histories[l.histIndex(pc)]
+	l.lastHist = h
+	idx := uint32((pc>>2)^(pc>>9)^uint64(h)*0x9E37) & (uint32(len(l.table)) - 1)
+	l.lastIdx = idx
+	return int(l.table[idx])
+}
+
+// train updates the counter voted with and the branch's local history.
+func (l *localState) train(pc uint64, taken bool, ctrMax, ctrMin int8) {
+	e := &l.table[l.lastIdx]
+	if taken {
+		if *e < ctrMax {
+			*e++
+		}
+	} else if *e > ctrMin {
+		*e--
+	}
+	hi := l.histIndex(pc)
+	h := l.histories[hi] << 1
+	if taken {
+		h |= 1
+	}
+	l.histories[hi] = h & (1<<uint(l.histBits) - 1)
+}
+
+// imliState implements Seznec's inner-most-loop-iteration counter: a
+// counter that increments while a backward conditional branch keeps being
+// taken and resets when it falls through. Branch outcomes often correlate
+// with the iteration number; a counter bank indexed by (pc, IMLI) captures
+// that directly.
+type imliState struct {
+	counter uint32
+	table   []int8
+
+	lastIdx uint32
+}
+
+// newIMLIState builds the IMLI component with a 2^logEntries counter bank.
+func newIMLIState(logEntries int) *imliState {
+	return &imliState{table: make([]int8, 1<<uint(logEntries))}
+}
+
+// maxIMLI caps the iteration counter (values beyond alias into the cap).
+const maxIMLI = 1023
+
+// vote returns the IMLI component's contribution for pc.
+func (s *imliState) vote(pc uint64) int {
+	idx := uint32((pc>>2)^uint64(s.counter)*0x2545F) & (uint32(len(s.table)) - 1)
+	s.lastIdx = idx
+	return int(s.table[idx])
+}
+
+// train updates the voted counter and advances the iteration counter: a
+// taken backward branch counts as another loop iteration, anything else
+// resets the loop context.
+func (s *imliState) train(pc, target uint64, taken bool, ctrMax, ctrMin int8) {
+	e := &s.table[s.lastIdx]
+	if taken {
+		if *e < ctrMax {
+			*e++
+		}
+	} else if *e > ctrMin {
+		*e--
+	}
+	if taken && target <= pc {
+		if s.counter < maxIMLI {
+			s.counter++
+		}
+	} else if !taken {
+		s.counter = 0
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim is the trace-driven simulation driver: it replays a
+// workload's branch stream through a predictor, advances the cycle model,
+// fires pipeline resets, and collects the headline metrics. Experiments
+// attach observers for per-branch or per-context accounting.
+package sim
+
+import (
+	"fmt"
+
+	"llbp/internal/btb"
+	"llbp/internal/pipeline"
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+// Observer is invoked for every measured conditional branch, after the
+// predictor has been updated. det is the predictor's provenance when it
+// implements predictor.Detailer (zero otherwise).
+type Observer func(b *trace.Branch, predicted bool, det predictor.Detail)
+
+// UncondObserver is invoked for every measured non-conditional transfer.
+type UncondObserver func(b *trace.Branch)
+
+// Options configures one simulation run.
+type Options struct {
+	// WarmupBranches are processed before measurement begins (the paper
+	// warms for 100M instructions; scale to taste).
+	WarmupBranches uint64
+	// MeasureBranches are processed with statistics collection. The
+	// run errors if the stream ends before warmup+measure branches.
+	MeasureBranches uint64
+	// Pipeline configures the cycle model; zero value uses
+	// pipeline.Default().
+	Pipeline pipeline.Config
+	// Observer and UncondObserver receive measured records (optional).
+	Observer       Observer
+	UncondObserver UncondObserver
+	// Clock, when non-nil, is the clock the predictor was built
+	// against; the driver advances it. When nil a private clock is
+	// used.
+	Clock *predictor.Clock
+	// BTB, when non-nil, derives target mispredictions (pipeline
+	// resets) from the Table II front-end model instead of replaying
+	// the trace's MispredictedTarget flags.
+	BTB *btb.Model
+}
+
+// Result carries one run's headline metrics.
+type Result struct {
+	Workload  string
+	Predictor string
+
+	// Measured-phase counts.
+	Instructions uint64
+	Branches     uint64
+	CondBranches uint64
+	Mispredicts  uint64
+	TargetMisses uint64
+
+	// MPKI is conditional mispredictions per kilo-instruction.
+	MPKI float64
+
+	// Cycle ledger (measured phase only).
+	Cycles         float64
+	BranchPenalty  float64
+	WastedFraction float64
+	IPC            float64
+}
+
+// Run replays src through p under opt.
+func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) {
+	if opt.MeasureBranches == 0 {
+		return nil, fmt.Errorf("sim: MeasureBranches must be positive")
+	}
+	if opt.Pipeline.BaseCPI == 0 {
+		opt.Pipeline = pipeline.Default()
+	}
+	clock := opt.Clock
+	if clock == nil {
+		clock = &predictor.Clock{}
+	}
+	acct, err := pipeline.NewAccounting(opt.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	detailer, _ := p.(predictor.Detailer)
+	resettable, _ := p.(predictor.Resettable)
+	targetUpdater, _ := p.(predictor.TargetUpdater)
+
+	r := src.Open()
+	var b trace.Branch
+	var processed uint64
+	res := &Result{Workload: src.Name(), Predictor: p.Name()}
+
+	total := opt.WarmupBranches + opt.MeasureBranches
+	for processed < total {
+		if err := r.Read(&b); err != nil {
+			if trace.IsEOF(err) {
+				return nil, fmt.Errorf("sim: %s ended after %d branches, need %d",
+					src.Name(), processed, total)
+			}
+			return nil, fmt.Errorf("sim: reading %s: %w", src.Name(), err)
+		}
+		measuring := processed >= opt.WarmupBranches
+		processed++
+
+		// Straight-line instructions preceding this branch retire at
+		// base CPI; advance the clock so prefetch timestamps see
+		// realistic gaps during warmup too.
+		if measuring {
+			clock.Advance(acct.Retire(uint64(b.Instructions)))
+		} else {
+			clock.Advance(float64(b.Instructions) * opt.Pipeline.BaseCPI)
+		}
+
+		if b.Type.IsConditional() {
+			predicted := p.Predict(b.PC)
+			if targetUpdater != nil {
+				targetUpdater.UpdateWithTarget(b.PC, b.Target, b.Taken)
+			} else {
+				p.Update(b.PC, b.Taken)
+			}
+			misp := predicted != b.Taken
+			if measuring {
+				res.CondBranches++
+				if misp {
+					res.Mispredicts++
+					clock.Advance(acct.Mispredict())
+				}
+				if opt.Observer != nil {
+					var det predictor.Detail
+					if detailer != nil {
+						det = detailer.LastDetail()
+					}
+					opt.Observer(&b, predicted, det)
+				}
+			} else if misp {
+				clock.Advance(opt.Pipeline.MispredictPenalty)
+			}
+			if misp && resettable != nil {
+				resettable.OnPipelineReset()
+			}
+		} else {
+			p.TrackOther(b.PC, b.Target, b.Type)
+			targetMiss := b.MispredictedTarget
+			if opt.BTB != nil {
+				targetMiss = opt.BTB.Process(&b).TargetMiss
+			}
+			if targetMiss {
+				if measuring {
+					clock.Advance(acct.TargetMiss())
+				} else {
+					clock.Advance(opt.Pipeline.TargetMissPenalty)
+				}
+				if resettable != nil {
+					resettable.OnPipelineReset()
+				}
+			}
+			if measuring {
+				if opt.UncondObserver != nil {
+					opt.UncondObserver(&b)
+				}
+			}
+		}
+		if measuring {
+			res.Branches++
+		}
+	}
+
+	res.Instructions = acct.Instructions
+	res.TargetMisses = acct.TargetMisses
+	res.MPKI = float64(res.Mispredicts) * 1000 / float64(max64(res.Instructions, 1))
+	res.Cycles = acct.Cycles()
+	res.BranchPenalty = acct.BranchPenalty
+	res.WastedFraction = acct.WastedFraction()
+	res.IPC = acct.IPC()
+	return res, nil
+}
+
+// PerfectCycles returns the cycle count a perfect conditional-direction
+// predictor would achieve for the same measured stream: base cycles plus
+// target-miss penalties, but no conditional-misprediction penalty.
+func (r *Result) PerfectCycles(cfg pipeline.Config) float64 {
+	return float64(r.Instructions)*cfg.BaseCPI + float64(r.TargetMisses)*cfg.TargetMissPenalty
+}
+
+// Speedup returns how much faster this run is than base (1.02 = 2% faster).
+func (r *Result) Speedup(base *Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return base.Cycles / r.Cycles
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

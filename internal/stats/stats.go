@@ -1,0 +1,247 @@
+// Package stats provides the statistics machinery shared by the
+// experiments: MPKI arithmetic, percentile/distribution helpers, and
+// per-branch / per-context trackers implementing the paper's
+// "useful pattern" accounting (§II-D).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+// MPKI returns mispredictions per kilo-instruction.
+func MPKI(mispredicts, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(mispredicts) * 1000 / float64(instructions)
+}
+
+// Reduction returns the percentage reduction of v relative to base
+// (positive = improvement).
+func Reduction(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base * 100
+}
+
+// GeoMean returns the geometric mean of positive values (zero and negative
+// inputs are skipped).
+func GeoMean(vs []float64) float64 {
+	logSum := 0.0
+	n := 0
+	for _, v := range vs {
+		if v > 0 {
+			logSum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(logSum / float64(n))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Percentile returns the p-th percentile (0..100) of vs using
+// nearest-rank on a sorted copy.
+func Percentile(vs []float64, p float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(p/100*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// BranchStat aggregates one static branch's behaviour during measurement.
+type BranchStat struct {
+	PC     uint64
+	Execs  uint64
+	Misses uint64
+	Useful map[uint64]struct{} // distinct useful pattern keys
+}
+
+// BranchTracker observes predictions and accumulates per-static-branch
+// misses and distinct useful patterns — the inputs to Figures 3a and 3b.
+// A pattern is "useful" when it provides a correct prediction while the
+// alternate (shorter-history or bimodal) prediction is wrong (§II-D).
+type BranchTracker struct {
+	branches map[uint64]*BranchStat
+}
+
+// NewBranchTracker returns an empty tracker.
+func NewBranchTracker() *BranchTracker {
+	return &BranchTracker{branches: make(map[uint64]*BranchStat)}
+}
+
+// Observe records one resolved conditional branch.
+func (t *BranchTracker) Observe(b *trace.Branch, predicted bool, det predictor.Detail) {
+	s := t.branches[b.PC]
+	if s == nil {
+		s = &BranchStat{PC: b.PC, Useful: make(map[uint64]struct{})}
+		t.branches[b.PC] = s
+	}
+	s.Execs++
+	if predicted != b.Taken {
+		s.Misses++
+	}
+	if usefulEvent(b.Taken, predicted, det) {
+		s.Useful[det.PatternKey] = struct{}{}
+	}
+}
+
+// usefulEvent implements the §II-D usefulness condition for tagged
+// providers.
+func usefulEvent(taken, predicted bool, det predictor.Detail) bool {
+	tagged := det.Provider == predictor.ProviderTAGE || det.Provider == predictor.ProviderLLBP
+	return tagged && det.PatternKey != 0 && predicted == taken && det.AltTaken != taken
+}
+
+// Branches returns the tracked branches sorted by descending misses
+// (the Figure 3 x-axis order).
+func (t *BranchTracker) Branches() []*BranchStat {
+	out := make([]*BranchStat, 0, len(t.branches))
+	for _, s := range t.branches {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].PC < out[j].PC // deterministic tie-break
+	})
+	return out
+}
+
+// Len returns the number of distinct static branches observed.
+func (t *BranchTracker) Len() int { return len(t.branches) }
+
+// TotalMisses sums misses across all branches.
+func (t *BranchTracker) TotalMisses() uint64 {
+	var n uint64
+	for _, s := range t.branches {
+		n += s.Misses
+	}
+	return n
+}
+
+// CumulativeMissFraction returns, for each count k in ks, the fraction of
+// total mispredictions contributed by the k most-mispredicted branches.
+func (t *BranchTracker) CumulativeMissFraction(ks []int) []float64 {
+	branches := t.Branches()
+	total := float64(t.TotalMisses())
+	out := make([]float64, len(ks))
+	if total == 0 {
+		return out
+	}
+	var cum uint64
+	next := 0
+	for i, s := range branches {
+		cum += s.Misses
+		for next < len(ks) && ks[next] == i+1 {
+			out[next] = float64(cum) / total
+			next++
+		}
+	}
+	for ; next < len(ks); next++ {
+		out[next] = 1
+	}
+	return out
+}
+
+// UsefulPerBranch returns the distinct-useful-pattern counts of all
+// branches, ordered by descending misses.
+func (t *BranchTracker) UsefulPerBranch() []float64 {
+	branches := t.Branches()
+	out := make([]float64, len(branches))
+	for i, s := range branches {
+		out[i] = float64(len(s.Useful))
+	}
+	return out
+}
+
+// ContextTracker groups useful-pattern events by program context for the
+// Figure 5 context-locality study: the caller feeds it context IDs (from
+// an observer RCR of chosen window W) and it counts distinct useful
+// patterns per (context) for a chosen subset of branches.
+type ContextTracker struct {
+	// contexts maps context ID -> set of useful pattern keys.
+	contexts map[uint64]map[uint64]struct{}
+	// filter restricts accounting to these branch PCs (nil = all).
+	filter map[uint64]struct{}
+}
+
+// NewContextTracker returns a tracker restricted to the given branch PCs
+// (pass nil to track all branches).
+func NewContextTracker(filter map[uint64]struct{}) *ContextTracker {
+	return &ContextTracker{
+		contexts: make(map[uint64]map[uint64]struct{}),
+		filter:   filter,
+	}
+}
+
+// Observe records one resolved conditional branch under context ctx.
+func (t *ContextTracker) Observe(ctx uint64, b *trace.Branch, predicted bool, det predictor.Detail) {
+	if t.filter != nil {
+		if _, ok := t.filter[b.PC]; !ok {
+			return
+		}
+	}
+	if !usefulEvent(b.Taken, predicted, det) {
+		return
+	}
+	set := t.contexts[ctx]
+	if set == nil {
+		set = make(map[uint64]struct{})
+		t.contexts[ctx] = set
+	}
+	set[det.PatternKey] = struct{}{}
+}
+
+// PatternsPerContext returns the distinct useful-pattern count of every
+// context (unsorted).
+func (t *ContextTracker) PatternsPerContext() []float64 {
+	out := make([]float64, 0, len(t.contexts))
+	for _, set := range t.contexts {
+		out = append(out, float64(len(set)))
+	}
+	return out
+}
+
+// Contexts returns the number of distinct contexts observed.
+func (t *ContextTracker) Contexts() int { return len(t.contexts) }
+
+// String renders a BranchStat for debugging.
+func (s *BranchStat) String() string {
+	return fmt.Sprintf("branch %#x: execs=%d misses=%d useful=%d", s.PC, s.Execs, s.Misses, len(s.Useful))
+}

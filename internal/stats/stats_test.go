@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(300, 100_000); got != 3 {
+		t.Errorf("MPKI = %v", got)
+	}
+	if MPKI(5, 0) != 0 {
+		t.Error("zero instructions must give 0")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(10, 9); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Reduction(10,9) = %v", got)
+	}
+	if got := Reduction(10, 12); math.Abs(got+20) > 1e-9 {
+		t.Errorf("Reduction(10,12) = %v", got)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Error("zero base must give 0")
+	}
+}
+
+func TestMeanAndGeoMean(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty inputs must give 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	// Zeros are skipped, not fatal.
+	if got := GeoMean([]float64{0, 4, 9}); math.Abs(got-6) > 1e-9 {
+		t.Errorf("GeoMean with zero = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(vs, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(vs, 100); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := Percentile(vs, 50); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+	// Input must not be mutated.
+	if vs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func condBranch(pc uint64, taken bool) *trace.Branch {
+	return &trace.Branch{PC: pc, Type: trace.CondDirect, Taken: taken}
+}
+
+func tageDetail(key uint64, alt bool) predictor.Detail {
+	return predictor.Detail{Provider: predictor.ProviderTAGE, PatternKey: key, AltTaken: alt}
+}
+
+func TestBranchTrackerCounts(t *testing.T) {
+	tr := NewBranchTracker()
+	// Branch A: 3 execs, 2 misses; one useful event.
+	tr.Observe(condBranch(0xA, true), false, tageDetail(1, false)) // miss
+	tr.Observe(condBranch(0xA, true), true, tageDetail(1, false))  // hit, alt wrong -> useful
+	tr.Observe(condBranch(0xA, false), true, tageDetail(2, false)) // miss
+	// Branch B: 1 exec, no misses, alt also right -> not useful.
+	tr.Observe(condBranch(0xB, true), true, tageDetail(3, true))
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.TotalMisses() != 2 {
+		t.Errorf("TotalMisses = %d", tr.TotalMisses())
+	}
+	bs := tr.Branches()
+	if bs[0].PC != 0xA || bs[0].Misses != 2 || bs[0].Execs != 3 {
+		t.Errorf("top branch = %+v", bs[0])
+	}
+	if len(bs[0].Useful) != 1 {
+		t.Errorf("useful patterns = %d, want 1", len(bs[0].Useful))
+	}
+	if len(bs[1].Useful) != 0 {
+		t.Errorf("branch B useful = %d, want 0 (alt was right)", len(bs[1].Useful))
+	}
+}
+
+func TestUsefulRequiresTaggedProvider(t *testing.T) {
+	tr := NewBranchTracker()
+	det := predictor.Detail{Provider: predictor.ProviderBimodal, PatternKey: 7, AltTaken: false}
+	tr.Observe(condBranch(0xC, true), true, det)
+	if len(tr.Branches()[0].Useful) != 0 {
+		t.Error("bimodal predictions must not create useful-pattern events")
+	}
+	det = predictor.Detail{Provider: predictor.ProviderLLBP, PatternKey: 9, AltTaken: false}
+	tr.Observe(condBranch(0xC, true), true, det)
+	if len(tr.Branches()[0].Useful) != 1 {
+		t.Error("LLBP providers must create useful-pattern events")
+	}
+}
+
+func TestCumulativeMissFraction(t *testing.T) {
+	tr := NewBranchTracker()
+	// 4 branches with 10, 5, 3, 2 misses (total 20).
+	mk := func(pc uint64, misses int) {
+		for i := 0; i < misses; i++ {
+			tr.Observe(condBranch(pc, true), false, predictor.Detail{})
+		}
+	}
+	mk(1, 10)
+	mk(2, 5)
+	mk(3, 3)
+	mk(4, 2)
+	fr := tr.CumulativeMissFraction([]int{1, 2, 3, 4, 100})
+	want := []float64{0.5, 0.75, 0.9, 1.0, 1.0}
+	for i := range want {
+		if math.Abs(fr[i]-want[i]) > 1e-9 {
+			t.Errorf("fraction[%d] = %v, want %v", i, fr[i], want[i])
+		}
+	}
+	empty := NewBranchTracker()
+	if got := empty.CumulativeMissFraction([]int{1}); got[0] != 0 {
+		t.Error("empty tracker fraction must be 0")
+	}
+}
+
+func TestUsefulPerBranchOrder(t *testing.T) {
+	tr := NewBranchTracker()
+	// Branch 1: many misses, 2 useful patterns; branch 2: fewer misses,
+	// 1 useful pattern.
+	tr.Observe(condBranch(1, true), false, predictor.Detail{})
+	tr.Observe(condBranch(1, true), false, predictor.Detail{})
+	tr.Observe(condBranch(1, true), true, tageDetail(11, false))
+	tr.Observe(condBranch(1, true), true, tageDetail(12, false))
+	tr.Observe(condBranch(2, true), false, predictor.Detail{})
+	tr.Observe(condBranch(2, true), true, tageDetail(21, false))
+	got := tr.UsefulPerBranch()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("UsefulPerBranch = %v, want [2 1]", got)
+	}
+}
+
+func TestContextTrackerFilterAndGrouping(t *testing.T) {
+	filter := map[uint64]struct{}{0xA: {}}
+	ct := NewContextTracker(filter)
+	// Useful event for tracked branch in two contexts.
+	ct.Observe(100, condBranch(0xA, true), true, tageDetail(1, false))
+	ct.Observe(100, condBranch(0xA, true), true, tageDetail(2, false))
+	ct.Observe(200, condBranch(0xA, true), true, tageDetail(1, false))
+	// Untracked branch ignored.
+	ct.Observe(100, condBranch(0xB, true), true, tageDetail(3, false))
+	// Non-useful event ignored.
+	ct.Observe(100, condBranch(0xA, true), false, tageDetail(4, false))
+	if ct.Contexts() != 2 {
+		t.Fatalf("Contexts = %d", ct.Contexts())
+	}
+	vals := ct.PatternsPerContext()
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 3 {
+		t.Errorf("total patterns = %v, want 3", sum)
+	}
+}
+
+func TestContextTrackerNilFilterTracksAll(t *testing.T) {
+	ct := NewContextTracker(nil)
+	ct.Observe(1, condBranch(0xA, true), true, tageDetail(1, false))
+	ct.Observe(1, condBranch(0xB, true), true, tageDetail(2, false))
+	if ct.Contexts() != 1 || ct.PatternsPerContext()[0] != 2 {
+		t.Error("nil filter must track every branch")
+	}
+}
+
+func TestBranchStatString(t *testing.T) {
+	s := &BranchStat{PC: 0x40, Execs: 2, Misses: 1, Useful: map[uint64]struct{}{1: {}}}
+	if s.String() == "" {
+		t.Error("String must render")
+	}
+}

@@ -1,0 +1,550 @@
+package tage
+
+import (
+	"fmt"
+
+	"llbp/internal/bimodal"
+	"llbp/internal/history"
+	"llbp/internal/trace"
+)
+
+// entry is one tagged-table pattern: a partial tag, a signed prediction
+// counter whose sign is the direction, and a useful bit guiding
+// replacement (§II-B).
+type entry struct {
+	tag    uint32
+	ctr    int8
+	useful uint8
+}
+
+// infKey identifies a pattern in infinite mode: the full branch PC plus
+// the unmodified index and tag hashes. Including the PC removes all
+// aliasing while leaving the hash functions untouched, exactly the paper's
+// Inf construction.
+type infKey struct {
+	pc  uint64
+	idx uint32
+	tag uint32
+}
+
+// Predictor is a TAGE predictor instance. It is not safe for concurrent
+// use; the simulation driver is single-threaded per predictor.
+type Predictor struct {
+	cfg Config
+
+	bim *bimodal.Table
+
+	// Finite storage: tables[i] has 1<<LogEntries[i] entries.
+	tables [][]entry
+	// Infinite storage: one unbounded associative map per table.
+	inf []map[infKey]*entry
+
+	ghr      *history.Global
+	path     *history.Path
+	foldIdx  []*history.Folded
+	foldTag1 []*history.Folded
+	foldTag2 []*history.Folded
+
+	useAltOnNA int8 // 4-bit counter: >=0 means trust alt over newly allocated providers
+	tick       int  // useful-bit aging counter
+
+	rng uint64 // xorshift64* state
+
+	// Per-prediction scratch, filled by Predict and consumed by Update.
+	scratch scratch
+
+	// Stats counters (cumulative; the sim layer snapshots them).
+	allocFailures uint64
+	allocations   uint64
+}
+
+// scratch carries one prediction's intermediate state from Predict to
+// Update (the CBP harness guarantees the pairing).
+type scratch struct {
+	pc          uint64
+	idx         [64]uint32
+	tag         [64]uint32
+	provider    int // table index of longest match, -1 if none
+	alt         int // table index of next-longest match, -1 if bimodal
+	providerKey infKey
+	altKey      infKey
+	providerCtr int8
+	predTaken   bool
+	altTaken    bool
+	bimTaken    bool
+	newlyAlloc  bool // provider entry looked newly allocated
+	finalTaken  bool
+}
+
+// New constructs a TAGE predictor from cfg.
+func New(cfg Config) (*Predictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.HistLengths)
+	if n > 64 {
+		return nil, fmt.Errorf("tage: at most 64 tables supported, got %d", n)
+	}
+	p := &Predictor{
+		cfg:  cfg,
+		bim:  bimodal.New(cfg.BimodalLog),
+		ghr:  history.NewGlobal(),
+		path: history.NewPath(cfg.PathBits),
+		rng:  cfg.Seed | 1,
+	}
+	if cfg.Infinite {
+		p.inf = make([]map[infKey]*entry, n)
+		for i := range p.inf {
+			p.inf[i] = make(map[infKey]*entry)
+		}
+	} else {
+		p.tables = make([][]entry, n)
+		for i := range p.tables {
+			p.tables[i] = make([]entry, 1<<uint(cfg.LogEntries[i]))
+		}
+	}
+	p.foldIdx = make([]*history.Folded, n)
+	p.foldTag1 = make([]*history.Folded, n)
+	p.foldTag2 = make([]*history.Folded, n)
+	for i := 0; i < n; i++ {
+		idxBits := cfg.LogEntries[i]
+		if cfg.Infinite {
+			// Keep the same fold widths as the finite baseline so
+			// the hash functions are unchanged.
+			idxBits = 10
+		}
+		p.foldIdx[i] = history.NewFolded(cfg.HistLengths[i], idxBits)
+		p.foldTag1[i] = history.NewFolded(cfg.HistLengths[i], cfg.TagBits[i])
+		p.foldTag2[i] = history.NewFolded(cfg.HistLengths[i], cfg.TagBits[i]-1)
+	}
+	return p, nil
+}
+
+// Name implements predictor.Predictor.
+func (p *Predictor) Name() string {
+	if p.cfg.Infinite {
+		return "Inf TAGE"
+	}
+	return fmt.Sprintf("TAGE-%dKB", p.cfg.StorageBits()/8/1024)
+}
+
+// Config returns the predictor's configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func (p *Predictor) nextRand() uint64 {
+	// xorshift64*: deterministic, cheap, good enough for allocation
+	// tie-breaking.
+	x := p.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// index computes the table index hash for table i: branch PC mixed with the
+// folded global history and the path history, as in the CBP designs.
+func (p *Predictor) index(pc uint64, i int) uint32 {
+	logE := uint(p.cfg.LogEntries[i])
+	if p.cfg.Infinite {
+		logE = 10
+	}
+	h := (pc >> 2) ^ (pc >> (logE - uint(i&3))) ^ p.foldIdx[i].Value()
+	if p.cfg.HistLengths[i] >= 16 {
+		h ^= p.path.Value() >> uint(i&7)
+	} else {
+		h ^= p.path.Value()
+	}
+	return uint32(h & (uint64(1)<<logE - 1))
+}
+
+// tagHash computes the partial tag for table i.
+func (p *Predictor) tagHash(pc uint64, i int) uint32 {
+	h := (pc >> 2) ^ p.foldTag1[i].Value() ^ (p.foldTag2[i].Value() << 1)
+	return uint32(h & (uint64(1)<<uint(p.cfg.TagBits[i]) - 1))
+}
+
+func (p *Predictor) ctrMax() int8 { return int8(1)<<(p.cfg.CounterBits-1) - 1 }
+func (p *Predictor) ctrMin() int8 { return -int8(1) << (p.cfg.CounterBits - 1) }
+
+// lookup returns the entry for (pc, table i) if its tag matches, else nil.
+func (p *Predictor) lookup(i int, pc uint64, idx, tag uint32) *entry {
+	if p.cfg.Infinite {
+		return p.inf[i][infKey{pc, idx, tag}]
+	}
+	e := &p.tables[i][idx]
+	if e.tag == tag && (e.ctr != 0 || e.useful != 0 || e.tag != 0) {
+		// The zero entry (tag 0, ctr 0, useful 0) is treated as
+		// invalid so that a cold table never spuriously matches
+		// tag-0 branches.
+		return e
+	}
+	return nil
+}
+
+// Predict implements predictor.Predictor. It records full provenance in
+// the scratch area for Update and LastDetail.
+func (p *Predictor) Predict(pc uint64) bool {
+	s := &p.scratch
+	s.pc = pc
+	s.provider, s.alt = -1, -1
+	n := len(p.cfg.HistLengths)
+	for i := 0; i < n; i++ {
+		s.idx[i] = p.index(pc, i)
+		s.tag[i] = p.tagHash(pc, i)
+	}
+	for i := n - 1; i >= 0; i-- {
+		if e := p.lookup(i, pc, s.idx[i], s.tag[i]); e != nil {
+			if s.provider < 0 {
+				s.provider = i
+				s.providerKey = infKey{pc, s.idx[i], s.tag[i]}
+				s.providerCtr = e.ctr
+				s.predTaken = e.ctr >= 0
+				s.newlyAlloc = e.useful == 0 && (e.ctr == 0 || e.ctr == -1)
+			} else {
+				s.alt = i
+				s.altKey = infKey{pc, s.idx[i], s.tag[i]}
+				s.altTaken = e.ctr >= 0
+				break
+			}
+		}
+	}
+	s.bimTaken = p.bim.Predict(pc)
+	if s.provider < 0 {
+		s.finalTaken = s.bimTaken
+		return s.finalTaken
+	}
+	if s.alt < 0 {
+		s.altTaken = s.bimTaken
+	}
+	// Newly allocated entries are unreliable; a global use-alt-on-na
+	// counter arbitrates (Seznec's TAGE heuristic).
+	if s.newlyAlloc && p.useAltOnNA >= 0 {
+		s.finalTaken = s.altTaken
+	} else {
+		s.finalTaken = s.predTaken
+	}
+	return s.finalTaken
+}
+
+// providerEntry returns the scratch provider's entry, or nil.
+func (p *Predictor) providerEntry() *entry {
+	s := &p.scratch
+	if s.provider < 0 {
+		return nil
+	}
+	return p.lookup(s.provider, s.pc, s.idx[s.provider], s.tag[s.provider])
+}
+
+// Update implements predictor.Predictor: trains counters and useful bits,
+// allocates longer-history patterns on mispredictions, and finally pushes
+// the outcome into the global/path/folded histories.
+func (p *Predictor) Update(pc uint64, taken bool) {
+	s := &p.scratch
+	if pc != s.pc {
+		panic(fmt.Sprintf("tage: Update(%#x) without matching Predict (last %#x)", pc, s.pc))
+	}
+	p.train(taken, s.finalTaken != taken)
+	p.pushHistory(pc, taken, true)
+}
+
+// UpdateNoAlloc trains the provider (counters, useful bits, use-alt) but
+// suppresses new-pattern allocation and history update. The LLBP composite
+// uses it when LLBP overrides TAGE: "only the providing component is
+// updated ... TAGE will cancel its update" (§V-D) — but allocation on a
+// *provider* misprediction is handled by LLBP, not TAGE, in that case.
+func (p *Predictor) UpdateNoAlloc(pc uint64, taken bool) {
+	s := &p.scratch
+	if pc != s.pc {
+		panic(fmt.Sprintf("tage: UpdateNoAlloc(%#x) without matching Predict (last %#x)", pc, s.pc))
+	}
+	p.trainProviderOnly(taken)
+	p.pushHistory(pc, taken, true)
+}
+
+// train performs the full TAGE update given the resolved direction.
+func (p *Predictor) train(taken bool, _ bool) {
+	s := &p.scratch
+	p.trainProviderOnly(taken)
+	// Allocate a new pattern with a longer history when the TAGE
+	// prediction (provider or chosen alt) was wrong.
+	if s.finalTaken != taken && s.provider < len(p.cfg.HistLengths)-1 {
+		p.allocate(taken)
+	}
+}
+
+// trainProviderOnly updates the providing component's counter, the useful
+// bit, the use-alt-on-na counter and the bimodal fallback — everything but
+// allocation.
+func (p *Predictor) trainProviderOnly(taken bool) {
+	s := &p.scratch
+	if s.provider < 0 {
+		p.bim.Update(s.pc, taken)
+		return
+	}
+	e := p.providerEntry()
+	if e == nil {
+		// The provider entry can only vanish in infinite mode if a
+		// concurrent mutation removed it; treat as bimodal.
+		p.bim.Update(s.pc, taken)
+		return
+	}
+	// use-alt-on-na bookkeeping: when the provider looked newly
+	// allocated and the two predictions differ, learn which to trust.
+	if s.newlyAlloc && s.predTaken != s.altTaken {
+		if s.predTaken == taken {
+			if p.useAltOnNA > -8 {
+				p.useAltOnNA--
+			}
+		} else if p.useAltOnNA < 7 {
+			p.useAltOnNA++
+		}
+	}
+	// Update the provider counter.
+	if taken {
+		if e.ctr < p.ctrMax() {
+			e.ctr++
+		}
+	} else if e.ctr > p.ctrMin() {
+		e.ctr--
+	}
+	// Useful-bit policy (§II-B): set when the provider was correct and
+	// the alternate prediction was wrong; clear when both were correct
+	// (the longer pattern is redundant).
+	if s.predTaken != s.altTaken {
+		if s.predTaken == taken {
+			e.useful = 1
+		}
+	} else if e.useful == 1 && s.predTaken == taken && s.provider >= 0 && s.alt >= 0 {
+		// Both tagged patterns agree and are correct: the longer
+		// history is not needed; decay its usefulness.
+		e.useful = 0
+	}
+	// When the alternate prediction came from the bimodal, keep the
+	// bimodal trained too (it is the ultimate fallback).
+	if s.alt < 0 {
+		p.bim.Update(s.pc, taken)
+	}
+}
+
+// allocate inserts the mispredicted branch into (up to two) tables with a
+// longer history than the provider, following the championship policy:
+// randomized start table, victim must have useful == 0, and repeated
+// failures age all useful bits via the tick counter.
+func (p *Predictor) allocate(taken bool) {
+	s := &p.scratch
+	n := len(p.cfg.HistLengths)
+	start := s.provider + 1
+	// Skew the start table geometrically: with probability 1/2 start one
+	// table further, 1/4 two further — spreads allocations across
+	// history lengths (Seznec).
+	r := p.nextRand()
+	for r&1 == 1 && start < n-1 {
+		start++
+		r >>= 1
+	}
+	if p.cfg.Infinite {
+		// Unbounded associativity: allocation always succeeds in the
+		// chosen table.
+		i := start
+		if i >= n {
+			i = n - 1
+		}
+		k := infKey{s.pc, s.idx[i], s.tag[i]}
+		if _, ok := p.inf[i][k]; !ok {
+			p.inf[i][k] = &entry{tag: s.tag[i], ctr: weakCtr(taken)}
+			p.allocations++
+		}
+		return
+	}
+	allocated := 0
+	failures := 0
+	for i := start; i < n && allocated < 2; i++ {
+		e := &p.tables[i][s.idx[i]]
+		if e.useful == 0 {
+			e.tag = s.tag[i]
+			e.ctr = weakCtr(taken)
+			e.useful = 0
+			allocated++
+			p.allocations++
+			i++ // leave a gap before the second allocation
+		} else {
+			failures++
+		}
+	}
+	// Tick-based aging: net allocation failures gradually force a global
+	// useful-bit reset so stale patterns can be recycled.
+	p.tick += failures - allocated
+	if p.tick < 0 {
+		p.tick = 0
+	}
+	if p.tick >= tickThreshold {
+		p.tick = 0
+		for t := range p.tables {
+			tbl := p.tables[t]
+			for j := range tbl {
+				tbl[j].useful = 0
+			}
+		}
+	}
+	if allocated == 0 {
+		p.allocFailures++
+	}
+}
+
+// tickThreshold is the number of net allocation failures that triggers a
+// global useful-bit reset.
+const tickThreshold = 16384
+
+// weakCtr returns the weak counter value encoding the given direction.
+func weakCtr(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}
+
+// TrackOther implements predictor.Predictor: unconditional transfers
+// contribute a taken bit (and their PC) to the histories, as in the CBP
+// harness.
+func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
+	_ = target
+	_ = t
+	p.pushHistory(pc, true, false)
+}
+
+// pushHistory advances the global, path and folded histories by one branch.
+func (p *Predictor) pushHistory(pc uint64, taken bool, _ bool) {
+	p.ghr.Push(taken)
+	p.path.Push(pc >> 2)
+	for i := range p.foldIdx {
+		p.foldIdx[i].Update(p.ghr)
+		p.foldTag1[i].Update(p.ghr)
+		p.foldTag2[i].Update(p.ghr)
+	}
+}
+
+// LastConfident reports whether the last prediction came from a saturated
+// (high-confidence) provider counter, or — for bimodal predictions — a
+// reinforced bimodal entry.
+func (p *Predictor) LastConfident() bool {
+	s := &p.scratch
+	if s.provider < 0 {
+		return p.bim.Confident(s.pc)
+	}
+	return s.providerCtr >= p.ctrMax() || s.providerCtr <= p.ctrMin()+1
+}
+
+// UpdateHistoryOnly advances the histories for a conditional branch without
+// training any counters or allocating patterns. The LLBP composite calls
+// this when LLBP provides the prediction and TAGE "cancels its update"
+// (§V-D).
+func (p *Predictor) UpdateHistoryOnly(pc uint64, taken bool) {
+	s := &p.scratch
+	if pc != s.pc {
+		panic(fmt.Sprintf("tage: UpdateHistoryOnly(%#x) without matching Predict (last %#x)", pc, s.pc))
+	}
+	p.pushHistory(pc, taken, true)
+}
+
+// ProviderLen returns the history length of the last prediction's provider
+// (0 when the bimodal provided).
+func (p *Predictor) ProviderLen() int {
+	if p.scratch.provider < 0 {
+		return 0
+	}
+	return p.cfg.HistLengths[p.scratch.provider]
+}
+
+// LastProviderTable returns the provider table index of the last
+// prediction, or -1 for bimodal.
+func (p *Predictor) LastProviderTable() int { return p.scratch.provider }
+
+// LastAltTaken returns the alternate prediction of the last Predict.
+func (p *Predictor) LastAltTaken() bool { return p.scratch.altTaken }
+
+// LastTaken returns the final TAGE prediction of the last Predict.
+func (p *Predictor) LastTaken() bool { return p.scratch.finalTaken }
+
+// LastPatternKey returns a stable identifier of the providing pattern of
+// the last prediction (0 when the bimodal provided). Experiments use it to
+// count distinct useful patterns per branch (Figures 3b and 5).
+func (p *Predictor) LastPatternKey() uint64 {
+	s := &p.scratch
+	if s.provider < 0 {
+		return 0
+	}
+	k := s.providerKey
+	return 1 | uint64(s.provider)<<1 | uint64(k.idx)<<8 | uint64(k.tag)<<32 | k.pc<<48
+}
+
+// Allocations returns the cumulative number of successful pattern
+// allocations.
+func (p *Predictor) Allocations() uint64 { return p.allocations }
+
+// AllocFailures returns the cumulative number of mispredictions for which
+// no pattern could be allocated.
+func (p *Predictor) AllocFailures() uint64 { return p.allocFailures }
+
+// PatternCount returns the number of live patterns (infinite mode) or the
+// total table capacity (finite mode).
+func (p *Predictor) PatternCount() int {
+	if p.cfg.Infinite {
+		n := 0
+		for _, m := range p.inf {
+			n += len(m)
+		}
+		return n
+	}
+	n := 0
+	for _, t := range p.tables {
+		n += len(t)
+	}
+	return n
+}
+
+// HistoryCheckpoint captures TAGE's speculative state: the global, path
+// and folded history registers. Prediction tables are not included —
+// they train at commit and are never speculatively modified, so a
+// checkpoint is a few hundred bits of registers, exactly the §V-E2
+// recovery scheme (snapshotting folded histories in each branch's
+// checkpoint).
+type HistoryCheckpoint struct {
+	ghr      history.Global
+	path     uint64
+	foldIdx  []uint64
+	foldTag1 []uint64
+	foldTag2 []uint64
+}
+
+// CheckpointHistory snapshots the speculative history state.
+func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
+	cp := &HistoryCheckpoint{
+		ghr:      p.ghr.Snapshot(),
+		path:     p.path.Snapshot(),
+		foldIdx:  make([]uint64, len(p.foldIdx)),
+		foldTag1: make([]uint64, len(p.foldTag1)),
+		foldTag2: make([]uint64, len(p.foldTag2)),
+	}
+	for i := range p.foldIdx {
+		cp.foldIdx[i] = p.foldIdx[i].Snapshot()
+		cp.foldTag1[i] = p.foldTag1[i].Snapshot()
+		cp.foldTag2[i] = p.foldTag2[i].Snapshot()
+	}
+	return cp
+}
+
+// RestoreHistory rewinds the speculative history state to a checkpoint
+// (the misprediction-recovery path of §V-E2).
+func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
+	if len(cp.foldIdx) != len(p.foldIdx) {
+		panic(fmt.Sprintf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.foldIdx)))
+	}
+	p.ghr.Restore(cp.ghr)
+	p.path.Restore(cp.path)
+	for i := range p.foldIdx {
+		p.foldIdx[i].Restore(cp.foldIdx[i])
+		p.foldTag1[i].Restore(cp.foldTag1[i])
+		p.foldTag2[i].Restore(cp.foldTag2[i])
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFileReader feeds arbitrary bytes to the trace decoder: it must
+// never panic and never return corrupt records (types out of range, zero
+// instruction counts).
+func FuzzFileReader(f *testing.F) {
+	// Seed with a valid trace.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, b := range sampleBranches() {
+		b := b
+		if err := w.Write(&b); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LLBPTRC1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewFileReader(bytes.NewReader(data))
+		if err != nil {
+			return // malformed header: fine
+		}
+		var b Branch
+		for i := 0; i < 10000; i++ {
+			if err := r.Read(&b); err != nil {
+				return // decode error or EOF: fine
+			}
+			if b.Type >= numBranchTypes {
+				t.Fatalf("decoder produced invalid type %d", b.Type)
+			}
+			if b.Instructions == 0 {
+				t.Fatal("decoder produced a zero instruction count")
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode/decode identity over arbitrary single
+// records.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0x400000), uint64(0x400040), uint8(0), true, uint32(5), false)
+	f.Fuzz(func(t *testing.T, pc, target uint64, typ uint8, taken bool, instrs uint32, miss bool) {
+		in := Branch{
+			PC:                 pc,
+			Target:             target,
+			Type:               BranchType(typ % uint8(numBranchTypes)),
+			Taken:              taken,
+			Instructions:       instrs%(1<<30) + 1,
+			MispredictedTarget: miss,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(&in); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewFileReader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out Branch
+		if err := r.Read(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip: %+v != %+v", out, in)
+		}
+	})
+}

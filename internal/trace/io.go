@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The binary trace format is a small, self-describing container:
+//
+//	magic   [8]byte  "LLBPTRC1"
+//	name    uvarint length + bytes (workload name, UTF-8)
+//	records repeated until EOF:
+//	    pcDelta   varint  (signed delta from previous record's PC)
+//	    target    uvarint (delta-encoded against PC)
+//	    meta      uvarint (bits 0-2 type, bit 3 taken, bit 4 target-miss)
+//	    instrs    uvarint
+//
+// Delta encoding keeps hot loops to a few bytes per record.
+
+const magic = "LLBPTRC1"
+
+// ErrBadMagic is returned when opening a file that is not an LLBP trace.
+var ErrBadMagic = errors.New("trace: bad magic (not an LLBP trace file)")
+
+// IsEOF reports whether err signals normal end of a branch stream.
+func IsEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// Writer encodes branch records into the binary trace format.
+type Writer struct {
+	w      *bufio.Writer
+	prevPC uint64
+	buf    [5 * binary.MaxVarintLen64]byte
+}
+
+// NewWriter writes a trace header (with the workload name) to w and returns
+// a Writer for appending records. Call Flush when done.
+func NewWriter(w io.Writer, name string) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing magic: %w", err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(name)))
+	if _, err := bw.Write(lenBuf[:n]); err != nil {
+		return nil, fmt.Errorf("trace: writing name length: %w", err)
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, fmt.Errorf("trace: writing name: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one record.
+func (w *Writer) Write(b *Branch) error {
+	n := binary.PutVarint(w.buf[:], int64(b.PC)-int64(w.prevPC))
+	n += binary.PutVarint(w.buf[n:], int64(b.Target)-int64(b.PC))
+	meta := uint64(b.Type) & 0x7
+	if b.Taken {
+		meta |= 1 << 3
+	}
+	if b.MispredictedTarget {
+		meta |= 1 << 4
+	}
+	n += binary.PutUvarint(w.buf[n:], meta)
+	n += binary.PutUvarint(w.buf[n:], uint64(b.Instructions))
+	w.prevPC = b.PC
+	if _, err := w.w.Write(w.buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// FileReader decodes the binary trace format. It implements Reader.
+type FileReader struct {
+	r      *bufio.Reader
+	name   string
+	prevPC uint64
+}
+
+// NewFileReader validates the header of r and returns a reader over its
+// records.
+func NewFileReader(r io.Reader) (*FileReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	return &FileReader{r: br, name: string(name)}, nil
+}
+
+// Name returns the workload name recorded in the trace header.
+func (r *FileReader) Name() string { return r.name }
+
+// Read decodes the next record into b.
+func (r *FileReader) Read(b *Branch) error {
+	pcDelta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return io.EOF
+		}
+		return fmt.Errorf("trace: reading pc delta: %w", err)
+	}
+	b.PC = uint64(int64(r.prevPC) + pcDelta)
+	tgtDelta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return fmt.Errorf("trace: truncated record (target): %w", err)
+	}
+	b.Target = uint64(int64(b.PC) + tgtDelta)
+	meta, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("trace: truncated record (meta): %w", err)
+	}
+	instrs, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("trace: truncated record (instrs): %w", err)
+	}
+	if instrs == 0 || instrs > 1<<31 {
+		return fmt.Errorf("trace: invalid instruction count %d", instrs)
+	}
+	b.Type = BranchType(meta & 0x7)
+	if b.Type >= numBranchTypes {
+		return fmt.Errorf("trace: invalid branch type %d", meta&0x7)
+	}
+	b.Taken = meta&(1<<3) != 0
+	b.MispredictedTarget = meta&(1<<4) != 0
+	b.Instructions = uint32(instrs)
+	r.prevPC = b.PC
+	return nil
+}
+
+// SliceReader replays an in-memory slice of branches; handy in tests and as
+// the Reader behind small captured traces.
+type SliceReader struct {
+	branches []Branch
+	pos      int
+}
+
+// NewSliceReader returns a Reader over branches. The slice is not copied.
+func NewSliceReader(branches []Branch) *SliceReader {
+	return &SliceReader{branches: branches}
+}
+
+// Read implements Reader.
+func (r *SliceReader) Read(b *Branch) error {
+	if r.pos >= len(r.branches) {
+		return io.EOF
+	}
+	*b = r.branches[r.pos]
+	r.pos++
+	return nil
+}
+
+// SliceSource is a Source over an in-memory slice.
+type SliceSource struct {
+	SourceName string
+	Branches   []Branch
+}
+
+// Name implements Source.
+func (s *SliceSource) Name() string { return s.SourceName }
+
+// Open implements Source.
+func (s *SliceSource) Open() Reader { return NewSliceReader(s.Branches) }
+
+// LimitReader wraps a Reader and stops after max records. A non-positive
+// max yields an empty stream.
+type LimitReader struct {
+	R   Reader
+	Max uint64
+	n   uint64
+}
+
+// Read implements Reader.
+func (l *LimitReader) Read(b *Branch) error {
+	if l.n >= l.Max {
+		return io.EOF
+	}
+	if err := l.R.Read(b); err != nil {
+		return err
+	}
+	l.n++
+	return nil
+}
+
+// FileSource is a Source backed by an on-disk trace file: every Open
+// reopens and re-decodes the file, giving identical replay streams.
+type FileSource struct {
+	// Path is the trace file location.
+	Path string
+	name string
+}
+
+// NewFileSource validates the file's header and returns a Source for it.
+func NewFileSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	r, err := NewFileReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	return &FileSource{Path: path, name: r.Name()}, nil
+}
+
+// Name implements Source.
+func (s *FileSource) Name() string { return s.name }
+
+// Open implements Source. Decode errors after open (including I/O errors)
+// surface through the Reader's Read calls; the file handle closes when the
+// stream is exhausted or errors.
+func (s *FileSource) Open() Reader {
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return &errReader{err: fmt.Errorf("trace: %w", err)}
+	}
+	r, err := NewFileReader(f)
+	if err != nil {
+		f.Close()
+		return &errReader{err: err}
+	}
+	return &closingReader{FileReader: r, f: f}
+}
+
+// errReader is a Reader that always fails with a fixed error.
+type errReader struct{ err error }
+
+// Read implements Reader.
+func (e *errReader) Read(*Branch) error { return e.err }
+
+// closingReader closes the backing file when the stream ends.
+type closingReader struct {
+	*FileReader
+	f *os.File
+}
+
+// Read implements Reader.
+func (c *closingReader) Read(b *Branch) error {
+	err := c.FileReader.Read(b)
+	if err != nil && c.f != nil {
+		c.f.Close()
+		c.f = nil
+	}
+	return err
+}

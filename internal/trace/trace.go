@@ -1,0 +1,184 @@
+// Package trace defines the branch-trace model that drives every simulation
+// in this repository: the per-branch record, the stream interfaces consumed
+// by the simulator, and a compact binary on-disk encoding.
+//
+// The model mirrors the ChampSim-style traces used by the paper: a trace is
+// a sequence of control-flow transfers annotated with the number of
+// sequential (non-branch) instructions executed since the previous transfer.
+// Only branch instructions are materialized; straight-line instructions are
+// carried as a count, which is all the predictor and the cycle-accounting
+// core model need.
+package trace
+
+import "fmt"
+
+// BranchType classifies a control-flow transfer. The distinction between
+// conditional and the unconditional flavours matters throughout the paper:
+// LLBP's rolling context register hashes only unconditional branches
+// (jumps, calls, returns), and Figure 13 evaluates call/return-only and
+// all-branch variants.
+type BranchType uint8
+
+const (
+	// CondDirect is a conditional direct branch — the only type the
+	// direction predictors under study predict.
+	CondDirect BranchType = iota
+	// Jump is an unconditional direct jump.
+	Jump
+	// Call is a direct function call.
+	Call
+	// Return is a function return.
+	Return
+	// IndirectJump is an unconditional indirect jump.
+	IndirectJump
+	// IndirectCall is an indirect function call. The paper notes that
+	// indirect-call mispredictions flush the pipeline and reset LLBP's
+	// prefetcher (PHPWiki suffers from exactly this).
+	IndirectCall
+	numBranchTypes
+)
+
+// String returns the conventional short name of the branch type.
+func (t BranchType) String() string {
+	switch t {
+	case CondDirect:
+		return "cond"
+	case Jump:
+		return "jump"
+	case Call:
+		return "call"
+	case Return:
+		return "ret"
+	case IndirectJump:
+		return "ijump"
+	case IndirectCall:
+		return "icall"
+	default:
+		return fmt.Sprintf("BranchType(%d)", uint8(t))
+	}
+}
+
+// IsConditional reports whether the branch is a conditional branch whose
+// direction must be predicted.
+func (t BranchType) IsConditional() bool { return t == CondDirect }
+
+// IsUnconditional reports whether the branch unconditionally transfers
+// control (jump, call, return, and their indirect flavours).
+func (t BranchType) IsUnconditional() bool { return t != CondDirect }
+
+// IsCallOrReturn reports whether the branch is a call or return (direct or
+// indirect call, or return). Used by the Call/Ret context variant of
+// Figure 13.
+func (t BranchType) IsCallOrReturn() bool {
+	return t == Call || t == Return || t == IndirectCall
+}
+
+// IsIndirect reports whether the branch target is computed at run time.
+func (t BranchType) IsIndirect() bool {
+	return t == IndirectJump || t == IndirectCall
+}
+
+// Branch is a single control-flow transfer in a trace.
+type Branch struct {
+	// PC is the address of the branch instruction.
+	PC uint64
+	// Target is the address control transfers to when the branch is
+	// taken. For not-taken conditional branches it still records the
+	// would-be target.
+	Target uint64
+	// Type classifies the transfer.
+	Type BranchType
+	// Taken is the resolved direction. Unconditional branches are always
+	// taken.
+	Taken bool
+	// Instructions is the number of instructions executed since the
+	// previous branch record, including this branch itself (thus always
+	// >= 1). Summing Instructions over a trace yields the instruction
+	// count used for MPKI.
+	Instructions uint32
+	// MispredictedTarget marks transfers whose *target* missed in the
+	// BTB / indirect predictor of the modelled front end. Direction
+	// predictors do not predict these, but they flush the pipeline and
+	// reset LLBP's prefetcher, so the trace carries them explicitly.
+	MispredictedTarget bool
+}
+
+// Reader is the branch-stream interface consumed by the simulator. Read
+// returns io.EOF (or a wrapped variant) when the stream is exhausted.
+type Reader interface {
+	// Read fills b with the next branch record.
+	Read(b *Branch) error
+}
+
+// A Source produces fresh, independent Readers over the same logical
+// workload, so that experiments can replay a workload several times (e.g.
+// once per predictor configuration) with identical content.
+type Source interface {
+	// Name identifies the workload for reporting.
+	Name() string
+	// Open returns a Reader positioned at the start of the stream.
+	Open() Reader
+}
+
+// Stats summarizes the composition of a branch stream; used by trace
+// tooling and by workload-invariant tests (the paper reports ~3.89
+// conditional branches per unconditional branch, ~20% unconditional).
+type Stats struct {
+	Branches     uint64              // total branch records
+	Instructions uint64              // total instructions (sum of Instructions)
+	ByType       [6]uint64           // count per BranchType
+	TakenCond    uint64              // taken conditional branches
+	UniquePCs    map[uint64]struct{} // distinct branch PCs (nil until Collect)
+}
+
+// Collect accumulates statistics over a whole Reader.
+func Collect(r Reader) (Stats, error) {
+	s := Stats{UniquePCs: make(map[uint64]struct{})}
+	var b Branch
+	for {
+		if err := r.Read(&b); err != nil {
+			if IsEOF(err) {
+				return s, nil
+			}
+			return s, err
+		}
+		s.Add(&b)
+	}
+}
+
+// Add accumulates a single record into the stats.
+func (s *Stats) Add(b *Branch) {
+	s.Branches++
+	s.Instructions += uint64(b.Instructions)
+	if int(b.Type) < len(s.ByType) {
+		s.ByType[b.Type]++
+	}
+	if b.Type == CondDirect && b.Taken {
+		s.TakenCond++
+	}
+	if s.UniquePCs != nil {
+		s.UniquePCs[b.PC] = struct{}{}
+	}
+}
+
+// Conditional returns the number of conditional branches.
+func (s *Stats) Conditional() uint64 { return s.ByType[CondDirect] }
+
+// Unconditional returns the number of unconditional branches.
+func (s *Stats) Unconditional() uint64 {
+	var n uint64
+	for t := Jump; t < numBranchTypes; t++ {
+		n += s.ByType[t]
+	}
+	return n
+}
+
+// CondPerUncond returns the ratio of conditional to unconditional branches
+// (the paper measures ~3.89 on its workloads).
+func (s *Stats) CondPerUncond() float64 {
+	u := s.Unconditional()
+	if u == 0 {
+		return 0
+	}
+	return float64(s.Conditional()) / float64(u)
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"io"
+	"testing"
+)
+
+func TestBranchTypeString(t *testing.T) {
+	cases := map[BranchType]string{
+		CondDirect:   "cond",
+		Jump:         "jump",
+		Call:         "call",
+		Return:       "ret",
+		IndirectJump: "ijump",
+		IndirectCall: "icall",
+	}
+	for bt, want := range cases {
+		if got := bt.String(); got != want {
+			t.Errorf("BranchType(%d).String() = %q, want %q", bt, got, want)
+		}
+	}
+	if got := BranchType(99).String(); got != "BranchType(99)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+}
+
+func TestBranchTypePredicates(t *testing.T) {
+	for bt := CondDirect; bt < numBranchTypes; bt++ {
+		if bt.IsConditional() != (bt == CondDirect) {
+			t.Errorf("%v.IsConditional() wrong", bt)
+		}
+		if bt.IsUnconditional() == bt.IsConditional() {
+			t.Errorf("%v: conditional and unconditional must be exclusive", bt)
+		}
+	}
+	if !Call.IsCallOrReturn() || !Return.IsCallOrReturn() || !IndirectCall.IsCallOrReturn() {
+		t.Error("calls and returns must satisfy IsCallOrReturn")
+	}
+	if Jump.IsCallOrReturn() || IndirectJump.IsCallOrReturn() || CondDirect.IsCallOrReturn() {
+		t.Error("jumps and conditionals must not satisfy IsCallOrReturn")
+	}
+	if !IndirectJump.IsIndirect() || !IndirectCall.IsIndirect() {
+		t.Error("indirect types must satisfy IsIndirect")
+	}
+	if Call.IsIndirect() || Return.IsIndirect() || Jump.IsIndirect() {
+		t.Error("direct types must not satisfy IsIndirect")
+	}
+}
+
+func sampleBranches() []Branch {
+	return []Branch{
+		{PC: 0x400000, Target: 0x400040, Type: CondDirect, Taken: true, Instructions: 5},
+		{PC: 0x400004, Target: 0x401000, Type: Call, Taken: true, Instructions: 1},
+		{PC: 0x401010, Target: 0x400008, Type: Return, Taken: true, Instructions: 3},
+		{PC: 0x400008, Target: 0x400050, Type: CondDirect, Taken: false, Instructions: 7},
+		{PC: 0x40000c, Target: 0x402000, Type: IndirectCall, Taken: true, Instructions: 2, MispredictedTarget: true},
+		{PC: 0x402004, Target: 0x400010, Type: Return, Taken: true, Instructions: 1},
+		{PC: 0x400010, Target: 0x400000, Type: Jump, Taken: true, Instructions: 4},
+	}
+}
+
+func TestSliceReaderReplaysAll(t *testing.T) {
+	want := sampleBranches()
+	r := NewSliceReader(want)
+	var got []Branch
+	var b Branch
+	for {
+		err := r.Read(&b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, b)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d branches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("branch %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	src := &SliceSource{SourceName: "unit", Branches: sampleBranches()}
+	if src.Name() != "unit" {
+		t.Errorf("Name() = %q", src.Name())
+	}
+	// Two Opens must yield independent readers.
+	r1, r2 := src.Open(), src.Open()
+	var b1, b2 Branch
+	if err := r1.Read(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.Read(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Read(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.PC != sampleBranches()[0].PC {
+		t.Errorf("second reader not independent: got %#x", b2.PC)
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	r := &LimitReader{R: NewSliceReader(sampleBranches()), Max: 3}
+	var b Branch
+	n := 0
+	for {
+		if err := r.Read(&b); err != nil {
+			if !IsEOF(err) {
+				t.Fatal(err)
+			}
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("LimitReader yielded %d records, want 3", n)
+	}
+}
+
+func TestLimitReaderZero(t *testing.T) {
+	r := &LimitReader{R: NewSliceReader(sampleBranches()), Max: 0}
+	var b Branch
+	if err := r.Read(&b); !IsEOF(err) {
+		t.Errorf("zero-limit read err = %v, want EOF", err)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	s, err := Collect(NewSliceReader(sampleBranches()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Branches != 7 {
+		t.Errorf("Branches = %d, want 7", s.Branches)
+	}
+	if s.Instructions != 5+1+3+7+2+1+4 {
+		t.Errorf("Instructions = %d", s.Instructions)
+	}
+	if s.Conditional() != 2 {
+		t.Errorf("Conditional() = %d, want 2", s.Conditional())
+	}
+	if s.Unconditional() != 5 {
+		t.Errorf("Unconditional() = %d, want 5", s.Unconditional())
+	}
+	if s.TakenCond != 1 {
+		t.Errorf("TakenCond = %d, want 1", s.TakenCond)
+	}
+	if got, want := s.CondPerUncond(), 2.0/5.0; got != want {
+		t.Errorf("CondPerUncond = %v, want %v", got, want)
+	}
+	if len(s.UniquePCs) != 7 {
+		t.Errorf("UniquePCs = %d, want 7", len(s.UniquePCs))
+	}
+}
+
+func TestCondPerUncondNoUncond(t *testing.T) {
+	var s Stats
+	s.ByType[CondDirect] = 10
+	if got := s.CondPerUncond(); got != 0 {
+		t.Errorf("CondPerUncond with no unconds = %v, want 0", got)
+	}
+}

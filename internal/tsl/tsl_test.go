@@ -1,0 +1,208 @@
+package tsl
+
+import (
+	"testing"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+)
+
+// drive runs a deterministic stream through p and returns the missrate of
+// the second half.
+func drive(p *Predictor, n int, next func(i int) (uint64, bool)) float64 {
+	miss, cnt := 0, 0
+	for i := 0; i < n; i++ {
+		pc, taken := next(i)
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= n/2 {
+			cnt++
+			if pred != taken {
+				miss++
+			}
+		}
+	}
+	return float64(miss) / float64(cnt)
+}
+
+func TestConfigLabels(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config64K(), "64K TSL"},
+		{ConfigScaled(1), "128K TSL"},
+		{ConfigScaled(3), "512K TSL"},
+		{ConfigInfTAGE(), "Inf TAGE"},
+		{ConfigInfTSL(), "Inf TSL"},
+	}
+	for _, c := range cases {
+		if got := MustNew(c.cfg).Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestAllConfigsConstruct(t *testing.T) {
+	for logF := 0; logF <= 4; logF++ {
+		if _, err := New(ConfigScaled(logF)); err != nil {
+			t.Errorf("ConfigScaled(%d): %v", logF, err)
+		}
+	}
+	if _, err := New(ConfigInfTSL()); err != nil {
+		t.Errorf("ConfigInfTSL: %v", err)
+	}
+}
+
+func TestAlternatingBranch(t *testing.T) {
+	p := MustNew(Config64K())
+	if mr := drive(p, 20000, func(i int) (uint64, bool) { return 0x1000, i%2 == 0 }); mr > 0.02 {
+		t.Errorf("alternating missrate %.3f", mr)
+	}
+}
+
+func TestLoopExitPrediction(t *testing.T) {
+	// Trip-23 loop: beyond comfortable TAGE pattern lengths at low
+	// budget, the loop predictor should nail the exits.
+	p := MustNew(Config64K())
+	mr := drive(p, 40000, func(i int) (uint64, bool) { return 0x9000, i%24 != 23 })
+	if mr > 0.01 {
+		t.Errorf("loop-exit missrate %.3f", mr)
+	}
+}
+
+func TestDisabledComponents(t *testing.T) {
+	cfg := Config64K()
+	cfg.DisableSC = true
+	cfg.DisableLoop = true
+	p := MustNew(cfg)
+	if mr := drive(p, 20000, func(i int) (uint64, bool) { return 0x1000, i%2 == 0 }); mr > 0.02 {
+		t.Errorf("TAGE-only alternating missrate %.3f", mr)
+	}
+}
+
+func TestStorageBitsOrdering(t *testing.T) {
+	small := MustNew(Config64K()).StorageBits()
+	big := MustNew(ConfigScaled(3)).StorageBits()
+	if small <= 0 || big <= small {
+		t.Errorf("storage ordering wrong: 64K=%d 512K=%d", small, big)
+	}
+	if MustNew(ConfigInfTSL()).StorageBits() != -1 {
+		t.Error("infinite config must report -1 storage")
+	}
+}
+
+func TestDetailProviderTransitions(t *testing.T) {
+	p := MustNew(Config64K())
+	p.Predict(0x4000)
+	det := p.LastDetail()
+	if det.Provider != predictor.ProviderBimodal {
+		t.Errorf("cold provider = %v, want bimodal", det.Provider)
+	}
+	p.Update(0x4000, true)
+	sawTagged := false
+	for i := 0; i < 4000; i++ {
+		p.Predict(0x4000)
+		if p.LastDetail().Provider == predictor.ProviderTAGE {
+			sawTagged = true
+		}
+		p.Update(0x4000, i%2 == 0)
+	}
+	if !sawTagged {
+		t.Error("alternating branch never reached a TAGE provider")
+	}
+}
+
+func TestBaselineTakenMatchesPrediction(t *testing.T) {
+	p := MustNew(Config64K())
+	for i := 0; i < 1000; i++ {
+		got := p.Predict(0x1234)
+		det := p.LastDetail()
+		if det.BaselineTaken != got {
+			t.Fatal("Detail.BaselineTaken must equal the returned prediction")
+		}
+		if p.LastTaken() != got {
+			t.Fatal("LastTaken must equal the returned prediction")
+		}
+		p.Update(0x1234, i%3 == 0)
+	}
+}
+
+func TestUpdateAsOverriddenSkipsTAGETraining(t *testing.T) {
+	// Train a strongly-taken branch only through UpdateAsOverridden:
+	// TAGE must never allocate for it (allocation count stays 0), while
+	// plain Update does allocate once mispredictions occur.
+	p := MustNew(Config64K())
+	for i := 0; i < 2000; i++ {
+		p.Predict(0x5000)
+		p.UpdateAsOverridden(0x5000, 0x5004, i%2 == 0) // alternating: TAGE would allocate
+	}
+	if got := p.TAGE().Allocations(); got != 0 {
+		t.Errorf("UpdateAsOverridden caused %d TAGE allocations", got)
+	}
+	for i := 0; i < 200; i++ {
+		p.Predict(0x5000)
+		p.Update(0x5000, i%2 == 0)
+	}
+	if p.TAGE().Allocations() == 0 {
+		t.Error("plain Update never allocated on a mispredicting branch")
+	}
+}
+
+func TestUpdateWithoutPredictPanics(t *testing.T) {
+	p := MustNew(Config64K())
+	p.Predict(0x40)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Update must panic")
+		}
+	}()
+	p.Update(0x44, true)
+}
+
+func TestTrackOtherKeepsComponentsInSync(t *testing.T) {
+	// Interleaving unconditional branches must not corrupt the
+	// Predict/Update pairing.
+	p := MustNew(Config64K())
+	for i := 0; i < 5000; i++ {
+		pc := uint64(0x100 + (i%7)*4)
+		pred := p.Predict(pc)
+		p.Update(pc, pred != (i%11 == 0)) // occasionally flip
+		if i%3 == 0 {
+			p.TrackOther(0x9990, 0x40000, trace.Call)
+		}
+		if i%5 == 0 {
+			p.TrackOther(0x9994, 0x50000, trace.Return)
+		}
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	var _ predictor.Predictor = MustNew(Config64K())
+	var _ predictor.Detailer = MustNew(Config64K())
+}
+
+func TestInfTAGEBeatsFiniteOnLargeWorkingSet(t *testing.T) {
+	gen := func(i int) (uint64, bool) {
+		b := i % 4000
+		phase := (i / 4000) % 3
+		return uint64(0x10000 + b*4), (uint64(b)*2654435761+uint64(phase)*7)&3 == 0
+	}
+	fin := MustNew(Config64K())
+	inf := MustNew(ConfigInfTAGE())
+	mrF := drive(fin, 400000, gen)
+	mrI := drive(inf, 400000, gen)
+	if mrI > mrF+0.002 {
+		t.Errorf("Inf TAGE (%.4f) lost to 64K (%.4f) on a large working set", mrI, mrF)
+	}
+}
+
+func BenchmarkTSLPredictUpdate(b *testing.B) {
+	p := MustNew(Config64K())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := uint64(0x1000 + (i%97)*4)
+		p.Predict(pc)
+		p.Update(pc, (i*2654435761)%7 < 3)
+	}
+}

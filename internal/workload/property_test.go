@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"llbp/internal/trace"
+)
+
+// randomParams derives a valid Params from fuzz inputs.
+func randomParams(seed uint64, fns, reqs, depth uint8) Params {
+	p := base("prop", seed|1)
+	p.Functions = 100 + int(fns)%900
+	p.RequestTypes = 1 + int(reqs)%50
+	if p.RequestTypes > p.Functions {
+		p.RequestTypes = p.Functions
+	}
+	p.MaxDepth = 4 + int(depth)%12
+	return p
+}
+
+// TestPropertyStreamWellFormed: any valid Params must yield a stream with
+// bounded call depth, in-range PCs, and positive instruction counts.
+func TestPropertyStreamWellFormed(t *testing.T) {
+	f := func(seed uint64, fns, reqs, depth uint8) bool {
+		p := randomParams(seed, fns, reqs, depth)
+		src, err := New(p)
+		if err != nil {
+			t.Logf("params rejected: %v", err)
+			return false
+		}
+		r := src.Open()
+		var b trace.Branch
+		d := 0
+		for i := 0; i < 20_000; i++ {
+			if err := r.Read(&b); err != nil {
+				t.Logf("read: %v", err)
+				return false
+			}
+			if b.Instructions == 0 {
+				t.Log("zero instruction count")
+				return false
+			}
+			switch b.Type {
+			case trace.Call, trace.IndirectCall:
+				d++
+			case trace.Return:
+				d--
+			}
+			if d > p.MaxDepth+1 || d < -1 {
+				t.Logf("call depth %d out of bounds", d)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterminism: equal Params must produce equal streams, and
+// different seeds different ones.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := randomParams(seed, 50, 10, 8)
+		a, err := New(p)
+		if err != nil {
+			return false
+		}
+		b, err := New(p)
+		if err != nil {
+			return false
+		}
+		ra, rb := a.Open(), b.Open()
+		var x, y trace.Branch
+		for i := 0; i < 5_000; i++ {
+			if ra.Read(&x) != nil || rb.Read(&y) != nil {
+				return false
+			}
+			if x != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCondUncondBand: the generator must keep the paper's
+// conditional/unconditional ratio in a plausible band across random
+// parameterizations (it is tuned to ≈3.9 for the catalog defaults).
+func TestPropertyCondUncondBand(t *testing.T) {
+	f := func(seed uint64, fns uint8) bool {
+		p := randomParams(seed, fns, 16, 10)
+		src, err := New(p)
+		if err != nil {
+			return false
+		}
+		s, err := trace.Collect(&trace.LimitReader{R: src.Open(), Max: 60_000})
+		if err != nil {
+			return false
+		}
+		r := s.CondPerUncond()
+		if r < 1.5 || r > 9 {
+			t.Logf("ratio %.2f out of band for seed %d", r, seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	src, err := ByName("Tomcat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := src.Open()
+	var br trace.Branch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Read(&br); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package workload
+
+// splitmix64 advances the state and returns a well-mixed 64-bit value.
+// Used both as the generator's sequential PRNG and, in single-shot form
+// (mix), as a deterministic hash for outcome functions.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// mix hashes an arbitrary number of values into one 64-bit value,
+// deterministically. It is the outcome function for the synthetic
+// branches: outcome bits are mix(seed, context, phase)&1.
+func mix(vs ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vs {
+		h ^= v
+		h = splitmix64(&h)
+	}
+	return h
+}
+
+// rng is a tiny deterministic PRNG for the generator's runtime choices.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed ^ 0xA5A5A5A5DEADBEEF} }
+
+func (r *rng) next() uint64 { return splitmix64(&r.state) }
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a uniform value in [lo, hi] (inclusive).
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// bernoulli returns true with probability p.
+func (r *rng) bernoulli(p float64) bool { return r.float() < p }
+
+// geometric returns a geometric variate with the given mean, at least 1.
+// Used for instruction counts between branches.
+func (r *rng) geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	n := 1
+	p := 1 / mean
+	for !r.bernoulli(p) && n < 64 {
+		n++
+	}
+	return n
+}
+
+// zipf draws from a Zipf-like distribution over [0, n) with skew s using
+// inverse-CDF over precomputed weights.
+type zipf struct {
+	cdf []float64
+	r   *rng
+}
+
+func newZipf(r *rng, n int, s float64) *zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / pow(float64(i+1), s)
+		sum += w
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{cdf: cdf, r: r}
+}
+
+func (z *zipf) draw() int {
+	u := z.r.float()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow is a small positive-base power helper (avoids importing math for a
+// hot loop that only needs x^s with s in [0,2]).
+func pow(x, s float64) float64 {
+	switch s {
+	case 0:
+		return 1
+	case 1:
+		return x
+	case 2:
+		return x * x
+	}
+	// exp(s*ln x) via the standard library would be fine; this package
+	// avoids float transcendentals for portability of exact streams
+	// across platforms, using a binary-exponent decomposition instead.
+	// Decompose s = k/64 steps of x^(1/64) is overkill; since skew
+	// values in the catalog are multiples of 0.25 we special-case them.
+	result := 1.0
+	for s >= 1 {
+		result *= x
+		s--
+	}
+	if s > 0 {
+		// remaining fractional exponent in {0.25, 0.5, 0.75}
+		r2 := sqrt(x)
+		switch {
+		case s >= 0.75:
+			result *= r2 * sqrt(r2)
+		case s >= 0.5:
+			result *= r2
+		case s >= 0.25:
+			result *= sqrt(r2)
+		}
+	}
+	return result
+}
+
+// sqrt is Newton's method square root (keeps the stream bit-exact across
+// platforms regardless of libm).
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 32; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixDeterministic(t *testing.T) {
+	if mix(1, 2, 3) != mix(1, 2, 3) {
+		t.Error("mix must be deterministic")
+	}
+	if mix(1, 2) == mix(2, 1) {
+		t.Error("mix must be order-sensitive")
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(42), newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := newRNG(43)
+	same := 0
+	a = newRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.next() == c.next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := newRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.intn(13); v < 0 || v >= 13 {
+			t.Fatalf("intn(13) = %d", v)
+		}
+	}
+	if r.intn(0) != 0 || r.intn(-5) != 0 {
+		t.Error("intn of non-positive must be 0")
+	}
+}
+
+func TestRangeIntInclusive(t *testing.T) {
+	r := newRNG(8)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.rangeInt(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("rangeInt(3,6) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 6; v++ {
+		if !seen[v] {
+			t.Errorf("rangeInt never produced %d", v)
+		}
+	}
+	if r.rangeInt(5, 5) != 5 || r.rangeInt(7, 2) != 7 {
+		t.Error("degenerate ranges must return lo")
+	}
+}
+
+func TestFloatRange(t *testing.T) {
+	r := newRNG(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float() = %f", f)
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := newRNG(10)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.bernoulli(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / n; p < 0.28 || p > 0.32 {
+		t.Errorf("bernoulli(0.3) frequency %.3f", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := newRNG(11)
+	sum := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.geometric(5)
+		if v < 1 || v > 64 {
+			t.Fatalf("geometric(5) = %d", v)
+		}
+		sum += v
+	}
+	if m := float64(sum) / n; m < 4.4 || m > 5.6 {
+		t.Errorf("geometric(5) mean %.2f", m)
+	}
+	if r.geometric(0.5) != 1 {
+		t.Error("mean <= 1 must return 1")
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	r := newRNG(12)
+	z := newZipf(r, 20, 1.2)
+	counts := make([]int, 20)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[z.draw()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Error("zipf must favour low ranks")
+	}
+	if float64(counts[0])/n < 0.15 {
+		t.Errorf("rank-0 share %.3f too small for skew 1.2", float64(counts[0])/n)
+	}
+	// Uniform skew: roughly flat.
+	z0 := newZipf(newRNG(13), 10, 0)
+	c0 := make([]int, 10)
+	for i := 0; i < n; i++ {
+		c0[z0.draw()]++
+	}
+	for i, c := range c0 {
+		if c < n/10*7/10 || c > n/10*13/10 {
+			t.Errorf("uniform zipf rank %d share %d/%d", i, c, n)
+		}
+	}
+}
+
+func TestSqrtAgainstMath(t *testing.T) {
+	f := func(x float64) bool {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) || x > 1e12 {
+			return true
+		}
+		got := sqrt(x)
+		want := math.Sqrt(x)
+		return math.Abs(got-want) <= 1e-9*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowAgainstMath(t *testing.T) {
+	for _, s := range []float64{0, 0.25, 0.5, 0.75, 1, 1.25, 1.5, 2} {
+		for _, x := range []float64{1, 2, 3.7, 10, 123.4} {
+			got := pow(x, s)
+			want := math.Pow(x, s)
+			if math.Abs(got-want) > 1e-6*want {
+				t.Errorf("pow(%v,%v) = %v, want %v", x, s, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+func readN(t *testing.T, r trace.Reader, n int) []trace.Branch {
+	t.Helper()
+	out := make([]trace.Branch, n)
+	for i := range out {
+		if err := r.Read(&out[i]); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestCatalogHas14Workloads(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 14 {
+		t.Fatalf("catalog has %d workloads, want 14 (Table I)", len(cat))
+	}
+	wantOrder := []string{
+		"NodeApp", "PHPWiki", "TPCC", "Twitter", "Wikipedia", "Kafka",
+		"Spring", "Tomcat", "Chirper", "HTTP", "Charlie", "Delta",
+		"Merced", "Whiskey",
+	}
+	for i, w := range wantOrder {
+		if cat[i].Name() != w {
+			t.Errorf("catalog[%d] = %s, want %s", i, cat[i].Name(), w)
+		}
+	}
+	if len(ServerWorkloads()) != 10 {
+		t.Error("ServerWorkloads must return the ten gem5-style workloads")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Tomcat"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("NoSuchThing"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if len(Names()) != 14 {
+		t.Error("Names must list the catalog")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	for _, wl := range Catalog()[:4] {
+		a := readN(t, wl.Open(), 50_000)
+		b := readN(t, wl.Open(), 50_000)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: replay diverged at %d: %+v vs %+v", wl.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestWorkloadsDiffer(t *testing.T) {
+	a := readN(t, Catalog()[0].Open(), 10_000)
+	b := readN(t, Catalog()[1].Open(), 10_000)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)/2 {
+		t.Errorf("two catalog workloads share %d/%d records — seeds not differentiating", same, len(a))
+	}
+}
+
+// TestStreamInvariants checks the paper's measured invariants on every
+// catalog workload: conditional/unconditional ratio near 3.9, a
+// multi-thousand-branch working set, non-degenerate instruction gaps.
+func TestStreamInvariants(t *testing.T) {
+	for _, wl := range Catalog() {
+		wl := wl
+		t.Run(wl.Name(), func(t *testing.T) {
+			s, err := trace.Collect(&trace.LimitReader{R: wl.Open(), Max: 150_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := s.CondPerUncond(); r < 2.0 || r > 7.0 {
+				t.Errorf("cond/uncond = %.2f, want ≈3.9 (paper)", r)
+			}
+			if ws := wl.StaticBranches(); ws < 2_000 || ws > 40_000 {
+				t.Errorf("static working set %d out of the server-class range", ws)
+			}
+			if ipb := float64(s.Instructions) / float64(s.Branches); ipb < 2 || ipb > 12 {
+				t.Errorf("instructions/branch = %.2f — implausible", ipb)
+			}
+			if s.ByType[trace.Call] == 0 || s.ByType[trace.Return] == 0 {
+				t.Error("stream must contain calls and returns")
+			}
+			if s.ByType[trace.Jump] == 0 {
+				t.Error("stream must contain the dispatch-loop jumps")
+			}
+			// Calls and returns must balance within the depth bound.
+			calls := s.ByType[trace.Call] + s.ByType[trace.IndirectCall]
+			rets := s.ByType[trace.Return]
+			diff := int64(calls) - int64(rets)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > int64(wl.Params().MaxDepth)+1 {
+				t.Errorf("calls (%d) and returns (%d) unbalanced", calls, rets)
+			}
+		})
+	}
+}
+
+// TestTakenRateSane: overall conditional taken rate should be mid-range
+// (real programs: roughly half to two-thirds taken).
+func TestTakenRateSane(t *testing.T) {
+	for _, wl := range Catalog()[:5] {
+		s, err := trace.Collect(&trace.LimitReader{R: wl.Open(), Max: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := float64(s.TakenCond) / float64(s.Conditional())
+		if rate < 0.25 || rate > 0.85 {
+			t.Errorf("%s: taken rate %.2f out of plausible range", wl.Name(), rate)
+		}
+	}
+}
+
+func TestClassMapCoversExecutedBranches(t *testing.T) {
+	wl := Catalog()[7] // Tomcat
+	classes := wl.ClassMap()
+	if len(classes) == 0 {
+		t.Fatal("empty class map")
+	}
+	r := wl.Open()
+	var b trace.Branch
+	headers := 0
+	for i := 0; i < 50_000; i++ {
+		if err := r.Read(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Type != trace.CondDirect {
+			continue
+		}
+		if _, ok := classes[b.PC]; !ok {
+			headers++ // loop headers are not in the class map
+		}
+	}
+	if headers == 0 {
+		t.Error("expected loop-header conditionals outside the class map")
+	}
+}
+
+func TestClassDistribution(t *testing.T) {
+	wl := Catalog()[7] // Tomcat
+	counts := map[BehaviorClass]int{}
+	for _, c := range wl.ClassMap() {
+		counts[c]++
+	}
+	for _, cls := range []BehaviorClass{Biased, PathMarker, LocalPattern, GlobalCorrelated, ContextCorrelated} {
+		if counts[cls] == 0 {
+			t.Errorf("no %v branches generated", cls)
+		}
+	}
+	// Complex branches are a minority of the static set (§II-D: the
+	// most-mispredicted branches are ~1% of the working set).
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if frac := float64(counts[ContextCorrelated]) / float64(total); frac > 0.25 {
+		t.Errorf("context-correlated fraction %.2f too large", frac)
+	}
+}
+
+func TestPCsWithinFunctionRanges(t *testing.T) {
+	wl := Catalog()[0]
+	r := wl.Open()
+	var b trace.Branch
+	limit := uint64(codeBase + wl.Params().Functions*fnStride)
+	for i := 0; i < 30_000; i++ {
+		if err := r.Read(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.PC >= limit && b.PC < codeBase-0x200 {
+			t.Fatalf("PC %#x outside the program's address space", b.PC)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := Catalog()[0].Params()
+	bad := []func(*Params){
+		func(p *Params) { p.Name = "" },
+		func(p *Params) { p.Functions = 1 },
+		func(p *Params) { p.RequestTypes = 0 },
+		func(p *Params) { p.RequestTypes = p.Functions + 1 },
+		func(p *Params) { p.CondMin, p.CondMax = 5, 4 },
+		func(p *Params) { p.CallMin, p.CallMax = 3, 1 },
+		func(p *Params) { p.MaxDepth = 0 },
+		func(p *Params) { p.FracLocal = 0.9; p.FracMarker = 0.9 },
+		func(p *Params) { p.ContextPhaseMin = 0 },
+		func(p *Params) { p.LoopTripMin = 0 },
+		func(p *Params) { p.FracContext = 1.5 },
+	}
+	for i, mod := range bad {
+		p := base
+		mod(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestBehaviorClassString(t *testing.T) {
+	names := map[BehaviorClass]string{
+		Biased: "biased", LocalPattern: "local", GlobalCorrelated: "global",
+		ContextCorrelated: "context", Noisy: "noisy", PathMarker: "marker",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestCallDepthBounded(t *testing.T) {
+	wl := Catalog()[6] // Spring: MaxDepth 16
+	r := wl.Open()
+	var b trace.Branch
+	depth, maxDepth := 0, 0
+	for i := 0; i < 200_000; i++ {
+		if err := r.Read(&b); err != nil {
+			t.Fatal(err)
+		}
+		switch b.Type {
+		case trace.Call, trace.IndirectCall:
+			depth++
+		case trace.Return:
+			depth--
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	if maxDepth > wl.Params().MaxDepth+1 {
+		t.Errorf("observed call depth %d exceeds MaxDepth %d", maxDepth, wl.Params().MaxDepth)
+	}
+}

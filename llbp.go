@@ -1,0 +1,158 @@
+// Package llbp is the public facade of the Last-Level Branch Predictor
+// reproduction (Schall, Sandberg, Grot — MICRO 2024). It wires together
+// the building blocks under internal/ for the common use cases:
+//
+//   - build baseline TAGE-SC-L predictors at any capacity, including the
+//     paper's infinite-capacity limit configurations;
+//   - build the LLBP composite predictor (§V) over a 64K TSL baseline;
+//   - open the Table I synthetic server workloads, or define new ones;
+//   - replay a workload through a predictor and collect MPKI / cycle
+//     metrics;
+//   - regenerate every table and figure of the paper's evaluation.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+package llbp
+
+import (
+	"fmt"
+
+	"llbp/internal/core"
+	"llbp/internal/experiments"
+	"llbp/internal/predictor"
+	"llbp/internal/report"
+	"llbp/internal/sim"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+// Size selects a TAGE-SC-L storage budget.
+type Size int
+
+// The TAGE-SC-L family of §VI.
+const (
+	// Size64K is the paper's baseline 64KiB TAGE-SC-L.
+	Size64K Size = iota
+	// Size128K .. Size1M scale the TAGE tables by 2×..16×.
+	Size128K
+	Size256K
+	Size512K
+	Size1M
+	// SizeInfTAGE gives the TAGE tables unbounded capacity.
+	SizeInfTAGE
+	// SizeInfTSL additionally grows the auxiliary components.
+	SizeInfTSL
+)
+
+// NewBaseline constructs a TAGE-SC-L predictor at the given size.
+func NewBaseline(s Size) (*tsl.Predictor, error) {
+	var cfg tsl.Config
+	switch s {
+	case Size64K:
+		cfg = tsl.Config64K()
+	case Size128K:
+		cfg = tsl.ConfigScaled(1)
+	case Size256K:
+		cfg = tsl.ConfigScaled(2)
+	case Size512K:
+		cfg = tsl.ConfigScaled(3)
+	case Size1M:
+		cfg = tsl.ConfigScaled(4)
+	case SizeInfTAGE:
+		cfg = tsl.ConfigInfTAGE()
+	case SizeInfTSL:
+		cfg = tsl.ConfigInfTSL()
+	default:
+		return nil, fmt.Errorf("llbp: unknown size %d", s)
+	}
+	return tsl.New(cfg)
+}
+
+// NewLLBP constructs the paper's evaluated LLBP design (512KB backing
+// store, §VI) over a fresh 64K TSL baseline, together with the clock the
+// simulation driver must advance (pass both to Simulate).
+func NewLLBP() (*core.Predictor, *predictor.Clock, error) {
+	return NewLLBPWithConfig(core.DefaultConfig())
+}
+
+// NewLLBPWithConfig is NewLLBP with a custom LLBP configuration (see
+// core.Config for every §VI parameter).
+func NewLLBPWithConfig(cfg core.Config) (*core.Predictor, *predictor.Clock, error) {
+	clock := &predictor.Clock{}
+	base, err := tsl.New(tsl.Config64K())
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := core.New(cfg, base, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, clock, nil
+}
+
+// DefaultLLBPConfig returns the evaluated §VI design point for
+// customization.
+func DefaultLLBPConfig() core.Config { return core.DefaultConfig() }
+
+// Workloads returns the Table I workload catalog.
+func Workloads() []*workload.Source { return workload.Catalog() }
+
+// Workload looks up one catalog workload by name.
+func Workload(name string) (*workload.Source, error) { return workload.ByName(name) }
+
+// NewWorkload builds a custom synthetic workload from params.
+func NewWorkload(p workload.Params) (*workload.Source, error) { return workload.New(p) }
+
+// SimOptions configures Simulate.
+type SimOptions struct {
+	// WarmupBranches are replayed before measurement (default 200k).
+	WarmupBranches uint64
+	// MeasureBranches are replayed with statistics (default 1M).
+	MeasureBranches uint64
+	// Clock must be the clock the predictor was built against when the
+	// predictor is latency-aware (NewLLBP returns it); nil otherwise.
+	Clock *predictor.Clock
+}
+
+// Simulate replays src through p and returns MPKI and cycle metrics.
+func Simulate(src trace.Source, p predictor.Predictor, opt SimOptions) (*sim.Result, error) {
+	if opt.WarmupBranches == 0 {
+		opt.WarmupBranches = 200_000
+	}
+	if opt.MeasureBranches == 0 {
+		opt.MeasureBranches = 1_000_000
+	}
+	return sim.Run(src, p, sim.Options{
+		WarmupBranches:  opt.WarmupBranches,
+		MeasureBranches: opt.MeasureBranches,
+		Clock:           opt.Clock,
+	})
+}
+
+// Experiments returns the registry of paper tables and figures; run them
+// with a harness from NewExperimentHarness.
+func Experiments() []experiments.Experiment { return experiments.Registry() }
+
+// NewExperimentHarness returns a harness with the default laptop-scale
+// budgets (see experiments.Config).
+func NewExperimentHarness() *experiments.Harness {
+	return experiments.NewHarness(experiments.DefaultConfig())
+}
+
+// RunExperiment runs one experiment by id (e.g. "fig9") and returns its
+// tables.
+func RunExperiment(h *experiments.Harness, id string) ([]*report.Table, error) {
+	exps, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	var out []*report.Table
+	for _, e := range exps {
+		ts, err := e.Run(h)
+		if err != nil {
+			return nil, fmt.Errorf("llbp: experiment %s: %w", e.ID, err)
+		}
+		out = append(out, ts...)
+	}
+	return out, nil
+}

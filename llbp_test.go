@@ -1,0 +1,212 @@
+package llbp
+
+import (
+	"os"
+	"testing"
+
+	"llbp/internal/sim"
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+func TestNewBaselineAllSizes(t *testing.T) {
+	for s := Size64K; s <= SizeInfTSL; s++ {
+		p, err := NewBaseline(s)
+		if err != nil {
+			t.Errorf("NewBaseline(%d): %v", s, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("size %d has no name", s)
+		}
+	}
+	if _, err := NewBaseline(Size(99)); err == nil {
+		t.Error("unknown size must error")
+	}
+}
+
+func TestNewLLBP(t *testing.T) {
+	p, clock, err := NewLLBP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || clock == nil {
+		t.Fatal("nil predictor or clock")
+	}
+	if p.Name() != "LLBP" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	bad := DefaultLLBPConfig()
+	bad.W = 0
+	if _, _, err := NewLLBPWithConfig(bad); err == nil {
+		t.Error("invalid config must error")
+	}
+}
+
+func TestWorkloadAccess(t *testing.T) {
+	if len(Workloads()) != 14 {
+		t.Error("catalog must have 14 workloads")
+	}
+	if _, err := Workload("Tomcat"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Workload("zzz"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	p := Workloads()[0].Params()
+	p.Name = "copy"
+	if _, err := NewWorkload(p); err != nil {
+		t.Errorf("NewWorkload from catalog params: %v", err)
+	}
+}
+
+// TestSimulateEndToEnd: the headline integration — LLBP must beat the 64K
+// baseline on a context-heavy workload at small scale.
+func TestSimulateEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	wl, err := Workload("Tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewBaseline(Size64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRes, err := Simulate(wl, base, SimOptions{WarmupBranches: 100_000, MeasureBranches: 400_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, clock, err := NewLLBP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llbpRes, err := Simulate(wl, pred, SimOptions{WarmupBranches: 100_000, MeasureBranches: 400_000, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRes.MPKI <= 0 || llbpRes.MPKI <= 0 {
+		t.Fatal("MPKI not computed")
+	}
+	if llbpRes.MPKI >= baseRes.MPKI {
+		t.Errorf("LLBP (%.3f) must beat 64K TSL (%.3f) on Tomcat", llbpRes.MPKI, baseRes.MPKI)
+	}
+	if s := llbpRes.Speedup(baseRes); s <= 1 {
+		t.Errorf("LLBP speedup = %.4f, want > 1", s)
+	}
+}
+
+// TestCapacityOrdering: the paper's central capacity result at small
+// scale — more capacity, fewer misses; Inf best.
+func TestCapacityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	wl, err := Workload("Tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpki := func(s Size) float64 {
+		p, err := NewBaseline(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(wl, p, SimOptions{WarmupBranches: 100_000, MeasureBranches: 400_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MPKI
+	}
+	m64, m512, mInf := mpki(Size64K), mpki(Size512K), mpki(SizeInfTSL)
+	if !(m64 > m512 && m512 > mInf) {
+		t.Errorf("capacity ordering violated: 64K=%.3f 512K=%.3f Inf=%.3f", m64, m512, mInf)
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	h := NewExperimentHarness()
+	tables, err := RunExperiment(h, "table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Error("no tables")
+	}
+	if _, err := RunExperiment(h, "bogus"); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+func TestExperimentsRegistryExposed(t *testing.T) {
+	if len(Experiments()) < 16 {
+		t.Errorf("registry has %d experiments", len(Experiments()))
+	}
+}
+
+// Compile-time interface checks for the facade's return types.
+var _ = workload.Params{}
+
+// TestTraceFileEquivalence: simulating from a written trace file must be
+// bit-identical to simulating the live generator — the end-to-end
+// guarantee behind cmd/tracegen + llbpsim -trace.
+func TestTraceFileEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	wl, err := Workload("Kafka")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 250_000
+	path := t.TempDir() + "/kafka.llbptrc"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, wl.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &trace.LimitReader{R: wl.Open(), Max: total}
+	var b trace.Branch
+	for {
+		if err := r.Read(&b); err != nil {
+			if trace.IsEOF(err) {
+				break
+			}
+			t.Fatal(err)
+		}
+		if err := w.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fileSrc, err := trace.NewFileSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(src trace.Source) *sim.Result {
+		p, err := NewBaseline(Size64K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Simulate(src, p, SimOptions{WarmupBranches: 50_000, MeasureBranches: 190_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	live := run(wl)
+	disk := run(fileSrc)
+	if live.Mispredicts != disk.Mispredicts || live.Instructions != disk.Instructions {
+		t.Errorf("trace-file replay diverged: live %d/%d vs disk %d/%d mispredicts/instructions",
+			live.Mispredicts, live.Instructions, disk.Mispredicts, disk.Instructions)
+	}
+}

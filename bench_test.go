@@ -179,6 +179,10 @@ func BenchmarkAblationDesignChoices(b *testing.B) {
 	runExperiment(b, experiments.Ablations, "", nil)
 }
 
+func BenchmarkSoftErrorStudy(b *testing.B) {
+	runExperiment(b, experiments.SoftErrorStudy, "", nil)
+}
+
 // --- Raw predictor throughput micro-benchmarks ---
 
 // benchStream materializes a fixed branch stream once.

@@ -7,73 +7,146 @@
 //	experiments -run fig9,fig10 # selected experiments
 //	experiments -measure 4000000 -warmup 800000
 //	experiments -csv            # CSV instead of aligned text
+//	experiments -j 8 -timeout 5m -retries 2
+//	experiments -journal run.journal   # checkpoint completed cells
+//	experiments -resume -journal run.journal  # skip journaled cells
+//
+// Interrupting with Ctrl-C cancels in-flight simulations cleanly; with a
+// journal, a re-run under -resume re-executes only unfinished cells.
+// Failed experiments are reported and skipped (fail-soft); the exit code
+// is non-zero if any experiment failed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"llbp/internal/experiments"
+	"llbp/internal/harness"
 )
 
 func main() {
-	var (
-		run     = flag.String("run", "all", "comma-separated experiment ids (see DESIGN.md), or 'all'")
-		warmup  = flag.Uint64("warmup", 200_000, "warmup branches for headline experiments")
-		measure = flag.Uint64("measure", 1_000_000, "measured branches for headline experiments")
-		sweepW  = flag.Uint64("sweep-warmup", 100_000, "warmup branches for design-space sweeps")
-		sweepM  = flag.Uint64("sweep-measure", 400_000, "measured branches for design-space sweeps")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		charts  = flag.Bool("charts", false, "render an ASCII bar chart of each table's first numeric column")
-		quiet   = flag.Bool("q", false, "suppress per-run progress")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	exps, err := experiments.ByID(*run)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids (see DESIGN.md), or 'all'")
+		warmup  = fs.Uint64("warmup", 200_000, "warmup branches for headline experiments")
+		measure = fs.Uint64("measure", 1_000_000, "measured branches for headline experiments")
+		sweepW  = fs.Uint64("sweep-warmup", 100_000, "warmup branches for design-space sweeps")
+		sweepM  = fs.Uint64("sweep-measure", 400_000, "measured branches for design-space sweeps")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		charts  = fs.Bool("charts", false, "render an ASCII bar chart of each table's first numeric column")
+		quiet   = fs.Bool("q", false, "suppress per-run progress")
+		par     = fs.Int("j", 1, "max concurrent simulation cells")
+		timeout = fs.Duration("timeout", 0, "per-simulation deadline (0 = none)")
+		retries = fs.Int("retries", 0, "retries for transiently failed simulations")
+		journal = fs.String("journal", "", "journal file checkpointing completed cells")
+		resume  = fs.Bool("resume", false, "skip cells already recorded in -journal")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
+
+	exps, err := experiments.ByID(*runIDs)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	// Ctrl-C / SIGTERM cancels in-flight simulations; a second signal
+	// kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{
 		Warmup:       *warmup,
 		Measure:      *measure,
 		SweepWarmup:  *sweepW,
 		SweepMeasure: *sweepM,
+		Context:      ctx,
+		Parallelism:  *par,
+		Timeout:      *timeout,
+		Retries:      *retries,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...interface{}) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+	}
+	if *resume && *journal == "" {
+		fmt.Fprintln(stderr, "-resume requires -journal")
+		return 1
+	}
+	if *journal != "" {
+		j, err := harness.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer j.Close()
+		if *resume && j.Len() > 0 {
+			fmt.Fprintf(stderr, "resuming: %d cells already journaled in %s\n", j.Len(), *journal)
+		} else if !*resume && j.Len() > 0 {
+			// Without -resume a pre-populated journal would silently
+			// reuse stale results; refuse instead.
+			fmt.Fprintf(stderr, "journal %s has %d entries; pass -resume to reuse them or remove the file\n",
+				*journal, j.Len())
+			return 1
+		}
+		cfg.Journal = j
 	}
 	h := experiments.NewHarness(cfg)
 
+	failed := 0
 	for _, e := range exps {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(stderr, "== %s: %s\n", e.ID, e.Title)
 		tables, err := e.Run(h)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(stderr, "interrupted during %s\n", e.ID)
+				if *journal != "" {
+					fmt.Fprintf(stderr, "re-run with -resume -journal %s to continue\n", *journal)
+				}
+				return 130
+			}
+			// Fail-soft: report, keep going with the other experiments.
+			fmt.Fprintf(stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
 		}
 		for _, t := range tables {
 			var werr error
 			if *csv {
-				werr = t.WriteCSV(os.Stdout)
+				werr = t.WriteCSV(stdout)
 			} else {
-				werr = t.WriteText(os.Stdout)
+				werr = t.WriteText(stdout)
 			}
 			if werr == nil && *charts && !*csv {
 				if c := experiments.Chart(t); c != nil {
-					werr = c.WriteText(os.Stdout)
+					werr = c.WriteText(stdout)
 				}
 			}
 			if werr != nil {
-				fmt.Fprintln(os.Stderr, werr)
-				os.Exit(1)
+				fmt.Fprintln(stderr, werr)
+				return 1
 			}
 		}
-		fmt.Fprintf(os.Stderr, "== %s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stderr, "== %s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)
+		return 1
+	}
+	return 0
 }

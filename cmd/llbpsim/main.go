@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,24 +25,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so error paths are
+// testable: it returns the process exit code and reports failures as
+// one-line messages on stderr instead of panicking.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llbpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		predName  = flag.String("predictor", "64k", "predictor: 64k, 128k, 256k, 512k, 1m, inftage, inftsl, llbp, llbp0lat, llbpvirt, llbpgate, gshare, perceptron")
-		wlName    = flag.String("workload", "all", "catalog workload name, or 'all'")
-		traceFile = flag.String("trace", "", "replay a binary trace file instead of a catalog workload")
-		warmup    = flag.Uint64("warmup", 200_000, "warmup branches")
-		measure   = flag.Uint64("measure", 1_000_000, "measured branches")
-		verbose   = flag.Bool("v", false, "print LLBP internal statistics")
-		breakdown = flag.Bool("breakdown", false, "print per-behaviour-class misprediction breakdown (catalog workloads only)")
+		predName  = fs.String("predictor", "64k", "predictor: 64k, 128k, 256k, 512k, 1m, inftage, inftsl, llbp, llbp0lat, llbpvirt, llbpgate, gshare, perceptron")
+		wlName    = fs.String("workload", "all", "catalog workload name, or 'all'")
+		traceFile = fs.String("trace", "", "replay a binary trace file instead of a catalog workload")
+		warmup    = fs.Uint64("warmup", 200_000, "warmup branches")
+		measure   = fs.Uint64("measure", 1_000_000, "measured branches")
+		verbose   = fs.Bool("v", false, "print LLBP internal statistics")
+		breakdown = fs.Bool("breakdown", false, "print per-behaviour-class misprediction breakdown (catalog workloads only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var sources []trace.Source
 	switch {
 	case *traceFile != "":
 		src, err := trace.NewFileSource(*traceFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		sources = []trace.Source{src}
 	case *wlName == "all":
@@ -51,20 +63,20 @@ func main() {
 	default:
 		src, err := workload.ByName(*wlName)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		sources = []trace.Source{src}
 	}
 
-	fmt.Printf("%-11s %-10s %10s %8s %8s %8s %7s\n",
+	fmt.Fprintf(stdout, "%-11s %-10s %10s %8s %8s %8s %7s\n",
 		"workload", "predictor", "instrs", "condBr", "misses", "MPKI", "IPC")
 	for _, src := range sources {
 		clock := &predictor.Clock{}
 		p, err := buildPredictor(*predName, clock)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		opts := sim.Options{
 			WarmupBranches:  *warmup,
@@ -77,8 +89,8 @@ func main() {
 		if *breakdown {
 			wl, ok := src.(*workload.Source)
 			if !ok {
-				fmt.Fprintln(os.Stderr, "llbpsim: -breakdown requires a catalog workload")
-				os.Exit(1)
+				fmt.Fprintln(stderr, "llbpsim: -breakdown requires a catalog workload")
+				return 1
 			}
 			classes = wl.ClassMap()
 			opts.Observer = func(b *trace.Branch, pred bool, _ predictor.Detail) {
@@ -94,61 +106,62 @@ func main() {
 		}
 		res, err := sim.Run(src, p, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
-		fmt.Printf("%-11s %-10s %10d %8d %8d %8.3f %7.2f\n",
+		fmt.Fprintf(stdout, "%-11s %-10s %10d %8d %8d %8.3f %7.2f\n",
 			res.Workload, res.Predictor, res.Instructions, res.CondBranches,
 			res.Mispredicts, res.MPKI, res.IPC)
 		if *breakdown {
-			fmt.Printf("  %-12s %10s %10s %9s\n", "class", "execs", "misses", "missrate")
+			fmt.Fprintf(stdout, "  %-12s %10s %10s %9s\n", "class", "execs", "misses", "missrate")
 			for _, cls := range []string{"biased", "marker", "local", "global", "context", "noisy", "loop-header"} {
 				e, m := execBy[cls], missBy[cls]
 				rate := 0.0
 				if e > 0 {
 					rate = float64(m) / float64(e)
 				}
-				fmt.Printf("  %-12s %10d %10d %9.4f\n", cls, e, m, rate)
+				fmt.Fprintf(stdout, "  %-12s %10d %10d %9.4f\n", cls, e, m, rate)
 			}
 		}
 		if *verbose {
 			if lp, ok := p.(*core.Predictor); ok {
 				s := lp.Stats()
-				fmt.Printf("  llbp: matches=%d overrides=%d good=%d bad=%d bothOK=%d bothKO=%d\n",
+				fmt.Fprintf(stdout, "  llbp: matches=%d overrides=%d good=%d bad=%d bothOK=%d bothKO=%d\n",
 					s.Matches, s.Overrides, s.GoodOverride, s.BadOverride, s.BothCorrect, s.BothWrong)
-				fmt.Printf("  llbp: reads=%d writes=%d cdLookups=%d pbHits=%d notReady=%d pbMiss=%d ctxAllocs=%d patAllocs=%d resets=%d live=%d\n",
+				fmt.Fprintf(stdout, "  llbp: reads=%d writes=%d cdLookups=%d pbHits=%d notReady=%d pbMiss=%d ctxAllocs=%d patAllocs=%d resets=%d live=%d\n",
 					s.LLBPReads, s.LLBPWrites, s.CDLookups, s.PBHits, s.NotReady, s.PBMisses,
 					s.CtxAllocs, s.PatternAllocs, s.Resets, lp.Directory().Live())
 			}
 		}
 	}
+	return 0
 }
 
 // buildPredictor maps a CLI name to a predictor instance.
 func buildPredictor(name string, clock *predictor.Clock) (predictor.Predictor, error) {
 	switch strings.ToLower(name) {
 	case "64k":
-		return tsl.MustNew(tsl.Config64K()), nil
+		return tsl.New(tsl.Config64K())
 	case "128k":
-		return tsl.MustNew(tsl.ConfigScaled(1)), nil
+		return tsl.New(tsl.ConfigScaled(1))
 	case "256k":
-		return tsl.MustNew(tsl.ConfigScaled(2)), nil
+		return tsl.New(tsl.ConfigScaled(2))
 	case "512k":
-		return tsl.MustNew(tsl.ConfigScaled(3)), nil
+		return tsl.New(tsl.ConfigScaled(3))
 	case "1m":
-		return tsl.MustNew(tsl.ConfigScaled(4)), nil
+		return tsl.New(tsl.ConfigScaled(4))
 	case "inftage":
-		return tsl.MustNew(tsl.ConfigInfTAGE()), nil
+		return tsl.New(tsl.ConfigInfTAGE())
 	case "inftsl":
-		return tsl.MustNew(tsl.ConfigInfTSL()), nil
+		return tsl.New(tsl.ConfigInfTSL())
 	case "llbp":
-		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+		return buildLLBP(core.DefaultConfig(), clock)
 	case "llbp0lat":
-		return core.MustNew(core.ZeroLatConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+		return buildLLBP(core.ZeroLatConfig(), clock)
 	case "llbpvirt":
-		return core.MustNew(core.VirtualizedConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+		return buildLLBP(core.VirtualizedConfig(), clock)
 	case "llbpgate":
-		return core.MustNew(core.AutoDisableConfig(), tsl.MustNew(tsl.Config64K()), clock), nil
+		return buildLLBP(core.AutoDisableConfig(), clock)
 	case "gshare":
 		return gshare.New(gshare.Default())
 	case "perceptron":
@@ -156,4 +169,12 @@ func buildPredictor(name string, clock *predictor.Clock) (predictor.Predictor, e
 	default:
 		return nil, fmt.Errorf("llbpsim: unknown predictor %q", name)
 	}
+}
+
+func buildLLBP(cfg core.Config, clock *predictor.Clock) (predictor.Predictor, error) {
+	base, err := tsl.New(tsl.Config64K())
+	if err != nil {
+		return nil, err
+	}
+	return core.New(cfg, base, clock)
 }

@@ -139,3 +139,44 @@ func TestRestoreMismatchedCheckpointPanics(t *testing.T) {
 	}()
 	p.RestoreHistory(cp)
 }
+
+// TestCheckpointRoundTripProperty: the randomized generalization of
+// TestRollbackRestoresBehaviour — across many seeds, warmup lengths and
+// excursion lengths, checkpoint → wrong path → restore must leave the
+// composite predictor in lockstep with a twin that never strayed.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Predictor {
+			clock := &predictor.Clock{}
+			return MustNew(ZeroLatConfig(), tsl.MustNew(tsl.Config64K()), clock)
+		}
+		p, twin := mk(), mk()
+		feedCorrectPath(p, twin, rng, 200+rng.Intn(2500))
+
+		cp := p.CheckpointHistory()
+		wrongPath(p, rng, 1+rng.Intn(300))
+		p.RestoreHistory(cp)
+
+		rng2 := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < 1500; i++ {
+			if rng2.Intn(5) == 0 {
+				pc := uint64(0x8000 + rng2.Intn(64)*0x40)
+				p.TrackOther(pc, pc+0x1000, trace.Call)
+				twin.TrackOther(pc, pc+0x1000, trace.Call)
+				continue
+			}
+			pc := uint64(0x4000 + rng2.Intn(32)*4)
+			taken := rng2.Intn(3) != 0
+			if got, want := p.Predict(pc), twin.Predict(pc); got != want {
+				t.Fatalf("seed %d step %d: prediction diverged after rollback", seed, i)
+			}
+			if p.rcr.CCID() != twin.rcr.CCID() {
+				t.Fatalf("seed %d step %d: CCID diverged after rollback", seed, i)
+			}
+			p.Update(pc, taken)
+			twin.Update(pc, taken)
+		}
+	}
+}

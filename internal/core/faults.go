@@ -1,0 +1,146 @@
+package core
+
+import "llbp/internal/faults"
+
+// lenIdxBits returns the width of the pattern length field for n history
+// lengths (at least 1 bit).
+func lenIdxBits(n int) int {
+	b := 1
+	for (1 << uint(b)) < n {
+		b++
+	}
+	return b
+}
+
+// entryAt returns the directory entry at flat position i under a stable
+// enumeration of the directory's storage (set-major for the
+// set-associative organization, insertion order for the fully associative
+// one), or nil when the slot is unallocated.
+func (d *Directory) entryAt(i int) *CDEntry {
+	if d.assoc != nil {
+		if i >= len(d.entries) {
+			return nil
+		}
+		return d.entries[i]
+	}
+	ways := len(d.sets[0])
+	e := &d.sets[i/ways][i%ways]
+	if !e.Valid {
+		return nil
+	}
+	return e
+}
+
+// entrySlots returns the flat entry count of the directory's storage.
+func (d *Directory) entrySlots() int {
+	if d.assoc != nil {
+		return d.capacity
+	}
+	return len(d.sets) * len(d.sets[0])
+}
+
+// FaultFields implements faults.Surface for the composite predictor: the
+// baseline TAGE-SC-L fields plus LLBP's bulk pattern-set storage — the
+// megabyte-class LLC-adjacent SRAM that motivates the whole study. Every
+// pattern of every resident set is addressable: tag, counter, length
+// field and valid bit. Pattern sets are shared by pointer with the
+// pattern buffer, so corrupting LLBP storage corrupts cached PB copies
+// too, exactly as a single-copy transfer model implies.
+//
+// Flips striking unallocated contexts are dead (no architectural effect);
+// the flat bit space still covers the full capacity so fault rates scale
+// with the physical array, not with occupancy. Parity granularity is one
+// 18-bit pattern: a detected flip invalidates that pattern only.
+func (p *Predictor) FaultFields() []faults.Field {
+	fields := p.base.FaultFields()
+	per := p.cfg.PatternsPerSet
+	slots := p.dir.entrySlots() * per
+	lenBits := lenIdxBits(len(p.cfg.HistLengths))
+	nLengths := len(p.cfg.HistLengths)
+
+	pat := func(i int) *Pattern {
+		ent := p.dir.entryAt(i / per)
+		if ent == nil || ent.Set == nil {
+			return nil
+		}
+		return &ent.Set.Pats[i%per]
+	}
+	ctrBits := p.cfg.CtrBits
+	reset := func(i int) {
+		if q := pat(i); q != nil {
+			*q = Pattern{}
+		}
+	}
+	fields = append(fields,
+		faults.Field{
+			Name: "llbp.pattern.tag", Bits: p.cfg.TagBits, Len: slots,
+			Get: func(i int) uint64 {
+				if q := pat(i); q != nil {
+					return uint64(q.Tag)
+				}
+				return 0
+			},
+			Set: func(i int, v uint64) {
+				if q := pat(i); q != nil {
+					q.Tag = uint32(v)
+				}
+			},
+			Reset: reset,
+		},
+		faults.Field{
+			Name: "llbp.pattern.ctr", Bits: ctrBits, Len: slots,
+			Get: func(i int) uint64 {
+				if q := pat(i); q != nil {
+					return faults.Unsigned(int64(q.Ctr), ctrBits)
+				}
+				return 0
+			},
+			Set: func(i int, v uint64) {
+				if q := pat(i); q != nil {
+					q.Ctr = int8(faults.SignExtend(v, ctrBits))
+				}
+			},
+			Reset: reset,
+		},
+		faults.Field{
+			Name: "llbp.pattern.len", Bits: lenBits, Len: slots,
+			Get: func(i int) uint64 {
+				if q := pat(i); q != nil {
+					return uint64(q.LenIdx)
+				}
+				return 0
+			},
+			Set: func(i int, v uint64) {
+				if q := pat(i); q != nil {
+					// A corrupt encoding beyond the configured length
+					// count decodes as the last valid length (hardware
+					// would select some row of the mux cascade; any
+					// deterministic choice is faithful).
+					if int(v) >= nLengths {
+						v = uint64(nLengths - 1)
+					}
+					q.LenIdx = uint8(v)
+				}
+			},
+			Reset: reset,
+		},
+		faults.Field{
+			Name: "llbp.pattern.valid", Bits: 1, Len: slots,
+			Get: func(i int) uint64 {
+				if q := pat(i); q != nil && q.Valid {
+					return 1
+				}
+				return 0
+			},
+			Set: func(i int, v uint64) {
+				if q := pat(i); q != nil {
+					q.Valid = v != 0
+				}
+			},
+			Reset: reset,
+		},
+	)
+	return fields
+}
+
+var _ faults.Surface = (*Predictor)(nil)

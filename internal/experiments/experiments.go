@@ -5,11 +5,17 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"llbp/internal/core"
+	"llbp/internal/faults"
+	"llbp/internal/harness"
 	"llbp/internal/predictor"
 	"llbp/internal/report"
 	"llbp/internal/sim"
@@ -32,8 +38,24 @@ type Config struct {
 	// Workloads is the workload set (defaults to the full catalog).
 	Workloads []*workload.Source
 	// Progress, when non-nil, receives one line per completed
-	// simulation run.
+	// simulation run. It may be called from multiple goroutines when
+	// Parallelism > 1.
 	Progress func(format string, args ...interface{})
+
+	// Context cancels in-flight simulations (deadlines, SIGINT).
+	// Defaults to context.Background().
+	Context context.Context
+	// Parallelism bounds concurrent simulation cells (the harness
+	// admission gate). Default 1.
+	Parallelism int
+	// Timeout is the per-run deadline enforced by the harness (0 =
+	// none).
+	Timeout time.Duration
+	// Retries is how many times a transiently failed run is retried.
+	Retries int
+	// Journal, when non-nil, checkpoints completed cells so an
+	// interrupted suite resumes without redoing them.
+	Journal *harness.Journal
 }
 
 // DefaultConfig returns the standard laptop-scale budgets.
@@ -88,6 +110,7 @@ func Registry() []Experiment {
 		{"fig14", "Figure 14: pattern-set count and size sensitivity", Fig14},
 		{"fig15", "Figure 15: LLBP prediction breakdown", Fig15},
 		{"ablation", "Ablations: bucketing, replacement, CID hash", Ablations},
+		{"softerror", "Robustness: MPKI under soft errors in predictor state", SoftErrorStudy},
 		{"extdelay", "Extension: storage-virtualization latency sensitivity", ExtDelay},
 		{"extgate", "Extension: auto-disable power gate", ExtAutoDisable},
 		{"extbaselines", "Extension: gshare/perceptron baseline spectrum", ExtBaselines},
@@ -118,10 +141,27 @@ func ByID(ids string) ([]Experiment, error) {
 }
 
 // Harness memoizes simulation runs so experiments sharing configurations
-// (e.g. Figures 9, 10, 12 and 15 all need the LLBP runs) pay once.
+// (e.g. Figures 9, 10, 12 and 15 all need the LLBP runs) pay once. All
+// runs dispatch through an internal/harness.Runner, which provides
+// context cancellation, per-run deadlines, panic isolation, bounded
+// retry, bounded parallelism and journal-based resume. The harness is
+// safe for concurrent use; identical cells requested concurrently are
+// deduplicated (single-flight) and computed once.
 type Harness struct {
-	Cfg   Config
-	cache map[string]*RunOutput
+	Cfg    Config
+	runner *harness.Runner
+
+	mu       sync.Mutex
+	cache    map[string]*RunOutput
+	inflight map[string]*inflightCell
+}
+
+// inflightCell tracks one cell being computed so concurrent requesters
+// wait instead of duplicating the simulation.
+type inflightCell struct {
+	done chan struct{}
+	out  *RunOutput
+	err  error
 }
 
 // NewHarness returns a harness with the given budgets.
@@ -129,29 +169,51 @@ func NewHarness(cfg Config) *Harness {
 	if cfg.Warmup == 0 && cfg.Measure == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Harness{Cfg: cfg, cache: make(map[string]*RunOutput)}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+	runner := harness.NewRunner(harness.Options{
+		Parallelism: cfg.Parallelism,
+		Timeout:     cfg.Timeout,
+		Retries:     cfg.Retries,
+		Journal:     cfg.Journal,
+		Progress:    cfg.Progress,
+	})
+	return &Harness{
+		Cfg:      cfg,
+		runner:   runner,
+		cache:    make(map[string]*RunOutput),
+		inflight: make(map[string]*inflightCell),
+	}
 }
 
-// RunOutput is one simulation's collected results.
+// RunOutput is one simulation's collected results. All fields are
+// exported so cells round-trip through the JSON journal.
 type RunOutput struct {
 	Res  *sim.Result
 	LLBP core.Stats
 	// HasLLBP reports whether LLBP is part of the predictor.
 	HasLLBP bool
+	// Faults carries injection statistics when the run was faulted.
+	Faults    faults.Stats
+	HasFaults bool
 }
 
 // PredictorSpec names a predictor configuration for the cache key and
-// builds fresh instances.
+// builds fresh instances. Build returns an error instead of panicking so
+// misconfiguration surfaces as an ordinary failed cell.
 type PredictorSpec struct {
 	Key   string
-	Build func(clock *predictor.Clock) predictor.Predictor
+	Build func(clock *predictor.Clock) (predictor.Predictor, error)
 }
 
 // Standard specs.
 func specTSL(label string, cfg tsl.Config) PredictorSpec {
 	return PredictorSpec{
-		Key:   label,
-		Build: func(*predictor.Clock) predictor.Predictor { return tsl.MustNew(cfg) },
+		Key: label,
+		Build: func(*predictor.Clock) (predictor.Predictor, error) {
+			return tsl.New(cfg)
+		},
 	}
 }
 
@@ -171,8 +233,12 @@ func SpecInfTSL() PredictorSpec { return specTSL("inftsl", tsl.ConfigInfTSL()) }
 func SpecLLBP(key string, cfg core.Config) PredictorSpec {
 	return PredictorSpec{
 		Key: key,
-		Build: func(clock *predictor.Clock) predictor.Predictor {
-			return core.MustNew(cfg, tsl.MustNew(tsl.Config64K()), clock)
+		Build: func(clock *predictor.Clock) (predictor.Predictor, error) {
+			base, err := tsl.New(tsl.Config64K())
+			if err != nil {
+				return nil, err
+			}
+			return core.New(cfg, base, clock)
 		},
 	}
 }
@@ -195,16 +261,70 @@ func (h *Harness) RunSweep(wl *workload.Source, spec PredictorSpec) (*RunOutput,
 
 func (h *Harness) runBudget(wl *workload.Source, spec PredictorSpec, warm, meas uint64) (*RunOutput, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d", wl.Name(), spec.Key, warm, meas)
-	if out, ok := h.cache[key]; ok {
-		return out, nil
-	}
+	meta := map[string]string{"workload": wl.Name(), "predictor": spec.Key}
+	return h.runCell(key, meta, func(ctx context.Context) (*RunOutput, error) {
+		return h.simulate(ctx, wl, spec, warm, meas, nil)
+	})
+}
+
+// FaultSpec configures fault injection for RunFaulted.
+type FaultSpec struct {
+	// Rate is expected flips per Mbit of state per Mbranch.
+	Rate float64
+	// Protection is the modeled memory protection.
+	Protection faults.Protection
+	// Seed makes the fault schedule reproducible.
+	Seed uint64
+}
+
+func (f FaultSpec) key() string {
+	return fmt.Sprintf("rate=%g,prot=%s,seed=%d", f.Rate, f.Protection, f.Seed)
+}
+
+// RunFaulted simulates spec over wl with the sweep budgets while
+// injecting soft errors into the predictor's fault surface. The predictor
+// must implement faults.Surface. The returned FaultStats describe the
+// injected flips. Results are memoized and journaled like regular cells.
+func (h *Harness) RunFaulted(wl *workload.Source, spec PredictorSpec, fs FaultSpec) (*RunOutput, error) {
+	key := fmt.Sprintf("%s|%s|%d|%d|%s", wl.Name(), spec.Key, h.Cfg.SweepWarmup, h.Cfg.SweepMeasure, fs.key())
+	meta := map[string]string{"workload": wl.Name(), "predictor": spec.Key, "faults": fs.key()}
+	return h.runCell(key, meta, func(ctx context.Context) (*RunOutput, error) {
+		return h.simulate(ctx, wl, spec, h.Cfg.SweepWarmup, h.Cfg.SweepMeasure, &fs)
+	})
+}
+
+// simulate is the body of one cell: build the predictor, wire optional
+// fault injection, replay the trace under ctx.
+func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec PredictorSpec, warm, meas uint64, fs *FaultSpec) (*RunOutput, error) {
 	clock := &predictor.Clock{}
-	p := spec.Build(clock)
-	res, err := sim.Run(wl, p, sim.Options{
+	p, err := spec.Build(clock)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %s: %w", spec.Key, err)
+	}
+	opt := sim.Options{
 		WarmupBranches:  warm,
 		MeasureBranches: meas,
 		Clock:           clock,
-	})
+		Context:         ctx,
+	}
+	var inj *faults.Injector
+	if fs != nil {
+		surf, ok := p.(faults.Surface)
+		if !ok {
+			return nil, fmt.Errorf("experiments: %s does not expose a fault surface", spec.Key)
+		}
+		inj = faults.NewInjector(surf, faults.Config{
+			Rate:       fs.Rate,
+			Protection: fs.Protection,
+			Seed:       fs.Seed,
+		})
+		var last uint64
+		opt.Hook = func(processed uint64) {
+			inj.Step(processed - last)
+			last = processed
+		}
+	}
+	res, err := sim.Run(wl, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", spec.Key, wl.Name(), err)
 	}
@@ -213,9 +333,97 @@ func (h *Harness) runBudget(wl *workload.Source, spec PredictorSpec, warm, meas 
 		out.LLBP = lp.Stats()
 		out.HasLLBP = true
 	}
+	if inj != nil {
+		out.Faults = inj.Stats()
+		out.HasFaults = true
+	}
 	h.Cfg.progress("  ran %-10s on %-10s MPKI=%.3f", spec.Key, wl.Name(), res.MPKI)
-	h.cache[key] = out
 	return out, nil
+}
+
+// runCell computes one memoized cell: in-memory cache, single-flight
+// deduplication of concurrent identical requests, then dispatch through
+// the harness runner (journal, retry, panic isolation, admission gate).
+func (h *Harness) runCell(key string, meta map[string]string, body func(ctx context.Context) (*RunOutput, error)) (*RunOutput, error) {
+	h.mu.Lock()
+	if out, ok := h.cache[key]; ok {
+		h.mu.Unlock()
+		return out, nil
+	}
+	if cell, ok := h.inflight[key]; ok {
+		h.mu.Unlock()
+		<-cell.done
+		return cell.out, cell.err
+	}
+	cell := &inflightCell{done: make(chan struct{})}
+	h.inflight[key] = cell
+	h.mu.Unlock()
+
+	res := h.runner.Do(h.Cfg.Context, harness.Job{
+		Key:  key,
+		Meta: meta,
+		Run: func(ctx context.Context) (any, error) {
+			return body(ctx)
+		},
+		Decode: func(raw json.RawMessage) (any, error) {
+			var out RunOutput
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return nil, err
+			}
+			return &out, nil
+		},
+	})
+
+	if res.Err != nil {
+		cell.err = res.Err
+	} else if out, ok := res.Value.(*RunOutput); ok {
+		cell.out = out
+	} else {
+		cell.err = fmt.Errorf("experiments: cell %s returned unexpected %T", key, res.Value)
+	}
+
+	h.mu.Lock()
+	if cell.err == nil {
+		h.cache[key] = cell.out
+	}
+	delete(h.inflight, key)
+	h.mu.Unlock()
+	close(cell.done)
+	return cell.out, cell.err
+}
+
+// Prewarm computes a batch of (workload × spec) headline cells
+// concurrently under the harness admission gate and reports the failures
+// without aborting on the first (fail-soft). Experiments consuming the
+// cells afterwards hit the warm cache.
+func (h *Harness) Prewarm(wls []*workload.Source, specs []PredictorSpec) []error {
+	type cellReq struct {
+		wl   *workload.Source
+		spec PredictorSpec
+	}
+	var reqs []cellReq
+	for _, wl := range wls {
+		for _, spec := range specs {
+			reqs = append(reqs, cellReq{wl, spec})
+		}
+	}
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, rq := range reqs {
+		wg.Add(1)
+		go func(i int, rq cellReq) {
+			defer wg.Done()
+			_, errs[i] = h.Run(rq.wl, rq.spec)
+		}(i, rq)
+	}
+	wg.Wait()
+	var failed []error
+	for _, err := range errs {
+		if err != nil {
+			failed = append(failed, err)
+		}
+	}
+	return failed
 }
 
 // meanRow computes the arithmetic mean of a float column.

@@ -23,7 +23,7 @@ func TestRegistryIDsUnique(t *testing.T) {
 	for _, id := range []string{
 		"table1", "table2", "table3", "fig1", "fig2", "fig3a", "fig3b",
 		"fig5", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"fig15", "ablation", "extdelay", "extgate", "extbaselines", "extscale",
+		"fig15", "ablation", "softerror", "extdelay", "extgate", "extbaselines", "extscale",
 	} {
 		if !seen[id] {
 			t.Errorf("missing experiment %q", id)
@@ -69,6 +69,15 @@ func tinyHarness(t *testing.T) *Harness {
 	})
 }
 
+// parallelTinyHarness is tinyHarness with a 4-wide admission gate.
+func parallelTinyHarness(t *testing.T) *Harness {
+	t.Helper()
+	base := tinyHarness(t)
+	cfg := base.Cfg
+	cfg.Parallelism = 4
+	return NewHarness(cfg)
+}
+
 func TestRunMemoization(t *testing.T) {
 	h := tinyHarness(t)
 	wl := h.Cfg.workloads()[0]
@@ -89,6 +98,58 @@ func TestRunMemoization(t *testing.T) {
 	}
 	if c == a {
 		t.Error("different budgets must not share cache entries")
+	}
+}
+
+// TestPrewarmParallel fans the full (workload × spec) grid out through
+// the harness admission gate and checks the cells land in the memo cache;
+// run under -race this is the concurrency regression test for the
+// singleflight + runner plumbing.
+func TestPrewarmParallel(t *testing.T) {
+	h := parallelTinyHarness(t)
+	specs := []PredictorSpec{Spec64K(), SpecInfTAGE(), SpecLLBPDefault()}
+	if errs := h.Prewarm(h.Cfg.workloads(), specs); len(errs) != 0 {
+		t.Fatalf("prewarm failed: %v", errs)
+	}
+	// Every cell must now be a cache hit returning the same pointer.
+	for _, wl := range h.Cfg.workloads() {
+		for _, spec := range specs {
+			a, err := h.Run(wl, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, _ := h.Run(wl, spec)
+			if a != b {
+				t.Errorf("%s/%s not memoized after prewarm", wl.Name(), spec.Key)
+			}
+		}
+	}
+}
+
+// TestConcurrentSameCellSingleflight requests one cell from many
+// goroutines; all must get the same output pointer (computed once).
+func TestConcurrentSameCellSingleflight(t *testing.T) {
+	h := parallelTinyHarness(t)
+	wl := h.Cfg.workloads()[0]
+	outs := make([]*RunOutput, 8)
+	errs := make([]error, 8)
+	done := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			outs[i], errs[i] = h.Run(wl, Spec64K())
+			done <- i
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	for i := 1; i < 8; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if outs[i] != outs[0] {
+			t.Error("concurrent identical cells must be deduplicated")
+		}
 	}
 }
 

@@ -93,12 +93,8 @@ func ExtAutoDisable(h *Harness) ([]*report.Table, error) {
 func specGshare() PredictorSpec {
 	return PredictorSpec{
 		Key: "gshare",
-		Build: func(*predictor.Clock) predictor.Predictor {
-			p, err := gshare.New(gshare.Default())
-			if err != nil {
-				panic(err)
-			}
-			return p
+		Build: func(*predictor.Clock) (predictor.Predictor, error) {
+			return gshare.New(gshare.Default())
 		},
 	}
 }
@@ -106,12 +102,8 @@ func specGshare() PredictorSpec {
 func specPerceptron() PredictorSpec {
 	return PredictorSpec{
 		Key: "perceptron",
-		Build: func(*predictor.Clock) predictor.Predictor {
-			p, err := perceptron.New(perceptron.Default())
-			if err != nil {
-				panic(err)
-			}
-			return p
+		Build: func(*predictor.Clock) (predictor.Predictor, error) {
+			return perceptron.New(perceptron.Default())
 		},
 	}
 }

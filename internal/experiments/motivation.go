@@ -70,7 +70,10 @@ func Fig2(h *Harness) ([]*report.Table, error) {
 // observers are per-call).
 func (h *Harness) trackedRun(wl *workload.Source, spec PredictorSpec, warm, meas uint64) (*sim.Result, *stats.BranchTracker, error) {
 	clock := &predictor.Clock{}
-	p := spec.Build(clock)
+	p, err := spec.Build(clock)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: building %s: %w", spec.Key, err)
+	}
 	tracker := stats.NewBranchTracker()
 	res, err := sim.Run(wl, p, sim.Options{
 		WarmupBranches:  warm,
@@ -187,7 +190,10 @@ func Fig5(h *Harness) ([]*report.Table, error) {
 			trackers[w] = stats.NewContextTracker(top)
 		}
 		clock := &predictor.Clock{}
-		p := SpecInfTSL().Build(clock)
+		p, err := SpecInfTSL().Build(clock)
+		if err != nil {
+			return nil, err
+		}
 		_, err = sim.Run(wl, p, sim.Options{
 			WarmupBranches:  h.Cfg.SweepWarmup,
 			MeasureBranches: h.Cfg.SweepMeasure,

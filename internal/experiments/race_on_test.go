@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest integration tests skip under it (it slows simulation ~10×).
+const raceEnabled = true

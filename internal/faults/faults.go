@@ -1,0 +1,262 @@
+// Package faults models SRAM soft errors in predictor state. LLBP's
+// headline bet is megabytes of pattern-set storage in an LLC-adjacent
+// SRAM — exactly the structure class where particle-strike bit flips and
+// partial state loss matter — yet the paper never measures how prediction
+// degrades when state is corrupted. This package supplies the missing
+// axis: deterministic, seeded bit-flip schedules injected into live
+// predictor state through enumerable field surfaces, under three
+// protection models.
+//
+// A predictor exposes its mutable SRAM contents as []Field — flat arrays
+// of fixed-width elements with get/set/reset accessors. The Injector
+// draws uniformly over the total bit space and applies flips according to
+// the protection mode:
+//
+//   - ProtectNone: the flip lands silently (bit error → wrong counter,
+//     wrong tag, or a garbage entry coming valid).
+//   - ProtectParity: per-element parity detects the flip at the next
+//     access; the element is discarded (reset to the neutral state), so
+//     information is lost but never wrong.
+//   - ProtectECC: SECDED corrects single-bit flips in place; with the
+//     background scrubbing assumed here, flips never accumulate into
+//     uncorrectable words, so state is unaffected.
+//
+// Fault schedules are deterministic in (seed, rate, surface), so studies
+// reproduce bit-for-bit.
+package faults
+
+import "fmt"
+
+// Field describes one uniform array of predictor state elements (e.g.
+// "the 3-bit counters of TAGE table 5"). Get/Set/Reset address elements
+// by index; Set receives a value already masked to Bits. Accessors must
+// tolerate indices whose backing entry is dead (unallocated ways): Get
+// returns 0 and Set/Reset are no-ops — physically, flips striking unused
+// SRAM lines have no architectural effect.
+type Field struct {
+	// Name identifies the field in diagnostics ("tage.t3.ctr").
+	Name string
+	// Bits is the width of one element in bits (1..64).
+	Bits int
+	// Len is the number of elements.
+	Len int
+	// Get returns element i as a Bits-wide unsigned value.
+	Get func(i int) uint64
+	// Set stores a Bits-wide unsigned value into element i.
+	Set func(i int, v uint64)
+	// Reset restores element i (and any physically co-located state,
+	// e.g. the whole SRAM word holding it) to the neutral/invalid
+	// state. Used by the parity protection model.
+	Reset func(i int)
+}
+
+// TotalBits returns the summed bit count of the fields.
+func TotalBits(fields []Field) int64 {
+	var n int64
+	for _, f := range fields {
+		n += int64(f.Bits) * int64(f.Len)
+	}
+	return n
+}
+
+// Surface is implemented by predictors whose state accepts fault
+// injection. FaultFields is re-evaluated before every injection step, so
+// surfaces may grow (fully-associative directories) between steps.
+type Surface interface {
+	FaultFields() []Field
+}
+
+// Protection selects the SRAM protection model.
+type Protection int
+
+const (
+	// ProtectNone leaves flips in place (silent corruption).
+	ProtectNone Protection = iota
+	// ProtectParity detects flipped elements and resets them.
+	ProtectParity
+	// ProtectECC corrects single-bit flips in place.
+	ProtectECC
+)
+
+// String returns the protection mode's short name.
+func (p Protection) String() string {
+	switch p {
+	case ProtectNone:
+		return "none"
+	case ProtectParity:
+		return "parity"
+	case ProtectECC:
+		return "ecc"
+	default:
+		return fmt.Sprintf("Protection(%d)", int(p))
+	}
+}
+
+// ParseProtection maps a short name back to a Protection.
+func ParseProtection(s string) (Protection, error) {
+	switch s {
+	case "none":
+		return ProtectNone, nil
+	case "parity":
+		return ProtectParity, nil
+	case "ecc":
+		return ProtectECC, nil
+	default:
+		return 0, fmt.Errorf("faults: unknown protection %q", s)
+	}
+}
+
+// Config parameterizes an injection schedule.
+type Config struct {
+	// Rate is the fault intensity in expected bit flips per megabit of
+	// state per million branches — a FIT-like unit scaled to simulation
+	// budgets. The expected flip count of a step over B branches on a
+	// surface of S bits is Rate × (S/1e6) × (B/1e6).
+	Rate float64
+	// Protection selects the protection model.
+	Protection Protection
+	// Seed seeds the flip-position stream (deterministic schedules).
+	Seed uint64
+}
+
+// Stats counts injection outcomes.
+type Stats struct {
+	// Flips is the number of raw fault events drawn.
+	Flips uint64
+	// Silent counts flips left in place (ProtectNone).
+	Silent uint64
+	// Detected counts flips caught by parity (element reset).
+	Detected uint64
+	// Corrected counts flips corrected by ECC (no state change).
+	Corrected uint64
+	// Dead counts flips that struck unallocated state (no effect).
+	Dead uint64
+}
+
+// Injector drives a fault schedule into a Surface.
+type Injector struct {
+	surf  Surface
+	cfg   Config
+	rng   uint64
+	carry float64
+	stats Stats
+}
+
+// NewInjector builds an injector over surf.
+func NewInjector(surf Surface, cfg Config) *Injector {
+	if cfg.Rate < 0 {
+		panic(fmt.Sprintf("faults: negative rate %g", cfg.Rate))
+	}
+	return &Injector{surf: surf, cfg: cfg, rng: cfg.Seed ^ 0xFA17FA17FA17FA17}
+}
+
+// Stats returns a snapshot of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// next is a splitmix64 step.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Step advances the schedule by `branches` simulated branches: the
+// fractional expected flip count accumulates deterministically (no
+// randomized rounding), and whole flips inject immediately. Wire it to
+// the simulator's periodic hook.
+func (in *Injector) Step(branches uint64) {
+	if in.cfg.Rate == 0 {
+		return
+	}
+	fields := in.surf.FaultFields()
+	total := TotalBits(fields)
+	if total == 0 {
+		return
+	}
+	in.carry += in.cfg.Rate * (float64(total) / 1e6) * (float64(branches) / 1e6)
+	n := int(in.carry)
+	if n <= 0 {
+		return
+	}
+	in.carry -= float64(n)
+	in.inject(fields, total, n)
+}
+
+// InjectN forces n flips immediately (tests and targeted studies).
+func (in *Injector) InjectN(n int) {
+	fields := in.surf.FaultFields()
+	total := TotalBits(fields)
+	if total == 0 {
+		return
+	}
+	in.inject(fields, total, n)
+}
+
+func (in *Injector) inject(fields []Field, total int64, n int) {
+	for k := 0; k < n; k++ {
+		pos := int64(in.next() % uint64(total))
+		f, idx, bit := locate(fields, pos)
+		in.stats.Flips++
+		switch in.cfg.Protection {
+		case ProtectECC:
+			in.stats.Corrected++
+		case ProtectParity:
+			// Parity flags the element at its next access; the model
+			// applies the discard immediately. Resetting an already-dead
+			// element is a no-op inside the surface.
+			f.Reset(idx)
+			in.stats.Detected++
+		default:
+			// A flip on a live element always changes its value, so a
+			// read-back equal to the old value means the strike hit
+			// unallocated state (Set was a no-op).
+			old := f.Get(idx)
+			f.Set(idx, (old^(uint64(1)<<uint(bit)))&widthMask(f.Bits))
+			if f.Get(idx) == old {
+				in.stats.Dead++
+			} else {
+				in.stats.Silent++
+			}
+		}
+	}
+}
+
+// locate maps a global bit position to (field, element index, bit index).
+func locate(fields []Field, pos int64) (*Field, int, int) {
+	for i := range fields {
+		f := &fields[i]
+		span := int64(f.Bits) * int64(f.Len)
+		if pos < span {
+			return f, int(pos / int64(f.Bits)), int(pos % int64(f.Bits))
+		}
+		pos -= span
+	}
+	panic("faults: bit position out of range")
+}
+
+// widthMask returns the mask of a bits-wide field.
+func widthMask(bits int) uint64 {
+	if bits >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(bits) - 1
+}
+
+// SignExtend interprets the low `bits` of v as a two's-complement value —
+// the bridge between signed counters and their SRAM bit patterns.
+func SignExtend(v uint64, bits int) int64 {
+	v &= widthMask(bits)
+	sign := uint64(1) << uint(bits-1)
+	if v&sign != 0 {
+		return int64(v) - int64(1)<<uint(bits)
+	}
+	return int64(v)
+}
+
+// Unsigned returns the two's-complement bit pattern of x in a bits-wide
+// field (the inverse of SignExtend).
+func Unsigned(x int64, bits int) uint64 {
+	return uint64(x) & widthMask(bits)
+}

@@ -1,0 +1,181 @@
+package faults
+
+import (
+	"testing"
+)
+
+// fakeSurface is a two-field surface over plain slices.
+type fakeSurface struct {
+	ctr   []int8 // 3-bit signed counters
+	valid []bool
+	reset int
+}
+
+func (s *fakeSurface) FaultFields() []Field {
+	return []Field{
+		{
+			Name: "fake.ctr", Bits: 3, Len: len(s.ctr),
+			Get:   func(i int) uint64 { return Unsigned(int64(s.ctr[i]), 3) },
+			Set:   func(i int, v uint64) { s.ctr[i] = int8(SignExtend(v, 3)) },
+			Reset: func(i int) { s.ctr[i] = 0; s.reset++ },
+		},
+		{
+			Name: "fake.valid", Bits: 1, Len: len(s.valid),
+			Get: func(i int) uint64 {
+				if s.valid[i] {
+					return 1
+				}
+				return 0
+			},
+			Set:   func(i int, v uint64) { s.valid[i] = v != 0 },
+			Reset: func(i int) { s.valid[i] = false; s.reset++ },
+		},
+	}
+}
+
+func newFake(n int) *fakeSurface {
+	s := &fakeSurface{ctr: make([]int8, n), valid: make([]bool, n)}
+	for i := range s.ctr {
+		s.ctr[i] = int8(i%7 - 3)
+		s.valid[i] = i%2 == 0
+	}
+	return s
+}
+
+// TestSignExtendRoundTrip: every value of every width survives the
+// signed<->bit-pattern round trip.
+func TestSignExtendRoundTrip(t *testing.T) {
+	for bits := 2; bits <= 8; bits++ {
+		lo := -(int64(1) << uint(bits-1))
+		hi := int64(1)<<uint(bits-1) - 1
+		for x := lo; x <= hi; x++ {
+			if got := SignExtend(Unsigned(x, bits), bits); got != x {
+				t.Fatalf("bits=%d x=%d round-tripped to %d", bits, x, got)
+			}
+		}
+	}
+	if SignExtend(0b111, 3) != -1 || SignExtend(0b011, 3) != 3 || SignExtend(0b100, 3) != -4 {
+		t.Error("3-bit two's-complement decoding wrong")
+	}
+}
+
+// TestDeterministicSchedule: identical seeds corrupt identical bits;
+// different seeds diverge.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(seed uint64) *fakeSurface {
+		s := newFake(512)
+		in := NewInjector(s, Config{Rate: 1, Seed: seed})
+		in.InjectN(200)
+		return s
+	}
+	a, b, c := run(7), run(7), run(8)
+	same := func(x, y *fakeSurface) bool {
+		for i := range x.ctr {
+			if x.ctr[i] != y.ctr[i] || x.valid[i] != y.valid[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Error("same seed produced different corruption")
+	}
+	if same(a, c) {
+		t.Error("different seeds produced identical corruption (suspicious)")
+	}
+}
+
+// TestValuesStayInWidth: flips never push an element outside its declared
+// width.
+func TestValuesStayInWidth(t *testing.T) {
+	s := newFake(256)
+	in := NewInjector(s, Config{Rate: 1, Seed: 3})
+	in.InjectN(2000)
+	for i, c := range s.ctr {
+		if c < -4 || c > 3 {
+			t.Fatalf("ctr[%d]=%d escaped its 3-bit range", i, c)
+		}
+	}
+	st := in.Stats()
+	if st.Flips != 2000 || st.Silent != 2000 {
+		t.Errorf("unprotected stats wrong: %+v", st)
+	}
+}
+
+// TestParityResets: parity-protected flips reset the struck element
+// instead of corrupting it.
+func TestParityResets(t *testing.T) {
+	s := newFake(256)
+	in := NewInjector(s, Config{Rate: 1, Protection: ProtectParity, Seed: 3})
+	in.InjectN(100)
+	st := in.Stats()
+	if st.Detected != 100 || st.Silent != 0 {
+		t.Errorf("parity stats wrong: %+v", st)
+	}
+	if s.reset != 100 {
+		t.Errorf("expected 100 element resets, got %d", s.reset)
+	}
+	for i, c := range s.ctr {
+		if c != 0 && c != int8(i%7-3) {
+			t.Fatalf("parity left a corrupted (non-reset, non-original) value at %d: %d", i, c)
+		}
+	}
+}
+
+// TestECCCorrects: ECC-protected state is untouched.
+func TestECCCorrects(t *testing.T) {
+	s := newFake(256)
+	want := newFake(256)
+	in := NewInjector(s, Config{Rate: 1, Protection: ProtectECC, Seed: 3})
+	in.InjectN(500)
+	for i := range s.ctr {
+		if s.ctr[i] != want.ctr[i] || s.valid[i] != want.valid[i] {
+			t.Fatalf("ECC let a flip through at %d", i)
+		}
+	}
+	if st := in.Stats(); st.Corrected != 500 {
+		t.Errorf("ECC stats wrong: %+v", st)
+	}
+}
+
+// TestStepAccumulation: fractional expected flip counts accumulate across
+// steps instead of being dropped — rate × bits × branches determines the
+// long-run flip count regardless of step granularity.
+func TestStepAccumulation(t *testing.T) {
+	s := newFake(1024) // 4096 bits
+	in := NewInjector(s, Config{Rate: 100, Seed: 1})
+	// Expected flips per 1e6-branch step: 100 × (4096/1e6) × 1 ≈ 0.41.
+	for i := 0; i < 100; i++ {
+		in.Step(1_000_000)
+	}
+	want := 100 * (4096.0 / 1e6) * 100 // ≈ 41
+	got := float64(in.Stats().Flips)
+	if got < want-1 || got > want+1 {
+		t.Errorf("accumulated flips %v, want ≈ %v", got, want)
+	}
+}
+
+// TestZeroRateInjectsNothing.
+func TestZeroRateInjectsNothing(t *testing.T) {
+	s := newFake(64)
+	in := NewInjector(s, Config{Rate: 0, Seed: 1})
+	for i := 0; i < 10; i++ {
+		in.Step(1 << 20)
+	}
+	if in.Stats().Flips != 0 {
+		t.Error("zero rate must not inject")
+	}
+}
+
+// TestParseProtection round-trips the mode names.
+func TestParseProtection(t *testing.T) {
+	for _, p := range []Protection{ProtectNone, ProtectParity, ProtectECC} {
+		got, err := ParseProtection(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v failed: %v %v", p, got, err)
+		}
+	}
+	if _, err := ParseProtection("tmr"); err == nil {
+		t.Error("unknown protection must error")
+	}
+}

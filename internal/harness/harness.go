@@ -1,0 +1,321 @@
+// Package harness is the fault-tolerant run engine behind the experiment
+// suite: it executes simulation cells with context cancellation, per-run
+// deadlines, panic isolation, bounded retry with exponential backoff, a
+// bounded-parallelism admission gate, and an append-only JSON journal that
+// lets an interrupted suite resume without redoing completed cells.
+//
+// The engine is deliberately generic — a cell is any
+// func(ctx) (value, error) — so the same machinery runs paper experiments,
+// fault-injection studies and ad-hoc sweeps. Failure is fail-soft: a
+// failed or panicking cell yields a structured *RunError and the rest of
+// the suite completes with partial results.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrTransient marks an error as worth retrying. Wrap with Transient (or
+// build errors that Is() it) to opt a failure into the retry loop;
+// deterministic failures (bad configuration, malformed traces, panics)
+// are never retried.
+var ErrTransient = errors.New("transient failure")
+
+// Transient wraps err so errors.Is(err, ErrTransient) holds.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrTransient, err)
+}
+
+// Job is one unit of work — a simulation cell, an experiment, a
+// verification pass.
+type Job struct {
+	// Key uniquely identifies the cell; it is the journal key, so it
+	// must be stable across processes for resume to work.
+	Key string
+	// Meta carries structured identity (workload, predictor, seed, ...)
+	// into RunError so failures are attributable without parsing keys.
+	Meta map[string]string
+	// Run executes the cell. The context carries the per-attempt
+	// deadline; long-running cells should observe it.
+	Run func(ctx context.Context) (any, error)
+	// Decode reconstructs a journaled value. When nil, journal hits are
+	// ignored and the cell recomputes.
+	Decode func(raw json.RawMessage) (any, error)
+}
+
+// RunError is the structured failure of one cell: which cell, how it was
+// identified, how many attempts were made, and — for recovered panics —
+// the stack trace.
+type RunError struct {
+	// Key is the failed cell's key.
+	Key string
+	// Meta is the job's identity metadata (workload, predictor, seed).
+	Meta map[string]string
+	// Attempts is the number of attempts made (>= 1).
+	Attempts int
+	// Stack is the recovered goroutine stack when the failure was a
+	// panic, empty otherwise.
+	Stack string
+	// Err is the underlying error (for panics, a PanicError).
+	Err error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	kind := "failed"
+	if e.Stack != "" {
+		kind = "panicked"
+	}
+	return fmt.Sprintf("harness: cell %q %s after %d attempt(s): %v", e.Key, kind, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// PanicError is the error form of a recovered panic value.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Result is the outcome of one cell.
+type Result struct {
+	// Key echoes the job key.
+	Key string
+	// Value is the cell's return value (or the decoded journal value).
+	Value any
+	// Err is non-nil when the cell failed; the suite still completes.
+	Err *RunError
+	// Attempts is the number of executions (0 for journal hits).
+	Attempts int
+	// FromJournal reports that the value was restored from the journal
+	// rather than recomputed.
+	FromJournal bool
+	// Elapsed is the wall time spent executing (0 for journal hits).
+	Elapsed time.Duration
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Parallelism bounds how many cells execute concurrently (the
+	// admission gate applies to Do as well as RunAll). Default 1.
+	Parallelism int
+	// Timeout is the per-attempt deadline; 0 means none.
+	Timeout time.Duration
+	// Retries is how many times a transient failure is re-attempted
+	// after the first try. Default 0.
+	Retries int
+	// BackoffBase is the first retry delay (default 50ms); successive
+	// retries double it up to BackoffMax (default 2s). A deterministic
+	// jitter in [0.5,1.0)× is applied, seeded by Seed.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the backoff jitter (deterministic for reproducible
+	// suite timing in tests).
+	Seed uint64
+	// Journal, when non-nil, records completed cells and satisfies
+	// repeated keys without recomputation.
+	Journal *Journal
+	// IsTransient classifies retryable errors. Default: errors marked
+	// with ErrTransient, plus context.DeadlineExceeded (a cell that hit
+	// its deadline may succeed on a quieter machine).
+	IsTransient func(error) bool
+	// Progress, when non-nil, receives one line per cell completion.
+	Progress func(format string, args ...any)
+}
+
+// Runner executes jobs under Options. It is safe for concurrent use.
+type Runner struct {
+	opt  Options
+	gate chan struct{}
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+// NewRunner builds a Runner, applying option defaults.
+func NewRunner(opt Options) *Runner {
+	if opt.Parallelism < 1 {
+		opt.Parallelism = 1
+	}
+	if opt.BackoffBase <= 0 {
+		opt.BackoffBase = 50 * time.Millisecond
+	}
+	if opt.BackoffMax <= 0 {
+		opt.BackoffMax = 2 * time.Second
+	}
+	if opt.IsTransient == nil {
+		opt.IsTransient = func(err error) bool {
+			return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+		}
+	}
+	return &Runner{opt: opt, gate: make(chan struct{}, opt.Parallelism), rng: opt.Seed*2 + 1}
+}
+
+// Options returns the runner's (defaulted) options.
+func (r *Runner) Options() Options { return r.opt }
+
+// Do executes one job: journal lookup, admission, bounded retry, panic
+// isolation. It never panics; failures land in Result.Err.
+func (r *Runner) Do(ctx context.Context, job Job) Result {
+	if r.opt.Journal != nil && job.Decode != nil {
+		if raw, ok := r.opt.Journal.Lookup(job.Key); ok {
+			v, err := job.Decode(raw)
+			if err == nil {
+				r.progress("  cell %-40s restored from journal", job.Key)
+				return Result{Key: job.Key, Value: v, FromJournal: true}
+			}
+			// A corrupt journal value is not fatal: fall through and
+			// recompute the cell.
+			r.progress("  cell %-40s journal entry unusable (%v); recomputing", job.Key, err)
+		}
+	}
+
+	// Admission gate: bounded parallelism across the whole runner.
+	select {
+	case r.gate <- struct{}{}:
+		defer func() { <-r.gate }()
+	case <-ctx.Done():
+		return Result{Key: job.Key, Err: &RunError{Key: job.Key, Meta: job.Meta, Attempts: 0, Err: ctx.Err()}}
+	}
+
+	start := time.Now()
+	var lastErr error
+	attempts := 0
+	for {
+		attempts++
+		v, err := r.attempt(ctx, job)
+		if err == nil {
+			res := Result{Key: job.Key, Value: v, Attempts: attempts, Elapsed: time.Since(start)}
+			if r.opt.Journal != nil {
+				if jerr := r.opt.Journal.Record(job.Key, v); jerr != nil {
+					r.progress("  cell %-40s journal write failed: %v", job.Key, jerr)
+				}
+			}
+			return res
+		}
+		lastErr = err
+		var pe *PanicError
+		retryable := r.opt.IsTransient(err) && !errors.As(err, &pe)
+		if ctx.Err() != nil || !retryable || attempts > r.opt.Retries {
+			break
+		}
+		if !r.sleepBackoff(ctx, attempts-1) {
+			break // cancelled while backing off
+		}
+	}
+	re := &RunError{Key: job.Key, Meta: job.Meta, Attempts: attempts, Err: lastErr}
+	var pe *PanicError
+	if errors.As(lastErr, &pe) {
+		if se := (*stackError)(nil); errors.As(lastErr, &se) {
+			re.Stack = se.stack
+		}
+	}
+	return Result{Key: job.Key, Err: re, Attempts: attempts, Elapsed: time.Since(start)}
+}
+
+// stackError pairs a PanicError with the recovered stack.
+type stackError struct {
+	pe    *PanicError
+	stack string
+}
+
+func (e *stackError) Error() string { return e.pe.Error() }
+func (e *stackError) Unwrap() error { return e.pe }
+
+// attempt runs one execution of the job with the per-attempt deadline and
+// panic recovery.
+func (r *Runner) attempt(ctx context.Context, job Job) (v any, err error) {
+	if r.opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, r.opt.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = &stackError{pe: &PanicError{Value: rec}, stack: string(debug.Stack())}
+		}
+	}()
+	return job.Run(ctx)
+}
+
+// sleepBackoff waits the exponential-backoff delay for retry number
+// attempt (0-based), with deterministic jitter. Returns false if the
+// context was cancelled while waiting.
+func (r *Runner) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := r.opt.BackoffBase << uint(attempt)
+	if d > r.opt.BackoffMax || d <= 0 {
+		d = r.opt.BackoffMax
+	}
+	// Jitter in [0.5, 1.0)× keeps retried cells from re-colliding.
+	d = d/2 + time.Duration(r.nextRand()%uint64(d/2+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// nextRand is a locked splitmix64 step for jitter.
+func (r *Runner) nextRand() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rng += 0x9E3779B97F4A7C15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// RunAll executes every job and returns results in job order. Execution is
+// fail-soft: failed cells carry a *RunError and the rest complete.
+// Concurrency is bounded by Options.Parallelism via the admission gate.
+// RunAll returns once every job has settled (or been cancelled).
+func (r *Runner) RunAll(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = r.Do(ctx, jobs[i])
+			if results[i].Err != nil {
+				r.progress("  cell %-40s FAILED: %v", jobs[i].Key, results[i].Err.Err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Failed collects the errors of failed cells (nil when all succeeded).
+func Failed(results []Result) []*RunError {
+	var out []*RunError
+	for _, res := range results {
+		if res.Err != nil {
+			out = append(out, res.Err)
+		}
+	}
+	return out
+}
+
+func (r *Runner) progress(format string, args ...any) {
+	if r.opt.Progress != nil {
+		r.opt.Progress(format, args...)
+	}
+}

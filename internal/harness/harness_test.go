@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts returns options with sub-millisecond backoff so retry tests
+// stay fast.
+func fastOpts() Options {
+	return Options{BackoffBase: time.Microsecond, BackoffMax: 10 * time.Microsecond}
+}
+
+func okJob(key string, v any) Job {
+	return Job{Key: key, Run: func(context.Context) (any, error) { return v, nil }}
+}
+
+// TestPanicIsolation: a panicking cell yields a structured RunError with a
+// stack trace while the rest of the suite completes — the fail-soft
+// contract of ISSUE acceptance.
+func TestPanicIsolation(t *testing.T) {
+	r := NewRunner(fastOpts())
+	jobs := []Job{
+		okJob("a", 1),
+		{
+			Key:  "boom",
+			Meta: map[string]string{"workload": "Tomcat", "predictor": "llbp", "seed": "7"},
+			Run:  func(context.Context) (any, error) { panic("injected cell panic") },
+		},
+		okJob("b", 2),
+	}
+	results := r.RunAll(context.Background(), jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy cells failed: %+v %+v", results[0].Err, results[2].Err)
+	}
+	re := results[1].Err
+	if re == nil {
+		t.Fatal("panicking cell did not produce a RunError")
+	}
+	if re.Key != "boom" || re.Meta["workload"] != "Tomcat" || re.Meta["seed"] != "7" {
+		t.Errorf("RunError identity wrong: %+v", re)
+	}
+	if !strings.Contains(re.Stack, "harness_test.go") {
+		t.Errorf("RunError stack does not point at the panic site:\n%s", re.Stack)
+	}
+	var pe *PanicError
+	if !errors.As(re, &pe) || pe.Value != "injected cell panic" {
+		t.Errorf("underlying PanicError not recoverable: %v", re.Err)
+	}
+	if re.Attempts != 1 {
+		t.Errorf("panics must not be retried, got %d attempts", re.Attempts)
+	}
+}
+
+// TestRetryTransient: transient failures are retried with backoff up to
+// Retries times; deterministic failures are not.
+func TestRetryTransient(t *testing.T) {
+	opt := fastOpts()
+	opt.Retries = 3
+	r := NewRunner(opt)
+
+	var tries atomic.Int32
+	res := r.Do(context.Background(), Job{Key: "flaky", Run: func(context.Context) (any, error) {
+		if tries.Add(1) < 3 {
+			return nil, Transient(fmt.Errorf("attempt %d", tries.Load()))
+		}
+		return "ok", nil
+	}})
+	if res.Err != nil {
+		t.Fatalf("transient cell should have recovered: %v", res.Err)
+	}
+	if res.Attempts != 3 || res.Value != "ok" {
+		t.Errorf("got attempts=%d value=%v, want 3/ok", res.Attempts, res.Value)
+	}
+
+	var hardTries atomic.Int32
+	res = r.Do(context.Background(), Job{Key: "hard", Run: func(context.Context) (any, error) {
+		hardTries.Add(1)
+		return nil, fmt.Errorf("deterministic failure")
+	}})
+	if res.Err == nil || hardTries.Load() != 1 {
+		t.Errorf("deterministic failure retried: tries=%d err=%v", hardTries.Load(), res.Err)
+	}
+
+	// Exhausted retries surface the last error with the attempt count.
+	var always atomic.Int32
+	res = r.Do(context.Background(), Job{Key: "always", Run: func(context.Context) (any, error) {
+		always.Add(1)
+		return nil, Transient(errors.New("still down"))
+	}})
+	if res.Err == nil || res.Err.Attempts != 4 { // 1 try + 3 retries
+		t.Errorf("want 4 attempts then failure, got %+v", res.Err)
+	}
+}
+
+// TestTimeout: a cell exceeding the per-attempt deadline fails with
+// context.DeadlineExceeded when retries are exhausted.
+func TestTimeout(t *testing.T) {
+	opt := fastOpts()
+	opt.Timeout = 5 * time.Millisecond
+	r := NewRunner(opt)
+	res := r.Do(context.Background(), Job{Key: "slow", Run: func(ctx context.Context) (any, error) {
+		<-ctx.Done() // a well-behaved cell observes its deadline
+		return nil, ctx.Err()
+	}})
+	if res.Err == nil || !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", res.Err)
+	}
+}
+
+// TestCancellation: cancelling the suite context stops admission promptly;
+// already-admitted cells see the cancellation through their context.
+func TestCancellation(t *testing.T) {
+	opt := fastOpts()
+	opt.Parallelism = 1
+	r := NewRunner(opt)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	started := make(chan struct{})
+	var ran atomic.Int32
+	jobs := []Job{
+		{Key: "running", Run: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}},
+	}
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{Key: fmt.Sprintf("queued%d", i), Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		}})
+	}
+	go func() {
+		<-started
+		cancel()
+	}()
+	done := make(chan []Result, 1)
+	go func() { done <- r.RunAll(ctx, jobs) }()
+	select {
+	case results := <-done:
+		if results[0].Err == nil || !errors.Is(results[0].Err, context.Canceled) {
+			t.Errorf("admitted cell should report cancellation, got %+v", results[0].Err)
+		}
+		// Queued cells either never ran (admission refused) or ran before
+		// the cancel won the race; none may hang.
+		for _, res := range results[1:] {
+			if res.Err != nil && !errors.Is(res.Err, context.Canceled) {
+				t.Errorf("queued cell failed oddly: %+v", res.Err)
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunAll did not return after cancellation")
+	}
+}
+
+// TestBoundedParallelism: at most Parallelism cells run concurrently, and
+// the full suite completes under the race detector.
+func TestBoundedParallelism(t *testing.T) {
+	opt := fastOpts()
+	opt.Parallelism = 4
+	r := NewRunner(opt)
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	sum := 0
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Key: fmt.Sprintf("cell%d", i), Run: func(context.Context) (any, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			sum += i
+			mu.Unlock()
+			cur.Add(-1)
+			return i, nil
+		}}
+	}
+	results := r.RunAll(context.Background(), jobs)
+	if errs := Failed(results); errs != nil {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+	if got := peak.Load(); got > 4 {
+		t.Errorf("parallelism exceeded the bound: peak %d > 4", got)
+	}
+	if sum != 64*63/2 {
+		t.Errorf("lost work: sum=%d", sum)
+	}
+	for i, res := range results {
+		if res.Value != i {
+			t.Fatalf("result order broken at %d: %v", i, res.Value)
+		}
+	}
+}
+
+// TestJournalResume: cells recorded by a first (interrupted) run are
+// restored from the journal on the second run and not re-executed — the
+// -resume contract.
+func TestJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	type cellOut struct {
+		MPKI float64 `json:"mpki"`
+	}
+	decode := func(raw json.RawMessage) (any, error) {
+		var v cellOut
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	mkJob := func(key string, ran *atomic.Int32, fail bool) Job {
+		return Job{Key: key, Decode: decode, Run: func(context.Context) (any, error) {
+			ran.Add(1)
+			if fail {
+				return nil, errors.New("died mid-suite")
+			}
+			return cellOut{MPKI: float64(len(key))}, nil
+		}}
+	}
+
+	// First run: two cells complete, one fails (simulating an interrupted
+	// suite — failed cells are not journaled).
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.Journal = j1
+	var a1, b1, c1 atomic.Int32
+	r1 := NewRunner(opt)
+	r1.RunAll(context.Background(), []Job{
+		mkJob("alpha", &a1, false),
+		mkJob("beta", &b1, true),
+		mkJob("gamma", &c1, false),
+	})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a truncated line, as a kill mid-write would.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"trunc`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Second run: only the failed cell re-executes.
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 2 {
+		t.Fatalf("journal should hold 2 completed cells, has %d", j2.Len())
+	}
+	opt2 := fastOpts()
+	opt2.Journal = j2
+	var a2, b2, c2 atomic.Int32
+	r2 := NewRunner(opt2)
+	results := r2.RunAll(context.Background(), []Job{
+		mkJob("alpha", &a2, false),
+		mkJob("beta", &b2, false),
+		mkJob("gamma", &c2, false),
+	})
+	if a2.Load() != 0 || c2.Load() != 0 {
+		t.Errorf("journaled cells re-ran: alpha=%d gamma=%d", a2.Load(), c2.Load())
+	}
+	if b2.Load() != 1 {
+		t.Errorf("unfinished cell should re-run exactly once, ran %d", b2.Load())
+	}
+	if !results[0].FromJournal || results[1].FromJournal || !results[2].FromJournal {
+		t.Errorf("FromJournal flags wrong: %v %v %v",
+			results[0].FromJournal, results[1].FromJournal, results[2].FromJournal)
+	}
+	if v, ok := results[0].Value.(cellOut); !ok || v.MPKI != 5 {
+		t.Errorf("journaled value decoded wrong: %#v", results[0].Value)
+	}
+}
+
+// TestJournalIgnoredWithoutDecode: jobs without a Decode hook recompute
+// even when the key is journaled (the journal cannot reconstruct their
+// value type).
+func TestJournalIgnoredWithoutDecode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.journal")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record("cell", 42); err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOpts()
+	opt.Journal = j
+	r := NewRunner(opt)
+	var ran atomic.Int32
+	res := r.Do(context.Background(), Job{Key: "cell", Run: func(context.Context) (any, error) {
+		ran.Add(1)
+		return 7, nil
+	}})
+	if ran.Load() != 1 || res.FromJournal {
+		t.Errorf("cell without Decode must recompute: ran=%d fromJournal=%v", ran.Load(), res.FromJournal)
+	}
+}

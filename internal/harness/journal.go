@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSON-lines checkpoint of completed cells:
+// one record per line, {"key": <cell key>, "value": <cell value>}. A suite
+// killed mid-flight leaves at most one truncated trailing line, which
+// loading tolerates; every fully recorded cell is skipped on resume.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	done map[string]json.RawMessage
+	path string
+}
+
+// journalRecord is the on-disk line format.
+type journalRecord struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// OpenJournal loads the completed-cell records at path (if any) and opens
+// the file for appending. Corrupt or truncated lines are skipped — a
+// journal written by an interrupted run is still usable.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{done: make(map[string]json.RawMessage), path: path}
+	if raw, err := os.ReadFile(path); err == nil {
+		start := 0
+		for i := 0; i <= len(raw); i++ {
+			if i < len(raw) && raw[i] != '\n' {
+				continue
+			}
+			line := raw[start:i]
+			start = i + 1
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+				continue // truncated tail or corrupt line: ignore
+			}
+			j.done[rec.Key] = rec.Value
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("harness: reading journal %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal %s: %w", path, err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of completed cells currently recorded.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Lookup returns the journaled value for key, if present.
+func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.done[key]
+	return raw, ok
+}
+
+// Record appends a completed cell and syncs it to disk, so a kill after
+// Record never loses the cell.
+func (j *Journal) Record(key string, value any) error {
+	raw, err := json.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("harness: journaling %q: %w", key, err)
+	}
+	line, err := json.Marshal(journalRecord{Key: key, Value: raw})
+	if err != nil {
+		return fmt.Errorf("harness: journaling %q: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("harness: journal %s is closed", j.path)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("harness: journaling %q: %w", key, err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("harness: journaling %q: %w", key, err)
+	}
+	j.done[key] = raw
+	return nil
+}
+
+// Close flushes and closes the journal file. The in-memory index stays
+// readable.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.w.Flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

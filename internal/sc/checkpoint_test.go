@@ -1,0 +1,74 @@
+package sc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// drive feeds one deterministic correct-path branch through both
+// correctors (Correct + Update + history push).
+func drive(a, b *Corrector, rng *rand.Rand) {
+	pc := uint64(0x4000 + rng.Intn(64)*4)
+	tage := rng.Intn(2) == 0
+	conf := rng.Intn(3) == 0
+	taken := rng.Intn(3) != 0
+	for _, c := range []*Corrector{a, b} {
+		c.Correct(pc, tage, conf)
+		c.Update(pc, taken)
+		c.Push(taken)
+	}
+}
+
+// TestCheckpointRoundTripProperty: across many random interleavings, a
+// corrector that checkpoints, wanders down a wrong path (speculative
+// history pushes only), and restores must agree with a twin that never
+// strayed — on every subsequent prediction, for every component vote.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Corrector {
+			c, err := New(DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		c, twin := mk(), mk()
+		warm := 200 + rng.Intn(2000)
+		for i := 0; i < warm; i++ {
+			drive(c, twin, rng)
+		}
+
+		cp := c.CheckpointHistory()
+		excursion := 1 + rng.Intn(300)
+		for i := 0; i < excursion; i++ {
+			c.Push(rng.Intn(2) == 0)
+		}
+		c.RestoreHistory(cp)
+
+		for i := 0; i < 500; i++ {
+			pc := uint64(0x4000 + rng.Intn(64)*4)
+			tage := rng.Intn(2) == 0
+			conf := rng.Intn(3) == 0
+			taken := rng.Intn(3) != 0
+			got := c.Correct(pc, tage, conf)
+			want := twin.Correct(pc, tage, conf)
+			if got != want || c.lastSum != twin.lastSum {
+				t.Fatalf("seed %d step %d: corrector diverged after rollback (sum %d vs %d)",
+					seed, i, c.lastSum, twin.lastSum)
+			}
+			c.Update(pc, taken)
+			twin.Update(pc, taken)
+			c.Push(taken)
+			twin.Push(taken)
+		}
+
+		// Restoring the same checkpoint again must be idempotent.
+		c.RestoreHistory(cp)
+		c.RestoreHistory(cp)
+		if c.ghr.Snapshot() != cp.ghr {
+			t.Errorf("seed %d: restore is not idempotent", seed)
+		}
+	}
+}

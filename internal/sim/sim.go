@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"llbp/internal/btb"
@@ -43,7 +44,21 @@ type Options struct {
 	// resets) from the Table II front-end model instead of replaying
 	// the trace's MispredictedTarget flags.
 	BTB *btb.Model
+	// Context, when non-nil, cancels the run: Run returns an error
+	// wrapping ctx.Err() shortly after cancellation (checked every few
+	// thousand branches). This is how the harness enforces deadlines
+	// and SIGINT on in-flight simulations.
+	Context context.Context
+	// Hook, when non-nil, is invoked after every HookEvery processed
+	// branches (warmup included) with the running branch count — the
+	// attachment point for fault injection and other periodic
+	// intrusions. HookEvery defaults to 4096 when Hook is set.
+	Hook      func(processed uint64)
+	HookEvery uint64
 }
+
+// cancelCheckMask throttles context polling to every 4096 branches.
+const cancelCheckMask = 4095
 
 // Result carries one run's headline metrics.
 type Result struct {
@@ -87,6 +102,16 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	resettable, _ := p.(predictor.Resettable)
 	targetUpdater, _ := p.(predictor.TargetUpdater)
 
+	var done <-chan struct{}
+	if opt.Context != nil {
+		done = opt.Context.Done()
+	}
+	hookEvery := opt.HookEvery
+	if opt.Hook != nil && hookEvery == 0 {
+		hookEvery = 4096
+	}
+	nextHook := hookEvery
+
 	r := src.Open()
 	var b trace.Branch
 	var processed uint64
@@ -94,6 +119,14 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 
 	total := opt.WarmupBranches + opt.MeasureBranches
 	for processed < total {
+		if done != nil && processed&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: %s after %d branches: %w",
+					src.Name(), processed, opt.Context.Err())
+			default:
+			}
+		}
 		if err := r.Read(&b); err != nil {
 			if trace.IsEOF(err) {
 				return nil, fmt.Errorf("sim: %s ended after %d branches, need %d",
@@ -164,6 +197,10 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 		}
 		if measuring {
 			res.Branches++
+		}
+		if opt.Hook != nil && processed >= nextHook {
+			opt.Hook(processed)
+			nextHook += hookEvery
 		}
 	}
 

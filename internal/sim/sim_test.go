@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"llbp/internal/btb"
@@ -237,5 +239,70 @@ func TestRunWithBTBDerivesTargetMisses(t *testing.T) {
 	}
 	if mdl.Stats().Lookups == 0 {
 		t.Error("BTB never consulted")
+	}
+}
+
+// TestRunCancellation: a cancelled context aborts the run promptly with
+// an error wrapping context.Canceled.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts
+	p := &staticPredictor{taken: true}
+	_, err := Run(mkSource(100_000), p, Options{
+		MeasureBranches: 100_000,
+		Context:         ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if p.predicts > cancelCheckMask+1 {
+		t.Errorf("run processed %d branches after cancellation", p.predicts)
+	}
+}
+
+// TestRunMidwayCancellation cancels from the hook partway through and
+// checks the run stops near the cancellation point.
+func TestRunMidwayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &staticPredictor{taken: true}
+	_, err := Run(mkSource(1_000_000), p, Options{
+		MeasureBranches: 1_000_000,
+		Context:         ctx,
+		Hook: func(processed uint64) {
+			if processed >= 20_000 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if p.predicts > 40_000 {
+		t.Errorf("run continued long after cancellation: %d branches", p.predicts)
+	}
+}
+
+// TestRunHookCadence: the hook fires every HookEvery branches with a
+// monotone processed count, warmup included.
+func TestRunHookCadence(t *testing.T) {
+	var calls []uint64
+	p := &staticPredictor{taken: true}
+	_, err := Run(mkSource(10_000), p, Options{
+		WarmupBranches:  2_000,
+		MeasureBranches: 8_000,
+		Hook:            func(n uint64) { calls = append(calls, n) },
+		HookEvery:       1_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 10 {
+		t.Fatalf("hook fired %d times, want 10", len(calls))
+	}
+	for i, n := range calls {
+		if n != uint64(i+1)*1_000 {
+			t.Fatalf("hook call %d saw processed=%d", i, n)
+		}
 	}
 }

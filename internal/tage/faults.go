@@ -1,0 +1,52 @@
+package tage
+
+import (
+	"fmt"
+
+	"llbp/internal/faults"
+)
+
+// FaultFields implements faults.Surface: it exposes the tagged tables'
+// SRAM contents — partial tags, prediction counters and useful bits — as
+// flat fault-injection fields. Parity granularity is the whole entry: a
+// detected flip in any of an entry's fields discards the entry (reset to
+// the invalid all-zero state), losing the pattern but never serving a
+// corrupt one.
+//
+// Infinite-mode predictors return nil: the Inf constructions model
+// idealized unbounded storage, not an SRAM.
+func (p *Predictor) FaultFields() []faults.Field {
+	if p.cfg.Infinite {
+		return nil
+	}
+	fields := make([]faults.Field, 0, 3*len(p.tables))
+	for ti := range p.tables {
+		tbl := p.tables[ti]
+		tagBits := p.cfg.TagBits[ti]
+		ctrBits := p.cfg.CounterBits
+		reset := func(i int) { tbl[i] = entry{} }
+		fields = append(fields,
+			faults.Field{
+				Name: fmt.Sprintf("tage.t%d.tag", ti), Bits: tagBits, Len: len(tbl),
+				Get:   func(i int) uint64 { return uint64(tbl[i].tag) },
+				Set:   func(i int, v uint64) { tbl[i].tag = uint32(v) },
+				Reset: reset,
+			},
+			faults.Field{
+				Name: fmt.Sprintf("tage.t%d.ctr", ti), Bits: ctrBits, Len: len(tbl),
+				Get:   func(i int) uint64 { return faults.Unsigned(int64(tbl[i].ctr), ctrBits) },
+				Set:   func(i int, v uint64) { tbl[i].ctr = int8(faults.SignExtend(v, ctrBits)) },
+				Reset: reset,
+			},
+			faults.Field{
+				Name: fmt.Sprintf("tage.t%d.useful", ti), Bits: 1, Len: len(tbl),
+				Get:   func(i int) uint64 { return uint64(tbl[i].useful & 1) },
+				Set:   func(i int, v uint64) { tbl[i].useful = uint8(v & 1) },
+				Reset: reset,
+			},
+		)
+	}
+	return fields
+}
+
+var _ faults.Surface = (*Predictor)(nil)

@@ -54,11 +54,20 @@ func NewWriter(w io.Writer, name string) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// Write appends one record.
+// Write appends one record. Records the reader would reject — an
+// out-of-range branch type (the 3-bit meta field would silently truncate
+// it) or a zero instruction count — are refused here so corruption cannot
+// be laundered into a well-formed file.
 func (w *Writer) Write(b *Branch) error {
+	if b.Type >= numBranchTypes {
+		return fmt.Errorf("trace: invalid branch type %d (max %d)", b.Type, numBranchTypes-1)
+	}
+	if b.Instructions == 0 || uint64(b.Instructions) > 1<<31 {
+		return fmt.Errorf("trace: invalid instruction count %d", b.Instructions)
+	}
 	n := binary.PutVarint(w.buf[:], int64(b.PC)-int64(w.prevPC))
 	n += binary.PutVarint(w.buf[n:], int64(b.Target)-int64(b.PC))
-	meta := uint64(b.Type) & 0x7
+	meta := uint64(b.Type)
 	if b.Taken {
 		meta |= 1 << 3
 	}

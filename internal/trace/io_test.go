@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"math/rand"
 	"os"
@@ -184,19 +185,20 @@ func TestWriterDeltaEncodingIsCompact(t *testing.T) {
 }
 
 func TestReaderRejectsInvalidType(t *testing.T) {
+	// The writer refuses invalid types, so handcraft the raw stream:
+	// header, then a record whose 3-bit type field is 6 (out of range).
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, "bad")
-	if err != nil {
-		t.Fatal(err)
+	buf.WriteString(magic)
+	buf.WriteByte(3) // name length
+	buf.WriteString("bad")
+	var tmp [binary.MaxVarintLen64]byte
+	for _, v := range []int64{4, 4} { // pcDelta, tgtDelta
+		n := binary.PutVarint(tmp[:], v)
+		buf.Write(tmp[:n])
 	}
-	// Handcraft a record with type 7 (invalid) by writing a valid one
-	// and patching: simpler to construct a raw stream.
-	b := Branch{PC: 4, Target: 8, Type: BranchType(6), Taken: false, Instructions: 1}
-	if err := w.Write(&b); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
+	for _, v := range []uint64{6, 1} { // meta (type 6), instrs
+		n := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:n])
 	}
 	r, err := NewFileReader(&buf)
 	if err != nil {
@@ -274,5 +276,46 @@ func TestFileSourceErrors(t *testing.T) {
 	}
 	if _, err := NewFileSource(bad); err == nil {
 		t.Error("bad magic must error")
+	}
+}
+
+// TestWriterRejectsInvalidRecords: records the reader would reject must be
+// refused at write time, not silently truncated into a different valid
+// record (the 3-bit meta field used to mask out-of-range types).
+func TestWriterRejectsInvalidRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Branch{
+		{PC: 4, Target: 8, Type: numBranchTypes, Taken: true, Instructions: 1},
+		{PC: 4, Target: 8, Type: numBranchTypes + 3, Instructions: 1},
+		{PC: 4, Target: 8, Type: 0xFF, Instructions: 1},
+		{PC: 4, Target: 8, Type: CondDirect, Instructions: 0},
+	}
+	for i := range bad {
+		if err := w.Write(&bad[i]); err == nil {
+			t.Errorf("Write accepted invalid record %+v", bad[i])
+		}
+	}
+	// A valid record after rejected ones still round-trips.
+	good := Branch{PC: 4, Target: 8, Type: CondDirect, Taken: true, Instructions: 3}
+	if err := w.Write(&good); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewFileReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Branch
+	if err := r.Read(&b); err != nil || b != good {
+		t.Fatalf("Read after rejected writes = %+v, %v; want %+v", b, err, good)
+	}
+	if err := r.Read(&b); err != io.EOF {
+		t.Fatalf("rejected records leaked into the stream: %v", err)
 	}
 }

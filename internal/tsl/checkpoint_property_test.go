@@ -1,0 +1,70 @@
+package tsl
+
+import (
+	"math/rand"
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+// TestCheckpointRoundTripProperty: across many random predict/update
+// interleavings, checkpoint → wrong-path excursion → restore must leave
+// the predictor indistinguishable from a twin that never strayed. The
+// wrong path here is unconditional-transfer history pollution
+// (TrackOther), which touches exactly the speculative state the
+// checkpoint covers — so the post-rollback comparison is exact across the
+// whole composed predictor (TAGE + SC + loop).
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		p, twin := MustNew(Config64K()), MustNew(Config64K())
+
+		correctPath := func(n int) {
+			for i := 0; i < n; i++ {
+				if rng.Intn(6) == 0 {
+					pc := uint64(0x9000 + rng.Intn(32)*0x20)
+					p.TrackOther(pc, pc+0x400, trace.Call)
+					twin.TrackOther(pc, pc+0x400, trace.Call)
+					continue
+				}
+				pc := uint64(0x4000 + rng.Intn(48)*4)
+				taken := rng.Intn(3) != 0
+				p.Predict(pc)
+				twin.Predict(pc)
+				p.Update(pc, taken)
+				twin.Update(pc, taken)
+			}
+		}
+		correctPath(100 + rng.Intn(2000))
+
+		cp := p.CheckpointHistory()
+		for i, n := 0, 1+rng.Intn(200); i < n; i++ {
+			pc := uint64(0xF000 + rng.Intn(64)*4)
+			p.TrackOther(pc, pc+0x40, trace.Jump)
+		}
+		p.RestoreHistory(cp)
+
+		for i := 0; i < 1000; i++ {
+			if rng.Intn(6) == 0 {
+				pc := uint64(0x9000 + rng.Intn(32)*0x20)
+				p.TrackOther(pc, pc+0x400, trace.Call)
+				twin.TrackOther(pc, pc+0x400, trace.Call)
+				continue
+			}
+			pc := uint64(0x4000 + rng.Intn(48)*4)
+			taken := rng.Intn(3) != 0
+			got := p.Predict(pc)
+			want := twin.Predict(pc)
+			if got != want {
+				t.Fatalf("seed %d step %d: prediction diverged after rollback", seed, i)
+			}
+			if p.LastDetail() != twin.LastDetail() {
+				t.Fatalf("seed %d step %d: provider detail diverged after rollback: %+v vs %+v",
+					seed, i, p.LastDetail(), twin.LastDetail())
+			}
+			p.Update(pc, taken)
+			twin.Update(pc, taken)
+		}
+	}
+}

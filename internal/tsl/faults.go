@@ -1,0 +1,18 @@
+package tsl
+
+import "llbp/internal/faults"
+
+// FaultFields implements faults.Surface for the composed TAGE-SC-L
+// predictor: the TAGE tagged tables plus the statistical corrector's
+// counter arrays. (The loop predictor's few dozen entries are negligible
+// SRAM and are excluded, as is the bimodal base table — the fault studies
+// target the tagged pattern storage the paper scales.)
+func (p *Predictor) FaultFields() []faults.Field {
+	fields := p.tage.FaultFields()
+	if p.sc != nil {
+		fields = append(fields, p.sc.FaultFields()...)
+	}
+	return fields
+}
+
+var _ faults.Surface = (*Predictor)(nil)

@@ -19,6 +19,7 @@ import (
 	"llbp/internal/experiments"
 	"llbp/internal/predictor"
 	"llbp/internal/report"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
@@ -243,4 +244,69 @@ func BenchmarkPredictLLBP(b *testing.B) {
 	benchPredictor(b, func(c *predictor.Clock) predictor.Predictor {
 		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), c)
 	})
+}
+
+// --- Telemetry overhead ---
+
+// telOpsPerBranch bounds the nil-instrument operations one branch costs
+// on the 64K TSL predict+update path: prediction and provider counters,
+// loop-use counter, provider-length histogram, TAGE allocation counters
+// and the SC reversal counter.
+const telOpsPerBranch = 8
+
+// BenchmarkTelemetryOverhead compares the 64K TSL predict+update path
+// with telemetry detached (every instrument nil) and attached to a live
+// registry. CI runs the disabled variant next to BenchmarkPredict64KTSL.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		benchPredictor(b, func(*predictor.Clock) predictor.Predictor {
+			return tsl.MustNew(tsl.Config64K())
+		})
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		benchPredictor(b, func(*predictor.Clock) predictor.Predictor {
+			p := tsl.MustNew(tsl.Config64K())
+			p.AttachTelemetry(reg)
+			return p
+		})
+	})
+}
+
+// TestDisabledTelemetryOverhead asserts the disabled-registry fast path
+// costs under 2% of a 64K TSL run. Comparing two full end-to-end timings
+// is hopelessly noisy in shared CI, so the bound is derived instead: the
+// measured cost of one nil-instrument operation, times the documented
+// per-branch operation count, against the measured cost of one branch.
+func TestDisabledTelemetryOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing bound is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	nilOp := testing.Benchmark(func(b *testing.B) {
+		var c *telemetry.Counter
+		var h *telemetry.Histogram
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+			h.Observe(1)
+		}
+	})
+	// nilOp iterations each perform two instrument calls.
+	nilNs := float64(nilOp.T.Nanoseconds()) / float64(nilOp.N) / 2
+	branch := testing.Benchmark(func(b *testing.B) {
+		benchPredictor(b, func(*predictor.Clock) predictor.Predictor {
+			return tsl.MustNew(tsl.Config64K())
+		})
+	})
+	branchNs := float64(branch.T.Nanoseconds()) / float64(branch.N)
+	if branchNs == 0 {
+		t.Fatal("branch benchmark did not run")
+	}
+	frac := telOpsPerBranch * nilNs / branchNs
+	t.Logf("nil instrument op: %.3gns, branch: %.4gns, derived overhead: %.3g%%", nilNs, branchNs, frac*100)
+	if frac >= 0.02 {
+		t.Errorf("disabled telemetry costs %.2f%% of a 64K TSL branch, want < 2%%", frac*100)
+	}
 }

@@ -24,11 +24,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"llbp/internal/experiments"
 	"llbp/internal/harness"
+	"llbp/internal/telemetry"
 )
 
 func main() {
@@ -52,9 +55,28 @@ func run(args []string, stdout, stderr *os.File) int {
 		retries = fs.Int("retries", 0, "retries for transiently failed simulations")
 		journal = fs.String("journal", "", "journal file checkpointing completed cells")
 		resume  = fs.Bool("resume", false, "skip cells already recorded in -journal")
+
+		metricsOut = fs.String("metrics", "", "write a suite-level JSON telemetry snapshot to this file")
+		traceOut   = fs.String("tracefile", "", "write Chrome trace-event JSON of cell execution to this file")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "experiments: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	exps, err := experiments.ByID(*runIDs)
@@ -82,6 +104,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		cfg.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+	}
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		cfg.Telemetry = reg
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		tracer := telemetry.NewTracer(f)
+		tracer.ProcessName(telemetry.PidHarness, "harness")
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(stderr, "experiments: writing trace: %v\n", err)
+			}
+		}()
+		cfg.Tracer = tracer
 	}
 	if *resume && *journal == "" {
 		fmt.Fprintln(stderr, "-resume requires -journal")
@@ -143,6 +186,37 @@ func run(args []string, stdout, stderr *os.File) int {
 			}
 		}
 		fmt.Fprintf(stderr, "== %s done in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		werr := telemetry.WriteMetricsFile(f, []telemetry.RunSnapshot{{Predictor: "suite", Metrics: reg.Snapshot()}})
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "experiments: writing metrics: %v\n", werr)
+			return 1
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		runtime.GC()
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "experiments: writing heap profile: %v\n", werr)
+			return 1
+		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(stderr, "%d experiment(s) failed\n", failed)

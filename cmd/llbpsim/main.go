@@ -12,13 +12,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"llbp/internal/core"
 	"llbp/internal/gshare"
 	"llbp/internal/perceptron"
 	"llbp/internal/predictor"
+	"llbp/internal/report"
 	"llbp/internal/sim"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
@@ -35,16 +39,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llbpsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		predName  = fs.String("predictor", "64k", "predictor: 64k, 128k, 256k, 512k, 1m, inftage, inftsl, llbp, llbp0lat, llbpvirt, llbpgate, gshare, perceptron")
-		wlName    = fs.String("workload", "all", "catalog workload name, or 'all'")
-		traceFile = fs.String("trace", "", "replay a binary trace file instead of a catalog workload")
-		warmup    = fs.Uint64("warmup", 200_000, "warmup branches")
-		measure   = fs.Uint64("measure", 1_000_000, "measured branches")
-		verbose   = fs.Bool("v", false, "print LLBP internal statistics")
-		breakdown = fs.Bool("breakdown", false, "print per-behaviour-class misprediction breakdown (catalog workloads only)")
+		predName   = fs.String("predictor", "64k", "predictor: 64k, 128k, 256k, 512k, 1m, inftage, inftsl, llbp, llbp0lat, llbpvirt, llbpgate, gshare, perceptron")
+		wlName     = fs.String("workload", "all", "catalog workload name, or 'all'")
+		traceFile  = fs.String("trace", "", "replay a binary trace file instead of a catalog workload")
+		warmup     = fs.Uint64("warmup", 200_000, "warmup branches")
+		measure    = fs.Uint64("measure", 1_000_000, "measured branches")
+		verbose    = fs.Bool("v", false, "print LLBP internal statistics and the per-interval MPKI chart")
+		breakdown  = fs.Bool("breakdown", false, "print per-behaviour-class misprediction breakdown (catalog workloads only)")
+		metricsOut = fs.String("metrics", "", "write a JSON telemetry snapshot (one run per workload) to this file")
+		traceOut   = fs.String("tracefile", "", "write Chrome trace-event JSON (chrome://tracing / Perfetto) to this file")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "llbpsim: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer f.Close()
+		tracer = telemetry.NewTracer(f)
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintf(stderr, "llbpsim: writing trace: %v\n", err)
+			}
+		}()
 	}
 
 	var sources []trace.Source
@@ -69,20 +107,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sources = []trace.Source{src}
 	}
 
+	var snapshots []telemetry.RunSnapshot
 	fmt.Fprintf(stdout, "%-11s %-10s %10s %8s %8s %8s %7s\n",
 		"workload", "predictor", "instrs", "condBr", "misses", "MPKI", "IPC")
-	for _, src := range sources {
+	for wi, src := range sources {
 		clock := &predictor.Clock{}
 		p, err := buildPredictor(*predName, clock)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
+		var reg *telemetry.Registry
+		if *metricsOut != "" || *verbose {
+			reg = telemetry.NewRegistry()
+		}
 		opts := sim.Options{
 			WarmupBranches:  *warmup,
 			MeasureBranches: *measure,
 			Clock:           clock,
+			Telemetry:       reg,
+			Tracer:          tracer,
+			TracePID:        telemetry.PidSim + wi,
 		}
+		tracer.ProcessName(opts.TracePID, "sim:"+src.Name())
 		var classes map[uint64]workload.BehaviorClass
 		execBy := map[string]uint64{}
 		missBy := map[string]uint64{}
@@ -130,8 +177,61 @@ func run(args []string, stdout, stderr io.Writer) int {
 					s.Matches, s.Overrides, s.GoodOverride, s.BadOverride, s.BothCorrect, s.BothWrong)
 				fmt.Fprintf(stdout, "  llbp: reads=%d writes=%d cdLookups=%d pbHits=%d notReady=%d pbMiss=%d ctxAllocs=%d patAllocs=%d resets=%d live=%d\n",
 					s.LLBPReads, s.LLBPWrites, s.CDLookups, s.PBHits, s.NotReady, s.PBMisses,
-					s.CtxAllocs, s.PatternAllocs, s.Resets, lp.Directory().Live())
+					s.CtxAllocs, s.PatternAllocs, s.Resets, s.CDLive)
+				fmt.Fprintf(stdout, "  llbp: prefetch issued=%d filled=%d wasted=%d ctxSwitches=%d cdEvict=%d pbLive=%d\n",
+					s.PrefetchIssued, s.PrefetchFilled, s.PrefetchWasted, s.CtxSwitches, s.CDEvictions, s.PBLive)
 			}
+		}
+		if reg != nil {
+			snap := reg.Snapshot()
+			if *verbose {
+				if mpki, ok := snap.Series["mpki"]; ok && len(mpki.Points) > 0 {
+					title := fmt.Sprintf("%s MPKI by measured-branch interval", src.Name())
+					if err := report.SeriesChart(title, mpki, 24).WriteText(stdout); err != nil {
+						fmt.Fprintln(stderr, err)
+						return 1
+					}
+				}
+			}
+			snapshots = append(snapshots, telemetry.RunSnapshot{
+				Workload:  res.Workload,
+				Predictor: res.Predictor,
+				Metrics:   snap,
+			})
+		}
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := telemetry.WriteMetricsFile(f, snapshots); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "llbpsim: writing metrics: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "llbpsim: writing heap profile: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 	}
 	return 0

@@ -1,0 +1,142 @@
+// Command telemetrycheck validates telemetry artifacts in CI: that a
+// -metrics JSON snapshot parses against the llbp-metrics schema and
+// contains required counters and series, and that a trace-event file is
+// valid Chrome trace JSON. It exists so the workflow needs no external
+// JSON tooling.
+//
+// Usage:
+//
+//	telemetrycheck -metrics m.json -require pb_hits,prefetch_issued -require-series mpki
+//	telemetrycheck -trace t.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"llbp/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("telemetrycheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		metricsPath = fs.String("metrics", "", "metrics snapshot to validate")
+		require     = fs.String("require", "", "comma-separated counters that must be present in some run")
+		requireSer  = fs.String("require-series", "", "comma-separated series that must be present and non-empty")
+		tracePath   = fs.String("trace", "", "trace-event file to validate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *metricsPath == "" && *tracePath == "" {
+		fmt.Fprintln(stderr, "telemetrycheck: pass -metrics and/or -trace")
+		return 2
+	}
+
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath, splitList(*require), splitList(*requireSer)); err != nil {
+			fmt.Fprintln(stderr, "telemetrycheck:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics OK: %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		n, err := checkTrace(*tracePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "telemetrycheck:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace OK: %s (%d events)\n", *tracePath, n)
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkMetrics validates the snapshot schema and that every required
+// counter (and non-empty series) appears in at least one run.
+func checkMetrics(path string, counters, series []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	mf, err := telemetry.ReadMetricsFile(data)
+	if err != nil {
+		return err
+	}
+	if len(mf.Runs) == 0 {
+		return fmt.Errorf("%s: no runs", path)
+	}
+	for _, name := range counters {
+		found := false
+		for _, run := range mf.Runs {
+			if _, ok := run.Metrics.Counters[name]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: required counter %q missing from every run", path, name)
+		}
+	}
+	for _, name := range series {
+		found := false
+		for _, run := range mf.Runs {
+			if s, ok := run.Metrics.Series[name]; ok && len(s.Points) > 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%s: required series %q missing or empty in every run", path, name)
+		}
+	}
+	return nil
+}
+
+// checkTrace validates that the file is a JSON array of trace events with
+// the fields Perfetto keys on, returning the event count.
+func checkTrace(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		return 0, fmt.Errorf("%s: not a trace-event array: %w", path, err)
+	}
+	if len(events) == 0 {
+		return 0, fmt.Errorf("%s: no trace events", path)
+	}
+	for i, ev := range events {
+		for _, field := range []string{"name", "ph", "pid"} {
+			if _, ok := ev[field]; !ok {
+				return 0, fmt.Errorf("%s: event %d missing %q", path, i, field)
+			}
+		}
+		ph, _ := ev["ph"].(string)
+		if ph == "X" || ph == "i" || ph == "C" {
+			if _, ok := ev["ts"]; !ok {
+				return 0, fmt.Errorf("%s: event %d (ph %q) missing ts", path, i, ph)
+			}
+		}
+	}
+	return len(events), nil
+}

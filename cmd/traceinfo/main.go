@@ -1,53 +1,172 @@
-// Command traceinfo summarizes a binary trace file: record counts by
-// branch type, instruction totals, working-set size, and the
-// conditional/unconditional ratio the paper's analyses rest on.
+// Command traceinfo summarizes branch streams: record counts by branch
+// type, instruction totals, working-set size, taken rate and the
+// conditional/unconditional ratio the paper's analyses rest on. It reads
+// binary trace files or catalog workloads and accumulates everything
+// through the telemetry registry, so the same summary can be written as a
+// -metrics JSON snapshot for tooling.
 //
 // Usage:
 //
 //	traceinfo tomcat.llbptrc
+//	traceinfo -workload Tomcat -branches 500000
+//	traceinfo -workload all -metrics traces.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
+	"llbp/internal/workload"
 )
 
 func main() {
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo <file.llbptrc>")
-		os.Exit(2)
-	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fatal(err)
-	}
-	defer f.Close()
-	r, err := trace.NewFileReader(f)
-	if err != nil {
-		fatal(err)
-	}
-	s, err := trace.Collect(r)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("workload:        %s\n", r.Name())
-	fmt.Printf("branches:        %d\n", s.Branches)
-	fmt.Printf("instructions:    %d\n", s.Instructions)
-	fmt.Printf("unique PCs:      %d\n", len(s.UniquePCs))
-	fmt.Printf("cond/uncond:     %.2f\n", s.CondPerUncond())
-	if c := s.Conditional(); c > 0 {
-		fmt.Printf("taken rate:      %.1f%%\n", float64(s.TakenCond)/float64(c)*100)
-	}
-	for t := trace.CondDirect; t <= trace.IndirectCall; t++ {
-		fmt.Printf("  %-6s %12d\n", t, s.ByType[t])
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "traceinfo:", err)
-	os.Exit(1)
+// run is main with its dependencies injected (testable error paths,
+// matching the other CLIs).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		wlName     = fs.String("workload", "", "summarize a catalog workload ('all' for every one) instead of trace files")
+		branches   = fs.Uint64("branches", 1_000_000, "branch records to stream from catalog workloads (they are endless)")
+		metricsOut = fs.String("metrics", "", "write the per-workload telemetry snapshots to this JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var sources []trace.Source
+	switch {
+	case *wlName == "all":
+		for _, src := range workload.Catalog() {
+			sources = append(sources, src)
+		}
+	case *wlName != "":
+		src, err := workload.ByName(*wlName)
+		if err != nil {
+			fmt.Fprintln(stderr, "traceinfo:", err)
+			return 1
+		}
+		sources = []trace.Source{src}
+	case fs.NArg() > 0:
+		for _, path := range fs.Args() {
+			src, err := trace.NewFileSource(path)
+			if err != nil {
+				fmt.Fprintln(stderr, "traceinfo:", err)
+				return 1
+			}
+			sources = append(sources, src)
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: traceinfo [-metrics out.json] <file.llbptrc>... | -workload <name|all>")
+		return 2
+	}
+
+	var snapshots []telemetry.RunSnapshot
+	for _, src := range sources {
+		// Catalog workloads generate forever; file sources stop at EOF
+		// regardless of the -branches budget.
+		limit := ^uint64(0)
+		if *wlName != "" {
+			limit = *branches
+		}
+		snap, err := summarize(src, limit)
+		if err != nil {
+			fmt.Fprintln(stderr, "traceinfo:", err)
+			return 1
+		}
+		printSummary(stdout, src.Name(), snap)
+		snapshots = append(snapshots, telemetry.RunSnapshot{Workload: src.Name(), Metrics: snap})
+	}
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(stderr, "traceinfo:", err)
+			return 1
+		}
+		if err := telemetry.WriteMetricsFile(f, snapshots); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "traceinfo:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "traceinfo:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// summarize streams up to limit branch records through a telemetry
+// registry and returns the snapshot: branch_<type> counters for the type
+// mix, cond_taken, a block-length histogram, and working-set /
+// cond-uncond-ratio gauges.
+func summarize(src trace.Source, limit uint64) (telemetry.Snapshot, error) {
+	reg := telemetry.NewRegistry()
+	var (
+		branchesC = reg.Counter("trace_branches")
+		instrsC   = reg.Counter("trace_instructions")
+		takenC    = reg.Counter("cond_taken")
+		blockLen  = reg.Histogram("block_len_instrs", telemetry.ExponentialBuckets(1, 2, 10))
+		byType    [6]*telemetry.Counter
+	)
+	for t := trace.CondDirect; t <= trace.IndirectCall; t++ {
+		byType[t] = reg.Counter("branch_" + t.String())
+	}
+
+	r := src.Open()
+	var b trace.Branch
+	pcs := make(map[uint64]struct{})
+	for n := uint64(0); n < limit; n++ {
+		if err := r.Read(&b); err != nil {
+			if trace.IsEOF(err) {
+				break
+			}
+			return telemetry.Snapshot{}, fmt.Errorf("reading %s: %w", src.Name(), err)
+		}
+		branchesC.Inc()
+		instrsC.Add(uint64(b.Instructions))
+		blockLen.Observe(float64(b.Instructions))
+		if int(b.Type) < len(byType) {
+			byType[b.Type].Inc()
+		}
+		if b.Type.IsConditional() && b.Taken {
+			takenC.Inc()
+		}
+		pcs[b.PC] = struct{}{}
+	}
+
+	reg.Gauge("working_set_pcs").Set(float64(len(pcs)))
+	cond := byType[trace.CondDirect].Value()
+	uncond := branchesC.Value() - cond
+	if uncond > 0 {
+		reg.Gauge("cond_uncond_ratio").Set(float64(cond) / float64(uncond))
+	}
+	return reg.Snapshot(), nil
+}
+
+// printSummary renders one workload's snapshot as the traditional text
+// report.
+func printSummary(w io.Writer, name string, s telemetry.Snapshot) {
+	fmt.Fprintf(w, "workload:        %s\n", name)
+	fmt.Fprintf(w, "branches:        %d\n", s.Counters["trace_branches"])
+	fmt.Fprintf(w, "instructions:    %d\n", s.Counters["trace_instructions"])
+	fmt.Fprintf(w, "unique PCs:      %.0f\n", s.Gauges["working_set_pcs"])
+	fmt.Fprintf(w, "cond/uncond:     %.2f\n", s.Gauges["cond_uncond_ratio"])
+	if cond := s.Counters["branch_cond"]; cond > 0 {
+		fmt.Fprintf(w, "taken rate:      %.1f%%\n", float64(s.Counters["cond_taken"])/float64(cond)*100)
+	}
+	if h, ok := s.Histograms["block_len_instrs"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "mean block len:  %.1f instrs\n", h.Sum/float64(h.Count))
+	}
+	for t := trace.CondDirect; t <= trace.IndirectCall; t++ {
+		fmt.Fprintf(w, "  %-6s %12d\n", t, s.Counters["branch_"+t.String()])
+	}
 }

@@ -81,5 +81,5 @@ func main() {
 	fmt.Printf("64K TSL: %.3f MPKI\n", baseRes.MPKI)
 	fmt.Printf("LLBP:    %.3f MPKI (%.1f%% reduction)\n",
 		llbpRes.MPKI, (baseRes.MPKI-llbpRes.MPKI)/baseRes.MPKI*100)
-	fmt.Printf("live contexts in the CD: %d\n", pred.Directory().Live())
+	fmt.Printf("live contexts in the CD: %d\n", pred.Stats().CDLive)
 }

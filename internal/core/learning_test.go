@@ -69,8 +69,8 @@ func TestContextSeparation(t *testing.T) {
 			clock.Advance(3)
 		}
 	}
-	if p.Directory().Live() < 2 {
-		t.Errorf("expected at least two live contexts, got %d", p.Directory().Live())
+	if p.Stats().CDLive < 2 {
+		t.Errorf("expected at least two live contexts, got %d", p.Stats().CDLive)
 	}
 	// Measure: both contexts must now predict near-perfectly.
 	miss := 0

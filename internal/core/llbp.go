@@ -5,6 +5,7 @@ import (
 
 	"llbp/internal/history"
 	"llbp/internal/predictor"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 	"llbp/internal/tsl"
 )
@@ -35,6 +36,19 @@ type Stats struct {
 	Resets        uint64 // pipeline resets observed
 	Squashes      uint64 // in-flight prefetches squashed by resets
 
+	// Prefetch timeliness (Figure 11 bandwidth and §V-C analysis).
+	PrefetchIssued uint64 // context-triggered pattern-set fetches into the PB
+	PrefetchFilled uint64 // prefetched sets used at least once while cached
+	PrefetchWasted uint64 // prefetched sets evicted or squashed untouched
+
+	// Context churn: distinct CCID transitions observed by the RCR.
+	CtxSwitches uint64
+
+	// Structure occupancy, filled in by Stats() at snapshot time.
+	CDEvictions uint64 // context-directory evictions
+	CDLive      int    // live context-directory entries
+	PBLive      int    // live pattern-buffer entries
+
 	// Power gating (Config.AutoDisable, §V).
 	DisabledPredictions uint64 // predictions made with LLBP powered down
 	DisableEvents       uint64 // enabled -> disabled transitions
@@ -62,7 +76,12 @@ type Predictor struct {
 	lenFold []int
 
 	stats  Stats
+	tel    coreTel
 	detail predictor.Detail
+
+	// lastCCID detects CCID transitions for Stats.CtxSwitches.
+	lastCCID uint64
+	haveCCID bool
 
 	// Power gating state (Config.AutoDisable).
 	gateOff      bool // LLBP prediction path powered down
@@ -156,14 +175,72 @@ func (p *Predictor) Config() Config { return p.cfg }
 // Base returns the underlying baseline predictor.
 func (p *Predictor) Base() *tsl.Predictor { return p.base }
 
-// Stats returns a snapshot of the event counters.
-func (p *Predictor) Stats() Stats { return p.stats }
+// Stats returns a snapshot of the event counters, including the derived
+// structure-occupancy fields (CDLive, PBLive, CDEvictions) computed at
+// snapshot time. It is the public observability surface of the composite
+// predictor; internal structures are not exposed.
+func (p *Predictor) Stats() Stats {
+	s := p.stats
+	s.CDEvictions = p.dir.Evictions()
+	s.CDLive = p.dir.Live()
+	s.PBLive = p.pb.Live()
+	return s
+}
 
-// Directory exposes the context directory (diagnostics and tests).
-func (p *Predictor) Directory() *Directory { return p.dir }
+// coreTel mirrors the hot-path event counters into a telemetry registry.
+// Every field is a nil-safe instrument: with no registry attached each
+// increment is a single nil check.
+type coreTel struct {
+	pbHits         *telemetry.Counter
+	pbLate         *telemetry.Counter
+	pbMisses       *telemetry.Counter
+	prefetchIssued *telemetry.Counter
+	prefetchFilled *telemetry.Counter
+	prefetchWasted *telemetry.Counter
+	ctxSwitches    *telemetry.Counter
+	cdLookups      *telemetry.Counter
+	ctxAllocs      *telemetry.Counter
+	patternAllocs  *telemetry.Counter
+	llbpReads      *telemetry.Counter
+	llbpWrites     *telemetry.Counter
+	matches        *telemetry.Counter
+	overrides      *telemetry.Counter
+	goodOverride   *telemetry.Counter
+	badOverride    *telemetry.Counter
+	resets         *telemetry.Counter
+	squashes       *telemetry.Counter
+	disableEvents  *telemetry.Counter
+	disabledPreds  *telemetry.Counter
+}
 
-// PatternBuffer exposes the pattern buffer (diagnostics and tests).
-func (p *Predictor) PatternBuffer() *Buffer { return p.pb }
+// AttachTelemetry registers LLBP's counters with reg and cascades to the
+// baseline predictor. A nil registry detaches (all instruments become
+// no-ops). Implements telemetry.Attachable.
+func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
+	p.tel = coreTel{
+		pbHits:         reg.Counter("pb_hits"),
+		pbLate:         reg.Counter("pb_late"),
+		pbMisses:       reg.Counter("pb_misses"),
+		prefetchIssued: reg.Counter("prefetch_issued"),
+		prefetchFilled: reg.Counter("prefetch_filled"),
+		prefetchWasted: reg.Counter("prefetch_wasted"),
+		ctxSwitches:    reg.Counter("rcr_ctx_switches"),
+		cdLookups:      reg.Counter("cd_lookups"),
+		ctxAllocs:      reg.Counter("cd_ctx_allocs"),
+		patternAllocs:  reg.Counter("llbp_pattern_allocs"),
+		llbpReads:      reg.Counter("llbp_reads"),
+		llbpWrites:     reg.Counter("llbp_writes"),
+		matches:        reg.Counter("llbp_matches"),
+		overrides:      reg.Counter("llbp_overrides"),
+		goodOverride:   reg.Counter("llbp_good_overrides"),
+		badOverride:    reg.Counter("llbp_bad_overrides"),
+		resets:         reg.Counter("pipeline_resets"),
+		squashes:       reg.Counter("prefetch_squashes"),
+		disableEvents:  reg.Counter("llbp_disable_events"),
+		disabledPreds:  reg.Counter("llbp_disabled_predictions"),
+	}
+	p.base.AttachTelemetry(reg)
+}
 
 // tagFor computes the pattern tag for pc at history-length index lenIdx.
 // AltHash variants (the * lengths of §VI) combine the same folded
@@ -198,6 +275,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 		// predicts alone. Histories and the RCR keep running (cheap
 		// registers), so re-enabling is seamless.
 		p.stats.DisabledPredictions++
+		p.tel.disabledPreds.Inc()
 		p.matched, p.llbpWins, p.override = false, false, false
 		p.pbe = nil
 		p.finalTaken = p.baseTaken
@@ -212,18 +290,23 @@ func (p *Predictor) Predict(pc uint64) bool {
 	switch {
 	case p.pbe != nil && p.pbe.Ready <= p.clock.NowF():
 		p.stats.PBHits++
+		p.tel.pbHits.Inc()
+		p.touchPB(p.pbe)
 		p.matchPatterns(pc)
 	case p.pbe != nil:
 		p.stats.NotReady++
+		p.tel.pbLate.Inc()
 		p.pbe = nil // unusable this cycle
 	default:
 		p.stats.PBMisses++
+		p.tel.pbMisses.Inc()
 	}
 
 	p.override, p.llbpWins = false, false
 	p.finalTaken = p.baseTaken
 	if p.matched {
 		p.stats.Matches++
+		p.tel.matches.Inc()
 		p.windowMatch++
 		p.llbpWins = p.cfg.HistLengths[p.llbpLenIdx].Len >= p.tageLen
 		// Longest history wins (§V-B); but a newly allocated,
@@ -237,6 +320,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 			p.override = true
 			p.finalTaken = p.llbpTaken
 			p.stats.Overrides++
+			p.tel.overrides.Inc()
 		} else {
 			p.stats.NoOverride++
 		}
@@ -286,6 +370,7 @@ func (p *Predictor) tickGate() {
 			p.gateOff = true
 			p.sleepLeft = 4
 			p.stats.DisableEvents++
+			p.tel.disableEvents.Inc()
 		}
 	}
 	p.windowGood, p.windowBad, p.windowMatch, p.windowMisses = 0, 0, 0, 0
@@ -350,9 +435,11 @@ func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 		switch {
 		case !baseRight && llbpRight:
 			p.stats.GoodOverride++
+			p.tel.goodOverride.Inc()
 			p.windowGood++
 		case baseRight && !llbpRight:
 			p.stats.BadOverride++
+			p.tel.badOverride.Inc()
 			p.windowBad++
 		case baseRight && llbpRight:
 			p.stats.BothCorrect++
@@ -368,6 +455,7 @@ func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 		p.pushHistory(taken)
 		if p.cfg.CtxType.Feeds(trace.CondDirect, taken) {
 			p.rcr.Push(pc)
+			p.noteContextFeed()
 		}
 		return
 	}
@@ -412,6 +500,7 @@ func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 	p.pushHistory(taken)
 	if p.cfg.CtxType.Feeds(trace.CondDirect, taken) {
 		p.rcr.Push(pc)
+		p.noteContextFeed()
 		p.onContextSwitch()
 	}
 }
@@ -440,9 +529,14 @@ func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
 		var evicted bool
 		ent, evictedCID, evicted = p.dir.Insert(p.cid)
 		p.stats.CtxAllocs++
+		p.tel.ctxAllocs.Inc()
 		if evicted {
-			if old := p.pb.Invalidate(evictedCID); old.Valid && old.Dirty {
-				p.stats.LLBPWrites++
+			if old := p.pb.Invalidate(evictedCID); old.Valid {
+				if old.Dirty {
+					p.stats.LLBPWrites++
+					p.tel.llbpWrites.Inc()
+				}
+				p.noteEvicted(old)
 			}
 		}
 	}
@@ -451,8 +545,9 @@ func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
 		// The set is (now) resident in LLBP but not cached; pull it
 		// in. New patterns are created core-side, so the entry is
 		// immediately usable.
-		pbe = p.fetchIntoPB(p.cid, ent, 0)
+		pbe = p.fetchIntoPB(p.cid, ent, 0, false)
 	}
+	p.touchPB(pbe)
 	pbe.Ent = ent
 	// Steps 2–4: replace the least-confident pattern in the target
 	// bucket and keep the bucket sorted.
@@ -460,18 +555,63 @@ func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
 	pbe.Dirty = true
 	p.dir.RefreshConf(ent)
 	p.stats.PatternAllocs++
+	p.tel.patternAllocs.Inc()
 }
 
 // fetchIntoPB models a pattern-set transfer from LLBP storage to the PB,
-// accounting the read and any dirty-victim writeback.
-func (p *Predictor) fetchIntoPB(cid uint64, ent *CDEntry, delay float64) *PBEntry {
+// accounting the read and any dirty-victim writeback. prefetch marks
+// context-triggered fetches for the timeliness accounting (demand fetches
+// from the allocation path pass false).
+func (p *Predictor) fetchIntoPB(cid uint64, ent *CDEntry, delay float64, prefetch bool) *PBEntry {
 	p.stats.LLBPReads++
-	ins, ev := p.pb.Insert(cid, ent, p.clock.NowF()+delay)
-	if ev.Valid && ev.Dirty {
-		p.stats.LLBPWrites++
-		p.dir.RefreshConf(ev.Ent)
+	p.tel.llbpReads.Inc()
+	if prefetch {
+		p.stats.PrefetchIssued++
+		p.tel.prefetchIssued.Inc()
 	}
+	ins, ev := p.pb.Insert(cid, ent, p.clock.NowF()+delay)
+	if ev.Valid {
+		if ev.Dirty {
+			p.stats.LLBPWrites++
+			p.tel.llbpWrites.Inc()
+			p.dir.RefreshConf(ev.Ent)
+		}
+		p.noteEvicted(ev)
+	}
+	ins.Prefetched = prefetch
 	return ins
+}
+
+// touchPB marks a PB entry used, completing the prefetch-timeliness
+// accounting on the first use of a prefetched entry.
+func (p *Predictor) touchPB(e *PBEntry) {
+	if e.Prefetched && !e.Touched {
+		p.stats.PrefetchFilled++
+		p.tel.prefetchFilled.Inc()
+	}
+	e.Touched = true
+}
+
+// noteEvicted accounts a PB entry leaving the buffer: a prefetched entry
+// that never served a use was wasted prefetch bandwidth.
+func (p *Predictor) noteEvicted(ev PBEntry) {
+	if ev.Prefetched && !ev.Touched {
+		p.stats.PrefetchWasted++
+		p.tel.prefetchWasted.Inc()
+	}
+}
+
+// noteContextFeed runs after every RCR push, counting CCID transitions.
+func (p *Predictor) noteContextFeed() {
+	ccid := p.rcr.CCID()
+	if p.haveCCID && ccid == p.lastCCID {
+		return
+	}
+	if p.haveCCID {
+		p.stats.CtxSwitches++
+		p.tel.ctxSwitches.Inc()
+	}
+	p.lastCCID, p.haveCCID = ccid, true
 }
 
 // TrackOther implements predictor.Predictor: maintains the baseline's and
@@ -481,6 +621,7 @@ func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
 	p.pushHistory(true)
 	if p.cfg.CtxType.Feeds(t, true) {
 		p.rcr.Push(pc)
+		p.noteContextFeed()
 		p.onContextSwitch()
 	}
 }
@@ -494,9 +635,10 @@ func (p *Predictor) onContextSwitch() {
 		return // powered down: no CD searches or prefetches
 	}
 	p.stats.CDLookups++
+	p.tel.cdLookups.Inc()
 	pcid := p.rcr.PrefetchCID()
 	if ent := p.dir.Lookup(pcid); ent != nil && p.pb.Lookup(pcid) == nil {
-		p.fetchIntoPB(pcid, ent, p.cfg.PrefetchDelay)
+		p.fetchIntoPB(pcid, ent, p.cfg.PrefetchDelay, true)
 	}
 	if p.cfg.D == 0 {
 		return // prefetch CID == CCID; already handled
@@ -504,7 +646,7 @@ func (p *Predictor) onContextSwitch() {
 	ccid := p.rcr.CCID()
 	if p.pb.Lookup(ccid) == nil {
 		if ent := p.dir.Lookup(ccid); ent != nil {
-			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay)
+			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay, true)
 		}
 	}
 }
@@ -523,11 +665,18 @@ func (p *Predictor) pushHistory(taken bool) {
 func (p *Predictor) OnPipelineReset() {
 	now := p.clock.NowF()
 	p.stats.Resets++
-	p.stats.Squashes += uint64(p.pb.SquashInflight(now))
+	p.tel.resets.Inc()
+	squashed := uint64(p.pb.SquashInflight(now))
+	p.stats.Squashes += squashed
+	p.tel.squashes.Add(squashed)
+	// Squashed in-flight fetches are by construction untouched prefetches
+	// (demand fetches complete immediately), so they count as wasted.
+	p.stats.PrefetchWasted += squashed
+	p.tel.prefetchWasted.Add(squashed)
 	ccid := p.rcr.CCID()
 	if p.pb.Lookup(ccid) == nil {
 		if ent := p.dir.Lookup(ccid); ent != nil {
-			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay)
+			p.fetchIntoPB(ccid, ent, p.cfg.PrefetchDelay, true)
 		}
 	}
 }

@@ -136,7 +136,7 @@ func TestAllocationCreatesContext(t *testing.T) {
 	if p.Stats().PatternAllocs == 0 {
 		t.Error("mispredictions must allocate LLBP patterns")
 	}
-	if p.Directory().Live() == 0 {
+	if p.Stats().CDLive == 0 {
 		t.Error("allocation must install a context")
 	}
 }

@@ -18,7 +18,14 @@ type PBEntry struct {
 	// Ready is the cycle at which the prefetched set becomes usable
 	// (issue cycle + the 6-cycle CD+LLBP access delay, §VI).
 	Ready float64
-	lru   uint64
+	// Prefetched marks entries installed by the context prefetcher (as
+	// opposed to demand/allocation fetches); Touched marks entries that
+	// served at least one prediction or allocation. Together they drive
+	// the prefetch-timeliness accounting: a prefetched entry leaving the
+	// PB untouched was wasted bandwidth.
+	Prefetched bool
+	Touched    bool
+	lru        uint64
 }
 
 // Buffer is the pattern buffer (§V-A): a small set-associative cache of

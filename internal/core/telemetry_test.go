@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"llbp/internal/telemetry"
+	"llbp/internal/trace"
+)
+
+// driveStream pushes a deterministic mixed branch stream through the
+// predictor: phases of conditional branches whose outcomes depend on the
+// calling context, cycling through more contexts than the pattern buffer
+// holds so revisits must be prefetched from LLBP storage.
+func driveStream(p *Predictor, clock interface{ Advance(float64) }, branches int) {
+	const (
+		ctxs  = 160 // > PBEntries, so the PB churns
+		phase = 40  // branches per context visit
+	)
+	for i := 0; i < branches; i++ {
+		ctx := (i / phase) % ctxs
+		if i%phase == 0 {
+			pc := 0x400000 + uint64(ctx)*0x1000
+			p.TrackOther(pc, pc+0x100, trace.Call)
+		} else {
+			pc := 0x500000 + uint64(i%5)*4
+			taken := (ctx+i)%3 == 0 // context-correlated pattern
+			p.Predict(pc)
+			p.UpdateWithTarget(pc, pc+4, taken)
+		}
+		clock.Advance(3)
+	}
+}
+
+// TestTelemetryMirrorsStats checks that the telemetry counters registered
+// by AttachTelemetry stay in lockstep with the public Stats() snapshot —
+// the two observability surfaces must agree.
+func TestTelemetryMirrorsStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PBEntries = 8 // small PB: churn forces real prefetch traffic
+	p, clock := newTestLLBP(t, cfg)
+	reg := telemetry.NewRegistry()
+	if !telemetry.Attach(reg, p) {
+		t.Fatal("core.Predictor must implement telemetry.Attachable")
+	}
+	driveStream(p, clock, 60000)
+	p.OnPipelineReset()
+
+	s := p.Stats()
+	snap := reg.Snapshot()
+	mirror := map[string]uint64{
+		"pb_hits":          s.PBHits,
+		"pb_late":          s.NotReady,
+		"pb_misses":        s.PBMisses,
+		"prefetch_issued":  s.PrefetchIssued,
+		"prefetch_filled":  s.PrefetchFilled,
+		"prefetch_wasted":  s.PrefetchWasted,
+		"rcr_ctx_switches": s.CtxSwitches,
+		"cd_lookups":       s.CDLookups,
+		"cd_ctx_allocs":    s.CtxAllocs,
+		"llbp_reads":       s.LLBPReads,
+		"llbp_writes":      s.LLBPWrites,
+		"llbp_matches":     s.Matches,
+		"llbp_overrides":   s.Overrides,
+		"pipeline_resets":  s.Resets,
+	}
+	for name, want := range mirror {
+		if got := snap.Counters[name]; got != want {
+			t.Errorf("counter %s = %d, Stats says %d", name, got, want)
+		}
+	}
+	if s.PBHits == 0 || s.PrefetchIssued == 0 || s.CtxSwitches == 0 {
+		t.Errorf("stream too tame: pbHits=%d prefetchIssued=%d ctxSwitches=%d",
+			s.PBHits, s.PrefetchIssued, s.CtxSwitches)
+	}
+	// The baseline cascade must have registered too.
+	if snap.Counters["tsl_predictions"] == 0 {
+		t.Error("AttachTelemetry must cascade to the baseline TSL")
+	}
+}
+
+// TestPrefetchAccountingInvariant: every prefetched entry is eventually
+// either filled (first use) or wasted (evicted/squashed untouched), never
+// both, so filled+wasted can not exceed issued.
+func TestPrefetchAccountingInvariant(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PBEntries = 8 // small PB: churn forces evictions and waste
+	p, clock := newTestLLBP(t, cfg)
+	driveStream(p, clock, 30000)
+	for i := 0; i < 5; i++ {
+		p.OnPipelineReset() // squash in-flight prefetches
+		driveStream(p, clock, 2000)
+	}
+	s := p.Stats()
+	if s.PrefetchFilled+s.PrefetchWasted > s.PrefetchIssued {
+		t.Errorf("filled %d + wasted %d > issued %d",
+			s.PrefetchFilled, s.PrefetchWasted, s.PrefetchIssued)
+	}
+	if s.PrefetchIssued == 0 {
+		t.Fatal("no prefetches issued")
+	}
+}
+
+// TestStatsOccupancyFields: the derived occupancy fields are filled at
+// snapshot time and bounded by the configured structure sizes.
+func TestStatsOccupancyFields(t *testing.T) {
+	cfg := DefaultConfig()
+	p, clock := newTestLLBP(t, cfg)
+	driveStream(p, clock, 20000)
+	s := p.Stats()
+	if s.CDLive <= 0 || s.CDLive > cfg.NumContexts {
+		t.Errorf("CDLive = %d, want in (0, %d]", s.CDLive, cfg.NumContexts)
+	}
+	if s.PBLive <= 0 || s.PBLive > cfg.PBEntries {
+		t.Errorf("PBLive = %d, want in (0, %d]", s.PBLive, cfg.PBEntries)
+	}
+}
+
+// TestDetachTelemetry: re-attaching with a nil registry detaches — later
+// events must not reach the old registry.
+func TestDetachTelemetry(t *testing.T) {
+	p, clock := newTestLLBP(t, DefaultConfig())
+	reg := telemetry.NewRegistry()
+	p.AttachTelemetry(reg)
+	driveStream(p, clock, 5000)
+	before := reg.Snapshot().Counters["pb_hits"]
+	p.AttachTelemetry(nil)
+	driveStream(p, clock, 5000)
+	if after := reg.Snapshot().Counters["pb_hits"]; after != before {
+		t.Errorf("detached predictor still updated registry: %d -> %d", before, after)
+	}
+	if p.Stats().PBHits <= before {
+		t.Error("Stats must keep counting after detach")
+	}
+}

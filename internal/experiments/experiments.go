@@ -19,6 +19,7 @@ import (
 	"llbp/internal/predictor"
 	"llbp/internal/report"
 	"llbp/internal/sim"
+	"llbp/internal/telemetry"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
 )
@@ -56,6 +57,12 @@ type Config struct {
 	// Journal, when non-nil, checkpoints completed cells so an
 	// interrupted suite resumes without redoing them.
 	Journal *harness.Journal
+	// Telemetry, when non-nil, receives suite-level harness metrics
+	// (cells run/failed/journal hits, attempt and latency histograms).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives one wall-clock span per simulation
+	// cell on the harness track.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultConfig returns the standard laptop-scale budgets.
@@ -178,6 +185,8 @@ func NewHarness(cfg Config) *Harness {
 		Retries:     cfg.Retries,
 		Journal:     cfg.Journal,
 		Progress:    cfg.Progress,
+		Telemetry:   cfg.Telemetry,
+		Tracer:      cfg.Tracer,
 	})
 	return &Harness{
 		Cfg:      cfg,

@@ -18,7 +18,10 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"llbp/internal/telemetry"
 )
 
 // ErrTransient marks an error as worth retrying. Wrap with Transient (or
@@ -134,15 +137,36 @@ type Options struct {
 	IsTransient func(error) bool
 	// Progress, when non-nil, receives one line per cell completion.
 	Progress func(format string, args ...any)
+	// Telemetry, when non-nil, receives suite-level counters
+	// (harness_cells_run/_failed/_journal_hits/_retries) and per-cell
+	// attempt/latency histograms.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, receives one wall-clock span per executed
+	// cell on the harness track, annotated with key, attempts, journal
+	// provenance and any error.
+	Tracer *telemetry.Tracer
 }
 
 // Runner executes jobs under Options. It is safe for concurrent use.
 type Runner struct {
 	opt  Options
 	gate chan struct{}
+	tel  harnessTel
+	seq  atomic.Uint64 // trace lane assignment for concurrent cells
 
 	mu  sync.Mutex
 	rng uint64
+}
+
+// harnessTel holds the runner's nil-safe instruments; with no registry
+// configured every update is a nil check.
+type harnessTel struct {
+	cellsRun    *telemetry.Counter
+	cellsFailed *telemetry.Counter
+	journalHits *telemetry.Counter
+	retries     *telemetry.Counter
+	attempts    *telemetry.Histogram
+	elapsedMS   *telemetry.Histogram
 }
 
 // NewRunner builds a Runner, applying option defaults.
@@ -161,7 +185,16 @@ func NewRunner(opt Options) *Runner {
 			return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
 		}
 	}
-	return &Runner{opt: opt, gate: make(chan struct{}, opt.Parallelism), rng: opt.Seed*2 + 1}
+	r := &Runner{opt: opt, gate: make(chan struct{}, opt.Parallelism), rng: opt.Seed*2 + 1}
+	r.tel = harnessTel{
+		cellsRun:    opt.Telemetry.Counter("harness_cells_run"),
+		cellsFailed: opt.Telemetry.Counter("harness_cells_failed"),
+		journalHits: opt.Telemetry.Counter("harness_journal_hits"),
+		retries:     opt.Telemetry.Counter("harness_retries"),
+		attempts:    opt.Telemetry.Histogram("harness_cell_attempts", telemetry.LinearBuckets(1, 1, 8)),
+		elapsedMS:   opt.Telemetry.Histogram("harness_cell_elapsed_ms", telemetry.ExponentialBuckets(1, 4, 10)),
+	}
+	return r
 }
 
 // Options returns the runner's (defaulted) options.
@@ -170,6 +203,37 @@ func (r *Runner) Options() Options { return r.opt }
 // Do executes one job: journal lookup, admission, bounded retry, panic
 // isolation. It never panics; failures land in Result.Err.
 func (r *Runner) Do(ctx context.Context, job Job) Result {
+	t0 := r.opt.Tracer.Since()
+	res := r.doCell(ctx, job)
+	r.tel.cellsRun.Inc()
+	if res.FromJournal {
+		r.tel.journalHits.Inc()
+	}
+	if res.Err != nil {
+		r.tel.cellsFailed.Inc()
+	}
+	if res.Attempts > 0 {
+		r.tel.attempts.Observe(float64(res.Attempts))
+		if res.Attempts > 1 {
+			r.tel.retries.Add(uint64(res.Attempts - 1))
+		}
+		r.tel.elapsedMS.Observe(float64(res.Elapsed) / float64(time.Millisecond))
+	}
+	if r.opt.Tracer != nil {
+		// One lane per admission slot keeps concurrent cells from
+		// nesting inside each other in the trace viewer.
+		tid := int(r.seq.Add(1)%uint64(r.opt.Parallelism)) + 1
+		args := map[string]any{"key": job.Key, "attempts": res.Attempts, "from_journal": res.FromJournal}
+		if res.Err != nil {
+			args["error"] = res.Err.Err.Error()
+		}
+		r.opt.Tracer.Span(telemetry.PidHarness, tid, "cell:"+job.Key, "harness", t0, r.opt.Tracer.Since()-t0, args)
+	}
+	return res
+}
+
+// doCell is Do without the observability wrapper.
+func (r *Runner) doCell(ctx context.Context, job Job) Result {
 	if r.opt.Journal != nil && job.Decode != nil {
 		if raw, ok := r.opt.Journal.Lookup(job.Key); ok {
 			v, err := job.Decode(raw)

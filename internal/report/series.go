@@ -1,0 +1,38 @@
+package report
+
+import (
+	"fmt"
+
+	"llbp/internal/telemetry"
+)
+
+// SeriesChart renders a telemetry time series as a horizontal bar chart,
+// one bar per interval bucket — the terminal rendering of the per-phase
+// MPKI curves behind Figure 13. When the series has more points than
+// maxBars (default 24), adjacent points are averaged so the chart stays
+// one screen tall; each label is the source index (e.g. measured-branch
+// index) where its bucket starts.
+func SeriesChart(title string, s telemetry.SeriesSnapshot, maxBars int) *BarChart {
+	if maxBars <= 0 {
+		maxBars = 24
+	}
+	c := &BarChart{Title: title}
+	n := len(s.Points)
+	if n == 0 {
+		return c
+	}
+	per := (n + maxBars - 1) / maxBars // points per bucket
+	for start := 0; start < n; start += per {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		sum := 0.0
+		for _, v := range s.Points[start:end] {
+			sum += v
+		}
+		c.Labels = append(c.Labels, fmt.Sprintf("@%d", uint64(start)*s.Interval))
+		c.Values = append(c.Values, sum/float64(end-start))
+	}
+	return c
+}

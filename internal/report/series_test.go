@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"llbp/internal/telemetry"
+)
+
+func TestSeriesChartEmpty(t *testing.T) {
+	c := SeriesChart("empty", telemetry.SeriesSnapshot{Interval: 4096}, 8)
+	if len(c.Labels) != 0 || len(c.Values) != 0 {
+		t.Fatalf("empty series produced %d bars", len(c.Labels))
+	}
+	if got := c.String(); !strings.Contains(got, "empty") {
+		t.Errorf("title missing from render: %q", got)
+	}
+}
+
+func TestSeriesChartNoDownsample(t *testing.T) {
+	s := telemetry.SeriesSnapshot{Interval: 100, Points: []float64{1, 2, 3}}
+	c := SeriesChart("mpki", s, 8)
+	if len(c.Values) != 3 {
+		t.Fatalf("got %d bars, want 3", len(c.Values))
+	}
+	wantLabels := []string{"@0", "@100", "@200"}
+	for i, l := range wantLabels {
+		if c.Labels[i] != l {
+			t.Errorf("label[%d] = %q, want %q", i, c.Labels[i], l)
+		}
+	}
+	if c.Values[2] != 3 {
+		t.Errorf("values not preserved: %v", c.Values)
+	}
+}
+
+func TestSeriesChartDownsamples(t *testing.T) {
+	pts := make([]float64, 10)
+	for i := range pts {
+		pts[i] = float64(i) // 0..9
+	}
+	s := telemetry.SeriesSnapshot{Interval: 10, Points: pts}
+	c := SeriesChart("mpki", s, 5)
+	if len(c.Values) != 5 {
+		t.Fatalf("got %d bars, want 5", len(c.Values))
+	}
+	// Buckets of 2 points each: means 0.5, 2.5, 4.5, 6.5, 8.5.
+	if c.Values[0] != 0.5 || c.Values[4] != 8.5 {
+		t.Errorf("bucket means wrong: %v", c.Values)
+	}
+	if c.Labels[1] != "@20" {
+		t.Errorf("label[1] = %q, want @20", c.Labels[1])
+	}
+}

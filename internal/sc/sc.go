@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"llbp/internal/history"
+	"llbp/internal/telemetry"
 )
 
 // Config parameterizes the corrector.
@@ -72,7 +73,20 @@ type Corrector struct {
 	lastTage bool
 	lastFlip bool
 	lastPC   uint64
+
+	// Cumulative reversal count and its telemetry mirror.
+	reversals    uint64
+	telReversals *telemetry.Counter
 }
+
+// AttachTelemetry wires the corrector's reversal counter to reg (nil
+// detaches). Implements telemetry.Attachable.
+func (c *Corrector) AttachTelemetry(reg *telemetry.Registry) {
+	c.telReversals = reg.Counter("sc_reversals")
+}
+
+// Reversals returns how many predictions the corrector has flipped.
+func (c *Corrector) Reversals() uint64 { return c.reversals }
 
 // New constructs a corrector. The corrector maintains its own global
 // history (updated via Push) so it can be composed with any primary
@@ -150,6 +164,8 @@ func (c *Corrector) Correct(pc uint64, tageTaken bool, tageConfident bool) bool 
 	flip := scTaken != tageTaken && abs(sum) >= c.threshold && !tageConfident
 	c.lastFlip = flip
 	if flip {
+		c.reversals++
+		c.telReversals.Inc()
 		return scTaken
 	}
 	return tageTaken

@@ -11,6 +11,7 @@ import (
 	"llbp/internal/btb"
 	"llbp/internal/pipeline"
 	"llbp/internal/predictor"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 )
 
@@ -55,6 +56,24 @@ type Options struct {
 	// intrusions. HookEvery defaults to 4096 when Hook is set.
 	Hook      func(processed uint64)
 	HookEvery uint64
+
+	// Telemetry, when non-nil, receives run metrics: the driver attaches
+	// the predictor (when it implements telemetry.Attachable), registers
+	// sim_* counters/gauges for the measured phase, and appends
+	// per-interval "mpki" and "ipc_proxy" series points keyed by
+	// measured-branch index. Nil disables all of it at the cost of one
+	// comparison per measured branch.
+	Telemetry *telemetry.Registry
+	// SeriesInterval is the measured-branch interval between series
+	// points (default 4096).
+	SeriesInterval uint64
+	// Tracer, when non-nil, receives warmup/measure phase spans and
+	// per-interval counter samples on the simulated-time track (ts =
+	// cycles rendered as microseconds).
+	Tracer *telemetry.Tracer
+	// TracePID selects the trace-event process id for this run (default
+	// telemetry.PidSim); multi-workload drivers use one pid per workload.
+	TracePID int
 }
 
 // cancelCheckMask throttles context polling to every 4096 branches.
@@ -112,10 +131,54 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	}
 	nextHook := hookEvery
 
+	// Telemetry setup. With no registry and no tracer the sampling state
+	// degenerates to a never-reached branch index, so the hot loop pays a
+	// single comparison per measured branch.
+	interval := opt.SeriesInterval
+	if interval == 0 {
+		interval = 4096
+	}
+	tracePID := opt.TracePID
+	if tracePID == 0 {
+		tracePID = telemetry.PidSim
+	}
+	var serMPKI, serIPC *telemetry.Series
+	if opt.Telemetry != nil {
+		telemetry.Attach(opt.Telemetry, p)
+		serMPKI = opt.Telemetry.Series("mpki", interval)
+		serIPC = opt.Telemetry.Series("ipc_proxy", interval)
+	}
+	nextSample := interval
+	if opt.Telemetry == nil && opt.Tracer == nil {
+		nextSample = ^uint64(0)
+	}
+	var lastInstr, lastMisp uint64
+	var lastCycles float64
+	var resets uint64
+	warmupDone := false
+	clockStart := clock.NowF()
+	warmupEnd := clockStart
+
 	r := src.Open()
 	var b trace.Branch
 	var processed uint64
 	res := &Result{Workload: src.Name(), Predictor: p.Name()}
+
+	sample := func() {
+		di := acct.Instructions - lastInstr
+		dm := res.Mispredicts - lastMisp
+		dc := acct.Cycles() - lastCycles
+		mpki := float64(dm) * 1000 / float64(max64(di, 1))
+		ipc := 0.0
+		if dc > 0 {
+			ipc = float64(di) / dc
+		}
+		serMPKI.Append(mpki)
+		serIPC.Append(ipc)
+		opt.Tracer.Counter(tracePID, "sim:"+src.Name(), clock.NowF(),
+			map[string]float64{"mpki": mpki, "ipc_proxy": ipc})
+		lastInstr, lastMisp, lastCycles = acct.Instructions, res.Mispredicts, acct.Cycles()
+	}
 
 	total := opt.WarmupBranches + opt.MeasureBranches
 	for processed < total {
@@ -136,6 +199,10 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 		}
 		measuring := processed >= opt.WarmupBranches
 		processed++
+		if measuring && !warmupDone {
+			warmupDone = true
+			warmupEnd = clock.NowF()
+		}
 
 		// Straight-line instructions preceding this branch retire at
 		// base CPI; advance the clock so prefetch timestamps see
@@ -172,6 +239,9 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 			}
 			if misp && resettable != nil {
 				resettable.OnPipelineReset()
+				if measuring {
+					resets++
+				}
 			}
 		} else {
 			p.TrackOther(b.PC, b.Target, b.Type)
@@ -187,6 +257,9 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 				}
 				if resettable != nil {
 					resettable.OnPipelineReset()
+					if measuring {
+						resets++
+					}
 				}
 			}
 			if measuring {
@@ -197,6 +270,10 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 		}
 		if measuring {
 			res.Branches++
+			if res.Branches >= nextSample {
+				sample()
+				nextSample += interval
+			}
 		}
 		if opt.Hook != nil && processed >= nextHook {
 			opt.Hook(processed)
@@ -211,6 +288,31 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	res.BranchPenalty = acct.BranchPenalty
 	res.WastedFraction = acct.WastedFraction()
 	res.IPC = acct.IPC()
+
+	if acct.Instructions > lastInstr && (serMPKI != nil || opt.Tracer != nil) {
+		sample() // flush the final partial interval
+	}
+	if opt.Telemetry != nil {
+		opt.Telemetry.Counter("sim_branches").Add(res.Branches)
+		opt.Telemetry.Counter("sim_cond_branches").Add(res.CondBranches)
+		opt.Telemetry.Counter("sim_mispredicts").Add(res.Mispredicts)
+		opt.Telemetry.Counter("sim_target_misses").Add(res.TargetMisses)
+		opt.Telemetry.Counter("sim_pipeline_resets").Add(resets)
+		opt.Telemetry.Gauge("sim_mpki").Set(res.MPKI)
+		opt.Telemetry.Gauge("sim_ipc").Set(res.IPC)
+	}
+	if opt.Tracer != nil {
+		end := clock.NowF()
+		opt.Tracer.ThreadName(tracePID, 1, src.Name())
+		if warmupEnd > clockStart {
+			opt.Tracer.Span(tracePID, 1, "warmup", "sim", clockStart, warmupEnd-clockStart,
+				map[string]any{"workload": src.Name(), "predictor": p.Name(), "branches": opt.WarmupBranches})
+		}
+		opt.Tracer.Span(tracePID, 1, "measure", "sim", warmupEnd, end-warmupEnd, map[string]any{
+			"workload": src.Name(), "predictor": p.Name(), "branches": res.Branches,
+			"mpki": res.MPKI, "ipc": res.IPC, "resets": resets,
+		})
+	}
 	return res, nil
 }
 

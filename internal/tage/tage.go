@@ -5,6 +5,7 @@ import (
 
 	"llbp/internal/bimodal"
 	"llbp/internal/history"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 )
 
@@ -56,6 +57,21 @@ type Predictor struct {
 	// Stats counters (cumulative; the sim layer snapshots them).
 	allocFailures uint64
 	allocations   uint64
+
+	// Telemetry instruments (nil = detached no-ops).
+	telAllocs       *telemetry.Counter
+	telAllocFails   *telemetry.Counter
+	telProviderLens *telemetry.Histogram
+}
+
+// AttachTelemetry wires the predictor's allocator counters and the
+// provider-length histogram to reg (nil detaches). Implements
+// telemetry.Attachable.
+func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
+	p.telAllocs = reg.Counter("tage_allocs")
+	p.telAllocFails = reg.Counter("tage_alloc_failures")
+	p.telProviderLens = reg.Histogram("tage_provider_len",
+		telemetry.ExponentialBuckets(4, 2, 10))
 }
 
 // scratch carries one prediction's intermediate state from Predict to
@@ -212,8 +228,10 @@ func (p *Predictor) Predict(pc uint64) bool {
 	s.bimTaken = p.bim.Predict(pc)
 	if s.provider < 0 {
 		s.finalTaken = s.bimTaken
+		p.telProviderLens.Observe(0)
 		return s.finalTaken
 	}
+	p.telProviderLens.Observe(float64(p.cfg.HistLengths[s.provider]))
 	if s.alt < 0 {
 		s.altTaken = s.bimTaken
 	}
@@ -354,6 +372,7 @@ func (p *Predictor) allocate(taken bool) {
 		if _, ok := p.inf[i][k]; !ok {
 			p.inf[i][k] = &entry{tag: s.tag[i], ctr: weakCtr(taken)}
 			p.allocations++
+			p.telAllocs.Inc()
 		}
 		return
 	}
@@ -367,6 +386,7 @@ func (p *Predictor) allocate(taken bool) {
 			e.useful = 0
 			allocated++
 			p.allocations++
+			p.telAllocs.Inc()
 			i++ // leave a gap before the second allocation
 		} else {
 			failures++
@@ -389,6 +409,7 @@ func (p *Predictor) allocate(taken bool) {
 	}
 	if allocated == 0 {
 		p.allocFailures++
+		p.telAllocFails.Inc()
 	}
 }
 

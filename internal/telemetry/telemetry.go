@@ -1,0 +1,435 @@
+// Package telemetry is the observability layer of the simulation stack:
+// a low-overhead metrics registry (counters, gauges, bucketed histograms
+// and fixed-interval time series) plus a structured event tracer emitting
+// Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
+//
+// The design goal is that instrumentation can stay compiled into every
+// hot path permanently. Components hold typed instrument pointers
+// (*Counter, *Histogram, ...) that are nil until the component is
+// attached to a Registry; every instrument method is nil-safe, so the
+// disabled fast path is a single pointer test with no allocation and no
+// atomic traffic. Attaching is explicit and cheap:
+//
+//	reg := telemetry.NewRegistry()
+//	telemetry.Attach(reg, pred) // pred implements Attachable
+//	... run ...
+//	reg.WriteJSON(f)
+//
+// Instrument updates are atomic, so one registry may be shared by
+// concurrent goroutines (the harness does; simulations are
+// single-threaded per predictor but registration is still guarded).
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero of the
+// *pointer* (nil) is the disabled instrument: Inc/Add on a nil counter
+// are no-ops.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins instrument for levels (live entries,
+// occupancy). Nil gauges are no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded level (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; an observation lands in the first
+// bucket whose bound is >= the value, or in the implicit overflow bucket
+// past the last bound (Counts has len(Bounds)+1 slots). Nil histograms
+// are no-ops.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExponentialBuckets returns n bounds start, start*factor, ...
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Series is a fixed-interval time series: point i covers source indices
+// [i*Interval, (i+1)*Interval). The producer appends one point per
+// elapsed interval (the simulation driver keys intervals by
+// measured-branch index). Nil series are no-ops.
+type Series struct {
+	mu       sync.Mutex
+	interval uint64
+	points   []float64
+}
+
+// Append records the next interval's value.
+func (s *Series) Append(v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.points = append(s.points, v)
+	s.mu.Unlock()
+}
+
+// Interval returns the series' source-index stride (0 for nil).
+func (s *Series) Interval() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.interval
+}
+
+// Len returns the number of recorded points.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Registry owns a flat namespace of instruments. A nil *Registry is the
+// disabled registry: every lookup returns a nil (no-op) instrument, so
+// components can attach unconditionally. Registration is idempotent —
+// asking for an existing name returns the same instrument.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	series     map[string]*Series
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		series:     make(map[string]*Series),
+	}
+}
+
+// Counter registers (or finds) the named counter. Nil registries return
+// a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or finds) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram registers (or finds) the named histogram. Bounds are
+// inclusive ascending upper bounds; they apply only on first
+// registration (later callers receive the existing instrument).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Series registers (or finds) the named series with the given
+// source-index interval (applied on first registration only).
+func (r *Registry) Series(name string, interval uint64) *Series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.series[name]
+	if s == nil {
+		if interval == 0 {
+			interval = 1
+		}
+		s = &Series{interval: interval}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Attachable is implemented by components that wire their instruments to
+// a registry. Attaching with a nil registry detaches (all instruments
+// become no-ops); components must tolerate repeated attachment.
+type Attachable interface {
+	AttachTelemetry(*Registry)
+}
+
+// Attach wires v to reg when v implements Attachable, reporting whether
+// it did.
+func Attach(reg *Registry, v any) bool {
+	a, ok := v.(Attachable)
+	if ok {
+		a.AttachTelemetry(reg)
+	}
+	return ok
+}
+
+// HistogramSnapshot is the serialized state of one histogram. Counts has
+// one slot per bound plus a final overflow slot.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// SeriesSnapshot is the serialized state of one time series.
+type SeriesSnapshot struct {
+	// Interval is the source-index stride between points (e.g. measured
+	// branches per point).
+	Interval uint64 `json:"interval"`
+	// Points holds one value per completed interval, in order.
+	Points []float64 `json:"points"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry —
+// the JSON payload behind the CLIs' -metrics flag.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Nil registries snapshot
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: map[string]uint64{}}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	if len(r.gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			snap.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.histograms) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			hs := HistogramSnapshot{
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]uint64, len(h.counts)),
+				Count:  h.Count(),
+				Sum:    h.Sum(),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			snap.Histograms[name] = hs
+		}
+	}
+	if len(r.series) > 0 {
+		snap.Series = make(map[string]SeriesSnapshot, len(r.series))
+		for name, s := range r.series {
+			s.mu.Lock()
+			snap.Series[name] = SeriesSnapshot{
+				Interval: s.interval,
+				Points:   append([]float64(nil), s.points...),
+			}
+			s.mu.Unlock()
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// MetricsSchema identifies the on-disk metrics snapshot format.
+const MetricsSchema = "llbp-metrics/1"
+
+// RunSnapshot pairs one simulation run's identity with its metrics.
+type RunSnapshot struct {
+	Workload  string   `json:"workload,omitempty"`
+	Predictor string   `json:"predictor,omitempty"`
+	Metrics   Snapshot `json:"metrics"`
+}
+
+// MetricsFile is the top-level -metrics JSON document: a schema tag and
+// one RunSnapshot per simulated run (tools that snapshot a single
+// process-wide registry write exactly one run).
+type MetricsFile struct {
+	Schema string        `json:"schema"`
+	Runs   []RunSnapshot `json:"runs"`
+}
+
+// WriteMetricsFile writes runs as an indented MetricsFile document.
+func WriteMetricsFile(w io.Writer, runs []RunSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(MetricsFile{Schema: MetricsSchema, Runs: runs})
+}
+
+// ReadMetricsFile parses a MetricsFile document, validating the schema
+// tag. It is the reader side used by cmd/telemetrycheck and tests.
+func ReadMetricsFile(data []byte) (*MetricsFile, error) {
+	var mf MetricsFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return nil, fmt.Errorf("telemetry: parsing metrics file: %w", err)
+	}
+	if mf.Schema != MetricsSchema {
+		return nil, fmt.Errorf("telemetry: metrics schema %q, want %q", mf.Schema, MetricsSchema)
+	}
+	return &mf, nil
+}
+
+// SortedCounterNames returns the snapshot's counter names in order, for
+// deterministic rendering.
+func (s *Snapshot) SortedCounterNames() []string {
+	out := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer emits structured events in the Chrome trace-event format:
+// a JSON array with one event object per line, which chrome://tracing
+// and Perfetto load directly and which line-oriented tools can still
+// grep. A nil *Tracer is the disabled tracer — every method is a no-op —
+// so call sites never test for enablement.
+//
+// Events carry an explicit timestamp in microseconds. The simulation
+// driver uses simulated cycles as the time base (one cycle rendered as
+// one microsecond); the harness uses wall time via Since. Different time
+// domains are kept apart by pid: viewers render each pid as its own
+// process track, so simulated and wall-clock tracks never interleave.
+type Tracer struct {
+	mu     sync.Mutex
+	w      *bufio.Writer
+	events int
+	err    error
+	start  time.Time
+}
+
+// Conventional pid assignments for the two time domains.
+const (
+	// PidSim is the process track for simulated-time events (ts =
+	// cycles).
+	PidSim = 1
+	// PidHarness is the process track for wall-clock events (ts =
+	// microseconds since NewTracer).
+	PidHarness = 2
+)
+
+// NewTracer starts a tracer writing to w. Call Close to terminate the
+// JSON array and flush.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// traceEvent is the wire format of one event. Field order is fixed so
+// emitted lines are deterministic (args maps marshal with sorted keys).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func (t *Tracer) emit(ev traceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.w == nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if t.events == 0 {
+		_, t.err = t.w.WriteString("[\n")
+	} else {
+		_, t.err = t.w.WriteString(",\n")
+	}
+	if t.err == nil {
+		_, t.err = t.w.Write(line)
+	}
+	t.events++
+}
+
+// Since returns microseconds of wall time since the tracer started — the
+// timestamp base for PidHarness events. Nil tracers return 0.
+func (t *Tracer) Since() float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(time.Since(t.start).Microseconds())
+}
+
+// ProcessName emits the metadata event naming a pid's track.
+func (t *Tracer) ProcessName(pid int, name string) {
+	t.emit(traceEvent{Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]any{"name": name}})
+}
+
+// ThreadName emits the metadata event naming a (pid, tid) track.
+func (t *Tracer) ThreadName(pid, tid int, name string) {
+	t.emit(traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]any{"name": name}})
+}
+
+// Span emits a complete-span ("X") event covering [ts, ts+dur).
+func (t *Tracer) Span(pid, tid int, name, cat string, ts, dur float64, args map[string]any) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: &dur,
+		Pid: pid, Tid: tid, Args: args})
+}
+
+// Instant emits a thread-scoped instant ("i") event at ts.
+func (t *Tracer) Instant(pid, tid int, name, cat string, ts float64, args map[string]any) {
+	t.emit(traceEvent{Name: name, Cat: cat, Ph: "i", Ts: ts,
+		Pid: pid, Tid: tid, S: "t", Args: args})
+}
+
+// Counter emits a counter ("C") event: viewers render each key of values
+// as a stacked series on the named counter track.
+func (t *Tracer) Counter(pid int, name string, ts float64, values map[string]float64) {
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.emit(traceEvent{Name: name, Ph: "C", Ts: ts, Pid: pid, Args: args})
+}
+
+// Events returns the number of events emitted so far.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events
+}
+
+// Err returns the first write or encoding error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close terminates the JSON array and flushes buffered events. The
+// tracer is unusable afterwards; further events are dropped.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil {
+		return t.err
+	}
+	if t.err == nil {
+		if t.events == 0 {
+			_, t.err = t.w.WriteString("[")
+		}
+		if t.err == nil {
+			_, t.err = t.w.WriteString("\n]\n")
+		}
+	}
+	if ferr := t.w.Flush(); t.err == nil {
+		t.err = ferr
+	}
+	t.w = nil
+	return t.err
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracerGolden pins the exact trace-event output: a JSON array, one
+// event per line, terminated by "]". chrome://tracing and Perfetto load
+// this shape directly.
+func TestTracerGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.ProcessName(PidSim, "sim:Tomcat")
+	tr.ThreadName(PidSim, 1, "driver")
+	tr.Span(PidSim, 1, "warmup", "phase", 0, 1000, map[string]any{"branches": 200})
+	tr.Instant(PidSim, 1, "reset", "pipeline", 1500, nil)
+	tr.Counter(PidSim, "mpki", 2000, map[string]float64{"mpki": 3.25})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `[
+{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"sim:Tomcat"}},
+{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"driver"}},
+{"name":"warmup","cat":"phase","ph":"X","ts":0,"dur":1000,"pid":1,"tid":1,"args":{"branches":200}},
+{"name":"reset","cat":"pipeline","ph":"i","ts":1500,"pid":1,"tid":1,"s":"t"},
+{"name":"mpki","ph":"C","ts":2000,"pid":1,"tid":0,"args":{"mpki":3.25}}
+]
+`
+	if got := buf.String(); got != golden {
+		t.Errorf("trace output mismatch:\n got: %q\nwant: %q", got, golden)
+	}
+}
+
+// TestTracerValidJSON: whatever is emitted must parse as one JSON array
+// of objects with the mandatory trace-event fields.
+func TestTracerValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Span(PidHarness, 3, "cell", "harness", 10, 250, map[string]any{"key": "Tomcat|llbp", "attempts": 1})
+	tr.Counter(PidSim, "ipc", 99, map[string]float64{"ipc": 1.5})
+	tr.Instant(PidSim, 0, "phase", "sim", 0, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		for _, field := range []string{"name", "ph", "ts", "pid"} {
+			if _, ok := ev[field]; !ok {
+				t.Errorf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+	}
+	// One event per line between the brackets.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3+2 {
+		t.Errorf("got %d lines, want %d (array brackets + one event per line)", len(lines), 3+2)
+	}
+}
+
+// TestTracerEmpty: a tracer closed without events still writes a valid
+// (empty) JSON array.
+func TestTracerEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty trace invalid: %v (%q)", err, buf.String())
+	}
+	if len(events) != 0 {
+		t.Errorf("empty tracer emitted %d events", len(events))
+	}
+}
+
+// TestTracerNil: nil tracers are fully inert.
+func TestTracerNil(t *testing.T) {
+	var tr *Tracer
+	tr.Span(1, 1, "x", "c", 0, 1, nil)
+	tr.Instant(1, 1, "x", "c", 0, nil)
+	tr.Counter(1, "x", 0, nil)
+	tr.ProcessName(1, "p")
+	if tr.Since() != 0 || tr.Events() != 0 || tr.Err() != nil || tr.Close() != nil {
+		t.Error("nil tracer is not inert")
+	}
+}
+
+// TestTracerConcurrent: the harness emits cell spans from many
+// goroutines; the output must stay one well-formed array.
+func TestTracerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	const n = 8
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Span(PidHarness, g, "cell", "harness", float64(i), 1, nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("concurrent trace invalid: %v", err)
+	}
+	if len(events) != n*50 {
+		t.Errorf("got %d events, want %d", len(events), n*50)
+	}
+}

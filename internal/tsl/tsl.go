@@ -11,8 +11,31 @@ import (
 	"llbp/internal/predictor"
 	"llbp/internal/sc"
 	"llbp/internal/tage"
+	"llbp/internal/telemetry"
 	"llbp/internal/trace"
 )
+
+// Stats are the composite predictor's event counters: how often each
+// component supplied the final prediction, how often the corrector
+// reversed it, and how the TAGE allocator fared. This is the public
+// statistics surface — experiments and CLIs read it (or the equivalent
+// telemetry counters registered by AttachTelemetry) instead of reaching
+// into predictor internals.
+type Stats struct {
+	Predictions uint64 // conditional predictions made
+	SCReversals uint64 // statistical-corrector flips of the base prediction
+	LoopUses    uint64 // loop-predictor overrides of TAGE
+
+	// Final-provider usage breakdown (sums to Predictions).
+	ProviderBimodal uint64
+	ProviderTAGE    uint64
+	ProviderLoop    uint64
+	ProviderSC      uint64
+
+	// TAGE allocator outcomes.
+	TAGEAllocs        uint64
+	TAGEAllocFailures uint64
+}
 
 // Config parameterizes a TAGE-SC-L instance.
 type Config struct {
@@ -99,6 +122,12 @@ type Predictor struct {
 	scFlips     uint64
 	loopUses    uint64
 	predictions uint64
+	providers   [5]uint64 // indexed by predictor.Component
+
+	// Telemetry instruments (nil = detached no-ops).
+	telPredictions *telemetry.Counter
+	telLoopUses    *telemetry.Counter
+	telProviders   [5]*telemetry.Counter
 }
 
 var (
@@ -155,9 +184,41 @@ func (p *Predictor) Name() string {
 // provider length for the longest-match arbitration).
 func (p *Predictor) TAGE() *tage.Predictor { return p.tage }
 
+// Stats returns a snapshot of the composite predictor's event counters.
+func (p *Predictor) Stats() Stats {
+	return Stats{
+		Predictions:       p.predictions,
+		SCReversals:       p.scFlips,
+		LoopUses:          p.loopUses,
+		ProviderBimodal:   p.providers[predictor.ProviderBimodal],
+		ProviderTAGE:      p.providers[predictor.ProviderTAGE],
+		ProviderLoop:      p.providers[predictor.ProviderLoop],
+		ProviderSC:        p.providers[predictor.ProviderSC],
+		TAGEAllocs:        p.tage.Allocations(),
+		TAGEAllocFailures: p.tage.AllocFailures(),
+	}
+}
+
+// AttachTelemetry wires the composite's counters — predictions, provider
+// usage, loop-chooser overrides — to reg and cascades into the TAGE core
+// and the statistical corrector (nil detaches everything). Implements
+// telemetry.Attachable.
+func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
+	p.telPredictions = reg.Counter("tsl_predictions")
+	p.telLoopUses = reg.Counter("loop_uses")
+	for c := predictor.ProviderBimodal; c <= predictor.ProviderLLBP; c++ {
+		p.telProviders[c] = reg.Counter("provider_" + c.String())
+	}
+	p.tage.AttachTelemetry(reg)
+	if p.sc != nil {
+		p.sc.AttachTelemetry(reg)
+	}
+}
+
 // Predict implements predictor.Predictor.
 func (p *Predictor) Predict(pc uint64) bool {
 	p.predictions++
+	p.telPredictions.Inc()
 	p.lastPC = pc
 	p.tageTaken = p.tage.Predict(pc)
 	base := p.tageTaken
@@ -174,6 +235,7 @@ func (p *Predictor) Predict(pc uint64) bool {
 			provider = predictor.ProviderLoop
 			p.loopUsed = true
 			p.loopUses++
+			p.telLoopUses.Inc()
 		}
 	}
 	final := base
@@ -185,6 +247,8 @@ func (p *Predictor) Predict(pc uint64) bool {
 		}
 	}
 	p.finalTaken = final
+	p.providers[provider]++
+	p.telProviders[provider].Inc()
 	p.detail = predictor.Detail{
 		Provider:      provider,
 		ProviderLen:   p.tage.ProviderLen(),

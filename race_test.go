@@ -1,0 +1,7 @@
+//go:build race
+
+package llbp
+
+// raceEnabled reports whether the race detector instrumented this build;
+// timing-sensitive tests skip themselves when it did.
+const raceEnabled = true

@@ -1,0 +1,141 @@
+// Command llbplint runs the repository's custom static-analysis suite
+// (internal/lint) over Go packages and fails on any diagnostic. It is a
+// tier-1 CI gate alongside go vet.
+//
+// Usage:
+//
+//	llbplint [-C dir] [-json] [-<analyzer>=false ...] [packages]
+//
+// Packages default to ./... . Each analyzer has a disable flag named
+// after it (e.g. -determinism=false). Findings that are intentional are
+// suppressed in the source with a justified directive:
+//
+//	//llbplint:allow <analyzer> -- <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysis"
+	"llbp/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json output record for one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("llbplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir     = fs.String("C", ".", "change to `dir` (the module root) before loading packages")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		listAll = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	enabled := map[string]*bool{}
+	for _, a := range lint.All() {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listAll {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Targets(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "llbplint:", err)
+		return 2
+	}
+
+	var all []jsonDiagnostic
+	for _, pkg := range pkgs {
+		sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
+		var diags []analysis.Diagnostic
+		diags = append(diags, sup.Problems()...)
+		for _, a := range lint.All() {
+			if !*enabled[a.Name] {
+				continue
+			}
+			ds, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, sup)
+			if err != nil {
+				fmt.Fprintln(stderr, "llbplint:", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+		analysis.SortDiagnostics(pkg.Fset, diags)
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			all = append(all, jsonDiagnostic{
+				File:     relPath(pos.Filename),
+				Line:     pos.Line,
+				Column:   pos.Column,
+				Analyzer: d.Category,
+				Message:  d.Message,
+			})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []jsonDiagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(stderr, "llbplint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(all) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "llbplint: %d finding(s)\n", len(all))
+		}
+		return 1
+	}
+	return 0
+}
+
+// relPath renders a diagnostic path relative to the working directory
+// when that shortens it; absolute paths stay clickable otherwise.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || len(rel) >= len(path) {
+		return path
+	}
+	return rel
+}

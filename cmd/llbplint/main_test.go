@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunCleanRepo drives the whole pipeline — go list, export-data
+// import, type checking, all four analyzers — against real repo packages
+// and requires a clean exit. This is the same contract CI enforces over
+// ./... on every push.
+func TestRunCleanRepo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "./internal/history", "./internal/stats"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", stdout.String())
+	}
+}
+
+func TestRunJSONFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../../internal/lint/testdata/src/lib", "-json", "."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run on fixture exited %d, want 1 (findings)\nstderr:\n%s", code, stderr.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("parsing -json output: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics decoded from fixture package")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "nopanic" {
+			t.Errorf("unexpected analyzer %q in lib fixture: %s", d.Analyzer, d.Message)
+		}
+		if d.File == "" || d.Line == 0 {
+			t.Errorf("diagnostic missing position: %+v", d)
+		}
+	}
+}
+
+func TestRunDisableFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../../internal/lint/testdata/src/lib", "-nopanic=false", "."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run with -nopanic=false exited %d\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run -list exited %d", code)
+	}
+	for _, name := range []string{"determinism", "bitmask", "telemetrysafe", "nopanic"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "../..", "./does/not/exist"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run on bad pattern exited %d, want 2", code)
+	}
+}

@@ -79,8 +79,10 @@ func main() {
 			}
 		},
 		UncondObserver: func(b *trace.Branch) {
-			for _, r := range rcrs {
-				r.Push(b.PC)
+			for _, w := range windows {
+				if w > 0 {
+					rcrs[w].Push(b.PC)
+				}
 			}
 		},
 	}); err != nil {

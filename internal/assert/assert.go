@@ -1,0 +1,19 @@
+// Package assert provides debug-build-only assertions for hot-path
+// contract violations ("Update without matching Predict", mismatched
+// checkpoint shapes). Production builds compile assertions out entirely;
+// building with -tags llbpdebug turns failures into panics carrying the
+// formatted message.
+//
+// This is the remediation path the nopanic analyzer (internal/lint)
+// steers library code toward: constructors (New*/Must*) may still panic
+// on invalid configuration, recoverable runtime failures return errors
+// through the PR-1 RunError machinery, and internal invariants that are
+// too hot to return errors from become assertions.
+//
+// Call sites keep the condition check outside the call so that the
+// disabled build pays neither the variadic boxing nor the format cost:
+//
+//	if pc != p.lastPC {
+//		assert.Failf("tage: Update(%#x) without matching Predict", pc)
+//	}
+package assert

@@ -1,0 +1,11 @@
+//go:build !llbpdebug
+
+package assert
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+// Failf is a no-op in production builds; the violated contract's
+// consequences surface through ordinary (mis)behavior instead of a
+// crash, matching the no-panic policy for library code.
+func Failf(format string, args ...any) {}

@@ -1,0 +1,14 @@
+//go:build llbpdebug
+
+package assert
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = true
+
+// Failf reports an assertion failure by panicking with the formatted
+// message.
+func Failf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"llbp/internal/assert"
 	"math/rand"
 	"testing"
 
@@ -126,6 +127,9 @@ func TestCheckpointIsImmutable(t *testing.T) {
 }
 
 func TestRestoreMismatchedCheckpointPanics(t *testing.T) {
+	if !assert.Enabled {
+		t.Skip("contract panics are debug assertions; run with -tags llbpdebug")
+	}
 	clock := &predictor.Clock{}
 	p := MustNew(DefaultConfig(), tsl.MustNew(tsl.Config64K()), clock)
 	cfg := DefaultConfig()

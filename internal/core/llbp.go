@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/history"
 	"llbp/internal/predictor"
 	"llbp/internal/telemetry"
@@ -423,7 +424,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 // mispredictions (§V-D), and advances LLBP's history mirrors.
 func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 	if pc != p.lastPC {
-		panic(fmt.Sprintf("core: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+		assert.Failf("core: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC)
 	}
 	if p.baseTaken != taken {
 		p.windowMisses++
@@ -716,7 +717,8 @@ func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
 // (the §V-E2 misprediction-recovery path).
 func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
 	if len(cp.fold1) != len(p.fold1) {
-		panic(fmt.Sprintf("core: checkpoint for %d folds restored into %d", len(cp.fold1), len(p.fold1)))
+		assert.Failf("core: checkpoint for %d folds restored into %d", len(cp.fold1), len(p.fold1))
+		return
 	}
 	p.base.RestoreHistory(cp.base)
 	p.ghr.Restore(cp.ghr)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"llbp/internal/assert"
 	"testing"
 
 	"llbp/internal/predictor"
@@ -247,6 +248,9 @@ func TestPipelineResetSquashes(t *testing.T) {
 
 // TestUpdateWithoutPredictPanics guards the harness contract.
 func TestUpdateWithoutPredictPanics(t *testing.T) {
+	if !assert.Enabled {
+		t.Skip("contract panics are debug assertions; run with -tags llbpdebug")
+	}
 	p, _ := newTestLLBP(t, DefaultConfig())
 	p.Predict(0x40)
 	defer func() {

@@ -1,6 +1,6 @@
 package core
 
-import "fmt"
+import "llbp/internal/assert"
 
 // HistLen describes one of LLBP's allowed history lengths. The paper's
 // configuration uses 16 lengths, four of which repeat a previous length
@@ -101,7 +101,8 @@ func bucketRange(lenIdx, setSize, nBuckets, nLengths int) (lo, hi int) {
 func (s *PatternSet) insert(tag uint32, lenIdx uint8, taken bool, nBuckets, nLengths int) {
 	lo, hi := bucketRange(int(lenIdx), len(s.Pats), nBuckets, nLengths)
 	if lo < 0 || hi > len(s.Pats) || lo >= hi {
-		panic(fmt.Sprintf("core: bad bucket range [%d,%d) for set of %d", lo, hi, len(s.Pats)))
+		assert.Failf("core: bad bucket range [%d,%d) for set of %d", lo, hi, len(s.Pats))
+		return
 	}
 	// If the identical pattern already exists, refresh its counter
 	// instead of duplicating it.

@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/trace"
 )
 
@@ -158,7 +159,8 @@ func (r *RCR) Snapshot() []uint64 {
 // Restore rewinds the register to a snapshot taken with Snapshot.
 func (r *RCR) Restore(s []uint64) {
 	if len(s) != len(r.pcs) {
-		panic(fmt.Sprintf("core: RCR snapshot length %d != %d", len(s), len(r.pcs)))
+		assert.Failf("core: RCR snapshot length %d != %d", len(s), len(r.pcs))
+		return
 	}
 	r.head = len(r.pcs) - 1
 	for i, pc := range s {

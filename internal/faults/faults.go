@@ -25,7 +25,11 @@
 // reproduce bit-for-bit.
 package faults
 
-import "fmt"
+import (
+	"fmt"
+
+	"llbp/internal/assert"
+)
 
 // Field describes one uniform array of predictor state elements (e.g.
 // "the 3-bit counters of TAGE table 5"). Get/Set/Reset address elements
@@ -223,7 +227,10 @@ func (in *Injector) inject(fields []Field, total int64, n int) {
 	}
 }
 
-// locate maps a global bit position to (field, element index, bit index).
+// locate maps a global bit position to (field, element index, bit
+// index). pos must be below the surface's total bit count; debug builds
+// (-tags llbpdebug) panic on violations, release builds clamp to the
+// last bit.
 func locate(fields []Field, pos int64) (*Field, int, int) {
 	for i := range fields {
 		f := &fields[i]
@@ -233,7 +240,9 @@ func locate(fields []Field, pos int64) (*Field, int, int) {
 		}
 		pos -= span
 	}
-	panic("faults: bit position out of range")
+	assert.Failf("faults: bit position %d out of range", pos)
+	f := &fields[len(fields)-1]
+	return f, f.Len - 1, f.Bits - 1
 }
 
 // widthMask returns the mask of a bits-wide field.

@@ -10,6 +10,7 @@ package gshare
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/predictor"
 	"llbp/internal/trace"
 )
@@ -79,10 +80,12 @@ func (p *Predictor) Predict(pc uint64) bool {
 	return p.ctrs[p.lastIdx] >= 2
 }
 
-// Update implements predictor.Predictor.
+// Update implements predictor.Predictor. Calling it for a pc that was
+// not the last Predict violates the harness contract; debug builds
+// (-tags llbpdebug) panic, release builds train the stale counter.
 func (p *Predictor) Update(pc uint64, taken bool) {
 	if pc != p.lastPC {
-		panic(fmt.Sprintf("gshare: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+		assert.Failf("gshare: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC)
 	}
 	c := p.ctrs[p.lastIdx]
 	if taken {

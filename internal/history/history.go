@@ -8,7 +8,11 @@
 // paper's longest-match arbitration between the two predictors (§V-B).
 package history
 
-import "fmt"
+import (
+	"fmt"
+
+	"llbp/internal/assert"
+)
 
 // MaxLength is the maximum supported global history length in bits. The
 // paper's longest table uses 3000 bits; 4096 leaves headroom.
@@ -55,9 +59,12 @@ func (g *Global) Restore(s Global) { *g = s }
 // by XOR-folding. This is the "recompute from scratch" reference used to
 // validate the incrementally maintained Folded registers; predictors use
 // Folded for speed.
+// Callers must pass a validated width in [1,63]; debug builds
+// (-tags llbpdebug) panic on violations, release builds return 0.
 func (g *Global) Hash(length, width int) uint64 {
 	if width <= 0 || width > 63 {
-		panic(fmt.Sprintf("history: invalid fold width %d", width))
+		assert.Failf("history: invalid fold width %d", width)
+		return 0
 	}
 	var h, chunk uint64
 	n := 0

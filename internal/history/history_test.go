@@ -1,6 +1,7 @@
 package history
 
 import (
+	"llbp/internal/assert"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -140,8 +141,18 @@ func TestFoldedPanicsOnBadArgs(t *testing.T) {
 
 func TestGlobalHashPanicsOnBadWidth(t *testing.T) {
 	g := NewGlobal()
-	mustPanic(t, func() { g.Hash(10, 0) })
-	mustPanic(t, func() { g.Hash(10, 64) })
+	if assert.Enabled {
+		mustPanic(t, func() { g.Hash(10, 0) })
+		mustPanic(t, func() { g.Hash(10, 64) })
+		return
+	}
+	// Release builds: invalid widths are assertion no-ops returning 0.
+	if got := g.Hash(10, 0); got != 0 {
+		t.Errorf("Hash(10, 0) = %d, want 0", got)
+	}
+	if got := g.Hash(10, 64); got != 0 {
+		t.Errorf("Hash(10, 64) = %d, want 0", got)
+	}
 }
 
 func TestPathHistory(t *testing.T) {

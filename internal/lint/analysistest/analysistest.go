@@ -1,0 +1,243 @@
+// Package analysistest runs llbplint analyzers over fixture packages and
+// checks their diagnostics against // want "regexp" comments, mirroring
+// the golang.org/x/tools/go/analysis/analysistest contract on the
+// standard library only.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. Imports between
+// fixture packages resolve within that tree; all other imports resolve
+// through export data produced by `go list -export` (so fixtures may use
+// time, math/rand, etc. without network access). A line may carry any
+// number of want comments:
+//
+//	x := tbl[pc^h] // want "not masked"
+//
+// Every reported diagnostic must be matched by a want on its line and
+// every want must match a diagnostic, or the test fails. Diagnostics for
+// malformed //llbplint:allow directives participate like any other.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"llbp/internal/lint/analysis"
+	"llbp/internal/lint/load"
+)
+
+// Run loads each fixture package and applies the analyzer, reporting
+// mismatches between diagnostics and want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	ld, err := newLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		sup := analysis.CollectSuppressions(ld.fset, pkg.files)
+		diags, err := analysis.Run(a, ld.fset, pkg.files, pkg.types, pkg.info, sup)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+		}
+		diags = append(diags, sup.Problems()...)
+		checkWants(t, ld.fset, pkg.files, diags)
+	}
+}
+
+// fixturePkg is one loaded fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// loader resolves fixture-local packages from srcRoot and everything
+// else through go list export data, memoizing both.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+	std     types.Importer
+}
+
+func newLoader(srcRoot string) (*loader, error) {
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*fixturePkg{},
+	}
+	ext, err := ld.externalImports()
+	if err != nil {
+		return nil, err
+	}
+	exports, err := load.ExportIndex("", ext...)
+	if err != nil {
+		return nil, err
+	}
+	ld.std = load.Importer(ld.fset, exports)
+	return ld, nil
+}
+
+// externalImports walks the whole fixture tree and collects import paths
+// that do not resolve inside it, so one go list call covers them all.
+func (ld *loader) externalImports() ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(ld.srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(ld.srcRoot, p)); err == nil && fi.IsDir() {
+				continue // fixture-local
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Import implements types.Importer over the fixture tree + export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg.types, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && fi.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.types, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (ld *loader) load(path string) (*fixturePkg, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, path)
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: ld}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &fixturePkg{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// want is one expectation parsed from a comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantTextRE = regexp.MustCompile(`want\s+(.*)$`)
+var wantQuoteRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// parseWants extracts want expectations from every comment.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				m := wantTextRE.FindStringSubmatch(strings.TrimSpace(text))
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantQuoteRE.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: s})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// checkWants matches diagnostics against wants one-to-one by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"llbp/internal/lint/analysis"
+)
+
+// Bitmask enforces the table-indexing discipline of the predictors: any
+// slice allocated with a power-of-two `make([]T, 1<<k)` length is a
+// hardware table, and computed indices into it must be reduced with `&`
+// (mask) or `%` (modulo) — the static counterpart of the runtime width
+// panics in internal/history. When both the table size and the mask are
+// compile-time constants, a mask that is not size-1 (or a modulus that
+// is not size) is flagged as a width mismatch.
+//
+// The analyzer is deliberately conservative about what it can prove:
+// plain identifiers, field reads and function-call results are accepted
+// as indices (the masking typically happened at their definition), while
+// arithmetic index expressions (^, +, >>, ...) must carry the mask at
+// their top level.
+var Bitmask = &analysis.Analyzer{
+	Name: "bitmask",
+	Doc:  "indices into power-of-two tables must be masked or modulo-reduced to the table size",
+	Run:  runBitmask,
+}
+
+// pow2Table records one tracked table: where it was allocated and, when
+// the make length was a compile-time constant, its size.
+type pow2Table struct {
+	size int64 // -1 when not a compile-time constant
+}
+
+func runBitmask(pass *analysis.Pass) error {
+	if hasSegment(pass.Pkg.Path(), "cmd", "lint") {
+		return nil
+	}
+	tables := map[types.Object]pow2Table{}
+	safeIdents := map[types.Object]bool{}
+
+	// Pass 1: find power-of-two-sized makes and loop-bounded indices.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if size, ok := pow2MakeSize(pass, rhs); ok {
+						if obj := lvalueObject(pass, n.Lhs[i]); obj != nil {
+							tables[obj] = pow2Table{size: size}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range n.Values {
+					if i >= len(n.Names) {
+						break
+					}
+					if size, ok := pow2MakeSize(pass, rhs); ok {
+						if obj := pass.TypesInfo.Defs[n.Names[i]]; obj != nil {
+							tables[obj] = pow2Table{size: size}
+						}
+					}
+				}
+			case *ast.ForStmt:
+				if init, ok := n.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								safeIdents[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						safeIdents[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tables) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every index expression into a tracked table.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ix, ok := n.(*ast.IndexExpr)
+			if !ok {
+				return true
+			}
+			base := lvalueObject(pass, ix.X)
+			if base == nil {
+				return true
+			}
+			tbl, ok := tables[base]
+			if !ok {
+				return true
+			}
+			checkIndex(pass, ix, base, tbl, safeIdents)
+			return true
+		})
+	}
+	return nil
+}
+
+// pow2MakeSize reports whether rhs is make([]T, n) with n a `1<<k` shift
+// or a constant power of two, returning the constant size when known.
+func pow2MakeSize(pass *analysis.Pass, rhs ast.Expr) (int64, bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return 0, false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "make" {
+		return 0, false
+	}
+	if _, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok {
+		return 0, false
+	}
+	if _, ok := pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(*types.Slice); !ok {
+		return 0, false
+	}
+	size := ast.Unparen(call.Args[1])
+	if v := constValue(pass, size); v >= 0 {
+		if v >= 4 && v&(v-1) == 0 {
+			return v, true
+		}
+		return 0, false
+	}
+	if be, ok := size.(*ast.BinaryExpr); ok && be.Op == token.SHL {
+		if v := constValue(pass, be.X); v == 1 {
+			return -1, true
+		}
+	}
+	return 0, false
+}
+
+// constValue returns the expression's compile-time integer value, or -1.
+func constValue(pass *analysis.Pass, e ast.Expr) int64 {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return -1
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok || v < 0 {
+		return -1
+	}
+	return v
+}
+
+// lvalueObject resolves an identifier or field selector to its object.
+func lvalueObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// unwrapIndex strips parens and value conversions (int(x), uint32(x))
+// from an index expression.
+func unwrapIndex(pass *analysis.Pass, e ast.Expr) ast.Expr {
+	for {
+		e = ast.Unparen(e)
+		call, ok := e.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; !ok || !tv.IsType() {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+func checkIndex(pass *analysis.Pass, ix *ast.IndexExpr, base types.Object, tbl pow2Table, safe map[types.Object]bool) {
+	idx := unwrapIndex(pass, ix.Index)
+
+	// Compile-time constant index: in range or the compiler/runtime
+	// would already complain.
+	if constValue(pass, idx) >= 0 {
+		return
+	}
+
+	switch idx := idx.(type) {
+	case *ast.Ident:
+		// Accept loop-bounded variables and, conservatively, any other
+		// identifier (the mask happened at its definition).
+		return
+	case *ast.BinaryExpr:
+		switch idx.Op {
+		case token.AND:
+			if tbl.size > 0 {
+				if m := maskConst(pass, idx); m >= 0 && m != tbl.size-1 {
+					pass.Reportf(ix.Index.Pos(),
+						"mask %#x does not match table %s of size %d (want %#x)", m, base.Name(), tbl.size, tbl.size-1)
+				}
+			}
+			return
+		case token.REM:
+			if tbl.size > 0 {
+				if m := constValue(pass, idx.Y); m >= 0 && m != tbl.size {
+					pass.Reportf(ix.Index.Pos(),
+						"modulus %d does not match table %s of size %d", m, base.Name(), tbl.size)
+				}
+			}
+			return
+		default:
+			pass.Reportf(ix.Index.Pos(),
+				"computed index into power-of-two table %s is not masked; reduce with & (size-1) or %% size", base.Name())
+			return
+		}
+	default:
+		// Selectors, calls, index chains: assume masked at the source.
+		return
+	}
+}
+
+// maskConst returns the constant operand of an & expression, or -1.
+func maskConst(pass *analysis.Pass, be *ast.BinaryExpr) int64 {
+	if v := constValue(pass, be.Y); v >= 0 {
+		return v
+	}
+	return constValue(pass, be.X)
+}

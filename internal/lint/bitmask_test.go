@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysistest"
+)
+
+// TestBitmask covers unmasked computed indices, constant width
+// mismatches, and the accepted mask/modulo/loop/conversion shapes.
+func TestBitmask(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Bitmask, "tables")
+}

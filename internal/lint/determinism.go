@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"llbp/internal/lint/analysis"
+)
+
+// Determinism flags nondeterminism sources inside simulation packages:
+// wall-clock reads, global math/rand state, and iteration over maps
+// (whose order Go randomizes). Simulation results must be a pure
+// function of (workload seed, predictor config), or the paper's
+// experiment tables stop being reproducible.
+//
+// Allowlisted package segments: cmd (drivers report wall-clock
+// progress), harness (deadlines and backoff jitter are wall-clock by
+// design), telemetry (the tracer timestamps events), and lint itself.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall clocks, global RNG and map iteration in simulation packages",
+	Run:  runDeterminism,
+}
+
+// wallClockFuncs are package-level time functions that read or depend on
+// the wall clock. Conversions and constructors like time.Duration or
+// time.Unix(sec, nsec) are pure and stay allowed.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func runDeterminism(pass *analysis.Pass) error {
+	if hasSegment(pass.Pkg.Path(), "cmd", "harness", "telemetry", "lint") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				checkDeterminismUse(pass, n)
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && !orderInsensitiveBody(pass, n) {
+						pass.Reportf(n.Pos(),
+							"map iteration order is nondeterministic; sort the keys first (or justify with //llbplint:allow determinism)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitiveBody recognizes the two loop shapes whose result
+// provably cannot depend on iteration order: the collect-then-sort idiom
+// (a single `s = append(s, k)` statement) and the drain idiom (a single
+// `delete(m, k)` statement).
+func orderInsensitiveBody(pass *analysis.Pass, r *ast.RangeStmt) bool {
+	if r.Body == nil || len(r.Body.List) != 1 {
+		return false
+	}
+	switch stmt := r.Body.List[0].(type) {
+	case *ast.AssignStmt:
+		// s = append(s, k) — collecting keys or values for sorting.
+		if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return false
+		}
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isBuiltinCall(pass, call, "append")
+	case *ast.ExprStmt:
+		// delete(m, k) — draining the map.
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		return isBuiltinCall(pass, call, "delete")
+	}
+	return false
+}
+
+func isBuiltinCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func checkDeterminismUse(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		// Methods (e.g. (*rand.Rand).Intn on an explicitly seeded
+		// generator) are the sanctioned pattern.
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(sel.Pos(),
+				"time.%s depends on the wall clock; simulation packages must be deterministic (derive timing from the cycle model)", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (rand.New, rand.NewSource, rand.NewPCG, ...)
+		// take an explicit seed/source and are fine; everything else at
+		// package level draws from the shared, auto-seeded global.
+		if !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(sel.Pos(),
+				"%s.%s uses the global auto-seeded RNG; use a rand.New(rand.NewSource(seed)) owned by the component", fn.Pkg().Path(), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysistest"
+)
+
+// TestDeterminism covers flagged wall-clock/RNG/map-iteration cases in a
+// simulation package plus the harness and cmd allowlists (no findings).
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Determinism, "sim", "harness", "cmd/tool")
+}

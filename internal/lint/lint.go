@@ -1,0 +1,60 @@
+// Package lint is the llbplint analyzer suite: custom static checks that
+// enforce the simulator's cross-cutting invariants at compile time rather
+// than by convention. See DESIGN.md §8 for the policy rationale.
+//
+// Analyzers:
+//
+//   - determinism: no wall clocks, global RNG or map-iteration-order
+//     dependence inside simulation packages (results must be bit-exact
+//     and seed-reproducible, PAPER.md §5).
+//   - bitmask: indices into power-of-two-sized tables must be masked or
+//     reduced modulo the table size; constant mask/size mismatches are
+//     flagged (the static counterpart of internal/history's runtime
+//     width panics).
+//   - telemetrysafe: instruments from internal/telemetry are used only
+//     through their nil-safe methods and constructed only by a Registry;
+//     literal instrument names must be snake_case (the scheme
+//     cmd/telemetrycheck requires in CI).
+//   - nopanic: library code must not panic outside constructor-time
+//     config validation (New*/Must*/init); hot-path contract violations
+//     go through internal/assert or the PR-1 RunError machinery.
+//
+// Scope is decided by import-path segments so that both the real module
+// ("llbp/internal/harness") and the analysistest fixtures ("harness")
+// classify identically. Findings that are intentional carry an in-code
+// justification:
+//
+//	//llbplint:allow determinism -- commutative reduction; order cannot leak
+package lint
+
+import (
+	"strings"
+
+	"llbp/internal/lint/analysis"
+)
+
+// All returns the llbplint analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic}
+}
+
+// hasSegment reports whether any "/"-separated segment of the import
+// path equals one of segs.
+func hasSegment(path string, segs ...string) bool {
+	for _, part := range strings.Split(path, "/") {
+		for _, s := range segs {
+			if part == s {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lastSegment returns the final "/"-separated segment of the path.
+func lastSegment(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

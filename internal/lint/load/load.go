@@ -1,0 +1,169 @@
+// Package load turns Go package patterns into parsed, type-checked
+// packages for the llbplint analyzers, using only the standard library
+// and the go toolchain already present in the build environment.
+//
+// It shells out to `go list -export -deps -json`, which compiles (or
+// reuses from the build cache) export data for every dependency, then
+// parses the target packages from source and type-checks them with the
+// stock gc importer pointed at that export data. This is the classic
+// pre-x/tools loading strategy and needs no network access.
+//
+// Only non-test Go files are analyzed: the invariants llbplint enforces
+// (determinism, masking, panic-freedom) are production-code contracts,
+// and test files legitimately use wall clocks, unordered maps and
+// panic-recovery idioms.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one parsed, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPkg mirrors the `go list -json` fields we consume.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Name       string
+	Error      *struct{ Err string }
+}
+
+// list runs `go list -export -deps -json` for patterns in dir, returning
+// the target packages (those matching the patterns) and an export-data
+// index covering every reachable dependency.
+func list(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Name,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	return targets, exports, nil
+}
+
+// ExportIndex returns an import-path → export-data-file index covering
+// the given packages and all their dependencies. It is used by the
+// analysistest fixture loader to resolve standard-library imports.
+func ExportIndex(dir string, pkgs ...string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	_, exports, err := list(dir, pkgs)
+	return exports, err
+}
+
+// Importer returns a types.Importer resolving import paths through the
+// given export-data index.
+func Importer(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// Targets loads, parses (with comments) and type-checks the module
+// packages matching patterns, rooted at dir.
+func Targets(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, exports, err := list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := Importer(fset, exports)
+	var out []*Package
+	for _, tp := range targets {
+		if len(tp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range tp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(tp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("load: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(tp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("load: type-checking %s: %w", tp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: tp.ImportPath,
+			Dir:        tp.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	return out, nil
+}

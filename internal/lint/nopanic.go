@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"llbp/internal/lint/analysis"
+)
+
+// NoPanic forbids panic calls in library packages outside
+// constructor-time config validation. The PR-1 robustness policy routes
+// runtime failures through errors (harness.RunError); hot-path contract
+// violations ("Update without matching Predict") go through
+// internal/assert, whose panics are compiled in only under the
+// llbpdebug build tag.
+//
+// Allowed panic sites: functions named init or prefixed New/Must
+// (case-insensitive), main packages (CLI fatal paths are their own
+// concern), and the assert package itself.
+var NoPanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "library code must not panic outside New*/Must*/init constructors",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" || hasSegment(pass.Pkg.Path(), "cmd", "assert") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || allowedPanicker(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"panic in library function %s; return an error or use internal/assert (panics are reserved for New*/Must*/init config validation)", fd.Name.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// allowedPanicker reports whether a function name marks a constructor or
+// initializer where config-validation panics are accepted policy.
+func allowedPanicker(name string) bool {
+	if name == "init" {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "new") || strings.HasPrefix(lower, "must")
+}

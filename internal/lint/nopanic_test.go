@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysistest"
+)
+
+// TestNoPanic covers library panics (flagged), constructor/init panics
+// (allowed), a justified suppression, and the main-package exemption.
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoPanic, "lib", "cmd/tool")
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+
+	"llbp/internal/lint/analysis"
+)
+
+// TelemetrySafe enforces the observability layer's usage contract
+// (DESIGN.md §7): instruments are nil-safe only through their methods,
+// so outside the telemetry package itself they may never be touched by
+// field access or constructed by composite literal — a Registry is the
+// only factory. Literal instrument names passed to Registry.Counter/
+// Gauge/Histogram/Series must be snake_case, the scheme the CI
+// telemetrycheck gate keys on.
+var TelemetrySafe = &analysis.Analyzer{
+	Name: "telemetrysafe",
+	Doc:  "telemetry instruments: methods only, Registry-constructed, snake_case names",
+	Run:  runTelemetrySafe,
+}
+
+// instrumentTypes are the nil-safe instrument and factory types exported
+// by internal/telemetry. Snapshot/DTO types are plain data and exempt.
+var instrumentTypes = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"Series": true, "Registry": true, "Tracer": true,
+}
+
+// registryFactories are the Registry methods taking an instrument name.
+var registryFactories = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Series": true,
+}
+
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+func runTelemetrySafe(pass *analysis.Pass) error {
+	if lastSegment(pass.Pkg.Path()) == "telemetry" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if name, ok := telemetryInstrument(sel.Recv()); ok {
+						pass.Reportf(n.Sel.Pos(),
+							"direct field access on telemetry.%s; instruments are nil-safe only through methods", name)
+					}
+				}
+			case *ast.CompositeLit:
+				if name, ok := telemetryInstrument(pass.TypesInfo.TypeOf(n)); ok {
+					pass.Reportf(n.Pos(),
+						"composite literal of telemetry.%s; obtain instruments from a Registry (nil-safety depends on it)", name)
+				}
+			case *ast.CallExpr:
+				checkInstrumentName(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// telemetryInstrument reports whether t (possibly behind pointers) is an
+// instrument type declared in a package whose path ends in "telemetry".
+func telemetryInstrument(t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || lastSegment(obj.Pkg().Path()) != "telemetry" {
+		return "", false
+	}
+	if !instrumentTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// checkInstrumentName validates literal names passed to Registry
+// factory methods. Non-constant names (e.g. "provider_" + c.String())
+// cannot be checked statically and are skipped.
+func checkInstrumentName(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !registryFactories[fn.Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if name, ok := telemetryInstrument(sig.Recv().Type()); !ok || name != "Registry" {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !snakeCaseRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"instrument name %q is not snake_case (want %s)", name, snakeCaseRE)
+	}
+}

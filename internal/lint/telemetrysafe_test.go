@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysistest"
+)
+
+// TestTelemetrySafe covers field access, composite-literal construction
+// and name-scheme findings in a consumer package, and the negative case:
+// the telemetry package itself is exempt (it must touch its own fields).
+func TestTelemetrySafe(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TelemetrySafe, "app", "telemetry")
+}

@@ -1,0 +1,21 @@
+// Command tool is a fixture for the cmd/ allowlists shared by the
+// determinism and nopanic analyzers: drivers may read the wall clock and
+// may panic on fatal setup errors. No diagnostics expected.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	report(start)
+}
+
+func report(start time.Time) {
+	if time.Since(start) < 0 {
+		panic("tool: clock went backwards")
+	}
+	fmt.Println("elapsed", time.Since(start))
+}

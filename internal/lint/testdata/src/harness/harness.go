@@ -1,0 +1,30 @@
+// Package harness is a determinism fixture for the allowlist: its import
+// path carries the "harness" segment, so wall clocks and map iteration
+// are allowed (retry backoff and deadlines are wall-clock by design).
+package harness
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Deadline legitimately reads the wall clock. No diagnostics expected.
+func Deadline(budget time.Duration) time.Time {
+	return time.Now().Add(budget)
+}
+
+// JitterMS legitimately uses the global RNG for backoff jitter.
+func JitterMS() int {
+	return rand.Intn(100)
+}
+
+// Pending iterates a map for progress accounting.
+func Pending(m map[string]bool) int {
+	n := 0
+	for _, waiting := range m {
+		if waiting {
+			n++
+		}
+	}
+	return n
+}

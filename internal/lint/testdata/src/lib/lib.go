@@ -1,0 +1,63 @@
+// Package lib is the nopanic fixture: a library package where panics
+// are legal only in New*/Must*/init config validation.
+package lib
+
+import "fmt"
+
+// T is some library state.
+type T struct{ n int }
+
+// New may panic on invalid configuration — allowed.
+func New(n int) *T {
+	if n <= 0 {
+		panic(fmt.Sprintf("lib: bad n %d", n))
+	}
+	return &T{n: n}
+}
+
+// MustParse may panic — allowed by the Must* convention.
+func MustParse(s string) *T {
+	if s == "" {
+		panic("lib: empty input")
+	}
+	return &T{n: len(s)}
+}
+
+func init() {
+	if false {
+		panic("lib: impossible") // allowed in init
+	}
+}
+
+// Step panics on a hot path — flagged.
+func (t *T) Step() {
+	if t.n < 0 {
+		panic("lib: negative state") // want `panic in library function Step`
+	}
+	t.n++
+}
+
+// helper panics inside a nested literal — still flagged.
+func helper(xs []int) {
+	fn := func() {
+		panic("lib: boom") // want `panic in library function helper`
+	}
+	if len(xs) == 0 {
+		fn()
+	}
+}
+
+// Drain returns an error instead — the sanctioned pattern.
+func (t *T) Drain() error {
+	if t.n < 0 {
+		return fmt.Errorf("lib: negative state %d", t.n)
+	}
+	t.n--
+	return nil
+}
+
+// Reset carries a justified allow directive — suppressed.
+func (t *T) Reset() {
+	//llbplint:allow nopanic -- unreachable: n is validated by New and never goes negative
+	panic("lib: reset unsupported")
+}

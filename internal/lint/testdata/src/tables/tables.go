@@ -1,0 +1,90 @@
+// Package tables is the bitmask fixture: power-of-two-sized slices are
+// hardware tables whose computed indices must be masked or
+// modulo-reduced.
+package tables
+
+// T holds a table sized by a runtime log2 parameter.
+type T struct {
+	logSize int
+	tbl     []uint8
+}
+
+// New allocates the table (1<<logSize entries), marking tbl as tracked.
+func New(logSize int) *T {
+	t := &T{logSize: logSize}
+	t.tbl = make([]uint8, 1<<uint(logSize))
+	return t
+}
+
+// Raw indexes with an unmasked hash — flagged.
+func (t *T) Raw(pc, h uint64) uint8 {
+	return t.tbl[pc^h] // want `computed index into power-of-two table tbl is not masked`
+}
+
+// Shifted indexes with an unmasked shift — flagged.
+func (t *T) Shifted(pc uint64) uint8 {
+	return t.tbl[pc>>2] // want `computed index into power-of-two table tbl is not masked`
+}
+
+// Masked reduces with len-1 — the canonical pattern.
+func (t *T) Masked(pc, h uint64) uint8 {
+	return t.tbl[(pc^h)&uint64(len(t.tbl)-1)]
+}
+
+// Mod reduces modulo the length — also fine.
+func (t *T) Mod(pc uint64) uint8 {
+	return t.tbl[pc%uint64(len(t.tbl))]
+}
+
+// Loops index with loop-bounded identifiers — fine.
+func (t *T) Loops() int {
+	n := 0
+	for i := 0; i < len(t.tbl); i++ {
+		n += int(t.tbl[i])
+	}
+	for i := range t.tbl {
+		n += int(t.tbl[i])
+	}
+	return n
+}
+
+// Converted indexes through a conversion of a masked expression — fine.
+func (t *T) Converted(pc uint64) uint8 {
+	return t.tbl[int(pc&uint64(len(t.tbl)-1))]
+}
+
+const logConst = 6
+
+// fixed has a compile-time-constant power-of-two size, enabling width
+// mismatch checks.
+var fixed = make([]int, 1<<logConst)
+
+// BadMask masks to the wrong width — flagged.
+func BadMask(pc uint64) int {
+	return fixed[pc&((1<<5)-1)] // want `mask 0x1f does not match table fixed of size 64`
+}
+
+// GoodMask masks to exactly size-1.
+func GoodMask(pc uint64) int {
+	return fixed[pc&((1<<logConst)-1)]
+}
+
+// BadMod reduces modulo the wrong size — flagged.
+func BadMod(pc uint64) int {
+	return fixed[pc%32] // want `modulus 32 does not match table fixed of size 64`
+}
+
+// loose is not a power-of-two table; indexing it is not checked.
+var loose = make([]int, 100)
+
+// Loose is unchecked because loose is not pow2-sized.
+func Loose(pc uint64) int {
+	return loose[(pc^3)%100]
+}
+
+// Justified carries an allow directive for a proven-by-construction
+// index the analyzer cannot see.
+func (t *T) Justified(pc uint64) uint8 {
+	//llbplint:allow bitmask -- pc already folded to logSize bits by the caller's hash
+	return t.tbl[pc^1]
+}

@@ -1,0 +1,74 @@
+// Package telemetry is a fixture stub mirroring llbp/internal/telemetry:
+// its import path ends in "telemetry", so the telemetrysafe analyzer
+// exempts it (the implementation must touch its own fields). The
+// instrument fields are exported here, unlike the real package, so that
+// the app fixture can demonstrate the field-access diagnostic in code
+// that still compiles.
+package telemetry
+
+// Counter is a fixture instrument with a deliberately exported field.
+type Counter struct{ V uint64 }
+
+// Inc touches the field directly — fine inside the telemetry package.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.V++
+}
+
+// Value reads the field — fine here.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.V
+}
+
+// Gauge is a fixture instrument.
+type Gauge struct{ Bits uint64 }
+
+// Set stores a level.
+func (g *Gauge) Set(v uint64) {
+	if g == nil {
+		return
+	}
+	g.Bits = v
+}
+
+// Registry is the fixture instrument factory.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter registers (or finds) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or finds) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}

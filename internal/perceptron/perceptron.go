@@ -10,6 +10,7 @@ package perceptron
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/predictor"
 	"llbp/internal/trace"
 )
@@ -104,10 +105,13 @@ func (p *Predictor) Predict(pc uint64) bool {
 }
 
 // Update implements predictor.Predictor: train on a misprediction or a
-// low-margin correct prediction (the perceptron learning rule).
+// low-margin correct prediction (the perceptron learning rule). Calling
+// it for a pc that was not the last Predict violates the harness
+// contract; debug builds (-tags llbpdebug) panic, release builds train
+// the stale row.
 func (p *Predictor) Update(pc uint64, taken bool) {
 	if pc != p.lastPC {
-		panic(fmt.Sprintf("perceptron: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+		assert.Failf("perceptron: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC)
 	}
 	if p.lastPred != taken || abs(p.lastSum) <= p.theta {
 		w := p.weights[p.lastRow]

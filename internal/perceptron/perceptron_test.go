@@ -1,6 +1,10 @@
 package perceptron
 
-import "testing"
+import (
+	"testing"
+
+	"llbp/internal/assert"
+)
 
 func drive(p *Predictor, n int, next func(i int) (uint64, bool)) float64 {
 	miss, cnt := 0, 0
@@ -129,6 +133,9 @@ func TestWeightsSaturate(t *testing.T) {
 }
 
 func TestUpdateWithoutPredictPanics(t *testing.T) {
+	if !assert.Enabled {
+		t.Skip("contract panics are debug assertions; run with -tags llbpdebug")
+	}
 	p := mustNew(t)
 	p.Predict(0x40)
 	defer func() {

@@ -9,6 +9,7 @@ package sc
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/history"
 	"llbp/internal/telemetry"
 )
@@ -294,7 +295,8 @@ func (c *Corrector) CheckpointHistory() *HistoryCheckpoint {
 // RestoreHistory rewinds the corrector's histories to a checkpoint.
 func (c *Corrector) RestoreHistory(cp *HistoryCheckpoint) {
 	if len(cp.folds) != len(c.folds) {
-		panic(fmt.Sprintf("sc: checkpoint for %d components restored into %d", len(cp.folds), len(c.folds)))
+		assert.Failf("sc: checkpoint for %d components restored into %d", len(cp.folds), len(c.folds))
+		return
 	}
 	c.ghr.Restore(cp.ghr)
 	for i, f := range c.folds {

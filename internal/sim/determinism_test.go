@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"llbp/internal/telemetry"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+// TestRunMetricsDeterministic is the determinism regression gate backing
+// the llbplint determinism analyzer: two back-to-back runs of the same
+// seeded workload through freshly built predictors must serialize to
+// byte-identical llbp-metrics/1 documents. Any wall-clock read, global
+// RNG draw, or map-iteration ordering leaking into the simulation or the
+// metrics encoder shows up here as a diff.
+func TestRunMetricsDeterministic(t *testing.T) {
+	snapshot := func() []byte {
+		src, err := workload.ByName("Chirper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := tsl.MustNew(tsl.Config64K())
+		reg := telemetry.NewRegistry()
+		if _, err := Run(src, p, Options{
+			WarmupBranches:  20_000,
+			MeasureBranches: 80_000,
+			Telemetry:       reg,
+			SeriesInterval:  8_192,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteMetricsFile(&buf, []telemetry.RunSnapshot{{
+			Workload:  src.Name(),
+			Predictor: p.Name(),
+			Metrics:   reg.Snapshot(),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := snapshot()
+	second := snapshot()
+	if !bytes.Equal(first, second) {
+		line := 1
+		for i := 0; i < len(first) && i < len(second); i++ {
+			if first[i] != second[i] {
+				t.Fatalf("metrics documents diverge at byte %d (line %d): run 1 is %d bytes, run 2 is %d bytes",
+					i, line, len(first), len(second))
+			}
+			if first[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("metrics documents differ only in length: run 1 is %d bytes, run 2 is %d bytes",
+			len(first), len(second))
+	}
+}

@@ -149,6 +149,7 @@ func (t *BranchTracker) Len() int { return len(t.branches) }
 // TotalMisses sums misses across all branches.
 func (t *BranchTracker) TotalMisses() uint64 {
 	var n uint64
+	//llbplint:allow determinism -- commutative uint64 sum; iteration order cannot affect the total
 	for _, s := range t.branches {
 		n += s.Misses
 	}

@@ -3,6 +3,7 @@ package tage
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/bimodal"
 	"llbp/internal/history"
 	"llbp/internal/telemetry"
@@ -260,7 +261,7 @@ func (p *Predictor) providerEntry() *entry {
 func (p *Predictor) Update(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {
-		panic(fmt.Sprintf("tage: Update(%#x) without matching Predict (last %#x)", pc, s.pc))
+		assert.Failf("tage: Update(%#x) without matching Predict (last %#x)", pc, s.pc)
 	}
 	p.train(taken, s.finalTaken != taken)
 	p.pushHistory(pc, taken, true)
@@ -274,7 +275,7 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 func (p *Predictor) UpdateNoAlloc(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {
-		panic(fmt.Sprintf("tage: UpdateNoAlloc(%#x) without matching Predict (last %#x)", pc, s.pc))
+		assert.Failf("tage: UpdateNoAlloc(%#x) without matching Predict (last %#x)", pc, s.pc)
 	}
 	p.trainProviderOnly(taken)
 	p.pushHistory(pc, taken, true)
@@ -463,7 +464,7 @@ func (p *Predictor) LastConfident() bool {
 func (p *Predictor) UpdateHistoryOnly(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {
-		panic(fmt.Sprintf("tage: UpdateHistoryOnly(%#x) without matching Predict (last %#x)", pc, s.pc))
+		assert.Failf("tage: UpdateHistoryOnly(%#x) without matching Predict (last %#x)", pc, s.pc)
 	}
 	p.pushHistory(pc, taken, true)
 }
@@ -559,7 +560,8 @@ func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
 // (the misprediction-recovery path of §V-E2).
 func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
 	if len(cp.foldIdx) != len(p.foldIdx) {
-		panic(fmt.Sprintf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.foldIdx)))
+		assert.Failf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.foldIdx))
+		return
 	}
 	p.ghr.Restore(cp.ghr)
 	p.path.Restore(cp.path)

@@ -1,6 +1,7 @@
 package tage
 
 import (
+	"llbp/internal/assert"
 	"testing"
 
 	"llbp/internal/trace"
@@ -131,6 +132,9 @@ func TestInfiniteModeNoCapacityLoss(t *testing.T) {
 }
 
 func TestUpdateWithoutPredictPanics(t *testing.T) {
+	if !assert.Enabled {
+		t.Skip("contract panics are debug assertions; run with -tags llbpdebug")
+	}
 	p := mustNew(t, DefaultConfig())
 	p.Predict(0x40)
 	defer func() {
@@ -346,14 +350,16 @@ func TestUpdateNoAllocTrainsWithoutAllocating(t *testing.T) {
 	if p.Allocations() != 0 {
 		t.Errorf("UpdateNoAlloc allocated %d entries", p.Allocations())
 	}
-	// Mismatched pairing still panics.
-	p.Predict(0x6000)
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched UpdateNoAlloc must panic")
-		}
-	}()
-	p.UpdateNoAlloc(0x6004, true)
+	// Mismatched pairing still panics in debug builds.
+	if assert.Enabled {
+		p.Predict(0x6000)
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched UpdateNoAlloc must panic")
+			}
+		}()
+		p.UpdateNoAlloc(0x6004, true)
+	}
 }
 
 func TestLastConfidentTracksTraining(t *testing.T) {
@@ -449,19 +455,21 @@ func TestHistoryCheckpointRoundTrip(t *testing.T) {
 		}
 	}
 	p.Update(0x4000, true)
-	// Mismatched checkpoint panics.
-	small := mustNew(t, Config{
-		HistLengths: []int{4, 8},
-		TagBits:     []int{9, 9},
-		LogEntries:  []int{10, 10},
-		BimodalLog:  13, CounterBits: 3, PathBits: 16, Seed: 1,
-	})
-	defer func() {
-		if recover() == nil {
-			t.Error("mismatched checkpoint must panic")
-		}
-	}()
-	p.RestoreHistory(small.CheckpointHistory())
+	// Mismatched checkpoint panics in debug builds.
+	if assert.Enabled {
+		small := mustNew(t, Config{
+			HistLengths: []int{4, 8},
+			TagBits:     []int{9, 9},
+			LogEntries:  []int{10, 10},
+			BimodalLog:  13, CounterBits: 3, PathBits: 16, Seed: 1,
+		})
+		defer func() {
+			if recover() == nil {
+				t.Error("mismatched checkpoint must panic")
+			}
+		}()
+		p.RestoreHistory(small.CheckpointHistory())
+	}
 }
 
 func TestPatternCountFinite(t *testing.T) {

@@ -7,6 +7,7 @@ package tsl
 import (
 	"fmt"
 
+	"llbp/internal/assert"
 	"llbp/internal/looppred"
 	"llbp/internal/predictor"
 	"llbp/internal/sc"
@@ -283,7 +284,7 @@ func (p *Predictor) UpdateAsOverridden(pc, target uint64, taken bool) {
 
 func (p *Predictor) updateAux(pc, target uint64, taken bool) {
 	if pc != p.lastPC {
-		panic(fmt.Sprintf("tsl: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC))
+		assert.Failf("tsl: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC)
 	}
 	if p.sc != nil {
 		p.sc.UpdateWithTarget(pc, target, taken)

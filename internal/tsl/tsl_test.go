@@ -1,6 +1,7 @@
 package tsl
 
 import (
+	"llbp/internal/assert"
 	"testing"
 
 	"llbp/internal/predictor"
@@ -150,6 +151,9 @@ func TestUpdateAsOverriddenSkipsTAGETraining(t *testing.T) {
 }
 
 func TestUpdateWithoutPredictPanics(t *testing.T) {
+	if !assert.Enabled {
+		t.Skip("contract panics are debug assertions; run with -tags llbpdebug")
+	}
 	p := MustNew(Config64K())
 	p.Predict(0x40)
 	defer func() {

@@ -10,6 +10,7 @@
 //	experiments -j 8 -timeout 5m -retries 2
 //	experiments -journal run.journal   # checkpoint completed cells
 //	experiments -resume -journal run.journal  # skip journaled cells
+//	experiments -server 127.0.0.1:8344 # compute cells on a llbpd daemon
 //
 // Interrupting with Ctrl-C cancels in-flight simulations cleanly; with a
 // journal, a re-run under -resume re-executes only unfinished cells.
@@ -31,6 +32,7 @@ import (
 
 	"llbp/internal/experiments"
 	"llbp/internal/harness"
+	"llbp/internal/service/client"
 	"llbp/internal/telemetry"
 )
 
@@ -55,6 +57,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		retries = fs.Int("retries", 0, "retries for transiently failed simulations")
 		journal = fs.String("journal", "", "journal file checkpointing completed cells")
 		resume  = fs.Bool("resume", false, "skip cells already recorded in -journal")
+		server  = fs.String("server", "", "compute cells on a running llbpd daemon at this address instead of simulating locally")
 
 		metricsOut = fs.String("metrics", "", "write a suite-level JSON telemetry snapshot to this file")
 		traceOut   = fs.String("tracefile", "", "write Chrome trace-event JSON of cell execution to this file")
@@ -104,6 +107,17 @@ func run(args []string, stdout, stderr *os.File) int {
 		cfg.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+	}
+	if *server != "" {
+		// Served execution: cells are scheduled on the daemon, but flow
+		// through the same local memo cache, retry loop and journal as
+		// local simulation — one code path, two backends.
+		cl := client.New(*server)
+		if err := cl.Health(ctx); err != nil {
+			fmt.Fprintf(stderr, "experiments: llbpd at %s not reachable: %v\n", *server, err)
+			return 1
+		}
+		cfg.Remote = cl.RunCell
 	}
 	var reg *telemetry.Registry
 	if *metricsOut != "" {

@@ -1,0 +1,180 @@
+// Command llbpd is the simulation service daemon: it serves the
+// llbp-job/1 HTTP API (submit/status/stream/cancel), executes cells on a
+// bounded worker pool through the fault-tolerant experiment harness, and
+// journals both completed cells and job state so a killed daemon resumes
+// exactly-once.
+//
+// Usage:
+//
+//	llbpd -addr 127.0.0.1:8344 -j 4 -queue-depth 32 \
+//	      -journal llbpd.journal -drain-timeout 30s
+//
+// With -addr :0 the kernel picks a free port; the bound address is
+// printed on stdout ("llbpd listening on ...") and, with -addr-file,
+// written to a file for scripts. SIGINT/SIGTERM starts a graceful drain:
+// admission closes, in-flight jobs get -drain-timeout to finish, and
+// whatever remains is journaled for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"llbp/internal/experiments"
+	"llbp/internal/harness"
+	"llbp/internal/service"
+	"llbp/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main with its dependencies injected. When ready is non-nil it
+// receives the bound address once the daemon is serving — the hook the
+// tests (and nothing else) use.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("llbpd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8344", "listen address (use :0 for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once serving")
+		workers    = fs.Int("j", 1, "worker pool size (concurrent jobs; also the harness simulation parallelism)")
+		queueDepth = fs.Int("queue-depth", 16, "admission queue bound; beyond it submissions get 429")
+		journal    = fs.String("journal", "", "cell journal path (job state goes to <path>.jobs); enables resume")
+		drainT     = fs.Duration("drain-timeout", 30*time.Second, "grace given to in-flight jobs on shutdown")
+		timeout    = fs.Duration("timeout", 0, "per-cell simulation deadline (0 = none)")
+		retries    = fs.Int("retries", 0, "retries for transiently failed cells")
+		warmup     = fs.Uint64("warmup", 200_000, "default warmup budget for harness-level runs")
+		measure    = fs.Uint64("measure", 1_000_000, "default measure budget for harness-level runs")
+		quiet      = fs.Bool("q", false, "suppress per-job progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Install the signal handler before anything observable happens, so a
+	// SIGTERM arriving the instant the address is published is already a
+	// graceful drain, never a process kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stderr, "llbpd: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = nil
+	}
+
+	reg := telemetry.NewRegistry()
+	reg.SetClock(func() int64 { return time.Now().UnixMilli() })
+
+	cfg := experiments.Config{
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Parallelism: *workers,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Telemetry:   reg,
+	}
+	var jobLogPath string
+	if *journal != "" {
+		j, err := harness.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(stderr, "llbpd:", err)
+			return 1
+		}
+		defer j.Close()
+		if j.Len() > 0 && logf != nil {
+			logf("cell journal %s holds %d completed cells", *journal, j.Len())
+		}
+		cfg.Journal = j
+		jobLogPath = *journal + ".jobs"
+	}
+
+	// The server is created after the harness, but the harness needs the
+	// server's progress sink; the closure breaks the cycle (no cell runs
+	// before Start, so srv is always set by first use).
+	var srv *service.Server
+	cfg.CellProgress = func(key string, processed, total uint64) {
+		if srv != nil {
+			srv.CellProgress(key, processed, total)
+		}
+	}
+	h := experiments.NewHarness(cfg)
+
+	srv, err := service.New(service.Options{
+		Runner:     h,
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Registry:   reg,
+		JobLogPath: jobLogPath,
+		Logf:       logf,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "llbpd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "llbpd:", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(stderr, "llbpd:", err)
+			ln.Close()
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "llbpd listening on %s\n", bound)
+
+	srv.Start()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if ready != nil {
+		ready <- bound
+	}
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "llbpd:", err)
+		return 1
+	}
+
+	// Graceful drain: stop admission, give in-flight jobs the grace
+	// window, then shut the HTTP listener down (letting any open result
+	// streams deliver their final lines first).
+	if logf != nil {
+		logf("signal received; draining (up to %s)", *drainT)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "llbpd: shutdown:", err)
+	}
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "llbpd: drain:", drainErr)
+		return 1
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "llbpd: drain timed out; unfinished jobs journaled for resume\n")
+	}
+	return 0
+}

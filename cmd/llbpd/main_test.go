@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"llbp/internal/experiments"
+	"llbp/internal/service"
+	"llbp/internal/service/client"
+)
+
+// startDaemon runs the daemon in-process on an ephemeral port and
+// returns its client plus a channel carrying the final exit code.
+func startDaemon(t *testing.T, extra ...string) (*client.Client, <-chan int, *bytes.Buffer) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	ready := make(chan string, 1)
+	code := make(chan int, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-q"}, extra...)
+	go func() { code <- run(args, &out, &errb, ready) }()
+	select {
+	case addr := <-ready:
+		return client.New(addr), code, &out
+	case c := <-code:
+		t.Fatalf("daemon exited before serving: code %d, stderr:\n%s", c, errb.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return nil, nil, nil
+}
+
+// sigterm asks the daemon (our own process) to drain and waits for exit.
+func sigterm(t *testing.T, code <-chan int) int {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		return c
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+		return -1
+	}
+}
+
+// TestDaemonLifecycle boots llbpd, runs one tiny real job through the
+// HTTP API, and shuts it down with a real SIGTERM.
+func TestDaemonLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	cl, code, stdout := startDaemon(t,
+		"-addr-file", addrFile,
+		"-j", "2",
+		"-journal", filepath.Join(dir, "llbpd.journal"),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	raw, err := os.ReadFile(addrFile)
+	if err != nil || len(raw) == 0 {
+		t.Errorf("addr-file: %q, %v", raw, err)
+	}
+	if !strings.Contains(stdout.String(), "llbpd listening on ") {
+		t.Errorf("stdout = %q, want listening banner", stdout.String())
+	}
+
+	st, err := cl.SubmitWait(ctx, service.JobRequest{
+		Schema: service.JobSchema,
+		Cells: []experiments.CellSpec{
+			{Workload: "Tomcat", Predictor: "64k", Warmup: 1_000, Measure: 10_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	err = cl.Stream(ctx, st.ID, true, func(ev service.StreamEvent) error {
+		if ev.Type == "done" {
+			done = ev.State == service.StateDone && ev.Completed == 1
+		}
+		return nil
+	})
+	if err != nil || !done {
+		t.Fatalf("stream: err=%v done=%v", err, done)
+	}
+	if c := sigterm(t, code); c != 0 {
+		t.Errorf("exit code after drain = %d", c)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "llbpd.journal.jobs")); err != nil {
+		t.Errorf("job log missing after drain: %v", err)
+	}
+}
+
+// TestDaemonBadFlags: flag errors and unusable listen addresses exit
+// non-zero without serving.
+func TestDaemonBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if c := run([]string{"-no-such-flag"}, &out, &errb, nil); c != 2 {
+		t.Errorf("bad flag: code %d, want 2", c)
+	}
+	if c := run([]string{"-addr", "256.0.0.1:bogus"}, &out, &errb, nil); c != 1 {
+		t.Errorf("bad addr: code %d, want 1", c)
+	}
+	if c := run([]string{"-journal", filepath.Join(t.TempDir(), "nodir", "x.journal")}, &out, &errb, nil); c != 1 {
+		t.Errorf("unwritable journal: code %d, want 1", c)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"llbp/internal/trace"
@@ -18,16 +19,31 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected (testable error paths,
+// matching the other CLIs). Every failure — unknown workload, unwritable
+// output path, short write — exits non-zero with a one-line message.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wlName   = flag.String("workload", "Tomcat", "catalog workload name")
-		branches = flag.Uint64("branches", 2_000_000, "number of branch records to write")
-		out      = flag.String("o", "", "output file (default <workload>.llbptrc)")
+		wlName   = fs.String("workload", "Tomcat", "catalog workload name")
+		branches = fs.Uint64("branches", 2_000_000, "number of branch records to write")
+		out      = fs.String("o", "", "output file (default <workload>.llbptrc)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 1
+	}
 
 	src, err := workload.ByName(*wlName)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	path := *out
 	if path == "" {
@@ -35,13 +51,12 @@ func main() {
 	}
 	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	defer f.Close()
-
 	w, err := trace.NewWriter(f, src.Name())
 	if err != nil {
-		fatal(err)
+		f.Close()
+		return fail(err)
 	}
 	r := &trace.LimitReader{R: src.Open(), Max: *branches}
 	var b trace.Branch
@@ -51,29 +66,28 @@ func main() {
 			if trace.IsEOF(err) {
 				break
 			}
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		if err := w.Write(&b); err != nil {
-			fatal(err)
+			f.Close()
+			return fail(err)
 		}
 		n++
 		instrs += uint64(b.Instructions)
 	}
 	if err := w.Flush(); err != nil {
-		fatal(err)
+		f.Close()
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	st, err := os.Stat(path)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("wrote %s: %d branches, %d instructions, %d bytes (%.2f bytes/branch)\n",
+	fmt.Fprintf(stdout, "wrote %s: %d branches, %d instructions, %d bytes (%.2f bytes/branch)\n",
 		path, n, instrs, st.Size(), float64(st.Size())/float64(n))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runGen(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestGenWritesTrace: the happy path produces a replayable trace file
+// and a summary line.
+func TestGenWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tomcat.llbptrc")
+	code, out, errb := runGen(t, "-workload", "Tomcat", "-branches", "5000", "-o", path)
+	if code != 0 {
+		t.Fatalf("code %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "wrote "+path) || !strings.Contains(out, "5000 branches") {
+		t.Errorf("summary %q", out)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Errorf("trace file: %v, %v", st, err)
+	}
+}
+
+// TestGenErrors: unknown workloads, unwritable output paths, and bad
+// flags exit non-zero with a one-line diagnostic, never a stack trace.
+func TestGenErrors(t *testing.T) {
+	dir := t.TempDir()
+	roDir := filepath.Join(dir, "ro")
+	if err := os.Mkdir(roDir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"unknown workload", []string{"-workload", "NoSuchWorkload", "-o", filepath.Join(dir, "x.llbptrc")}, 1},
+		{"missing directory", []string{"-workload", "Tomcat", "-o", filepath.Join(dir, "nodir", "x.llbptrc")}, 1},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+	}
+	if os.Geteuid() != 0 { // root ignores directory permissions
+		cases = append(cases, struct {
+			name string
+			args []string
+			code int
+		}{"read-only directory", []string{"-workload", "Tomcat", "-o", filepath.Join(roDir, "x.llbptrc")}, 1})
+	}
+	for _, tc := range cases {
+		code, _, errb := runGen(t, tc.args...)
+		if code != tc.code {
+			t.Errorf("%s: code %d, want %d (stderr %q)", tc.name, code, tc.code, errb)
+		}
+		if strings.Contains(errb, "goroutine ") {
+			t.Errorf("%s: stack trace leaked: %q", tc.name, errb)
+		}
+		if tc.code == 1 && strings.Count(strings.TrimSpace(errb), "\n") > 0 {
+			t.Errorf("%s: diagnostic is not one line: %q", tc.name, errb)
+		}
+	}
+}

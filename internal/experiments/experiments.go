@@ -63,6 +63,20 @@ type Config struct {
 	// Tracer, when non-nil, receives one wall-clock span per simulation
 	// cell on the harness track.
 	Tracer *telemetry.Tracer
+
+	// Remote, when non-nil, computes headline and sweep cells on a
+	// remote llbpd daemon instead of simulating locally (the
+	// cmd/experiments -server path). The cell still flows through the
+	// local memo cache, single-flight dedup, retry loop and journal —
+	// local and served execution share one code path. Fault-injected
+	// cells (RunFaulted) always simulate locally.
+	Remote func(ctx context.Context, spec CellSpec) (*RunOutput, error)
+	// CellProgress, when non-nil, is invoked periodically (every few
+	// thousand branches) while a cell simulates locally, with the cell
+	// key and the running processed-branch count against the cell's
+	// total budget. The llbpd service streams these as interval
+	// snapshots. It may be called from multiple goroutines.
+	CellProgress func(key string, processed, total uint64)
 }
 
 // DefaultConfig returns the standard laptop-scale budgets.
@@ -269,9 +283,12 @@ func (h *Harness) RunSweep(wl *workload.Source, spec PredictorSpec) (*RunOutput,
 }
 
 func (h *Harness) runBudget(wl *workload.Source, spec PredictorSpec, warm, meas uint64) (*RunOutput, error) {
-	key := fmt.Sprintf("%s|%s|%d|%d", wl.Name(), spec.Key, warm, meas)
+	cs := CellSpec{Workload: wl.Name(), Predictor: spec.Key, Warmup: warm, Measure: meas}
 	meta := map[string]string{"workload": wl.Name(), "predictor": spec.Key}
-	return h.runCell(key, meta, func(ctx context.Context) (*RunOutput, error) {
+	return h.runCell(nil, cs.Key(), meta, func(ctx context.Context) (*RunOutput, error) {
+		if h.Cfg.Remote != nil {
+			return h.Cfg.Remote(ctx, cs)
+		}
 		return h.simulate(ctx, wl, spec, warm, meas, nil)
 	})
 }
@@ -297,7 +314,7 @@ func (f FaultSpec) key() string {
 func (h *Harness) RunFaulted(wl *workload.Source, spec PredictorSpec, fs FaultSpec) (*RunOutput, error) {
 	key := fmt.Sprintf("%s|%s|%d|%d|%s", wl.Name(), spec.Key, h.Cfg.SweepWarmup, h.Cfg.SweepMeasure, fs.key())
 	meta := map[string]string{"workload": wl.Name(), "predictor": spec.Key, "faults": fs.key()}
-	return h.runCell(key, meta, func(ctx context.Context) (*RunOutput, error) {
+	return h.runCell(nil, key, meta, func(ctx context.Context) (*RunOutput, error) {
 		return h.simulate(ctx, wl, spec, h.Cfg.SweepWarmup, h.Cfg.SweepMeasure, &fs)
 	})
 }
@@ -333,6 +350,17 @@ func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec Predic
 			last = processed
 		}
 	}
+	if h.Cfg.CellProgress != nil {
+		cs := CellSpec{Workload: wl.Name(), Predictor: spec.Key, Warmup: warm, Measure: meas}
+		key, total := cs.Key(), warm+meas
+		inner := opt.Hook
+		opt.Hook = func(processed uint64) {
+			if inner != nil {
+				inner(processed)
+			}
+			h.Cfg.CellProgress(key, processed, total)
+		}
+	}
 	res, err := sim.Run(wl, p, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", spec.Key, wl.Name(), err)
@@ -353,7 +381,14 @@ func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec Predic
 // runCell computes one memoized cell: in-memory cache, single-flight
 // deduplication of concurrent identical requests, then dispatch through
 // the harness runner (journal, retry, panic isolation, admission gate).
-func (h *Harness) runCell(key string, meta map[string]string, body func(ctx context.Context) (*RunOutput, error)) (*RunOutput, error) {
+// ctx overrides the harness-level context when non-nil (the service
+// passes per-job contexts so cancelling a job aborts its in-flight
+// cells); concurrent requesters of the same cell share the first
+// requester's context via single-flight.
+func (h *Harness) runCell(ctx context.Context, key string, meta map[string]string, body func(ctx context.Context) (*RunOutput, error)) (*RunOutput, error) {
+	if ctx == nil {
+		ctx = h.Cfg.Context
+	}
 	h.mu.Lock()
 	if out, ok := h.cache[key]; ok {
 		h.mu.Unlock()
@@ -368,7 +403,7 @@ func (h *Harness) runCell(key string, meta map[string]string, body func(ctx cont
 	h.inflight[key] = cell
 	h.mu.Unlock()
 
-	res := h.runner.Do(h.Cfg.Context, harness.Job{
+	res := h.runner.Do(ctx, harness.Job{
 		Key:  key,
 		Meta: meta,
 		Run: func(ctx context.Context) (any, error) {

@@ -2,9 +2,12 @@ package harness
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"sync"
 )
 
@@ -27,10 +30,15 @@ type journalRecord struct {
 }
 
 // OpenJournal loads the completed-cell records at path (if any) and opens
-// the file for appending. Corrupt or truncated lines are skipped — a
-// journal written by an interrupted run is still usable.
+// the file for appending. Corrupt lines are skipped, and a truncated
+// final line — the footprint of a process killed mid-write — is dropped
+// and physically truncated away, so the next append starts on a fresh
+// line instead of gluing itself onto the partial record. A journal
+// written by an interrupted run is therefore always usable and never
+// self-poisoning.
 func OpenJournal(path string) (*Journal, error) {
 	j := &Journal{done: make(map[string]json.RawMessage), path: path}
+	keep := int64(-1) // file length to truncate to, when a partial tail exists
 	if raw, err := os.ReadFile(path); err == nil {
 		start := 0
 		for i := 0; i <= len(raw); i++ {
@@ -48,11 +56,26 @@ func OpenJournal(path string) (*Journal, error) {
 			}
 			j.done[rec.Key] = rec.Value
 		}
+		if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+			// Partial trailing line: truncate back to the last newline
+			// (or to empty when the file never completed a line).
+			keep = int64(bytes.LastIndexByte(raw, '\n') + 1)
+		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("harness: reading journal %s: %w", path, err)
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
+		return nil, fmt.Errorf("harness: opening journal %s: %w", path, err)
+	}
+	if keep >= 0 {
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("harness: repairing journal %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("harness: opening journal %s: %w", path, err)
 	}
 	j.f = f
@@ -78,8 +101,25 @@ func (j *Journal) Lookup(key string) (json.RawMessage, bool) {
 	return raw, ok
 }
 
-// Record appends a completed cell and syncs it to disk, so a kill after
-// Record never loses the cell.
+// Each calls fn for every recorded cell, in sorted key order (so
+// consumers replaying the journal are deterministic). The journal lock is
+// held for the duration; fn must not call back into the journal.
+func (j *Journal) Each(fn func(key string, value json.RawMessage)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	keys := make([]string, 0, len(j.done))
+	for k := range j.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn(k, j.done[k])
+	}
+}
+
+// Record appends a completed cell and syncs it to disk (buffer flush plus
+// file fsync on the record boundary), so a kill — or a whole-machine
+// crash — after Record never loses the cell.
 func (j *Journal) Record(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
@@ -99,6 +139,9 @@ func (j *Journal) Record(key string, value any) error {
 	}
 	if err := j.w.Flush(); err != nil {
 		return fmt.Errorf("harness: journaling %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("harness: syncing journal %q: %w", key, err)
 	}
 	j.done[key] = raw
 	return nil

@@ -1,0 +1,274 @@
+// Package client is the Go client for the llbpd simulation service:
+// job submission with backpressure-aware retry, status queries,
+// JSON-lines result streaming, cancellation, and a RunCell adapter that
+// plugs directly into experiments.Config.Remote so cmd/experiments can
+// target a daemon with one flag.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"llbp/internal/experiments"
+	"llbp/internal/harness"
+	"llbp/internal/service"
+)
+
+// Client talks to one llbpd daemon. The zero value is not usable; call
+// New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at addr ("host:port" or a full
+// http:// URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx response, with enough structure for callers to
+// react to backpressure.
+type apiError struct {
+	Status     int
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("llbpd: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsQueueFull reports whether err is the daemon's backpressure signal
+// (HTTP 429), returning the advertised Retry-After delay.
+func IsQueueFull(err error) (time.Duration, bool) {
+	if ae, ok := err.(*apiError); ok && ae.Status == http.StatusTooManyRequests {
+		d := ae.RetryAfter
+		if d <= 0 {
+			d = time.Second
+		}
+		return d, true
+	}
+	return 0, false
+}
+
+// do issues a request and decodes a JSON body into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("llbpd: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("llbpd: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return readAPIError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("llbpd: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func readAPIError(resp *http.Response) error {
+	ae := &apiError{Status: resp.StatusCode}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(ra) * time.Second
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		ae.Message = eb.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(raw))
+	}
+	return ae
+}
+
+// Submit submits a job. A full queue surfaces as an error recognized by
+// IsQueueFull; SubmitWait wraps this with honor-Retry-After retry.
+func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return service.JobStatus{}, fmt.Errorf("llbpd: encoding job request: %w", err)
+	}
+	var st service.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", strings.NewReader(string(raw)), &st); err != nil {
+		return service.JobStatus{}, err
+	}
+	return st, nil
+}
+
+// SubmitWait submits a job, sleeping out 429 backpressure (honoring the
+// daemon's Retry-After) until admission succeeds or ctx expires.
+func (c *Client) SubmitWait(ctx context.Context, req service.JobRequest) (service.JobStatus, error) {
+	for {
+		st, err := c.Submit(ctx, req)
+		if err == nil {
+			return st, nil
+		}
+		delay, full := IsQueueFull(err)
+		if !full {
+			return service.JobStatus{}, err
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return service.JobStatus{}, fmt.Errorf("llbpd: giving up on full queue: %w", ctx.Err())
+		}
+	}
+}
+
+// Status fetches one job's status.
+func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job on the daemon.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobStatus, error) {
+	var out []service.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel cancels a job and returns its resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Stream reads a job's JSON-lines result stream, invoking fn per event.
+// With follow, the stream runs until the job's "done" event (which is
+// also delivered to fn) or ctx cancellation; without, it replays what
+// exists and returns. fn returning an error stops the stream and
+// surfaces that error.
+func (c *Client) Stream(ctx context.Context, id string, follow bool, fn func(service.StreamEvent) error) error {
+	path := "/v1/jobs/" + id + "/results"
+	if follow {
+		path += "?follow=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("llbpd: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("llbpd: streaming %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return readAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // cell values can be large
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("llbpd: bad stream line for %s: %w", id, err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("llbpd: streaming %s: %w", id, err)
+	}
+	return nil
+}
+
+// Metrics fetches the daemon's /metrics document (llbp-metrics/1 JSON).
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("llbpd: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("llbpd: fetching metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, readAPIError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Health probes /healthz; nil means the daemon is up and accepting.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// RunCell computes one cell on the daemon: submit (waiting out
+// backpressure), follow the stream, decode the cell's value. Plug it
+// into experiments.Config.Remote to make a local experiment suite
+// schedule its cells on a daemon. Cell failures on the daemon are
+// returned as transient errors so the local harness retry policy
+// applies.
+func (c *Client) RunCell(ctx context.Context, spec experiments.CellSpec) (*experiments.RunOutput, error) {
+	req := service.JobRequest{Schema: service.JobSchema, Cells: []experiments.CellSpec{spec}}
+	st, err := c.SubmitWait(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	var out *experiments.RunOutput
+	var cellErr error
+	err = c.Stream(ctx, st.ID, true, func(ev service.StreamEvent) error {
+		switch ev.Type {
+		case "cell":
+			if ev.Error != "" {
+				cellErr = fmt.Errorf("llbpd: cell %s failed remotely: %s", ev.Key, ev.Error)
+				return nil
+			}
+			var ro experiments.RunOutput
+			if err := json.Unmarshal(ev.Value, &ro); err != nil {
+				return fmt.Errorf("llbpd: decoding cell %s value: %w", ev.Key, err)
+			}
+			out = &ro
+		case "done":
+			if ev.State == service.StateCancelled && out == nil && cellErr == nil {
+				cellErr = fmt.Errorf("llbpd: job %s cancelled on the daemon", st.ID)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, harness.Transient(err)
+	}
+	if cellErr != nil {
+		return nil, cellErr
+	}
+	if out == nil {
+		return nil, harness.Transient(fmt.Errorf("llbpd: job %s stream ended without a cell result", st.ID))
+	}
+	return out, nil
+}

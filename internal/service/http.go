@@ -1,0 +1,181 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"llbp/internal/telemetry"
+)
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API (see the package comment for
+// the endpoint table). It is safe to install on any mux or server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	// Encoding a value we marshaled ourselves cannot fail in a way the
+	// client can still be told about; ignore the error.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job request: %v", err)
+		return
+	}
+	st, created, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfterSeconds))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case created:
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleResults streams the job's events as JSON lines. Without
+// ?follow=1 it replays what exists and returns; with it, the stream
+// stays open — interleaving persisted "cell" events with live
+// "progress" snapshots — until the job reaches a terminal state (the
+// "done" line) or the client disconnects.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %s", id)
+		return
+	}
+	follow := r.URL.Query().Get("follow") == "1"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	pos := 0
+	var lastProg uint64
+	for {
+		evs, prog, progSeq, terminal, pulse := jb.snapshot(pos)
+		pos += len(evs)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return // client gone
+			}
+		}
+		if follow && !terminal && progSeq != lastProg {
+			lastProg = progSeq
+			if err := enc.Encode(prog); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal && len(evs) == 0 {
+			return // full replay delivered, including the "done" line
+		}
+		if !follow && len(evs) == 0 {
+			return // snapshot mode: dumped what exists
+		}
+		if terminal || !follow {
+			continue // loop once more to drain any events added meanwhile
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleMetrics serves the telemetry registry as an llbp-metrics/1
+// document (one run named after the daemon), the same format
+// cmd/telemetrycheck validates in CI.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Registry == nil {
+		writeError(w, http.StatusNotFound, "telemetry disabled (no registry configured)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WriteMetricsFile(w, []telemetry.RunSnapshot{
+		{Predictor: "llbpd", Metrics: s.opt.Registry.Snapshot()},
+	})
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status   string `json:"status"`
+	Draining bool   `json:"draining"`
+	Jobs     int    `json:"jobs"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	body := healthBody{Status: "ok", Jobs: n, Draining: s.Draining()}
+	code := http.StatusOK
+	if body.Draining {
+		body.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}

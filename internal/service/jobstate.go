@@ -1,0 +1,151 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// job is the in-memory runtime of one submitted job: its request, its
+// lifecycle state, the persisted event log replayed to results readers,
+// and the pulse channel that wakes streaming subscribers. "cell" and
+// "done" events are persisted (late readers get a full replay); progress
+// snapshots are ephemeral — only the latest is kept and only live
+// followers see them.
+type job struct {
+	id     string
+	req    JobRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+	// userCancelled distinguishes a client DELETE from a server
+	// shutdown: both cancel ctx, but only the former is a terminal
+	// cancellation (shutdown leaves the job resumable).
+	userCancelled atomic.Bool
+
+	mu        sync.Mutex
+	state     State
+	events    []StreamEvent // persisted "cell" + "done" events, in order
+	completed int
+	failed    int
+	progress  StreamEvent
+	progSeq   uint64
+	// lastProgressEmit throttles progress snapshots per cell key.
+	lastProgressEmit map[string]uint64
+	pulse            chan struct{} // closed and replaced on every publish
+}
+
+func newJob(base context.Context, id string, req JobRequest) *job {
+	ctx, cancel := context.WithCancel(base)
+	return &job{
+		id:               id,
+		req:              req,
+		ctx:              ctx,
+		cancel:           cancel,
+		state:            StateQueued,
+		lastProgressEmit: make(map[string]uint64),
+		pulse:            make(chan struct{}),
+	}
+}
+
+// wake closes the current pulse channel so every waiting subscriber
+// re-reads the job. Callers must hold mu.
+func (jb *job) wake() {
+	close(jb.pulse)
+	jb.pulse = make(chan struct{})
+}
+
+// status snapshots the job as a wire JobStatus.
+func (jb *job) status() JobStatus {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return JobStatus{
+		Schema:    JobSchema,
+		ID:        jb.id,
+		State:     jb.state,
+		Cells:     len(jb.req.Cells),
+		Completed: jb.completed,
+		Failed:    jb.failed,
+	}
+}
+
+// setState transitions the lifecycle state (no event is emitted; use
+// finish for terminal transitions).
+func (jb *job) setState(s State) {
+	jb.mu.Lock()
+	jb.state = s
+	jb.wake()
+	jb.mu.Unlock()
+}
+
+// addCell records a completed cell's result event.
+func (jb *job) addCell(index int, key string, value []byte) {
+	jb.mu.Lock()
+	jb.completed++
+	jb.events = append(jb.events, StreamEvent{Type: "cell", Key: key, Index: index, Value: value})
+	jb.wake()
+	jb.mu.Unlock()
+}
+
+// addCellError records a failed cell's event.
+func (jb *job) addCellError(index int, key string, err error) {
+	jb.mu.Lock()
+	jb.failed++
+	jb.events = append(jb.events, StreamEvent{Type: "cell", Key: key, Index: index, Error: err.Error()})
+	jb.wake()
+	jb.mu.Unlock()
+}
+
+// setProgress publishes an ephemeral progress snapshot, throttled to
+// roughly one snapshot per progressStride branches per cell (plus the
+// final tick). Reports whether the snapshot was published.
+func (jb *job) setProgress(key string, index int, processed, total uint64) bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	last := jb.lastProgressEmit[key]
+	if processed < total && processed-last < progressStride {
+		return false
+	}
+	jb.lastProgressEmit[key] = processed
+	jb.progress = StreamEvent{Type: "progress", Key: key, Index: index, Processed: processed, Total: total}
+	jb.progSeq++
+	jb.wake()
+	return true
+}
+
+// progressStride is the minimum branch distance between streamed
+// progress snapshots of one cell.
+const progressStride = 65_536
+
+// finish moves the job to a terminal state and appends the "done" event.
+func (jb *job) finish(final State) {
+	jb.mu.Lock()
+	jb.state = final
+	jb.events = append(jb.events, StreamEvent{
+		Type:      "done",
+		State:     final,
+		Completed: jb.completed,
+		Failed:    jb.failed,
+	})
+	jb.wake()
+	jb.mu.Unlock()
+}
+
+// terminal reports whether the job reached a final state.
+func (jb *job) terminal() bool {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.state.Terminal()
+}
+
+// snapshot returns the persisted events from pos on, the latest progress
+// snapshot with its sequence number, the terminal flag, and the pulse
+// channel that signals the next change — everything a streaming reader
+// needs for one iteration, under one lock acquisition.
+func (jb *job) snapshot(pos int) (evs []StreamEvent, prog StreamEvent, progSeq uint64, terminal bool, pulse chan struct{}) {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	if pos < len(jb.events) {
+		evs = append(evs, jb.events[pos:]...)
+	}
+	return evs, jb.progress, jb.progSeq, jb.state.Terminal(), jb.pulse
+}

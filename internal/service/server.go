@@ -1,0 +1,506 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"llbp/internal/experiments"
+	"llbp/internal/harness"
+	"llbp/internal/telemetry"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; HTTP maps it to 429 with a Retry-After header.
+var ErrQueueFull = fmt.Errorf("service: admission queue full")
+
+// ErrDraining is returned by Submit once shutdown has begun; HTTP maps
+// it to 503.
+var ErrDraining = fmt.Errorf("service: draining, not accepting jobs")
+
+// CellRunner executes one simulation cell. *experiments.Harness is the
+// production implementation: cells dispatched through it inherit the
+// harness runner's retries, panic isolation, per-run deadlines, memo
+// cache and journal resume unchanged.
+type CellRunner interface {
+	RunCell(ctx context.Context, spec experiments.CellSpec) (*experiments.RunOutput, error)
+}
+
+// Options configures a Server.
+type Options struct {
+	// Runner executes cells (required). Use an *experiments.Harness
+	// whose journal points at durable storage for exactly-once resume.
+	Runner CellRunner
+	// Workers is the job worker pool size (default 1). Cell-level
+	// parallelism inside a job is governed by the harness runner's own
+	// admission gate, so total simulation concurrency is bounded by the
+	// harness, not by Workers.
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// rejected with 429 + Retry-After (default 16).
+	QueueDepth int
+	// RetryAfterSeconds is advertised on 429 responses (default 1).
+	RetryAfterSeconds int
+	// Registry, when non-nil, receives service metrics and backs the
+	// /metrics endpoint.
+	Registry *telemetry.Registry
+	// JobLogPath, when non-empty, is the job-state journal: submitted
+	// jobs and their terminal states are appended (fsynced per record),
+	// and New re-enqueues every non-terminal job found there. Pair it
+	// with a harness cell journal to make resume exactly-once.
+	JobLogPath string
+	// Logf, when non-nil, receives one line per lifecycle transition.
+	Logf func(format string, args ...any)
+}
+
+// Server owns the job registry, admission queue and worker pool. Create
+// with New, install Handler on an http.Server, call Start, and Drain on
+// shutdown.
+type Server struct {
+	opt      Options
+	base     context.Context
+	baseStop context.CancelFunc
+	queue    chan *job
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	running map[string][]*job // cell key → jobs streaming that cell
+
+	jobLog *harness.Journal
+	tel    serviceTel
+}
+
+// serviceTel bundles the server's nil-safe instruments.
+type serviceTel struct {
+	submitted  *telemetry.Counter
+	deduped    *telemetry.Counter
+	rejected   *telemetry.Counter
+	resumed    *telemetry.Counter
+	completed  *telemetry.Counter
+	failed     *telemetry.Counter
+	cancelled  *telemetry.Counter
+	cellsOK    *telemetry.Counter
+	cellsErr   *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+}
+
+// loggedJob is the job-log record format: enough to resume (the request)
+// and to answer status queries for terminal jobs across restarts.
+type loggedJob struct {
+	Req       JobRequest `json:"req"`
+	State     State      `json:"state"`
+	Completed int        `json:"completed"`
+	Failed    int        `json:"failed"`
+}
+
+// New builds a Server, loading and re-enqueuing any non-terminal jobs
+// from the job log. Call Start to begin executing.
+func New(opt Options) (*Server, error) {
+	if opt.Runner == nil {
+		return nil, fmt.Errorf("service: Options.Runner is required")
+	}
+	if opt.Workers < 1 {
+		opt.Workers = 1
+	}
+	if opt.QueueDepth < 1 {
+		opt.QueueDepth = 16
+	}
+	if opt.RetryAfterSeconds < 1 {
+		opt.RetryAfterSeconds = 1
+	}
+	base, stop := context.WithCancel(context.Background())
+	s := &Server{
+		opt:      opt,
+		base:     base,
+		baseStop: stop,
+		jobs:     make(map[string]*job),
+		running:  make(map[string][]*job),
+	}
+	reg := opt.Registry
+	s.tel = serviceTel{
+		submitted:  reg.Counter("service_jobs_submitted"),
+		deduped:    reg.Counter("service_jobs_deduped"),
+		rejected:   reg.Counter("service_jobs_rejected"),
+		resumed:    reg.Counter("service_jobs_resumed"),
+		completed:  reg.Counter("service_jobs_completed"),
+		failed:     reg.Counter("service_jobs_failed"),
+		cancelled:  reg.Counter("service_jobs_cancelled"),
+		cellsOK:    reg.Counter("service_cells_completed"),
+		cellsErr:   reg.Counter("service_cells_failed"),
+		queueDepth: reg.Gauge("service_queue_depth"),
+		running:    reg.Gauge("service_jobs_running"),
+	}
+
+	var resumable []*job
+	if opt.JobLogPath != "" {
+		jl, err := harness.OpenJournal(opt.JobLogPath)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.jobLog = jl
+		jl.Each(func(id string, raw json.RawMessage) {
+			var lj loggedJob
+			if err := json.Unmarshal(raw, &lj); err != nil || len(lj.Req.Cells) == 0 {
+				s.logf("job log: dropping unreadable record %s", id)
+				return
+			}
+			jb := newJob(base, id, lj.Req)
+			if lj.State.Terminal() {
+				// Remembered for status queries; results streams replay
+				// only the terminal summary.
+				jb.completed, jb.failed = lj.Completed, lj.Failed
+				jb.finish(lj.State)
+			} else {
+				resumable = append(resumable, jb)
+			}
+			s.jobs[id] = jb
+		})
+	}
+
+	// The queue must absorb every resumed job plus QueueDepth fresh
+	// submissions, or a heavily loaded daemon could not restart.
+	s.queue = make(chan *job, opt.QueueDepth+len(resumable))
+	for _, jb := range resumable {
+		if err := s.logJob(jb); err != nil {
+			stop()
+			return nil, err
+		}
+		s.queue <- jb
+		s.tel.resumed.Inc()
+		s.logf("job %s resumed (%d cells)", jb.id, len(jb.req.Cells))
+	}
+	s.tel.queueDepth.Set(float64(len(s.queue)))
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.opt.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.worker()
+		}()
+	}
+}
+
+// Submit enqueues a job request (the HTTP handler's core, exposed for
+// in-process use). Returns the status and true when the job was newly
+// admitted; an existing job (same deterministic ID) returns its current
+// status and false. A full queue returns ErrQueueFull; a draining server
+// returns ErrDraining.
+func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
+	if err := req.Validate(); err != nil {
+		return JobStatus{}, false, err
+	}
+	if s.draining.Load() {
+		return JobStatus{}, false, ErrDraining
+	}
+	id := JobID(req.Cells)
+
+	s.mu.Lock()
+	if jb, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		s.tel.deduped.Inc()
+		return jb.status(), false, nil
+	}
+	jb := newJob(s.base, id, req)
+	s.jobs[id] = jb
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- jb:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		s.tel.rejected.Inc()
+		return JobStatus{}, false, ErrQueueFull
+	}
+	s.tel.queueDepth.Set(float64(len(s.queue)))
+	if err := s.logJob(jb); err != nil {
+		s.logf("job %s: logging submit: %v", id, err)
+	}
+	s.tel.submitted.Inc()
+	s.logf("job %s submitted (%d cells)", id, len(req.Cells))
+	return jb.status(), true, nil
+}
+
+// Job returns a job's status by ID.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	return jb.status(), true
+}
+
+// Jobs lists every known job's status, sorted by ID.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, jb := range s.jobs {
+		jobs = append(jobs, jb)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	out := make([]JobStatus, len(jobs))
+	for i, jb := range jobs {
+		out[i] = jb.status()
+	}
+	return out
+}
+
+// Cancel cancels a job. Queued jobs finish immediately as cancelled;
+// running jobs abort their in-flight cell (the simulation observes
+// context cancellation within a few thousand branches). Reports whether
+// the job exists.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false
+	}
+	if !jb.terminal() {
+		jb.userCancelled.Store(true)
+		jb.cancel()
+		// A queued job has no worker to finalize it; do it here. The
+		// worker skips terminal jobs when it dequeues them.
+		jb.mu.Lock()
+		queued := jb.state == StateQueued
+		jb.mu.Unlock()
+		if queued {
+			jb.finish(StateCancelled)
+			s.tel.cancelled.Inc()
+			if err := s.logJob(jb); err != nil {
+				s.logf("job %s: logging cancel: %v", id, err)
+			}
+			s.logf("job %s cancelled while queued", id)
+		}
+	}
+	return jb.status(), true
+}
+
+// CellProgress routes a harness progress callback (experiments
+// Config.CellProgress) to every job currently running that cell, as
+// throttled "progress" stream events.
+func (s *Server) CellProgress(key string, processed, total uint64) {
+	s.mu.Lock()
+	jobs := append([]*job(nil), s.running[key]...)
+	s.mu.Unlock()
+	for _, jb := range jobs {
+		jb.setProgress(key, cellIndex(jb.req.Cells, key), processed, total)
+	}
+}
+
+// cellIndex finds a cell's index within the job by key.
+func cellIndex(cells []experiments.CellSpec, key string) int {
+	for i, c := range cells {
+		if c.Key() == key {
+			return i
+		}
+	}
+	return 0
+}
+
+// worker executes queued jobs until the queue closes. While draining,
+// dequeued jobs are skipped — they stay logged as queued, so a restart
+// resumes them.
+func (s *Server) worker() {
+	for jb := range s.queue {
+		s.tel.queueDepth.Set(float64(len(s.queue)))
+		if jb.terminal() {
+			continue // cancelled while queued
+		}
+		if s.draining.Load() || s.base.Err() != nil {
+			continue // leave for resume
+		}
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one job's cells in order, streaming a "cell" event per
+// completion. Shutdown mid-job leaves the job non-terminal (resumable);
+// user cancellation, cell failures and clean completion finalize it.
+func (s *Server) runJob(jb *job) {
+	jb.setState(StateRunning)
+	if err := s.logJob(jb); err != nil {
+		s.logf("job %s: logging start: %v", jb.id, err)
+	}
+	s.logf("job %s running", jb.id)
+	s.tel.running.Set(float64(s.countRunning()))
+	defer func() { s.tel.running.Set(float64(s.countRunning())) }()
+
+	for i, cell := range jb.req.Cells {
+		if jb.ctx.Err() != nil {
+			break
+		}
+		key := cell.Key()
+		s.trackCell(key, jb)
+		out, err := s.opt.Runner.RunCell(jb.ctx, cell)
+		s.untrackCell(key, jb)
+		if err != nil {
+			if jb.ctx.Err() != nil {
+				break // aborted mid-cell: no event, cell re-runs on resume
+			}
+			jb.addCellError(i, key, err)
+			s.tel.cellsErr.Inc()
+			s.logf("job %s cell %s failed: %v", jb.id, key, err)
+			continue
+		}
+		raw, merr := json.Marshal(out)
+		if merr != nil {
+			jb.addCellError(i, key, merr)
+			s.tel.cellsErr.Inc()
+			continue
+		}
+		jb.addCell(i, key, raw)
+		s.tel.cellsOK.Inc()
+		s.logf("job %s cell %s done", jb.id, key)
+	}
+
+	if jb.ctx.Err() != nil && !jb.userCancelled.Load() {
+		// Server shutdown: leave the job non-terminal so the restart
+		// path re-enqueues it. Its completed cells live in the harness
+		// cell journal, so only the remainder re-runs.
+		s.logf("job %s interrupted by shutdown; will resume", jb.id)
+		return
+	}
+
+	var final State
+	st := jb.status()
+	switch {
+	case jb.userCancelled.Load():
+		final = StateCancelled
+		s.tel.cancelled.Inc()
+	case st.Failed > 0:
+		final = StateFailed
+		s.tel.failed.Inc()
+	default:
+		final = StateDone
+		s.tel.completed.Inc()
+	}
+	jb.finish(final)
+	if err := s.logJob(jb); err != nil {
+		s.logf("job %s: logging finish: %v", jb.id, err)
+	}
+	s.logf("job %s %s (%d ok, %d failed)", jb.id, final, st.Completed, st.Failed)
+}
+
+// countRunning counts non-terminal jobs past the queue.
+func (s *Server) countRunning() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, jobs := range s.running {
+		n += len(jobs)
+	}
+	return n
+}
+
+func (s *Server) trackCell(key string, jb *job) {
+	s.mu.Lock()
+	s.running[key] = append(s.running[key], jb)
+	s.mu.Unlock()
+}
+
+func (s *Server) untrackCell(key string, jb *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.running[key]
+	for i, other := range list {
+		if other == jb {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.running, key)
+	} else {
+		s.running[key] = list
+	}
+}
+
+// logJob appends the job's current state to the job log (fsynced).
+func (s *Server) logJob(jb *job) error {
+	if s.jobLog == nil {
+		return nil
+	}
+	st := jb.status()
+	jb.mu.Lock()
+	state := jb.state
+	jb.mu.Unlock()
+	return s.jobLog.Record(jb.id, loggedJob{
+		Req:       jb.req,
+		State:     state,
+		Completed: st.Completed,
+		Failed:    st.Failed,
+	})
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: admission stops (submissions
+// get ErrDraining), queued jobs are left journaled for resume, and
+// in-flight jobs run to completion until ctx expires — then their
+// simulations are cancelled and they too are left for resume. Drain
+// returns nil on a clean drain or ctx.Err() when it had to cut jobs
+// short. The job log is closed either way.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.CompareAndSwap(false, true) {
+		return fmt.Errorf("service: already draining")
+	}
+	s.logf("draining: admission closed")
+	close(s.queue)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.logf("drain deadline hit; cancelling in-flight jobs for resume")
+		s.baseStop()
+		<-done
+	}
+	s.baseStop()
+	if s.jobLog != nil {
+		if cerr := s.jobLog.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.logf("drained")
+	return err
+}
+
+// Kill is the impolite shutdown used by crash-recovery tests: it cancels
+// every in-flight simulation immediately and waits for the workers,
+// without finalizing job states or closing the job log cleanly — the
+// closest an in-process server gets to SIGKILL.
+func (s *Server) Kill() {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.queue)
+	}
+	s.baseStop()
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opt.Logf != nil {
+		s.opt.Logf(format, args...)
+	}
+}

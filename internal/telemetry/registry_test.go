@@ -252,3 +252,59 @@ func TestSnapshotJSONShape(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotSequence: successive snapshots of one registry carry
+// strictly increasing sequence numbers starting at 1, and stay
+// timestamp-free until a clock is attached — the order-checkable-scrape
+// contract of the service /metrics endpoint.
+func TestSnapshotSequence(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c").Inc()
+	s1, s2, s3 := reg.Snapshot(), reg.Snapshot(), reg.Snapshot()
+	if s1.Seq != 1 || s2.Seq != 2 || s3.Seq != 3 {
+		t.Errorf("snapshot seqs = %d,%d,%d; want 1,2,3", s1.Seq, s2.Seq, s3.Seq)
+	}
+	if s1.TimeUnixMS != 0 || s2.TimeUnixMS != 0 {
+		t.Error("snapshots must be unstamped until SetClock is called")
+	}
+
+	var fake int64 = 1_700_000_000_000
+	reg.SetClock(func() int64 { fake += 250; return fake })
+	s4, s5 := reg.Snapshot(), reg.Snapshot()
+	if s4.Seq != 4 || s5.Seq != 5 {
+		t.Errorf("seq after SetClock = %d,%d; want 4,5", s4.Seq, s5.Seq)
+	}
+	if s4.TimeUnixMS == 0 || s5.TimeUnixMS <= s4.TimeUnixMS {
+		t.Errorf("timestamps not monotonic: %d then %d", s4.TimeUnixMS, s5.TimeUnixMS)
+	}
+}
+
+// TestSnapshotSequenceBackwardCompatible: metrics documents written before
+// seq/timestamp existed (no such JSON fields) still parse, and the new
+// fields round-trip through WriteMetricsFile/ReadMetricsFile.
+func TestSnapshotSequenceBackwardCompatible(t *testing.T) {
+	legacy := []byte(`{"schema":"llbp-metrics/1","runs":[{"workload":"w","metrics":{"counters":{"x":3}}}]}`)
+	mf, err := ReadMetricsFile(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Runs[0].Metrics.Seq != 0 || mf.Runs[0].Metrics.TimeUnixMS != 0 {
+		t.Errorf("legacy document decoded seq=%d ts=%d; want zeros",
+			mf.Runs[0].Metrics.Seq, mf.Runs[0].Metrics.TimeUnixMS)
+	}
+
+	reg := NewRegistry()
+	reg.SetClock(func() int64 { return 42_000 })
+	reg.Counter("x").Add(3)
+	var buf bytes.Buffer
+	if err := WriteMetricsFile(&buf, []RunSnapshot{{Workload: "w", Metrics: reg.Snapshot()}}); err != nil {
+		t.Fatal(err)
+	}
+	mf2, err := ReadMetricsFile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mf2.Runs[0].Metrics; got.Seq != 1 || got.TimeUnixMS != 42_000 {
+		t.Errorf("round-trip seq=%d ts=%d; want 1, 42000", got.Seq, got.TimeUnixMS)
+	}
+}

@@ -200,11 +200,19 @@ func (s *Series) Len() int {
 // components can attach unconditionally. Registration is idempotent —
 // asking for an existing name returns the same instrument.
 type Registry struct {
+	// seq numbers snapshots monotonically (atomic; outside mu so
+	// Snapshot's ordering guarantee holds even under concurrent scrapes).
+	seq atomic.Uint64
+
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	series     map[string]*Series
+	// nowMillis, when non-nil, timestamps snapshots (wall-clock Unix
+	// milliseconds). Nil keeps snapshots byte-deterministic — the
+	// simulation determinism gate depends on that default.
+	nowMillis func() int64
 }
 
 // NewRegistry returns an empty, enabled registry.
@@ -323,23 +331,53 @@ type SeriesSnapshot struct {
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry —
-// the JSON payload behind the CLIs' -metrics flag.
+// the JSON payload behind the CLIs' -metrics flag and the service's
+// /metrics endpoint.
 type Snapshot struct {
+	// Seq is a per-registry monotonic snapshot sequence number (1 for
+	// the first snapshot). Repeated scrapes of a live registry are
+	// order-checkable by comparing Seq; llbp-metrics/1 files written
+	// before sequence numbers existed decode with Seq 0.
+	Seq uint64 `json:"seq,omitempty"`
+	// TimeUnixMS is the wall-clock snapshot time in Unix milliseconds.
+	// It is present only when the registry was given a clock with
+	// SetClock — deterministic producers (the simulation drivers) leave
+	// the clock unset so their snapshots stay byte-reproducible.
+	TimeUnixMS int64 `json:"time_unix_ms,omitempty"`
+
 	Counters   map[string]uint64            `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Series     map[string]SeriesSnapshot    `json:"series,omitempty"`
 }
 
+// SetClock gives the registry a wall-clock source (Unix milliseconds)
+// used to timestamp snapshots. Long-running services set one so scrapes
+// carry freshness; batch tools leave it nil for byte-determinism. A nil
+// registry ignores the call.
+func (r *Registry) SetClock(nowMillis func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.nowMillis = nowMillis
+	r.mu.Unlock()
+}
+
 // Snapshot copies the registry's current state. Nil registries snapshot
-// empty.
+// empty. Successive snapshots of the same registry carry strictly
+// increasing Seq values.
 func (r *Registry) Snapshot() Snapshot {
 	snap := Snapshot{Counters: map[string]uint64{}}
 	if r == nil {
 		return snap
 	}
+	snap.Seq = r.seq.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.nowMillis != nil {
+		snap.TimeUnixMS = r.nowMillis()
+	}
 	for name, c := range r.counters {
 		snap.Counters[name] = c.Value()
 	}

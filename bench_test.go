@@ -19,8 +19,11 @@ import (
 	"llbp/internal/experiments"
 	"llbp/internal/predictor"
 	"llbp/internal/report"
+	"llbp/internal/sim"
+	"llbp/internal/tage"
 	"llbp/internal/telemetry"
 	"llbp/internal/trace"
+	"llbp/internal/trace/cache"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
 )
@@ -244,6 +247,74 @@ func BenchmarkPredictLLBP(b *testing.B) {
 	benchPredictor(b, func(c *predictor.Clock) predictor.Predictor {
 		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), c)
 	})
+}
+
+// --- End-to-end replay throughput ---
+
+// replayFamilies are the predictor families BENCH_5.json tracks. Each
+// build must return a fresh predictor (replay throughput includes
+// predictor state growth, so reuse would flatter later iterations).
+var replayFamilies = []struct {
+	Name  string
+	Build func(*predictor.Clock) predictor.Predictor
+}{
+	{"tage", func(*predictor.Clock) predictor.Predictor {
+		p, err := tage.New(tage.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}},
+	{"tage-sc-l", func(*predictor.Clock) predictor.Predictor {
+		return tsl.MustNew(tsl.Config64K())
+	}},
+	{"llbp", func(c *predictor.Clock) predictor.Predictor {
+		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), c)
+	}},
+}
+
+// replayBranches is the per-iteration branch budget of the replay
+// throughput benchmarks (warmup + measure).
+const replayBranches = 100_000
+
+// benchReplay drives one full sim.Run per iteration — stream dispatch,
+// cycle model, accounting and the predictor — from a materialized trace,
+// and reports end-to-end branches/sec. This is the number the batched
+// replay engine and the de-allocation work move.
+func benchReplay(b *testing.B, build func(*predictor.Clock) predictor.Predictor) {
+	b.Helper()
+	wl, err := workload.ByName("Tomcat")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := cache.Default().Acquire(wl, replayBranches)
+	if err != nil || h == nil {
+		b.Fatalf("trace cache: %v, %v", h, err)
+	}
+	defer h.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := &predictor.Clock{}
+		if _, err := sim.Run(h, build(clock), sim.Options{
+			WarmupBranches:  20_000,
+			MeasureBranches: replayBranches - 20_000,
+			Clock:           clock,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(b.N)*replayBranches/b.Elapsed().Seconds(), "branches/s")
+	}
+}
+
+// BenchmarkReplayThroughput is the per-family end-to-end replay rate
+// written to BENCH_5.json by cmd/benchreplay and smoke-run in CI.
+func BenchmarkReplayThroughput(b *testing.B) {
+	for _, fam := range replayFamilies {
+		b.Run(fam.Name, func(b *testing.B) { benchReplay(b, fam.Build) })
+	}
 }
 
 // --- Telemetry overhead ---

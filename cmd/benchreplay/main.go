@@ -1,0 +1,215 @@
+// Command benchreplay measures end-to-end replay throughput — branches
+// per second through sim.Run, per predictor family — and records it as a
+// small JSON document (BENCH_5.json at the repo root). CI re-validates
+// the committed document with -check and smoke-runs the measurement so
+// the number can't silently rot.
+//
+// Usage:
+//
+//	benchreplay -out BENCH_5.json          # measure and write
+//	benchreplay -check BENCH_5.json        # validate an existing document
+//	benchreplay -branches 50000 -out -     # quick run to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"llbp/internal/core"
+	"llbp/internal/predictor"
+	"llbp/internal/sim"
+	"llbp/internal/tage"
+	"llbp/internal/trace/cache"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+// BenchSchema identifies the document format.
+const BenchSchema = "llbp-bench/1"
+
+// Doc is the serialized benchmark document.
+type Doc struct {
+	Schema   string   `json:"schema"`
+	GOOS     string   `json:"goos"`
+	GOARCH   string   `json:"goarch"`
+	Workload string   `json:"workload"`
+	Branches uint64   `json:"branches_per_iter"`
+	Results  []Result `json:"results"`
+}
+
+// Result is one predictor family's measured replay rate.
+type Result struct {
+	Family        string  `json:"family"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	BranchesPerSc float64 `json:"branches_per_sec"`
+}
+
+// families mirrors BenchmarkReplayThroughput's predictor set; the
+// committed document must cover exactly these.
+var families = []struct {
+	name  string
+	build func(*predictor.Clock) predictor.Predictor
+}{
+	{"tage", func(*predictor.Clock) predictor.Predictor {
+		p, err := tage.New(tage.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}},
+	{"tage-sc-l", func(*predictor.Clock) predictor.Predictor {
+		return tsl.MustNew(tsl.Config64K())
+	}},
+	{"llbp", func(c *predictor.Clock) predictor.Predictor {
+		return core.MustNew(core.DefaultConfig(), tsl.MustNew(tsl.Config64K()), c)
+	}},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "", "write the benchmark document to this file ('-' for stdout)")
+		check    = fs.String("check", "", "validate an existing benchmark document instead of measuring")
+		wlName   = fs.String("workload", "Tomcat", "catalog workload to replay")
+		branches = fs.Uint64("branches", 100_000, "branches per iteration (warmup+measure)")
+		warmup   = fs.Uint64("warmup", 20_000, "warmup branches per iteration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *check != "" {
+		if err := checkDoc(*check); err != nil {
+			fmt.Fprintln(stderr, "benchreplay:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: ok\n", *check)
+		return 0
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "usage: benchreplay -out <file|-> | -check <file>")
+		return 2
+	}
+	if *warmup >= *branches {
+		fmt.Fprintln(stderr, "benchreplay: -warmup must be below -branches")
+		return 2
+	}
+	doc, err := measure(*wlName, *branches, *warmup, stderr)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreplay:", err)
+		return 1
+	}
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreplay:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(stderr, "benchreplay:", err)
+		return 1
+	}
+	return 0
+}
+
+// measure runs the replay benchmark for every family via
+// testing.Benchmark, so iteration scaling matches `go test -bench`.
+func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, error) {
+	wl, err := workload.ByName(wlName)
+	if err != nil {
+		return nil, err
+	}
+	h, err := cache.Default().Acquire(wl, branches)
+	if err != nil || h == nil {
+		return nil, fmt.Errorf("materializing %s: %v", wlName, err)
+	}
+	defer h.Release()
+
+	doc := &Doc{
+		Schema:   BenchSchema,
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		Workload: wlName,
+		Branches: branches,
+	}
+	for _, fam := range families {
+		var runErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				clock := &predictor.Clock{}
+				if _, err := sim.Run(h, fam.build(clock), sim.Options{
+					WarmupBranches:  warmup,
+					MeasureBranches: branches - warmup,
+					Clock:           clock,
+				}); err != nil {
+					runErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("%s: %w", fam.name, runErr)
+		}
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run", fam.name)
+		}
+		res := Result{
+			Family:        fam.name,
+			Iterations:    r.N,
+			NsPerOp:       r.NsPerOp(),
+			BranchesPerSc: float64(r.N) * float64(branches) / r.T.Seconds(),
+		}
+		doc.Results = append(doc.Results, res)
+		fmt.Fprintf(progress, "%-10s %12d ns/op %12.0f branches/s\n",
+			fam.name, res.NsPerOp, res.BranchesPerSc)
+	}
+	return doc, nil
+}
+
+// checkDoc validates a committed benchmark document: parseable, right
+// schema, every family present with a positive measured rate.
+func checkDoc(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != BenchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, BenchSchema)
+	}
+	if doc.Branches == 0 {
+		return fmt.Errorf("%s: branches_per_iter is zero", path)
+	}
+	seen := map[string]bool{}
+	for _, r := range doc.Results {
+		if r.BranchesPerSc <= 0 || r.NsPerOp <= 0 || r.Iterations <= 0 {
+			return fmt.Errorf("%s: family %q has non-positive measurements", path, r.Family)
+		}
+		seen[r.Family] = true
+	}
+	for _, fam := range families {
+		if !seen[fam.name] {
+			return fmt.Errorf("%s: family %q missing", path, fam.name)
+		}
+	}
+	return nil
+}

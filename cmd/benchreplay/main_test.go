@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMeasureAndCheck: a small measurement run writes a document that
+// -check accepts, with every family present and positive rates.
+func TestMeasureAndCheck(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", out, "-branches", "5000", "-warmup", "1000"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("measure: code %d, stderr %q", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != BenchSchema || doc.Branches != 5000 || len(doc.Results) != len(families) {
+		t.Fatalf("document: %+v", doc)
+	}
+	for _, r := range doc.Results {
+		if r.BranchesPerSc <= 0 {
+			t.Errorf("family %s measured %v branches/s", r.Family, r.BranchesPerSc)
+		}
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-check", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("check: code %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok") {
+		t.Errorf("check output %q", stdout.String())
+	}
+}
+
+// TestCheckRejectsBadDocuments: corrupt, wrong-schema, zeroed and
+// incomplete documents all fail -check with a diagnostic.
+func TestCheckRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		path string
+	}{
+		{"missing", filepath.Join(dir, "absent.json")},
+		{"garbage", write("garbage.json", "not json")},
+		{"wrong schema", write("schema.json", `{"schema":"other/9","branches_per_iter":1,"results":[]}`)},
+		{"zero branches", write("zero.json", `{"schema":"llbp-bench/1","branches_per_iter":0,"results":[]}`)},
+		{"missing family", write("partial.json",
+			`{"schema":"llbp-bench/1","branches_per_iter":100,"results":[{"family":"tage","iterations":1,"ns_per_op":5,"branches_per_sec":9.9}]}`)},
+		{"zero rate", write("rate.json",
+			`{"schema":"llbp-bench/1","branches_per_iter":100,"results":[{"family":"tage","iterations":1,"ns_per_op":5,"branches_per_sec":0}]}`)},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-check", tc.path}, &stdout, &stderr); code != 1 {
+			t.Errorf("%s: code %d, want 1 (stderr %q)", tc.name, code, stderr.String())
+		}
+	}
+}
+
+// TestUsageErrors: flag misuse exits 2.
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		nil,
+		{"-no-such-flag"},
+		{"-out", "x.json", "-branches", "100", "-warmup", "100"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("args %v: code %d, want 2", args, code)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"llbp/internal/harness"
 	"llbp/internal/service/client"
 	"llbp/internal/telemetry"
+	"llbp/internal/trace/cache"
 )
 
 func main() {
@@ -58,6 +59,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		journal = fs.String("journal", "", "journal file checkpointing completed cells")
 		resume  = fs.Bool("resume", false, "skip cells already recorded in -journal")
 		server  = fs.String("server", "", "compute cells on a running llbpd daemon at this address instead of simulating locally")
+
+		cacheMB = fs.Int64("trace-cache-mb", 512,
+			"materialized-trace cache budget in MiB (0 disables caching; cells then re-synthesize every stream)")
 
 		metricsOut = fs.String("metrics", "", "write a suite-level JSON telemetry snapshot to this file")
 		traceOut   = fs.String("tracefile", "", "write Chrome trace-event JSON of cell execution to this file")
@@ -107,6 +111,11 @@ func run(args []string, stdout, stderr *os.File) int {
 		cfg.Progress = func(format string, args ...interface{}) {
 			fmt.Fprintf(stderr, format+"\n", args...)
 		}
+	}
+	if *cacheMB <= 0 {
+		cfg.DisableTraceCache = true
+	} else {
+		cfg.TraceCache = cache.New(*cacheMB << 20)
 	}
 	if *server != "" {
 		// Served execution: cells are scheduled on the daemon, but flow

@@ -20,6 +20,7 @@ import (
 
 	"llbp/internal/telemetry"
 	"llbp/internal/trace"
+	"llbp/internal/trace/cache"
 	"llbp/internal/workload"
 )
 
@@ -36,6 +37,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wlName     = fs.String("workload", "", "summarize a catalog workload ('all' for every one) instead of trace files")
 		branches   = fs.Uint64("branches", 1_000_000, "branch records to stream from catalog workloads (they are endless)")
 		metricsOut = fs.String("metrics", "", "write the per-workload telemetry snapshots to this JSON file")
+		cacheMB    = fs.Int64("trace-cache-mb", 512, "materialized-trace cache budget in MiB for catalog workloads (0 disables); cache statistics are reported after the summaries")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +70,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var tc *cache.Cache
+	if *cacheMB > 0 {
+		tc = cache.New(*cacheMB << 20)
+	}
+
 	var snapshots []telemetry.RunSnapshot
 	for _, src := range sources {
 		// Catalog workloads generate forever; file sources stop at EOF
@@ -76,13 +83,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *wlName != "" {
 			limit = *branches
 		}
-		snap, err := summarize(src, limit)
+		// Replay through the materialized-trace cache when the source
+		// supports it: the summary is identical, and the resulting cache
+		// statistics tell operators how much memory the workload costs.
+		replay := src
+		if limit != ^uint64(0) {
+			if hd, err := tc.Acquire(src, limit); err == nil && hd != nil {
+				defer hd.Release()
+				replay = hd
+			}
+		}
+		snap, err := summarize(replay, limit)
 		if err != nil {
 			fmt.Fprintln(stderr, "traceinfo:", err)
 			return 1
 		}
 		printSummary(stdout, src.Name(), snap)
 		snapshots = append(snapshots, telemetry.RunSnapshot{Workload: src.Name(), Metrics: snap})
+	}
+	if tc != nil && len(snapshots) > 0 && *wlName != "" {
+		creg := telemetry.NewRegistry()
+		tc.AttachTelemetry(creg)
+		printCacheStats(stdout, tc.Stats())
+		snapshots = append(snapshots, telemetry.RunSnapshot{Workload: "trace-cache", Metrics: creg.Snapshot()})
 	}
 
 	if *metricsOut != "" {
@@ -121,26 +144,35 @@ func summarize(src trace.Source, limit uint64) (telemetry.Snapshot, error) {
 		byType[t] = reg.Counter("branch_" + t.String())
 	}
 
-	r := src.Open()
-	var b trace.Branch
+	br := trace.OpenBatched(src)
+	buf := make([]trace.Branch, 4096)
 	pcs := make(map[uint64]struct{})
-	for n := uint64(0); n < limit; n++ {
-		if err := r.Read(&b); err != nil {
+	for n := uint64(0); n < limit; {
+		want := buf
+		if rem := limit - n; rem < uint64(len(want)) {
+			want = want[:rem]
+		}
+		got, err := br.ReadBatch(want)
+		for i := 0; i < got; i++ {
+			b := &want[i]
+			branchesC.Inc()
+			instrsC.Add(uint64(b.Instructions))
+			blockLen.Observe(float64(b.Instructions))
+			if int(b.Type) < len(byType) {
+				byType[b.Type].Inc()
+			}
+			if b.Type.IsConditional() && b.Taken {
+				takenC.Inc()
+			}
+			pcs[b.PC] = struct{}{}
+		}
+		n += uint64(got)
+		if err != nil {
 			if trace.IsEOF(err) {
 				break
 			}
 			return telemetry.Snapshot{}, fmt.Errorf("reading %s: %w", src.Name(), err)
 		}
-		branchesC.Inc()
-		instrsC.Add(uint64(b.Instructions))
-		blockLen.Observe(float64(b.Instructions))
-		if int(b.Type) < len(byType) {
-			byType[b.Type].Inc()
-		}
-		if b.Type.IsConditional() && b.Taken {
-			takenC.Inc()
-		}
-		pcs[b.PC] = struct{}{}
 	}
 
 	reg.Gauge("working_set_pcs").Set(float64(len(pcs)))
@@ -169,4 +201,15 @@ func printSummary(w io.Writer, name string, s telemetry.Snapshot) {
 	for t := trace.CondDirect; t <= trace.IndirectCall; t++ {
 		fmt.Fprintf(w, "  %-6s %12d\n", t, s.Counters["branch_"+t.String()])
 	}
+}
+
+// printCacheStats renders the materialized-trace cache counters so
+// operators can size -trace-cache-mb for their fleet.
+func printCacheStats(w io.Writer, s cache.Stats) {
+	fmt.Fprintf(w, "trace cache:\n")
+	fmt.Fprintf(w, "  hits:            %d\n", s.Hits)
+	fmt.Fprintf(w, "  misses:          %d\n", s.Misses)
+	fmt.Fprintf(w, "  evictions:       %d\n", s.Evictions)
+	fmt.Fprintf(w, "  entries:         %d\n", s.Entries)
+	fmt.Fprintf(w, "  bytes resident:  %d\n", s.BytesResident)
 }

@@ -76,13 +76,39 @@ func TestInfoSummarizesFileAndWorkload(t *testing.T) {
 	if !strings.Contains(out, "workload:        Tomcat") {
 		t.Errorf("workload summary %q", out)
 	}
+	if !strings.Contains(out, "trace cache:") {
+		t.Errorf("workload summary %q lacks cache statistics", out)
+	}
 	raw, err := os.ReadFile(mFile)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mf, err := telemetry.ReadMetricsFile(raw)
-	if err != nil || len(mf.Runs) != 1 || mf.Runs[0].Workload != "Tomcat" {
-		t.Errorf("metrics document: %+v, %v", mf, err)
+	if err != nil || len(mf.Runs) != 2 || mf.Runs[0].Workload != "Tomcat" {
+		t.Fatalf("metrics document: %+v, %v", mf, err)
+	}
+	// Workload mode replays through the materialized-trace cache and
+	// appends its statistics as a final snapshot.
+	cc := mf.Runs[1]
+	if cc.Workload != "trace-cache" {
+		t.Fatalf("last run = %q, want trace-cache", cc.Workload)
+	}
+	if cc.Metrics.Counters["trace_cache_misses"] != 1 ||
+		cc.Metrics.Gauges["trace_cache_bytes_resident"] != 5_000*21 {
+		t.Errorf("cache metrics: %+v", cc.Metrics)
+	}
+
+	// With caching disabled the summary and metrics lose the cache
+	// section but the workload numbers are unchanged.
+	code, out2, errb := runInfo(t, "-workload", "Tomcat", "-branches", "5000", "-trace-cache-mb", "0")
+	if code != 0 {
+		t.Fatalf("uncached workload mode: code %d, stderr %q", code, errb)
+	}
+	if strings.Contains(out2, "trace cache:") {
+		t.Errorf("uncached summary still reports cache statistics: %q", out2)
+	}
+	if !strings.Contains(out2, "branches:        5000") {
+		t.Errorf("uncached summary %q lacks branch count", out2)
 	}
 }
 

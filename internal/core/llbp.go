@@ -71,8 +71,8 @@ type Predictor struct {
 
 	// LLBP's own history mirrors (identical content to TAGE's, §V-B).
 	ghr   *history.Global
-	fold1 []*history.Folded // per distinct history length, TagBits wide
-	fold2 []*history.Folded // per distinct history length, TagBits-1 wide
+	fold1 []history.Folded // per distinct history length, TagBits wide (value slice: walked every branch)
+	fold2 []history.Folded // per distinct history length, TagBits-1 wide
 	// lenFold maps a HistLengths index to its distinct-length fold index.
 	lenFold []int
 
@@ -108,6 +108,14 @@ type Predictor struct {
 	llbpWins   bool // match won the length arbitration (LLBP is provider)
 	override   bool // provider match was confident enough to override
 	finalTaken bool
+
+	// Pattern-match tag scratch, struct-resident so matchPatterns does
+	// not zero ~1.3KB of stack per prediction: a slot's cached tag is
+	// valid only when its epoch equals tagEpoch, and bumping tagEpoch
+	// invalidates every slot at once.
+	tagScratch [maxLengths]uint32
+	tagValid   [maxLengths]uint64
+	tagEpoch   uint64
 }
 
 var (
@@ -145,8 +153,8 @@ func New(cfg Config, base *tsl.Predictor, clock *predictor.Clock) (*Predictor, e
 		if !ok {
 			fi = len(p.fold1)
 			seen[h.Len] = fi
-			p.fold1 = append(p.fold1, history.NewFolded(h.Len, cfg.TagBits))
-			p.fold2 = append(p.fold2, history.NewFolded(h.Len, cfg.TagBits-1))
+			p.fold1 = append(p.fold1, history.NewFoldedValue(h.Len, cfg.TagBits))
+			p.fold2 = append(p.fold2, history.NewFoldedValue(h.Len, cfg.TagBits-1))
 		}
 		p.lenFold[i] = fi
 	}
@@ -383,19 +391,19 @@ func (p *Predictor) tickGate() {
 // match in slot order is the longest (§V-B).
 func (p *Predictor) matchPatterns(pc uint64) {
 	set := p.pbe.Ent.Set
-	var tags [maxLengths]uint32
-	var computed [maxLengths]bool
+	p.tagEpoch++
+	epoch := p.tagEpoch
 	for i := range set.Pats {
 		pat := &set.Pats[i]
 		if !pat.Valid {
 			continue
 		}
 		li := int(pat.LenIdx)
-		if !computed[li] {
-			tags[li] = p.tagFor(pc, li)
-			computed[li] = true
+		if p.tagValid[li] != epoch {
+			p.tagScratch[li] = p.tagFor(pc, li)
+			p.tagValid[li] = epoch
 		}
-		if pat.Tag == tags[li] {
+		if pat.Tag == p.tagScratch[li] {
 			p.matched = true
 			p.matchSlot = i
 			p.llbpTaken = pat.Ctr >= 0
@@ -655,9 +663,16 @@ func (p *Predictor) onContextSwitch() {
 // pushHistory advances LLBP's global-history mirror.
 func (p *Predictor) pushHistory(taken bool) {
 	p.ghr.Push(taken)
+	in := uint64(0)
+	if taken {
+		in = 1
+	}
+	// fold1/fold2 pairs share a history length: one outgoing-bit read
+	// serves both.
 	for i := range p.fold1 {
-		p.fold1[i].Update(p.ghr)
-		p.fold2[i].Update(p.ghr)
+		out := p.ghr.Bit(p.fold1[i].OrigLength)
+		p.fold1[i].UpdateBits(in, out)
+		p.fold2[i].UpdateBits(in, out)
 	}
 }
 

@@ -20,6 +20,8 @@ import (
 	"llbp/internal/report"
 	"llbp/internal/sim"
 	"llbp/internal/telemetry"
+	"llbp/internal/trace"
+	"llbp/internal/trace/cache"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
 )
@@ -77,6 +79,13 @@ type Config struct {
 	// total budget. The llbpd service streams these as interval
 	// snapshots. It may be called from multiple goroutines.
 	CellProgress func(key string, processed, total uint64)
+
+	// TraceCache, when non-nil, overrides the process-wide materialized
+	// trace cache cells replay from; DisableTraceCache turns caching off
+	// so every cell re-synthesizes its stream (the pre-cache behaviour,
+	// useful for memory-constrained hosts and A/B measurement).
+	TraceCache        *cache.Cache
+	DisableTraceCache bool
 }
 
 // DefaultConfig returns the standard laptop-scale budgets.
@@ -319,6 +328,30 @@ func (h *Harness) RunFaulted(wl *workload.Source, spec PredictorSpec, fs FaultSp
 	})
 }
 
+// traceCache resolves the cache cells replay from (nil = caching off).
+func (h *Harness) traceCache() *cache.Cache {
+	if h.Cfg.DisableTraceCache {
+		return nil
+	}
+	if h.Cfg.TraceCache != nil {
+		return h.Cfg.TraceCache
+	}
+	return cache.Default()
+}
+
+// source returns the replay source for n branches of wl — a pinned view
+// of the materialized trace cache when available, wl itself otherwise —
+// plus a release func the caller must invoke once replay is done.
+// Synthesis failures fall back to direct replay so the cache is purely
+// an accelerator: the branches replayed are identical either way.
+func (h *Harness) source(wl *workload.Source, n uint64) (trace.Source, func()) {
+	hd, err := h.traceCache().Acquire(wl, n)
+	if err != nil || hd == nil {
+		return wl, func() {}
+	}
+	return hd, hd.Release
+}
+
 // simulate is the body of one cell: build the predictor, wire optional
 // fault injection, replay the trace under ctx.
 func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec PredictorSpec, warm, meas uint64, fs *FaultSpec) (*RunOutput, error) {
@@ -361,7 +394,9 @@ func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec Predic
 			h.Cfg.CellProgress(key, processed, total)
 		}
 	}
-	res, err := sim.Run(wl, p, opt)
+	src, release := h.source(wl, warm+meas)
+	res, err := sim.Run(src, p, opt)
+	release()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on %s: %w", spec.Key, wl.Name(), err)
 	}

@@ -75,12 +75,14 @@ func (h *Harness) trackedRun(wl *workload.Source, spec PredictorSpec, warm, meas
 		return nil, nil, fmt.Errorf("experiments: building %s: %w", spec.Key, err)
 	}
 	tracker := stats.NewBranchTracker()
-	res, err := sim.Run(wl, p, sim.Options{
+	src, release := h.source(wl, warm+meas)
+	res, err := sim.Run(src, p, sim.Options{
 		WarmupBranches:  warm,
 		MeasureBranches: meas,
 		Clock:           clock,
 		Observer:        tracker.Observe,
 	})
+	release()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -194,7 +196,8 @@ func Fig5(h *Harness) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, err = sim.Run(wl, p, sim.Options{
+		src, release := h.source(wl, h.Cfg.SweepWarmup+h.Cfg.SweepMeasure)
+		_, err = sim.Run(src, p, sim.Options{
 			WarmupBranches:  h.Cfg.SweepWarmup,
 			MeasureBranches: h.Cfg.SweepMeasure,
 			Clock:           clock,
@@ -215,6 +218,7 @@ func Fig5(h *Harness) ([]*report.Table, error) {
 				}
 			},
 		})
+		release()
 		if err != nil {
 			return nil, err
 		}

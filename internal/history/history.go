@@ -30,7 +30,7 @@ func NewGlobal() *Global { return &Global{} }
 
 // Push shifts a new outcome bit into the history.
 func (g *Global) Push(taken bool) {
-	g.head = (g.head + 1) % MaxLength
+	g.head = (g.head + 1) & (MaxLength - 1)
 	word, off := g.head/64, uint(g.head%64)
 	if taken {
 		g.bits[word] |= 1 << off
@@ -42,11 +42,11 @@ func (g *Global) Push(taken bool) {
 // Bit returns the i-th most recent outcome (i=0 is the last pushed bit).
 // i must be < MaxLength.
 func (g *Global) Bit(i int) uint64 {
-	pos := g.head - i
-	if pos < 0 {
-		pos += MaxLength
-	}
-	return (g.bits[pos/64] >> uint(pos%64)) & 1
+	// MaxLength is a power of two, so the unsigned wrap-around of
+	// head-i masks to the right circular position branch-free, and the
+	// masked value proves the array index in range to the compiler.
+	pos := uint(g.head-i) & (MaxLength - 1)
+	return (g.bits[pos/64] >> (pos % 64)) & 1
 }
 
 // Snapshot captures the register state for later restoration.
@@ -86,21 +86,32 @@ func (g *Global) Hash(length, width int) uint64 {
 // range, i.e. with the same Global the register folds.
 type Folded struct {
 	comp       uint64
-	CompLength int // folded width in bits
-	OrigLength int // history length being folded
-	outpoint   int // OrigLength % CompLength
+	mask       uint64 // 1<<CompLength - 1, precomputed for the per-branch update
+	CompLength int    // folded width in bits
+	OrigLength int    // history length being folded
+	outpoint   int    // OrigLength % CompLength
 }
 
 // NewFolded returns a folded register of origLength history bits compressed
 // to compLength bits.
 func NewFolded(origLength, compLength int) *Folded {
+	f := NewFoldedValue(origLength, compLength)
+	return &f
+}
+
+// NewFoldedValue is NewFolded by value, for predictors that keep their folded
+// registers in contiguous slices: per-branch fold maintenance walks every
+// register, so value slices trade one pointer chase per register for
+// hardware-prefetchable sequential loads.
+func NewFoldedValue(origLength, compLength int) Folded {
 	if compLength <= 0 || compLength > 63 {
 		panic(fmt.Sprintf("history: invalid folded width %d", compLength))
 	}
 	if origLength < 0 || origLength > MaxLength {
 		panic(fmt.Sprintf("history: invalid folded length %d", origLength))
 	}
-	return &Folded{
+	return Folded{
+		mask:       uint64(1)<<uint(compLength) - 1,
 		CompLength: compLength,
 		OrigLength: origLength,
 		outpoint:   origLength % compLength,
@@ -116,11 +127,22 @@ func (f *Folded) Update(g *Global) {
 	if f.OrigLength == 0 {
 		return
 	}
-	mask := uint64(1)<<uint(f.CompLength) - 1
-	f.comp = (f.comp << 1) | g.Bit(0)
-	f.comp ^= g.Bit(f.OrigLength) << uint(f.outpoint)
-	f.comp ^= f.comp >> uint(f.CompLength)
-	f.comp &= mask
+	f.UpdateBits(g.Bit(0), g.Bit(f.OrigLength))
+}
+
+// UpdateBits is Update with the incoming and outgoing history bits
+// already in hand. Predictors updating many folded registers per branch
+// use it to read each distinct bit from the Global register once —
+// the incoming bit is shared by every register and the outgoing bit by
+// every register of the same OrigLength — instead of twice per register.
+func (f *Folded) UpdateBits(in, out uint64) {
+	if f.OrigLength == 0 {
+		return
+	}
+	c := (f.comp << 1) | in
+	c ^= out << uint(f.outpoint)
+	c ^= c >> uint(f.CompLength)
+	f.comp = c & f.mask
 }
 
 // Value returns the current folded history.

@@ -53,7 +53,10 @@ type Corrector struct {
 	cfg    Config
 	tables [][]int8
 	bias   []int8
-	folds  []*history.Folded
+	// Value slice: Push walks every register per branch (see
+	// history.NewFoldedValue). Zero-length components are no-op registers
+	// (OrigLength 0) rather than nils.
+	folds  []history.Folded
 	ghr    *history.Global
 
 	// Dynamic update threshold (Seznec's adaptive threshold): the
@@ -109,11 +112,11 @@ func New(cfg Config) (*Corrector, error) {
 		lastIdx:   make([]uint32, len(cfg.HistLengths)),
 	}
 	c.tables = make([][]int8, len(cfg.HistLengths))
-	c.folds = make([]*history.Folded, len(cfg.HistLengths))
+	c.folds = make([]history.Folded, len(cfg.HistLengths))
 	for i, h := range cfg.HistLengths {
 		c.tables[i] = make([]int8, 1<<uint(cfg.LogEntries))
 		if h > 0 {
-			c.folds[i] = history.NewFolded(h, cfg.LogEntries)
+			c.folds[i] = history.NewFoldedValue(h, cfg.LogEntries)
 		}
 	}
 	c.bias = make([]int8, 1<<uint(cfg.LogEntries))
@@ -136,10 +139,7 @@ func (c *Corrector) ctrMin() int8 { return -int8(1) << (c.cfg.CounterBits - 1) }
 func (c *Corrector) Correct(pc uint64, tageTaken bool, tageConfident bool) bool {
 	sum := 0
 	for i := range c.tables {
-		var h uint64
-		if c.folds[i] != nil {
-			h = c.folds[i].Value()
-		}
+		h := c.folds[i].Value()
 		idx := uint32((pc>>2)^(pc>>7)^h^uint64(i)*0x9e37) & c.mask()
 		c.lastIdx[i] = idx
 		sum += int(c.tables[i][idx])
@@ -241,10 +241,10 @@ func (c *Corrector) UpdateWithTarget(pc, target uint64, taken bool) {
 // Push advances the corrector's global history by one branch outcome.
 func (c *Corrector) Push(taken bool) {
 	c.ghr.Push(taken)
-	for _, f := range c.folds {
-		if f != nil {
-			f.Update(c.ghr)
-		}
+	in := c.ghr.Bit(0)
+	for i := range c.folds {
+		f := &c.folds[i]
+		f.UpdateBits(in, c.ghr.Bit(f.OrigLength))
 	}
 }
 
@@ -284,10 +284,8 @@ type HistoryCheckpoint struct {
 // CheckpointHistory snapshots the corrector's global and folded histories.
 func (c *Corrector) CheckpointHistory() *HistoryCheckpoint {
 	cp := &HistoryCheckpoint{ghr: c.ghr.Snapshot(), folds: make([]uint64, len(c.folds))}
-	for i, f := range c.folds {
-		if f != nil {
-			cp.folds[i] = f.Snapshot()
-		}
+	for i := range c.folds {
+		cp.folds[i] = c.folds[i].Snapshot()
 	}
 	return cp
 }
@@ -299,9 +297,7 @@ func (c *Corrector) RestoreHistory(cp *HistoryCheckpoint) {
 		return
 	}
 	c.ghr.Restore(cp.ghr)
-	for i, f := range c.folds {
-		if f != nil {
-			f.Restore(cp.folds[i])
-		}
+	for i := range c.folds {
+		c.folds[i].Restore(cp.folds[i])
 	}
 }

@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"llbp/internal/telemetry"
+	"llbp/internal/trace"
+	"llbp/internal/trace/cache"
+	"llbp/internal/tsl"
+	"llbp/internal/workload"
+)
+
+// TestSamplingParity: telemetry-only, tracer-only and both-present runs
+// must sample at identical measured-branch indices. The in-loop sentinel
+// and the final partial-interval flush share one condition; this pins
+// that: series point count == tracer counter-event count, for both an
+// exact-multiple measure budget (no partial flush) and a ragged one
+// (one partial flush).
+func TestSamplingParity(t *testing.T) {
+	const interval = 1_000
+	run := func(measure uint64, reg *telemetry.Registry, tr *telemetry.Tracer) {
+		t.Helper()
+		p := &staticPredictor{taken: true}
+		_, err := Run(mkSource(int(measure+500)), p, Options{
+			WarmupBranches:  500,
+			MeasureBranches: measure,
+			SeriesInterval:  interval,
+			Telemetry:       reg,
+			Tracer:          tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tracer counter samples are one JSON event each on the "sim:mock"
+	// track; count them in the encoded stream.
+	countTracerSamples := func(buf *bytes.Buffer) int {
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("trace JSON: %v", err)
+		}
+		n := 0
+		for _, ev := range events {
+			if ev["ph"] == "C" && ev["name"] == "sim:mock" {
+				n++
+			}
+		}
+		return n
+	}
+
+	for _, tc := range []struct {
+		name        string
+		measure     uint64
+		wantSamples int
+	}{
+		// 4000 measured branches = 4 full intervals; the final interval
+		// boundary coincides with the end of measurement, and the flush
+		// must not add a fifth point.
+		{"exact multiple", 4 * interval, 4},
+		// 4300 measured branches: 4 in-loop samples plus one partial
+		// flush for the trailing 300.
+		{"ragged tail", 4*interval + 300, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			regOnly := telemetry.NewRegistry()
+			run(tc.measure, regOnly, nil)
+			telPoints := len(regOnly.Snapshot().Series["mpki"].Points)
+
+			var traceOnly bytes.Buffer
+			trc := telemetry.NewTracer(&traceOnly)
+			run(tc.measure, nil, trc)
+			if err := trc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			trPoints := countTracerSamples(&traceOnly)
+
+			regBoth := telemetry.NewRegistry()
+			var traceBoth bytes.Buffer
+			trb := telemetry.NewTracer(&traceBoth)
+			run(tc.measure, regBoth, trb)
+			if err := trb.Close(); err != nil {
+				t.Fatal(err)
+			}
+			bothTel := len(regBoth.Snapshot().Series["mpki"].Points)
+			bothTr := countTracerSamples(&traceBoth)
+
+			if telPoints != tc.wantSamples {
+				t.Errorf("telemetry-only samples = %d, want %d", telPoints, tc.wantSamples)
+			}
+			if trPoints != tc.wantSamples {
+				t.Errorf("tracer-only samples = %d, want %d", trPoints, tc.wantSamples)
+			}
+			if bothTel != tc.wantSamples || bothTr != tc.wantSamples {
+				t.Errorf("both-present samples = %d tel / %d tracer, want %d",
+					bothTel, bothTr, tc.wantSamples)
+			}
+		})
+	}
+}
+
+// TestCacheHandleByteIdentical: replaying a workload through a
+// materialized-trace cache handle must produce the same llbp-metrics/1
+// document, byte for byte, as replaying the workload source directly.
+// This is the guarantee that lets the harness swap the cache in
+// underneath every experiment without perturbing published numbers.
+func TestCacheHandleByteIdentical(t *testing.T) {
+	const warm, meas = 10_000, 40_000
+	snapshot := func(src trace.Source) []byte {
+		t.Helper()
+		p := tsl.MustNew(tsl.Config64K())
+		reg := telemetry.NewRegistry()
+		if _, err := Run(src, p, Options{
+			WarmupBranches:  warm,
+			MeasureBranches: meas,
+			Telemetry:       reg,
+			SeriesInterval:  4_096,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := telemetry.WriteMetricsFile(&buf, []telemetry.RunSnapshot{{
+			Workload:  src.Name(),
+			Predictor: p.Name(),
+			Metrics:   reg.Snapshot(),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	wl, err := workload.ByName("Chirper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := snapshot(wl)
+
+	c := cache.New(64 << 20)
+	h, err := c.Acquire(wl, warm+meas)
+	if err != nil || h == nil {
+		t.Fatalf("Acquire: %v, %v", h, err)
+	}
+	defer h.Release()
+	cached := snapshot(h)
+	// And a second replay of the same handle: zero-copy readers must not
+	// consume or mutate the materialized buffer.
+	cachedAgain := snapshot(h)
+
+	if !bytes.Equal(direct, cached) {
+		t.Error("cached replay diverges from direct replay")
+	}
+	if !bytes.Equal(direct, cachedAgain) {
+		t.Error("second cached replay diverges (handle replay not idempotent)")
+	}
+}
+
+// TestBatchBoundaryInvariance: results must not depend on how the
+// stream is chunked. A source whose reader yields ragged, non-aligned
+// batches produces the same Result as the aligned slice path.
+func TestBatchBoundaryInvariance(t *testing.T) {
+	branches := make([]trace.Branch, 20_000)
+	copy(branches, mkSource(20_000).(*trace.SliceSource).Branches)
+
+	aligned := &trace.SliceSource{SourceName: "mock", Branches: branches}
+	ragged := &raggedSource{branches: branches}
+
+	runOne := func(src trace.Source) *Result {
+		t.Helper()
+		res, err := Run(src, &staticPredictor{taken: false}, Options{
+			WarmupBranches:  3_000,
+			MeasureBranches: 17_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, r := runOne(aligned), runOne(ragged)
+	if *a != *r {
+		t.Errorf("ragged batching changed the result:\naligned: %+v\nragged:  %+v", *a, *r)
+	}
+}
+
+// raggedSource yields batches of varying prime-ish sizes so batch
+// boundaries never align with simBatchSize.
+type raggedSource struct{ branches []trace.Branch }
+
+func (s *raggedSource) Name() string { return "mock" }
+func (s *raggedSource) Open() trace.Reader {
+	return trace.NewSliceReader(s.branches)
+}
+func (s *raggedSource) OpenBatch() trace.BatchReader {
+	return &raggedReader{r: trace.NewSliceReader(s.branches)}
+}
+
+type raggedReader struct {
+	r    *trace.SliceReader
+	call int
+}
+
+func (r *raggedReader) Read(b *trace.Branch) error { return r.r.Read(b) }
+func (r *raggedReader) ReadBatch(dst []trace.Branch) (int, error) {
+	sizes := [...]int{1, 7, 113, 1021, 37, 499}
+	k := sizes[r.call%len(sizes)]
+	r.call++
+	if k > len(dst) {
+		k = len(dst)
+	}
+	return r.r.ReadBatch(dst[:k])
+}

@@ -79,6 +79,13 @@ type Options struct {
 // cancelCheckMask throttles context polling to every 4096 branches.
 const cancelCheckMask = 4095
 
+// simBatchSize is the replay batch: the driver pulls this many records
+// per ReadBatch call, so stream dispatch, cancellation polls and EOF
+// checks amortize over thousands of branches. It equals the cancel-poll
+// period so batch boundaries land exactly on the branch indices the old
+// per-record loop polled at.
+const simBatchSize = cancelCheckMask + 1
+
 // Result carries one run's headline metrics.
 type Result struct {
 	Workload  string
@@ -148,8 +155,12 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 		serMPKI = opt.Telemetry.Series("mpki", interval)
 		serIPC = opt.Telemetry.Series("ipc_proxy", interval)
 	}
+	// One sampling condition governs both the in-loop sentinel and the
+	// final partial-interval flush, so telemetry-only, tracer-only and
+	// both-present runs sample at identical measured-branch indices.
+	sampling := opt.Telemetry != nil || opt.Tracer != nil
 	nextSample := interval
-	if opt.Telemetry == nil && opt.Tracer == nil {
+	if !sampling {
 		nextSample = ^uint64(0)
 	}
 	var lastInstr, lastMisp uint64
@@ -159,11 +170,19 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	clockStart := clock.NowF()
 	warmupEnd := clockStart
 
-	r := src.Open()
-	var b trace.Branch
+	srcName := src.Name()
+	br := trace.OpenBatched(src)
 	var processed uint64
-	res := &Result{Workload: src.Name(), Predictor: p.Name()}
+	res := &Result{Workload: srcName, Predictor: p.Name()}
 
+	// Tracer.Counter copies its values before returning, so one scratch
+	// map (and one precomputed track name) serves every sample.
+	var scratchArgs map[string]float64
+	var counterTrack string
+	if opt.Tracer != nil {
+		scratchArgs = make(map[string]float64, 2)
+		counterTrack = "sim:" + srcName
+	}
 	sample := func() {
 		di := acct.Instructions - lastInstr
 		dm := res.Mispredicts - lastMisp
@@ -175,109 +194,123 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 		}
 		serMPKI.Append(mpki)
 		serIPC.Append(ipc)
-		opt.Tracer.Counter(tracePID, "sim:"+src.Name(), clock.NowF(),
-			map[string]float64{"mpki": mpki, "ipc_proxy": ipc})
+		if opt.Tracer != nil {
+			scratchArgs["mpki"] = mpki
+			scratchArgs["ipc_proxy"] = ipc
+			opt.Tracer.Counter(tracePID, counterTrack, clock.NowF(), scratchArgs)
+		}
 		lastInstr, lastMisp, lastCycles = acct.Instructions, res.Mispredicts, acct.Cycles()
 	}
 
 	total := opt.WarmupBranches + opt.MeasureBranches
+	batch := make([]trace.Branch, simBatchSize)
 	for processed < total {
-		if done != nil && processed&cancelCheckMask == 0 {
+		// Every batch starts on a simBatchSize boundary, i.e. exactly
+		// the indices where the per-record loop polled cancellation.
+		if done != nil {
 			select {
 			case <-done:
 				return nil, fmt.Errorf("sim: %s after %d branches: %w",
-					src.Name(), processed, opt.Context.Err())
+					srcName, processed, opt.Context.Err())
 			default:
 			}
 		}
-		if err := r.Read(&b); err != nil {
-			if trace.IsEOF(err) {
-				return nil, fmt.Errorf("sim: %s ended after %d branches, need %d",
-					src.Name(), processed, total)
+		want := batch
+		if rem := total - processed; rem < uint64(len(want)) {
+			want = want[:rem]
+		}
+		n, rerr := br.ReadBatch(want)
+		for i := 0; i < n; i++ {
+			b := &want[i]
+			measuring := processed >= opt.WarmupBranches
+			processed++
+			if measuring && !warmupDone {
+				warmupDone = true
+				warmupEnd = clock.NowF()
 			}
-			return nil, fmt.Errorf("sim: reading %s: %w", src.Name(), err)
-		}
-		measuring := processed >= opt.WarmupBranches
-		processed++
-		if measuring && !warmupDone {
-			warmupDone = true
-			warmupEnd = clock.NowF()
-		}
 
-		// Straight-line instructions preceding this branch retire at
-		// base CPI; advance the clock so prefetch timestamps see
-		// realistic gaps during warmup too.
-		if measuring {
-			clock.Advance(acct.Retire(uint64(b.Instructions)))
-		} else {
-			clock.Advance(float64(b.Instructions) * opt.Pipeline.BaseCPI)
-		}
-
-		if b.Type.IsConditional() {
-			predicted := p.Predict(b.PC)
-			if targetUpdater != nil {
-				targetUpdater.UpdateWithTarget(b.PC, b.Target, b.Taken)
-			} else {
-				p.Update(b.PC, b.Taken)
-			}
-			misp := predicted != b.Taken
+			// Straight-line instructions preceding this branch retire at
+			// base CPI; advance the clock so prefetch timestamps see
+			// realistic gaps during warmup too.
 			if measuring {
-				res.CondBranches++
-				if misp {
-					res.Mispredicts++
-					clock.Advance(acct.Mispredict())
-				}
-				if opt.Observer != nil {
-					var det predictor.Detail
-					if detailer != nil {
-						det = detailer.LastDetail()
-					}
-					opt.Observer(&b, predicted, det)
-				}
-			} else if misp {
-				clock.Advance(opt.Pipeline.MispredictPenalty)
+				clock.Advance(acct.Retire(uint64(b.Instructions)))
+			} else {
+				clock.Advance(float64(b.Instructions) * opt.Pipeline.BaseCPI)
 			}
-			if misp && resettable != nil {
-				resettable.OnPipelineReset()
-				if measuring {
-					resets++
-				}
-			}
-		} else {
-			p.TrackOther(b.PC, b.Target, b.Type)
-			targetMiss := b.MispredictedTarget
-			if opt.BTB != nil {
-				targetMiss = opt.BTB.Process(&b).TargetMiss
-			}
-			if targetMiss {
-				if measuring {
-					clock.Advance(acct.TargetMiss())
+
+			if b.Type.IsConditional() {
+				predicted := p.Predict(b.PC)
+				if targetUpdater != nil {
+					targetUpdater.UpdateWithTarget(b.PC, b.Target, b.Taken)
 				} else {
-					clock.Advance(opt.Pipeline.TargetMissPenalty)
+					p.Update(b.PC, b.Taken)
 				}
-				if resettable != nil {
+				misp := predicted != b.Taken
+				if measuring {
+					res.CondBranches++
+					if misp {
+						res.Mispredicts++
+						clock.Advance(acct.Mispredict())
+					}
+					if opt.Observer != nil {
+						var det predictor.Detail
+						if detailer != nil {
+							det = detailer.LastDetail()
+						}
+						opt.Observer(b, predicted, det)
+					}
+				} else if misp {
+					clock.Advance(opt.Pipeline.MispredictPenalty)
+				}
+				if misp && resettable != nil {
 					resettable.OnPipelineReset()
 					if measuring {
 						resets++
 					}
 				}
-			}
-			if measuring {
-				if opt.UncondObserver != nil {
-					opt.UncondObserver(&b)
+			} else {
+				p.TrackOther(b.PC, b.Target, b.Type)
+				targetMiss := b.MispredictedTarget
+				if opt.BTB != nil {
+					targetMiss = opt.BTB.Process(b).TargetMiss
+				}
+				if targetMiss {
+					if measuring {
+						clock.Advance(acct.TargetMiss())
+					} else {
+						clock.Advance(opt.Pipeline.TargetMissPenalty)
+					}
+					if resettable != nil {
+						resettable.OnPipelineReset()
+						if measuring {
+							resets++
+						}
+					}
+				}
+				if measuring {
+					if opt.UncondObserver != nil {
+						opt.UncondObserver(b)
+					}
 				}
 			}
-		}
-		if measuring {
-			res.Branches++
-			if res.Branches >= nextSample {
-				sample()
-				nextSample += interval
+			if measuring {
+				res.Branches++
+				if res.Branches >= nextSample {
+					sample()
+					nextSample += interval
+				}
+			}
+			if opt.Hook != nil && processed >= nextHook {
+				opt.Hook(processed)
+				nextHook += hookEvery
 			}
 		}
-		if opt.Hook != nil && processed >= nextHook {
-			opt.Hook(processed)
-			nextHook += hookEvery
+		if rerr != nil && processed < total {
+			if trace.IsEOF(rerr) {
+				return nil, fmt.Errorf("sim: %s ended after %d branches, need %d",
+					srcName, processed, total)
+			}
+			return nil, fmt.Errorf("sim: reading %s: %w", srcName, rerr)
 		}
 	}
 
@@ -289,7 +322,7 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	res.WastedFraction = acct.WastedFraction()
 	res.IPC = acct.IPC()
 
-	if acct.Instructions > lastInstr && (serMPKI != nil || opt.Tracer != nil) {
+	if sampling && acct.Instructions > lastInstr {
 		sample() // flush the final partial interval
 	}
 	if opt.Telemetry != nil {

@@ -19,6 +19,14 @@ type entry struct {
 	useful uint8
 }
 
+// tableFolds is one tagged table's folded-history registers, grouped so
+// the per-branch history update touches contiguous memory.
+type tableFolds struct {
+	idx  history.Folded
+	tag1 history.Folded
+	tag2 history.Folded
+}
+
 // infKey identifies a pattern in infinite mode: the full branch PC plus
 // the unmodified index and tag hashes. Including the PC removes all
 // aliasing while leaving the hash functions untouched, exactly the paper's
@@ -43,9 +51,11 @@ type Predictor struct {
 
 	ghr      *history.Global
 	path     *history.Path
-	foldIdx  []*history.Folded
-	foldTag1 []*history.Folded
-	foldTag2 []*history.Folded
+	// One table's three folded registers live side by side: pushHistory
+	// walks all of them every branch, and grouping per table turns three
+	// slice walks (with three bounds checks per table) into one
+	// cache-line-friendly sweep.
+	folds []tableFolds
 
 	useAltOnNA int8 // 4-bit counter: >=0 means trust alt over newly allocated providers
 	tick       int  // useful-bit aging counter
@@ -120,9 +130,7 @@ func New(cfg Config) (*Predictor, error) {
 			p.tables[i] = make([]entry, 1<<uint(cfg.LogEntries[i]))
 		}
 	}
-	p.foldIdx = make([]*history.Folded, n)
-	p.foldTag1 = make([]*history.Folded, n)
-	p.foldTag2 = make([]*history.Folded, n)
+	p.folds = make([]tableFolds, n)
 	for i := 0; i < n; i++ {
 		idxBits := cfg.LogEntries[i]
 		if cfg.Infinite {
@@ -130,9 +138,11 @@ func New(cfg Config) (*Predictor, error) {
 			// the hash functions are unchanged.
 			idxBits = 10
 		}
-		p.foldIdx[i] = history.NewFolded(cfg.HistLengths[i], idxBits)
-		p.foldTag1[i] = history.NewFolded(cfg.HistLengths[i], cfg.TagBits[i])
-		p.foldTag2[i] = history.NewFolded(cfg.HistLengths[i], cfg.TagBits[i]-1)
+		p.folds[i] = tableFolds{
+			idx:  history.NewFoldedValue(cfg.HistLengths[i], idxBits),
+			tag1: history.NewFoldedValue(cfg.HistLengths[i], cfg.TagBits[i]),
+			tag2: history.NewFoldedValue(cfg.HistLengths[i], cfg.TagBits[i]-1),
+		}
 	}
 	return p, nil
 }
@@ -166,7 +176,7 @@ func (p *Predictor) index(pc uint64, i int) uint32 {
 	if p.cfg.Infinite {
 		logE = 10
 	}
-	h := (pc >> 2) ^ (pc >> (logE - uint(i&3))) ^ p.foldIdx[i].Value()
+	h := (pc >> 2) ^ (pc >> (logE - uint(i&3))) ^ p.folds[i].idx.Value()
 	if p.cfg.HistLengths[i] >= 16 {
 		h ^= p.path.Value() >> uint(i&7)
 	} else {
@@ -177,7 +187,8 @@ func (p *Predictor) index(pc uint64, i int) uint32 {
 
 // tagHash computes the partial tag for table i.
 func (p *Predictor) tagHash(pc uint64, i int) uint32 {
-	h := (pc >> 2) ^ p.foldTag1[i].Value() ^ (p.foldTag2[i].Value() << 1)
+	f := &p.folds[i]
+	h := (pc >> 2) ^ f.tag1.Value() ^ (f.tag2.Value() << 1)
 	return uint32(h & (uint64(1)<<uint(p.cfg.TagBits[i]) - 1))
 }
 
@@ -439,10 +450,18 @@ func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
 func (p *Predictor) pushHistory(pc uint64, taken bool, _ bool) {
 	p.ghr.Push(taken)
 	p.path.Push(pc >> 2)
-	for i := range p.foldIdx {
-		p.foldIdx[i].Update(p.ghr)
-		p.foldTag1[i].Update(p.ghr)
-		p.foldTag2[i].Update(p.ghr)
+	in := uint64(0)
+	if taken {
+		in = 1
+	}
+	// The index/tag1/tag2 folds of one table share a history length, so
+	// one outgoing-bit read serves all three.
+	for i := range p.folds {
+		f := &p.folds[i]
+		out := p.ghr.Bit(f.idx.OrigLength)
+		f.idx.UpdateBits(in, out)
+		f.tag1.UpdateBits(in, out)
+		f.tag2.UpdateBits(in, out)
 	}
 }
 
@@ -544,14 +563,14 @@ func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
 	cp := &HistoryCheckpoint{
 		ghr:      p.ghr.Snapshot(),
 		path:     p.path.Snapshot(),
-		foldIdx:  make([]uint64, len(p.foldIdx)),
-		foldTag1: make([]uint64, len(p.foldTag1)),
-		foldTag2: make([]uint64, len(p.foldTag2)),
+		foldIdx:  make([]uint64, len(p.folds)),
+		foldTag1: make([]uint64, len(p.folds)),
+		foldTag2: make([]uint64, len(p.folds)),
 	}
-	for i := range p.foldIdx {
-		cp.foldIdx[i] = p.foldIdx[i].Snapshot()
-		cp.foldTag1[i] = p.foldTag1[i].Snapshot()
-		cp.foldTag2[i] = p.foldTag2[i].Snapshot()
+	for i := range p.folds {
+		cp.foldIdx[i] = p.folds[i].idx.Snapshot()
+		cp.foldTag1[i] = p.folds[i].tag1.Snapshot()
+		cp.foldTag2[i] = p.folds[i].tag2.Snapshot()
 	}
 	return cp
 }
@@ -559,15 +578,15 @@ func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
 // RestoreHistory rewinds the speculative history state to a checkpoint
 // (the misprediction-recovery path of §V-E2).
 func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
-	if len(cp.foldIdx) != len(p.foldIdx) {
-		assert.Failf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.foldIdx))
+	if len(cp.foldIdx) != len(p.folds) {
+		assert.Failf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.folds))
 		return
 	}
 	p.ghr.Restore(cp.ghr)
 	p.path.Restore(cp.path)
-	for i := range p.foldIdx {
-		p.foldIdx[i].Restore(cp.foldIdx[i])
-		p.foldTag1[i].Restore(cp.foldTag1[i])
-		p.foldTag2[i].Restore(cp.foldTag2[i])
+	for i := range p.folds {
+		p.folds[i].idx.Restore(cp.foldIdx[i])
+		p.folds[i].tag1.Restore(cp.foldTag1[i])
+		p.folds[i].tag2.Restore(cp.foldTag2[i])
 	}
 }

@@ -1,0 +1,120 @@
+package trace
+
+import "io"
+
+// Batched replay: the hot-path alternative to the one-record Read
+// interface. A simulation replaying tens of millions of branches through
+// Reader.Read pays an interface dispatch, a bounds check and (for
+// generated workloads) a pending-queue drain per branch. ReadBatch
+// amortizes all of that over thousands of records: the driver hands the
+// stream a scratch slice, the stream fills as much of it as it can, and
+// the driver's inner loop runs over a plain []Branch with no calls.
+//
+// Contract: ReadBatch fills dst from the front and returns the number of
+// records written. n == len(dst) with a nil error means the stream may
+// have more. n < len(dst) happens only at end of stream (err == io.EOF,
+// possibly with n > 0 records delivered first) or on a read error (err
+// non-nil, records [0,n) are valid). A zero-length dst returns (0, nil)
+// without touching the stream. After an EOF or error return, subsequent
+// calls return (0, same error).
+
+// BatchReader is a branch stream that can deliver records in bulk.
+// Implementations that also implement Reader must interleave correctly:
+// mixing Read and ReadBatch calls observes one consistent stream.
+type BatchReader interface {
+	// ReadBatch fills dst with the next records of the stream and
+	// returns how many were written; see the package contract above.
+	ReadBatch(dst []Branch) (n int, err error)
+}
+
+// readerBatcher adapts a legacy one-record Reader to BatchReader by
+// looping. It is the compatibility shim behind Batched: sources that
+// predate the batch API keep working, paying only the per-record
+// dispatch they always paid.
+type readerBatcher struct {
+	r   Reader
+	err error // sticky terminal error
+}
+
+// ReadBatch implements BatchReader.
+func (b *readerBatcher) ReadBatch(dst []Branch) (int, error) {
+	if b.err != nil {
+		return 0, b.err
+	}
+	for i := range dst {
+		if err := b.r.Read(&dst[i]); err != nil {
+			b.err = err
+			return i, err
+		}
+	}
+	return len(dst), nil
+}
+
+// Batched returns a BatchReader view of r: r itself when it already
+// implements BatchReader, or a compatibility shim that loops over Read.
+func Batched(r Reader) BatchReader {
+	if br, ok := r.(BatchReader); ok {
+		return br
+	}
+	return &readerBatcher{r: r}
+}
+
+// BatchSource is a Source whose streams support batched replay natively.
+// Open and OpenBatch produce the same logical stream; OpenBatch avoids
+// the per-record shim. Sources without native batch support are wrapped
+// by OpenBatched instead.
+type BatchSource interface {
+	Source
+	// OpenBatch returns a BatchReader positioned at the start of the
+	// stream.
+	OpenBatch() BatchReader
+}
+
+// OpenBatched opens src as a BatchReader: natively when src implements
+// BatchSource (or its Reader implements BatchReader), shimmed otherwise.
+func OpenBatched(src Source) BatchReader {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.OpenBatch()
+	}
+	return Batched(src.Open())
+}
+
+// ReadBatch implements BatchReader natively for SliceReader: one copy
+// from the backing slice, no per-record calls.
+func (r *SliceReader) ReadBatch(dst []Branch) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if r.pos >= len(r.branches) {
+		return 0, io.EOF
+	}
+	n := copy(dst, r.branches[r.pos:])
+	r.pos += n
+	if n < len(dst) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// OpenBatch implements BatchSource for SliceSource.
+func (s *SliceSource) OpenBatch() BatchReader { return NewSliceReader(s.Branches) }
+
+// ReadBatch implements BatchReader for LimitReader, delegating to the
+// wrapped stream's batch path when it has one.
+func (l *LimitReader) ReadBatch(dst []Branch) (int, error) {
+	if l.n >= l.Max {
+		return 0, io.EOF
+	}
+	if rem := l.Max - l.n; uint64(len(dst)) > rem {
+		dst = dst[:rem]
+	}
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if l.br == nil {
+		l.br = Batched(l.R)
+	}
+	n, err := l.br.ReadBatch(dst)
+	l.n += uint64(n)
+	return n, err
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+)
+
+// testBranches returns n distinguishable branch records.
+func testBranches(n int) []Branch {
+	out := make([]Branch, n)
+	for i := range out {
+		out[i] = Branch{
+			PC:           0x1000 + uint64(i)*4,
+			Target:       0x2000 + uint64(i)*4,
+			Type:         BranchType(i % int(numBranchTypes)),
+			Taken:        i%2 == 0,
+			Instructions: uint32(i%7 + 1),
+		}
+	}
+	return out
+}
+
+// TestReadBatchSlice: the native SliceReader batch path delivers the
+// stream in order, EOFs mid-batch with the remaining records, and stays
+// at EOF afterwards.
+func TestReadBatchSlice(t *testing.T) {
+	want := testBranches(10)
+	r := NewSliceReader(want)
+
+	dst := make([]Branch, 4)
+	n, err := r.ReadBatch(dst)
+	if n != 4 || err != nil {
+		t.Fatalf("first batch: n=%d err=%v", n, err)
+	}
+	for i := 0; i < 4; i++ {
+		if dst[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, dst[i], want[i])
+		}
+	}
+
+	big := make([]Branch, 16)
+	n, err = r.ReadBatch(big)
+	if n != 6 || !IsEOF(err) {
+		t.Fatalf("EOF mid-batch: n=%d err=%v, want 6, io.EOF", n, err)
+	}
+	for i := 0; i < 6; i++ {
+		if big[i] != want[4+i] {
+			t.Fatalf("tail record %d = %+v, want %+v", i, big[i], want[4+i])
+		}
+	}
+
+	if n, err = r.ReadBatch(big); n != 0 || !IsEOF(err) {
+		t.Fatalf("after EOF: n=%d err=%v", n, err)
+	}
+}
+
+// TestReadBatchZeroLength: a zero-length dst returns (0, nil) without
+// consuming the stream, on both the native path and the shim.
+func TestReadBatchZeroLength(t *testing.T) {
+	want := testBranches(3)
+	for _, br := range []BatchReader{
+		NewSliceReader(want),
+		Batched(readerOnly{NewSliceReader(want)}),
+	} {
+		if n, err := br.ReadBatch(nil); n != 0 || err != nil {
+			t.Fatalf("%T nil dst: n=%d err=%v", br, n, err)
+		}
+		if n, err := br.ReadBatch([]Branch{}); n != 0 || err != nil {
+			t.Fatalf("%T empty dst: n=%d err=%v", br, n, err)
+		}
+		dst := make([]Branch, 3)
+		if n, err := br.ReadBatch(dst); n != 3 || (err != nil && !IsEOF(err)) {
+			t.Fatalf("%T stream consumed early: n=%d err=%v", br, n, err)
+		}
+		if dst[0] != want[0] {
+			t.Fatalf("%T lost the first record: %+v", br, dst[0])
+		}
+	}
+}
+
+// readerOnly hides any BatchReader implementation so Batched must shim.
+type readerOnly struct{ r Reader }
+
+func (r readerOnly) Read(b *Branch) error { return r.r.Read(b) }
+
+// sourceOnly hides OpenBatch so OpenBatched must shim.
+type sourceOnly struct{ s Source }
+
+func (s sourceOnly) Name() string { return s.s.Name() }
+func (s sourceOnly) Open() Reader { return readerOnly{s.s.Open()} }
+
+// TestBatchedShimLegacySource: a Source that predates the batch API
+// round-trips through OpenBatched with identical content and correct
+// EOF behaviour.
+func TestBatchedShimLegacySource(t *testing.T) {
+	want := testBranches(100)
+	src := sourceOnly{&SliceSource{SourceName: "legacy", Branches: want}}
+
+	br := OpenBatched(src)
+	if _, native := br.(*SliceReader); native {
+		t.Fatal("shim expected, got native reader")
+	}
+	var got []Branch
+	dst := make([]Branch, 7) // odd size so EOF lands mid-batch
+	for {
+		n, err := br.ReadBatch(dst)
+		got = append(got, dst[:n]...)
+		if err != nil {
+			if !IsEOF(err) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Sticky EOF.
+	if n, err := br.ReadBatch(dst); n != 0 || !IsEOF(err) {
+		t.Fatalf("after EOF: n=%d err=%v", n, err)
+	}
+}
+
+// TestBatchedNativePassThrough: Batched returns the reader itself when
+// it already implements BatchReader.
+func TestBatchedNativePassThrough(t *testing.T) {
+	r := NewSliceReader(testBranches(1))
+	if br := Batched(r); br != BatchReader(r) {
+		t.Fatalf("Batched(%T) wrapped a native BatchReader", r)
+	}
+}
+
+// errAfterReader yields k records then fails with a non-EOF error.
+type errAfterReader struct {
+	r    Reader
+	left int
+	err  error
+}
+
+func (e *errAfterReader) Read(b *Branch) error {
+	if e.left == 0 {
+		return e.err
+	}
+	e.left--
+	return e.r.Read(b)
+}
+
+// TestBatchShimStickyError: a mid-batch read error surfaces with the
+// records read so far, and repeats on subsequent calls.
+func TestBatchShimStickyError(t *testing.T) {
+	boom := errors.New("disk on fire")
+	br := Batched(&errAfterReader{r: NewSliceReader(testBranches(10)), left: 5, err: boom})
+
+	dst := make([]Branch, 8)
+	n, err := br.ReadBatch(dst)
+	if n != 5 || !errors.Is(err, boom) {
+		t.Fatalf("n=%d err=%v, want 5, boom", n, err)
+	}
+	if n, err = br.ReadBatch(dst); n != 0 || !errors.Is(err, boom) {
+		t.Fatalf("sticky: n=%d err=%v", n, err)
+	}
+}
+
+// TestLimitReaderReadBatch: the batch path honours Max, EOFs exactly at
+// the limit, and mixes correctly with per-record reads.
+func TestLimitReaderReadBatch(t *testing.T) {
+	want := testBranches(20)
+	l := &LimitReader{R: NewSliceReader(want), Max: 10}
+
+	var b Branch
+	if err := l.Read(&b); err != nil || b != want[0] {
+		t.Fatalf("record read: %v %+v", err, b)
+	}
+	dst := make([]Branch, 6)
+	n, err := l.ReadBatch(dst)
+	if n != 6 || err != nil {
+		t.Fatalf("batch: n=%d err=%v", n, err)
+	}
+	if dst[0] != want[1] || dst[5] != want[6] {
+		t.Fatalf("batch skipped records: %+v", dst)
+	}
+	// 3 records remain under the limit; a larger dst is truncated.
+	n, err = l.ReadBatch(dst)
+	if n != 3 || (err != nil && !IsEOF(err)) {
+		t.Fatalf("tail: n=%d err=%v", n, err)
+	}
+	if n, err = l.ReadBatch(dst); n != 0 || !IsEOF(err) {
+		t.Fatalf("at limit: n=%d err=%v", n, err)
+	}
+	if err := l.Read(&b); !IsEOF(err) {
+		t.Fatalf("record read at limit: %v", err)
+	}
+}
+
+// TestLimitReaderZeroBatch: zero max yields an immediate EOF; a
+// zero-length dst under remaining budget returns (0, nil).
+func TestLimitReaderZeroBatch(t *testing.T) {
+	l := &LimitReader{R: NewSliceReader(testBranches(5)), Max: 0}
+	if n, err := l.ReadBatch(make([]Branch, 4)); n != 0 || !IsEOF(err) {
+		t.Fatalf("zero max: n=%d err=%v", n, err)
+	}
+	l = &LimitReader{R: NewSliceReader(testBranches(5)), Max: 3}
+	if n, err := l.ReadBatch(nil); n != 0 || err != nil {
+		t.Fatalf("zero dst: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,105 @@
+package cache
+
+import (
+	"io"
+	"sync/atomic"
+
+	"llbp/internal/trace"
+)
+
+// Handle is a pinned view of a materialized stream prefix. It implements
+// trace.Source and trace.BatchSource, so it drops into any replay loop;
+// every Open replays the identical branches the underlying source would
+// produce, decoded on the fly from the shared columnar buffer. Release
+// the handle when replay is done so the entry becomes evictable; the
+// columns a handle snapshot references stay valid even if the entry is
+// later evicted or extended.
+type Handle struct {
+	c    *Cache
+	e    *entry
+	name string
+
+	pcs     []uint64
+	targets []uint64
+	instrs  []uint32
+	meta    []uint8
+
+	released atomic.Bool
+}
+
+var (
+	_ trace.Source      = (*Handle)(nil)
+	_ trace.BatchSource = (*Handle)(nil)
+)
+
+// Name implements trace.Source.
+func (h *Handle) Name() string { return h.name }
+
+// Len returns the number of branches the handle replays.
+func (h *Handle) Len() int { return len(h.pcs) }
+
+// Release unpins the backing cache entry. Idempotent. Readers already
+// opened keep working (they read the snapshot, not the entry).
+func (h *Handle) Release() {
+	if h == nil || h.released.Swap(true) {
+		return
+	}
+	h.c.release(h.e)
+}
+
+// Open implements trace.Source.
+func (h *Handle) Open() trace.Reader { return &handleReader{h: h} }
+
+// OpenBatch implements trace.BatchSource.
+func (h *Handle) OpenBatch() trace.BatchReader { return &handleReader{h: h} }
+
+// handleReader decodes branches out of the columnar snapshot.
+type handleReader struct {
+	h   *Handle
+	pos int
+}
+
+// decode expands record i into b.
+func (r *handleReader) decode(i int, b *trace.Branch) {
+	h := r.h
+	m := h.meta[i]
+	b.PC = h.pcs[i]
+	b.Target = h.targets[i]
+	b.Type = trace.BranchType(m & 0x7)
+	b.Taken = m&(1<<3) != 0
+	b.MispredictedTarget = m&(1<<4) != 0
+	b.Instructions = h.instrs[i]
+}
+
+// Read implements trace.Reader.
+func (r *handleReader) Read(b *trace.Branch) error {
+	if r.pos >= len(r.h.pcs) {
+		return io.EOF
+	}
+	r.decode(r.pos, b)
+	r.pos++
+	return nil
+}
+
+// ReadBatch implements trace.BatchReader.
+func (r *handleReader) ReadBatch(dst []trace.Branch) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	rem := len(r.h.pcs) - r.pos
+	if rem <= 0 {
+		return 0, io.EOF
+	}
+	n := len(dst)
+	if n > rem {
+		n = rem
+	}
+	for i := 0; i < n; i++ {
+		r.decode(r.pos+i, &dst[i])
+	}
+	r.pos += n
+	if n < len(dst) {
+		return n, io.EOF
+	}
+	return n, nil
+}

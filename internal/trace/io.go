@@ -198,6 +198,7 @@ type LimitReader struct {
 	R   Reader
 	Max uint64
 	n   uint64
+	br  BatchReader // cached batch view of R (lazy; see ReadBatch)
 }
 
 // Read implements Reader.

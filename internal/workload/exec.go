@@ -13,7 +13,10 @@ type Source struct {
 	prog   *program
 }
 
-var _ trace.Source = (*Source)(nil)
+var (
+	_ trace.Source      = (*Source)(nil)
+	_ trace.BatchSource = (*Source)(nil)
+)
 
 // New constructs a workload source from params.
 func New(params Params) (*Source, error) {
@@ -68,6 +71,15 @@ func (s *Source) ClassMap() map[uint64]BehaviorClass {
 
 // Open implements trace.Source: a fresh executor over the program.
 func (s *Source) Open() trace.Reader { return newExecutor(s.prog) }
+
+// OpenBatch implements trace.BatchSource: the executor fills whole
+// batches without the per-record shim.
+func (s *Source) OpenBatch() trace.BatchReader { return newExecutor(s.prog) }
+
+// CacheKey implements the trace/cache Keyer convention: equal
+// (Name, Seed) pairs replay identical streams, so the seed is the only
+// identity the materialized-trace cache needs beyond the name.
+func (s *Source) CacheKey() uint64 { return s.params.Seed }
 
 // loopState tracks an active loop in a frame.
 type loopState struct {
@@ -124,6 +136,27 @@ func (e *executor) Read(b *trace.Branch) error {
 	*b = e.pending[e.out]
 	e.out++
 	return nil
+}
+
+// ReadBatch implements trace.BatchReader: it drains the pending queue in
+// bulk and steps the machine until dst is full, so per-record interface
+// dispatch disappears from replay loops.
+func (e *executor) ReadBatch(dst []trace.Branch) (int, error) {
+	n := 0
+	for n < len(dst) {
+		if e.out < len(e.pending) {
+			c := copy(dst[n:], e.pending[e.out:])
+			e.out += c
+			n += c
+			continue
+		}
+		e.pending = e.pending[:0]
+		e.out = 0
+		if err := e.step(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
 // emit appends a branch with a fresh instruction-gap draw.

@@ -120,8 +120,12 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *server != "" {
 		// Served execution: cells are scheduled on the daemon, but flow
 		// through the same local memo cache, retry loop and journal as
-		// local simulation — one code path, two backends.
-		cl := client.New(*server)
+		// local simulation — one code path, two backends. The client adds
+		// transport-level resilience on top: idempotent re-submission on
+		// connection failures (seeded backoff+jitter, the harness retry
+		// schedule) and automatic resume of interrupted result streams
+		// from the last delivered sequence number.
+		cl := client.New(*server, client.Options{Retries: 3})
 		if err := cl.Health(ctx); err != nil {
 			fmt.Fprintf(stderr, "experiments: llbpd at %s not reachable: %v\n", *server, err)
 			return 1

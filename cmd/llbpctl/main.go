@@ -15,6 +15,12 @@
 // submit prints the job ID on stdout, so submit and watch compose:
 //
 //	llbpctl submit -run fig10 | llbpctl watch
+//
+// Resilience flags (global, before the command): -timeout bounds each
+// request, -retries/-backoff/-backoff-max shape the transport retry
+// schedule (the same seeded exponential backoff+jitter the simulation
+// harness uses; -seed makes the jitter reproducible). Interrupted result
+// streams resume automatically from the last delivered sequence number.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"sort"
 	"strings"
 	"syscall"
+	"time"
 
 	"llbp/internal/experiments"
 	"llbp/internal/service"
@@ -54,15 +61,32 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llbpctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	server := fs.String("server", "127.0.0.1:8344", "llbpd address (host:port or URL)")
+	var (
+		server     = fs.String("server", "127.0.0.1:8344", "llbpd address (host:port or URL)")
+		timeout    = fs.Duration("timeout", 0, "per-request deadline for non-streaming calls (0 = none)")
+		retries    = fs.Int("retries", 3, "transport-failure retries per request and stream reconnects (0 disables)")
+		backoff    = fs.Duration("backoff", 50*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+		backoffMax = fs.Duration("backoff-max", 2*time.Second, "retry backoff cap")
+		seed       = fs.Uint64("seed", 0, "retry-jitter seed (same seed = same backoff schedule)")
+	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] <submit|status|watch|results|cancel|metrics|health> [flags]")
+		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] [-timeout d] [-retries n] [-backoff d] <submit|status|watch|results|cancel|metrics|health> [flags]")
 		return 2
 	}
-	cl := client.New(*server)
+	clRetries := *retries
+	if clRetries <= 0 {
+		clRetries = -1 // client.Options: negative disables, 0 means default
+	}
+	cl := client.New(*server, client.Options{
+		Timeout:     *timeout,
+		Retries:     clRetries,
+		BackoffBase: *backoff,
+		BackoffMax:  *backoffMax,
+		Seed:        *seed,
+	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -165,6 +189,8 @@ func cmdSubmit(ctx context.Context, cl *client.Client, args []string, stdout, st
 		warmup     = fs.Uint64("warmup", 200_000, "warmup branches per cell")
 		measure    = fs.Uint64("measure", 1_000_000, "measured branches per cell")
 		wait       = fs.Bool("wait", false, "block until the queue admits the job (honors Retry-After)")
+		tenant     = fs.String("tenant", "", "tenant name for per-tenant admission quotas")
+		priority   = fs.String("priority", "", "admission lane: high or normal (default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -173,7 +199,7 @@ func cmdSubmit(ctx context.Context, cl *client.Client, args []string, stdout, st
 	if err != nil {
 		return err
 	}
-	req := service.JobRequest{Schema: service.JobSchema, Cells: specs}
+	req := service.JobRequest{Schema: service.JobSchema, Tenant: *tenant, Priority: *priority, Cells: specs}
 	var st service.JobStatus
 	if *wait {
 		st, err = cl.SubmitWait(ctx, req)

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"llbp/internal/chaos"
 	"llbp/internal/experiments"
 	"llbp/internal/harness"
 	"llbp/internal/service"
@@ -57,9 +58,30 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		warmup     = fs.Uint64("warmup", 200_000, "default warmup budget for harness-level runs")
 		measure    = fs.Uint64("measure", 1_000_000, "default measure budget for harness-level runs")
 		quiet      = fs.Bool("q", false, "suppress per-job progress logging")
+		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "job lease TTL; a worker silent this long loses the job to re-dispatch")
+		streamT    = fs.Duration("stream-timeout", 30*time.Second, "per-write deadline on result streams; slower clients are dropped (0 = never)")
+		tenantQ    = fs.Int("tenant-quota", 0, "max active jobs per tenant; beyond it submissions get 429 (0 = unlimited)")
+		chaosSpec  = fs.String("chaos", "", "TESTING: chaos rules, e.g. 'worker.panic@2,stream.drop@3%5' (see internal/chaos)")
+		chaosSeed  = fs.Uint64("chaos-seed", 0, "TESTING: derive a random single-shot chaos scenario from this seed (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	var injector *chaos.Injector
+	switch {
+	case *chaosSpec != "":
+		rules, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "llbpd:", err)
+			return 2
+		}
+		injector = chaos.New(rules...)
+	case *chaosSeed != 0:
+		injector = chaos.Scenario(*chaosSeed, 4, 16)
+	}
+	if injector != nil {
+		fmt.Fprintf(stderr, "llbpd: CHAOS ENABLED: %s\n", injector)
 	}
 
 	// Install the signal handler before anything observable happens, so a
@@ -97,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		if j.Len() > 0 && logf != nil {
 			logf("cell journal %s holds %d completed cells", *journal, j.Len())
 		}
+		if injector != nil {
+			j.SetWriteHook(chaos.TearHook(injector))
+		}
 		cfg.Journal = j
 		jobLogPath = *journal + ".jobs"
 	}
@@ -113,12 +138,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	h := experiments.NewHarness(cfg)
 
 	srv, err := service.New(service.Options{
-		Runner:     h,
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Registry:   reg,
-		JobLogPath: jobLogPath,
-		Logf:       logf,
+		Runner:             h,
+		Workers:            *workers,
+		QueueDepth:         *queueDepth,
+		LeaseTTL:           *leaseTTL,
+		StreamWriteTimeout: *streamT,
+		TenantQuota:        *tenantQ,
+		Chaos:              injector,
+		Registry:           reg,
+		JobLogPath:         jobLogPath,
+		Logf:               logf,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "llbpd:", err)

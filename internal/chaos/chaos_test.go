@@ -1,0 +1,95 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRuleFiring: At fires exactly once, At+Every fires periodically.
+func TestRuleFiring(t *testing.T) {
+	in := New(Rule{Hook: WorkerPanic, At: 2}, Rule{Hook: StreamDrop, At: 1, Every: 3})
+	var panics, drops []uint64
+	for i := uint64(1); i <= 10; i++ {
+		if in.Fire(WorkerPanic) {
+			panics = append(panics, i)
+		}
+		if in.Fire(StreamDrop) {
+			drops = append(drops, i)
+		}
+	}
+	if !reflect.DeepEqual(panics, []uint64{2}) {
+		t.Errorf("worker.panic fired at %v, want [2]", panics)
+	}
+	if !reflect.DeepEqual(drops, []uint64{1, 4, 7, 10}) {
+		t.Errorf("stream.drop fired at %v, want [1 4 7 10]", drops)
+	}
+	if got := in.Count(WorkerPanic); got != 10 {
+		t.Errorf("Count(worker.panic) = %d, want 10", got)
+	}
+}
+
+// TestNilInjector: every method is a safe no-op on nil — the disabled
+// production path.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in.Fire(WorkerPanic) {
+		t.Error("nil injector fired")
+	}
+	if in.Count(WorkerPanic) != 0 || in.Firings() != nil || in.Rules() != nil {
+		t.Error("nil injector reported state")
+	}
+}
+
+// TestScenarioDeterministic: the seeded scenario generator is a pure
+// function of its inputs, and its firing log replays identically.
+func TestScenarioDeterministic(t *testing.T) {
+	drive := func(in *Injector) []Firing {
+		for i := 0; i < 50; i++ {
+			for _, h := range Hooks() {
+				in.Fire(h)
+			}
+		}
+		return in.Firings()
+	}
+	a := drive(Scenario(42, 4, 20))
+	b := drive(Scenario(42, 4, 20))
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("seed 42 replays differ:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Error("scenario with 4 rules over horizon 20 never fired in 50 rounds")
+	}
+	if c := drive(Scenario(43, 4, 20)); reflect.DeepEqual(a, c) {
+		t.Error("seeds 42 and 43 produced identical scenarios")
+	}
+	if got, want := Scenario(42, 4, 20).String(), Scenario(42, 4, 20).String(); got != want {
+		t.Errorf("scenario rule rendering differs: %q vs %q", got, want)
+	}
+}
+
+// TestParseSpec round-trips the spec syntax and rejects malformed input.
+func TestParseSpec(t *testing.T) {
+	rules, err := ParseSpec("worker.panic@2, stream.drop@1%3,journal.tear@5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Rule{
+		{Hook: WorkerPanic, At: 2},
+		{Hook: StreamDrop, At: 1, Every: 3},
+		{Hook: JournalTear, At: 5},
+	}
+	if !reflect.DeepEqual(rules, want) {
+		t.Errorf("ParseSpec = %+v, want %+v", rules, want)
+	}
+	if got := New(rules...).String(); got != "journal.tear@5,stream.drop@1%3,worker.panic@2" {
+		t.Errorf("String() = %q", got)
+	}
+	for _, bad := range []string{"nope@1", "worker.panic", "worker.panic@0", "worker.panic@x", "worker.panic@1%0"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if rules, err := ParseSpec(""); err != nil || len(rules) != 0 {
+		t.Errorf("empty spec = %v, %v; want no rules", rules, err)
+	}
+}

@@ -149,13 +149,80 @@ type Options struct {
 
 // Runner executes jobs under Options. It is safe for concurrent use.
 type Runner struct {
-	opt  Options
-	gate chan struct{}
-	tel  harnessTel
-	seq  atomic.Uint64 // trace lane assignment for concurrent cells
+	opt    Options
+	gate   chan struct{}
+	tel    harnessTel
+	seq    atomic.Uint64 // trace lane assignment for concurrent cells
+	policy *RetryPolicy
+}
+
+// RetryPolicy is the shared exponential-backoff-with-jitter schedule:
+// the Runner's retry loop and the service client's idempotent request
+// retries both draw their delays from it, so every retrying component in
+// the system backs off the same way. The jitter stream is deterministic
+// in Seed — two policies built with identical parameters produce
+// identical delay sequences — which is what lets the chaos harness
+// replay a scenario's timing decisions bit-for-bit.
+type RetryPolicy struct {
+	// Retries is how many re-attempts follow the first try.
+	Retries int
+	// Base is the first retry delay; successive delays double up to Max.
+	Base time.Duration
+	// Max caps the pre-jitter delay.
+	Max time.Duration
 
 	mu  sync.Mutex
 	rng uint64
+}
+
+// NewRetryPolicy builds a policy, applying the harness defaults
+// (Base 50ms, Max 2s) to non-positive durations. The seed fixes the
+// jitter stream.
+func NewRetryPolicy(retries int, base, max time.Duration, seed uint64) *RetryPolicy {
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	return &RetryPolicy{Retries: retries, Base: base, Max: max, rng: seed*2 + 1}
+}
+
+// Delay returns the backoff delay for retry number attempt (0-based):
+// Base<<attempt capped at Max, jittered into [0.5, 1.0)× by the seeded
+// stream. Each call advances the jitter stream, so the schedule is a
+// deterministic function of (seed, call sequence).
+func (p *RetryPolicy) Delay(attempt int) time.Duration {
+	d := p.Base << uint(attempt)
+	if d > p.Max || d <= 0 {
+		d = p.Max
+	}
+	// Jitter in [0.5, 1.0)× keeps retried cells from re-colliding.
+	return d/2 + time.Duration(p.next()%uint64(d/2+1))
+}
+
+// Sleep waits out Delay(attempt); it returns false when ctx expired
+// before the delay elapsed.
+func (p *RetryPolicy) Sleep(ctx context.Context, attempt int) bool {
+	t := time.NewTimer(p.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// next is a locked splitmix64 step for jitter.
+func (p *RetryPolicy) next() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rng += 0x9E3779B97F4A7C15
+	z := p.rng
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // harnessTel holds the runner's nil-safe instruments; with no registry
@@ -185,7 +252,11 @@ func NewRunner(opt Options) *Runner {
 			return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
 		}
 	}
-	r := &Runner{opt: opt, gate: make(chan struct{}, opt.Parallelism), rng: opt.Seed*2 + 1}
+	r := &Runner{
+		opt:    opt,
+		gate:   make(chan struct{}, opt.Parallelism),
+		policy: NewRetryPolicy(opt.Retries, opt.BackoffBase, opt.BackoffMax, opt.Seed),
+	}
 	r.tel = harnessTel{
 		cellsRun:    opt.Telemetry.Counter("harness_cells_run"),
 		cellsFailed: opt.Telemetry.Counter("harness_cells_failed"),
@@ -276,7 +347,7 @@ func (r *Runner) doCell(ctx context.Context, job Job) Result {
 		if ctx.Err() != nil || !retryable || attempts > r.opt.Retries {
 			break
 		}
-		if !r.sleepBackoff(ctx, attempts-1) {
+		if !r.policy.Sleep(ctx, attempts-1) {
 			break // cancelled while backing off
 		}
 	}
@@ -313,37 +384,6 @@ func (r *Runner) attempt(ctx context.Context, job Job) (v any, err error) {
 		}
 	}()
 	return job.Run(ctx)
-}
-
-// sleepBackoff waits the exponential-backoff delay for retry number
-// attempt (0-based), with deterministic jitter. Returns false if the
-// context was cancelled while waiting.
-func (r *Runner) sleepBackoff(ctx context.Context, attempt int) bool {
-	d := r.opt.BackoffBase << uint(attempt)
-	if d > r.opt.BackoffMax || d <= 0 {
-		d = r.opt.BackoffMax
-	}
-	// Jitter in [0.5, 1.0)× keeps retried cells from re-colliding.
-	d = d/2 + time.Duration(r.nextRand()%uint64(d/2+1))
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-ctx.Done():
-		return false
-	}
-}
-
-// nextRand is a locked splitmix64 step for jitter.
-func (r *Runner) nextRand() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.rng += 0x9E3779B97F4A7C15
-	z := r.rng
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
 }
 
 // RunAll executes every job and returns results in job order. Execution is

@@ -16,11 +16,12 @@ import (
 // killed mid-flight leaves at most one truncated trailing line, which
 // loading tolerates; every fully recorded cell is skipped on resume.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	w    *bufio.Writer
-	done map[string]json.RawMessage
-	path string
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	done      map[string]json.RawMessage
+	path      string
+	writeHook func(line []byte) ([]byte, error)
 }
 
 // journalRecord is the on-disk line format.
@@ -117,9 +118,25 @@ func (j *Journal) Each(fn func(key string, value json.RawMessage)) {
 	}
 }
 
+// SetWriteHook installs fn as the journal's write interceptor: every
+// encoded record line (trailing newline included) passes through fn
+// before hitting the file, and fn's error is surfaced by Record after
+// whatever bytes fn returned have landed. It exists for the chaos
+// harness, whose journal-tear event returns a truncated line plus an
+// error — exactly the on-disk footprint of a process killed between
+// write and fsync. A nil fn removes the hook.
+func (j *Journal) SetWriteHook(fn func(line []byte) ([]byte, error)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.writeHook = fn
+}
+
 // Record appends a completed cell and syncs it to disk (buffer flush plus
 // file fsync on the record boundary), so a kill — or a whole-machine
-// crash — after Record never loses the cell.
+// crash — after Record never loses the cell. Record is idempotent: a key
+// already journaled with byte-identical value is skipped, so a resumed
+// run that re-records cells it could not prove durable (crash between
+// write and fsync) does not accumulate duplicate lines.
 func (j *Journal) Record(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {
@@ -134,7 +151,15 @@ func (j *Journal) Record(key string, value any) error {
 	if j.f == nil {
 		return fmt.Errorf("harness: journal %s is closed", j.path)
 	}
-	if _, err := j.w.Write(append(line, '\n')); err != nil {
+	if prev, ok := j.done[key]; ok && bytes.Equal(prev, raw) {
+		return nil // duplicate re-append after resume: already durable
+	}
+	buf := append(line, '\n')
+	var hookErr error
+	if j.writeHook != nil {
+		buf, hookErr = j.writeHook(buf)
+	}
+	if _, err := j.w.Write(buf); err != nil {
 		return fmt.Errorf("harness: journaling %q: %w", key, err)
 	}
 	if err := j.w.Flush(); err != nil {
@@ -142,6 +167,11 @@ func (j *Journal) Record(key string, value any) error {
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("harness: syncing journal %q: %w", key, err)
+	}
+	if hookErr != nil {
+		// The injected tear: the (possibly partial) bytes are on disk but
+		// the record is not considered durable.
+		return fmt.Errorf("harness: journaling %q: %w", key, hookErr)
 	}
 	j.done[key] = raw
 	return nil

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// schedule draws the full backoff schedule of a fresh policy.
+func schedule(seed uint64, n int) []time.Duration {
+	p := NewRetryPolicy(n, 50*time.Millisecond, 2*time.Second, seed)
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = p.Delay(i)
+	}
+	return out
+}
+
+// TestRetryJitterDeterministic locks in the property the chaos harness
+// replays depend on: the jittered backoff schedule is a pure function of
+// the seed. Same seed ⇒ identical delay sequence; different seed ⇒ a
+// different one.
+func TestRetryJitterDeterministic(t *testing.T) {
+	a, b := schedule(42, 8), schedule(42, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 attempt %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := schedule(43, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical schedules")
+	}
+}
+
+// TestRetryDelayBounds: every delay for attempt k lies in
+// [cap/2, cap] where cap = min(Base<<k, Max), across many seeds.
+func TestRetryDelayBounds(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	for seed := uint64(0); seed < 64; seed++ {
+		p := NewRetryPolicy(8, base, max, seed)
+		for k := 0; k < 8; k++ {
+			capK := base << uint(k)
+			if capK > max || capK <= 0 {
+				capK = max
+			}
+			d := p.Delay(k)
+			if d < capK/2 || d > capK {
+				t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]", seed, k, d, capK/2, capK)
+			}
+		}
+	}
+}
+
+// TestRetryPolicyMatchesRunner: the Runner draws its delays from the
+// same policy type with the same seed transform, so a standalone policy
+// predicts the runner's backoff schedule exactly.
+func TestRetryPolicyMatchesRunner(t *testing.T) {
+	r := NewRunner(Options{Retries: 4, Seed: 7})
+	p := NewRetryPolicy(4, 0, 0, 7)
+	for i := 0; i < 4; i++ {
+		want := p.Delay(i)
+		got := r.policy.Delay(i)
+		if got != want {
+			t.Fatalf("attempt %d: runner delay %v, policy delay %v", i, got, want)
+		}
+	}
+}
+
+// TestRetrySleepCancel: Sleep returns false immediately when the
+// context is already cancelled.
+func TestRetrySleepCancel(t *testing.T) {
+	p := NewRetryPolicy(1, time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if p.Sleep(ctx, 0) {
+		t.Error("Sleep returned true under a cancelled context")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("Sleep blocked despite cancellation")
+	}
+}

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"llbp/internal/lint/analysis"
+)
+
+// Injectable enforces the failure-domain testability contract on the
+// service stack (import-path segments "service" and "chaos"): code whose
+// timing or randomness governs failure handling must be injectable, so
+// the chaos harness can replay any scenario deterministically from a
+// seed.
+//
+// Flagged:
+//
+//   - time.Sleep: blocks a goroutine on the wall clock with no context
+//     escape and no way for tests to accelerate it. Use a timer in a
+//     select with ctx.Done() (see client.SubmitWait), or derive the
+//     moment from the injected clock (service Options.Now).
+//   - package-level math/rand draws (rand.Intn, rand.Float64, ...):
+//     the global RNG is auto-seeded, so a chaos scenario that consulted
+//     it could never be replayed from its seed. Own the stream: a
+//     rand.New(rand.NewSource(seed)) or a splitmix64 counter seeded from
+//     configuration (the internal/faults and internal/chaos idiom).
+//
+// Intentional exceptions carry the usual justification:
+//
+//	//llbplint:allow injectable -- <why this wait cannot be injected>
+var Injectable = &analysis.Analyzer{
+	Name: "injectable",
+	Doc:  "forbid time.Sleep and unseeded RNG in the service stack (failure timing must be injectable and seed-replayable)",
+	Run:  runInjectable,
+}
+
+func runInjectable(pass *analysis.Pass) error {
+	if !hasSegment(pass.Pkg.Path(), "service", "chaos") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods ((*rand.Rand).Intn on an owned generator,
+				// (*time.Timer).Stop) are the sanctioned pattern.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Sleep" {
+					pass.Reportf(sel.Pos(),
+						"time.Sleep blocks on the wall clock with no context escape; select on a timer and ctx.Done(), or derive the moment from the injected clock (Options.Now)")
+				}
+			case "math/rand", "math/rand/v2":
+				if !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(sel.Pos(),
+						"%s.%s draws from the auto-seeded global RNG; chaos scenarios must replay from their seed — own a rand.New(rand.NewSource(seed)) or a seeded splitmix64 stream", fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

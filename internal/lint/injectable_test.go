@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"llbp/internal/lint"
+	"llbp/internal/lint/analysistest"
+)
+
+// TestInjectable covers the service-stack scope (flagged sleeps and
+// global RNG draws, sanctioned timer/seeded/injected-clock patterns, a
+// justified suppression) and the out-of-scope exemption.
+func TestInjectable(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.Injectable, "service", "driver")
+}

@@ -18,6 +18,10 @@
 //   - nopanic: library code must not panic outside constructor-time
 //     config validation (New*/Must*/init); hot-path contract violations
 //     go through internal/assert or the PR-1 RunError machinery.
+//   - injectable: the service stack (service, chaos segments) must not
+//     call time.Sleep or draw from the global math/rand — failure timing
+//     and chaos randomness have to be injectable (Options.Now, seeded
+//     streams) so scenarios replay deterministically from a seed.
 //
 // Scope is decided by import-path segments so that both the real module
 // ("llbp/internal/harness") and the analysistest fixtures ("harness")
@@ -35,7 +39,7 @@ import (
 
 // All returns the llbplint analyzer suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic}
+	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic, Injectable}
 }
 
 // hasSegment reports whether any "/"-separated segment of the import

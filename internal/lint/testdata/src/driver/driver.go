@@ -1,0 +1,20 @@
+// Package driver is an injectable out-of-scope fixture: no "service" or
+// "chaos" segment in its path, so sleeps and global RNG draws are not
+// this analyzer's business. No diagnostics expected.
+package driver
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Nap sleeps outside the service stack; other analyzers may care, this
+// one must not.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// Roll uses the global RNG outside the service stack.
+func Roll() int {
+	return rand.Intn(6)
+}

@@ -1,12 +1,22 @@
 // Package client is the Go client for the llbpd simulation service:
 // job submission with backpressure-aware retry, status queries,
-// JSON-lines result streaming, cancellation, and a RunCell adapter that
-// plugs directly into experiments.Config.Remote so cmd/experiments can
-// target a daemon with one flag.
+// JSON-lines result streaming with resume, cancellation, and a RunCell
+// adapter that plugs directly into experiments.Config.Remote so
+// cmd/experiments can target a daemon with one flag.
+//
+// Resilience: transport-level failures (connection refused, reset,
+// timeout) are retried with the same seeded backoff+jitter schedule the
+// harness runner uses (harness.RetryPolicy) — safe because job identity
+// is content-addressed, so a re-submitted request converges on the same
+// job. An interrupted results stream reconnects with ?from=N, resuming
+// after the last event sequence number it delivered, so the caller sees
+// every persisted event exactly once no matter how often the connection
+// drops.
 package client
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -21,21 +31,60 @@ import (
 	"llbp/internal/service"
 )
 
+// Options tunes the client's resilience policy. The zero value means:
+// no per-request timeout, 3 transport retries, the harness default
+// backoff schedule, seed 0.
+type Options struct {
+	// Timeout bounds each non-streaming request (submit, status,
+	// cancel, metrics). Streams are exempt — they are long-lived by
+	// design and bounded by their context instead. 0 means no timeout.
+	Timeout time.Duration
+	// Retries is how many times a transport-level failure is retried
+	// (default 3; negative disables retry).
+	Retries int
+	// BackoffBase and BackoffMax shape the exponential backoff between
+	// retries (defaults: the harness policy's 50ms base, 2s cap).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed seeds the jitter stream, making retry schedules reproducible.
+	Seed uint64
+}
+
 // Client talks to one llbpd daemon. The zero value is not usable; call
 // New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	policy  *harness.RetryPolicy
 }
 
 // New returns a client for the daemon at addr ("host:port" or a full
-// http:// URL).
-func New(addr string) *Client {
+// http:// URL). Pass Options to tune timeouts and retry; omitted, the
+// defaults above apply.
+func New(addr string, opts ...Options) *Client {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if opt.Retries == 0 {
+		opt.Retries = 3
+	}
+	if opt.Retries < 0 {
+		opt.Retries = 0
+	}
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		timeout: opt.Timeout,
+		retries: opt.Retries,
+		policy:  harness.NewRetryPolicy(opt.Retries, opt.BackoffBase, opt.BackoffMax, opt.Seed),
+	}
 }
 
 // apiError is a non-2xx response, with enough structure for callers to
@@ -51,7 +100,8 @@ func (e *apiError) Error() string {
 }
 
 // IsQueueFull reports whether err is the daemon's backpressure signal
-// (HTTP 429), returning the advertised Retry-After delay.
+// (HTTP 429: full queue or tenant over quota), returning the advertised
+// Retry-After delay.
 func IsQueueFull(err error) (time.Duration, bool) {
 	if ae, ok := err.(*apiError); ok && ae.Status == http.StatusTooManyRequests {
 		d := ae.RetryAfter
@@ -63,9 +113,39 @@ func IsQueueFull(err error) (time.Duration, bool) {
 	return 0, false
 }
 
-// do issues a request and decodes a JSON body into out (when non-nil).
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+// do issues a request, retrying transport-level failures per the retry
+// policy, and decodes a JSON body into out (when non-nil). body may be
+// nil; it is re-sent verbatim on every attempt, which is safe because
+// every mutating endpoint is idempotent (content-addressed job IDs).
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 && !c.policy.Sleep(ctx, attempt-1) {
+			return fmt.Errorf("llbpd: %s %s: %w (last transport error: %v)", method, path, ctx.Err(), lastErr)
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		if _, ok := err.(*apiError); ok || ctx.Err() != nil {
+			return err // the daemon answered (or we were cancelled): not a transport failure
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("llbpd: %s %s: giving up after %d retries: %w", method, path, c.retries, lastErr)
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("llbpd: building request: %w", err)
 	}
@@ -114,7 +194,7 @@ func (c *Client) Submit(ctx context.Context, req service.JobRequest) (service.Jo
 		return service.JobStatus{}, fmt.Errorf("llbpd: encoding job request: %w", err)
 	}
 	var st service.JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", strings.NewReader(string(raw)), &st); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", raw, &st); err != nil {
 		return service.JobStatus{}, err
 	}
 	return st, nil
@@ -163,27 +243,86 @@ func (c *Client) Cancel(ctx context.Context, id string) (service.JobStatus, erro
 	return st, err
 }
 
+// fnError wraps an error returned by the caller's event callback so the
+// resume loop surfaces it instead of retrying.
+type fnError struct{ err error }
+
+func (e *fnError) Error() string { return e.err.Error() }
+func (e *fnError) Unwrap() error { return e.err }
+
 // Stream reads a job's JSON-lines result stream, invoking fn per event.
 // With follow, the stream runs until the job's "done" event (which is
 // also delivered to fn) or ctx cancellation; without, it replays what
 // exists and returns. fn returning an error stops the stream and
 // surfaces that error.
+//
+// A dropped connection is resumed: the client reconnects with
+// ?from=<last delivered sequence number>, so fn sees every persisted
+// event exactly once across any number of interruptions. Reconnection
+// attempts are budgeted by Options.Retries, with the budget refilling
+// whenever a reconnect makes progress.
 func (c *Client) Stream(ctx context.Context, id string, follow bool, fn func(service.StreamEvent) error) error {
+	var lastSeq uint64
+	attempt := 0
+	for {
+		sawDone, advanced, err := c.streamOnce(ctx, id, follow, lastSeq, &lastSeq, fn)
+		if err == nil && (sawDone || !follow) {
+			return nil
+		}
+		if fe, ok := err.(*fnError); ok {
+			return fe.err
+		}
+		if err != nil {
+			if _, ok := err.(*apiError); ok {
+				return err // the daemon answered: not an interruption
+			}
+			if ctx.Err() != nil {
+				return err
+			}
+		}
+		// Interrupted (transport error, or a follow stream that ended
+		// without its "done" line): resume after the last delivered
+		// sequence number.
+		if advanced {
+			attempt = 0 // progress refills the retry budget
+		}
+		if attempt >= c.retries {
+			if err == nil {
+				err = fmt.Errorf("llbpd: stream for %s ended before the job finished", id)
+			}
+			return fmt.Errorf("llbpd: giving up resuming stream for %s after %d attempts: %w", id, c.retries, err)
+		}
+		if !c.policy.Sleep(ctx, attempt) {
+			return fmt.Errorf("llbpd: resuming stream for %s: %w", id, ctx.Err())
+		}
+		attempt++
+	}
+}
+
+// streamOnce runs one stream connection, delivering events after seq
+// `from`. It reports whether the "done" event arrived and whether any
+// persisted event was delivered (progress).
+func (c *Client) streamOnce(ctx context.Context, id string, follow bool, from uint64, lastSeq *uint64, fn func(service.StreamEvent) error) (sawDone, advanced bool, err error) {
 	path := "/v1/jobs/" + id + "/results"
+	sep := "?"
 	if follow {
-		path += "?follow=1"
+		path += sep + "follow=1"
+		sep = "&"
+	}
+	if from > 0 {
+		path += sep + "from=" + strconv.FormatUint(from, 10)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
-		return fmt.Errorf("llbpd: building request: %w", err)
+		return false, false, fmt.Errorf("llbpd: building request: %w", err)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("llbpd: streaming %s: %w", id, err)
+		return false, false, fmt.Errorf("llbpd: streaming %s: %w", id, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		return readAPIError(resp)
+		return false, false, readAPIError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // cell values can be large
@@ -194,16 +333,23 @@ func (c *Client) Stream(ctx context.Context, id string, follow bool, fn func(ser
 		}
 		var ev service.StreamEvent
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("llbpd: bad stream line for %s: %w", id, err)
+			return sawDone, advanced, fmt.Errorf("llbpd: bad stream line for %s: %w", id, err)
+		}
+		if ev.Seq > 0 {
+			*lastSeq = ev.Seq
+			advanced = true
 		}
 		if err := fn(ev); err != nil {
-			return err
+			return sawDone, advanced, &fnError{err}
+		}
+		if ev.Type == "done" {
+			sawDone = true
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("llbpd: streaming %s: %w", id, err)
+		return sawDone, advanced, fmt.Errorf("llbpd: streaming %s: %w", id, err)
 	}
-	return nil
+	return sawDone, advanced, nil
 }
 
 // Metrics fetches the daemon's /metrics document (llbp-metrics/1 JSON).

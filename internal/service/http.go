@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"llbp/internal/chaos"
 	"llbp/internal/telemetry"
 )
 
@@ -50,7 +51,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, created, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQuota):
 		w.Header().Set("Retry-After", strconv.Itoa(s.opt.RetryAfterSeconds))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrDraining):
@@ -93,6 +94,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // stays open — interleaving persisted "cell" events with live
 // "progress" snapshots — until the job reaches a terminal state (the
 // "done" line) or the client disconnects.
+//
+// ?from=N resumes an interrupted stream: persisted events with Seq <= N
+// are skipped, so a client that journaled sequence N reconnects without
+// re-receiving (or missing) anything.
+//
+// Each write carries Options.StreamWriteTimeout as its deadline when
+// configured: a client too slow to absorb the stream is disconnected
+// rather than allowed to wedge a handler goroutine — its job keeps
+// running and the persisted events replay on reconnect.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -103,25 +113,51 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	follow := r.URL.Query().Get("follow") == "1"
+	pos := 0
+	if from := r.URL.Query().Get("from"); from != "" {
+		n, err := strconv.Atoi(from)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad from=%q: want a non-negative event sequence", from)
+			return
+		}
+		pos = n // Seq is 1-based position, so "after seq N" = index N
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	write := func(ev StreamEvent) error {
+		if s.opt.Chaos.Fire(chaos.StreamDrop) {
+			s.tel.chaosDrops.Inc()
+			s.logf("job %s: chaos severed results stream", id)
+			//llbplint:allow nopanic -- chaos injection: http.ErrAbortHandler is the stdlib contract for aborting a response mid-stream
+			panic(http.ErrAbortHandler)
+		}
+		if s.opt.StreamWriteTimeout > 0 {
+			_ = rc.SetWriteDeadline(s.now().Add(s.opt.StreamWriteTimeout))
+		}
+		err := enc.Encode(ev)
+		if err != nil && s.opt.StreamWriteTimeout > 0 {
+			s.tel.slowClients.Inc()
+			s.logf("job %s: dropping stream client: %v", id, err)
+		}
+		return err
+	}
 
-	pos := 0
 	var lastProg uint64
 	for {
 		evs, prog, progSeq, terminal, pulse := jb.snapshot(pos)
 		pos += len(evs)
 		for _, ev := range evs {
-			if err := enc.Encode(ev); err != nil {
-				return // client gone
+			if err := write(ev); err != nil {
+				return // client gone or too slow
 			}
 		}
 		if follow && !terminal && progSeq != lastProg {
 			lastProg = progSeq
-			if err := enc.Encode(prog); err != nil {
+			if err := write(prog); err != nil {
 				return
 			}
 		}

@@ -36,21 +36,39 @@ import (
 // JobSchema identifies the request/response/stream wire format.
 const JobSchema = "llbp-job/1"
 
+// Job priorities. High-priority jobs are drawn from their admission lane
+// before normal ones (best-effort: workers prefer, not preempt).
+const (
+	PriorityNormal = "normal"
+	PriorityHigh   = "high"
+)
+
 // JobRequest is the submission payload: a batch of simulation cells run
 // as one unit. Cells execute in order (subject to the worker's harness
 // parallelism) and results stream per cell as they complete.
 type JobRequest struct {
 	// Schema must be JobSchema.
 	Schema string `json:"schema"`
+	// Tenant optionally names the submitting tenant for per-tenant
+	// admission quotas ("" is the anonymous tenant). Job identity stays
+	// content-addressed on the cells alone, so identical sweeps from two
+	// tenants still converge on one job (owned by the first submitter).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority selects the admission lane: "high" or "normal"/"" (the
+	// default).
+	Priority string `json:"priority,omitempty"`
 	// Cells are the simulation cells, each canonically identified.
 	Cells []experiments.CellSpec `json:"cells"`
 }
 
-// Validate checks the schema tag and every cell, rejecting duplicates
-// (they would violate the one-event-per-cell stream contract).
+// Validate checks the schema tag, priority and every cell, rejecting
+// duplicates (they would violate the one-event-per-cell stream contract).
 func (r *JobRequest) Validate() error {
 	if r.Schema != JobSchema {
 		return fmt.Errorf("service: job schema %q, want %q", r.Schema, JobSchema)
+	}
+	if r.Priority != "" && r.Priority != PriorityNormal && r.Priority != PriorityHigh {
+		return fmt.Errorf("service: unknown priority %q (want %q or %q)", r.Priority, PriorityNormal, PriorityHigh)
 	}
 	if len(r.Cells) == 0 {
 		return fmt.Errorf("service: job has no cells")
@@ -105,6 +123,9 @@ type JobStatus struct {
 	Schema string `json:"schema"`
 	ID     string `json:"id"`
 	State  State  `json:"state"`
+	// Tenant and Priority echo the admitted request.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority string `json:"priority,omitempty"`
 	// Cells is the job's total cell count; Completed counts cells that
 	// finished successfully, Failed those that errored.
 	Cells     int `json:"cells"`
@@ -124,6 +145,11 @@ type JobStatus struct {
 //   - "done": the final line; State is the job's terminal state.
 type StreamEvent struct {
 	Type string `json:"type"`
+	// Seq is the persisted event's 1-based position in the job's event
+	// log ("cell" and "done" events only; ephemeral progress snapshots
+	// carry no Seq). A results stream interrupted after seq N resumes
+	// with ?from=N, replaying only events with Seq > N.
+	Seq uint64 `json:"seq,omitempty"`
 	// Key and Index identify the cell for "cell" and "progress" events.
 	Key   string `json:"key,omitempty"`
 	Index int    `json:"index,omitempty"`

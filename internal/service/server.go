@@ -3,19 +3,26 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"llbp/internal/chaos"
 	"llbp/internal/experiments"
 	"llbp/internal/harness"
 	"llbp/internal/telemetry"
 )
 
-// ErrQueueFull is returned by Submit when the admission queue is at
+// ErrQueueFull is returned by Submit when the admission lane is at
 // capacity; HTTP maps it to 429 with a Retry-After header.
 var ErrQueueFull = fmt.Errorf("service: admission queue full")
+
+// ErrTenantQuota is returned by Submit when the tenant already has its
+// quota of active jobs; HTTP maps it to 429 with a Retry-After header.
+var ErrTenantQuota = fmt.Errorf("service: tenant active-job quota exceeded")
 
 // ErrDraining is returned by Submit once shutdown has begun; HTTP maps
 // it to 503.
@@ -39,11 +46,37 @@ type Options struct {
 	// admission gate, so total simulation concurrency is bounded by the
 	// harness, not by Workers.
 	Workers int
-	// QueueDepth bounds the admission queue; submissions beyond it are
-	// rejected with 429 + Retry-After (default 16).
+	// QueueDepth bounds each admission lane (normal and high priority
+	// separately); submissions beyond it are rejected with 429 +
+	// Retry-After (default 16).
 	QueueDepth int
 	// RetryAfterSeconds is advertised on 429 responses (default 1).
 	RetryAfterSeconds int
+	// TenantQuota bounds the number of active (non-terminal) jobs any
+	// one tenant may hold; 0 means unlimited. Submissions beyond it are
+	// shed with 429 + Retry-After — the noisy-neighbour valve.
+	TenantQuota int
+	// LeaseTTL is how long a worker's job lease lives without a
+	// heartbeat before the supervisor reclaims and re-dispatches the job
+	// (default 30s). Heartbeats ride on claim, cell completion and
+	// streamed progress ticks, so any worker making simulation progress
+	// keeps its lease alive.
+	LeaseTTL time.Duration
+	// SupervisorInterval is the lease-reaper period (default
+	// LeaseTTL/4).
+	SupervisorInterval time.Duration
+	// StreamWriteTimeout is the per-write deadline on results streams; a
+	// client that cannot absorb an event within it is disconnected (its
+	// job keeps running and the journaled events replay on reconnect).
+	// 0 disables slow-client detection.
+	StreamWriteTimeout time.Duration
+	// Now supplies the wall clock for lease arithmetic (default
+	// time.Now). Tests inject a fake clock to drive lease expiry
+	// deterministically.
+	Now func() time.Time
+	// Chaos, when non-nil, injects seeded service-level failures at the
+	// named hooks (see internal/chaos). Nil costs nothing.
+	Chaos *chaos.Injector
 	// Registry, when non-nil, receives service metrics and backs the
 	// /metrics endpoint.
 	Registry *telemetry.Registry
@@ -56,19 +89,26 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// Server owns the job registry, admission queue and worker pool. Create
-// with New, install Handler on an http.Server, call Start, and Drain on
-// shutdown.
+// Server owns the job registry, admission lanes, worker pool and lease
+// supervisor. Create with New, install Handler on an http.Server, call
+// Start, and Drain on shutdown.
 type Server struct {
 	opt      Options
 	base     context.Context
 	baseStop context.CancelFunc
-	queue    chan *job
+	// Admission lanes, in worker preference order: requeue (resumed and
+	// lease-reclaimed jobs), high, normal. Lanes are never closed;
+	// drainCh ends the workers.
+	requeue  chan *job
+	high     chan *job
+	normal   chan *job
+	drainCh  chan struct{}
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
 	mu      sync.Mutex
 	jobs    map[string]*job
+	tenants map[string]int    // tenant → active (non-terminal) job count
 	running map[string][]*job // cell key → jobs streaming that cell
 
 	jobLog *harness.Journal
@@ -77,17 +117,22 @@ type Server struct {
 
 // serviceTel bundles the server's nil-safe instruments.
 type serviceTel struct {
-	submitted  *telemetry.Counter
-	deduped    *telemetry.Counter
-	rejected   *telemetry.Counter
-	resumed    *telemetry.Counter
-	completed  *telemetry.Counter
-	failed     *telemetry.Counter
-	cancelled  *telemetry.Counter
-	cellsOK    *telemetry.Counter
-	cellsErr   *telemetry.Counter
-	queueDepth *telemetry.Gauge
-	running    *telemetry.Gauge
+	submitted   *telemetry.Counter
+	deduped     *telemetry.Counter
+	rejected    *telemetry.Counter
+	shedTenant  *telemetry.Counter
+	resumed     *telemetry.Counter
+	completed   *telemetry.Counter
+	failed      *telemetry.Counter
+	cancelled   *telemetry.Counter
+	cellsOK     *telemetry.Counter
+	cellsErr    *telemetry.Counter
+	reclaimed   *telemetry.Counter
+	workerPanic *telemetry.Counter
+	slowClients *telemetry.Counter
+	chaosDrops  *telemetry.Counter
+	queueDepth  *telemetry.Gauge
+	running     *telemetry.Gauge
 }
 
 // loggedJob is the job-log record format: enough to resume (the request)
@@ -114,27 +159,43 @@ func New(opt Options) (*Server, error) {
 	if opt.RetryAfterSeconds < 1 {
 		opt.RetryAfterSeconds = 1
 	}
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = 30 * time.Second
+	}
+	if opt.SupervisorInterval <= 0 {
+		opt.SupervisorInterval = opt.LeaseTTL / 4
+	}
+	if opt.Now == nil {
+		opt.Now = time.Now
+	}
 	base, stop := context.WithCancel(context.Background())
 	s := &Server{
 		opt:      opt,
 		base:     base,
 		baseStop: stop,
+		drainCh:  make(chan struct{}),
 		jobs:     make(map[string]*job),
+		tenants:  make(map[string]int),
 		running:  make(map[string][]*job),
 	}
 	reg := opt.Registry
 	s.tel = serviceTel{
-		submitted:  reg.Counter("service_jobs_submitted"),
-		deduped:    reg.Counter("service_jobs_deduped"),
-		rejected:   reg.Counter("service_jobs_rejected"),
-		resumed:    reg.Counter("service_jobs_resumed"),
-		completed:  reg.Counter("service_jobs_completed"),
-		failed:     reg.Counter("service_jobs_failed"),
-		cancelled:  reg.Counter("service_jobs_cancelled"),
-		cellsOK:    reg.Counter("service_cells_completed"),
-		cellsErr:   reg.Counter("service_cells_failed"),
-		queueDepth: reg.Gauge("service_queue_depth"),
-		running:    reg.Gauge("service_jobs_running"),
+		submitted:   reg.Counter("service_jobs_submitted"),
+		deduped:     reg.Counter("service_jobs_deduped"),
+		rejected:    reg.Counter("service_jobs_rejected"),
+		shedTenant:  reg.Counter("service_jobs_shed_tenant"),
+		resumed:     reg.Counter("service_jobs_resumed"),
+		completed:   reg.Counter("service_jobs_completed"),
+		failed:      reg.Counter("service_jobs_failed"),
+		cancelled:   reg.Counter("service_jobs_cancelled"),
+		cellsOK:     reg.Counter("service_cells_completed"),
+		cellsErr:    reg.Counter("service_cells_failed"),
+		reclaimed:   reg.Counter("service_leases_reclaimed"),
+		workerPanic: reg.Counter("service_worker_panics"),
+		slowClients: reg.Counter("service_streams_slow_client"),
+		chaosDrops:  reg.Counter("service_streams_chaos_dropped"),
+		queueDepth:  reg.Gauge("service_queue_depth"),
+		running:     reg.Gauge("service_jobs_running"),
 	}
 
 	var resumable []*job
@@ -143,6 +204,9 @@ func New(opt Options) (*Server, error) {
 		if err != nil {
 			stop()
 			return nil, err
+		}
+		if opt.Chaos != nil {
+			jl.SetWriteHook(chaos.TearHook(opt.Chaos))
 		}
 		s.jobLog = jl
 		jl.Each(func(id string, raw json.RawMessage) {
@@ -157,6 +221,7 @@ func New(opt Options) (*Server, error) {
 				// only the terminal summary.
 				jb.completed, jb.failed = lj.Completed, lj.Failed
 				jb.finish(lj.State)
+				jb.tenantReleased.Store(true)
 			} else {
 				resumable = append(resumable, jb)
 			}
@@ -164,37 +229,56 @@ func New(opt Options) (*Server, error) {
 		})
 	}
 
-	// The queue must absorb every resumed job plus QueueDepth fresh
-	// submissions, or a heavily loaded daemon could not restart.
-	s.queue = make(chan *job, opt.QueueDepth+len(resumable))
+	s.high = make(chan *job, opt.QueueDepth)
+	s.normal = make(chan *job, opt.QueueDepth)
+	// The requeue lane must absorb every resumed job at startup; reclaim
+	// re-dispatches use blocking sends, so extra slack only reduces
+	// supervisor stalls.
+	s.requeue = make(chan *job, opt.QueueDepth+len(resumable))
 	for _, jb := range resumable {
 		if err := s.logJob(jb); err != nil {
 			stop()
 			return nil, err
 		}
-		s.queue <- jb
+		s.requeue <- jb
+		s.mu.Lock()
+		s.tenants[jb.req.Tenant]++
+		s.mu.Unlock()
 		s.tel.resumed.Inc()
 		s.logf("job %s resumed (%d cells)", jb.id, len(jb.req.Cells))
 	}
-	s.tel.queueDepth.Set(float64(len(s.queue)))
+	s.setQueueDepth()
 	return s, nil
 }
 
-// Start launches the worker pool.
+// Start launches the worker pool and the lease supervisor.
 func (s *Server) Start() {
 	for i := 0; i < s.opt.Workers; i++ {
+		name := fmt.Sprintf("worker-%d", i)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.worker()
+			s.worker(name)
 		}()
 	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.supervisor()
+	}()
+}
+
+func (s *Server) now() time.Time { return s.opt.Now() }
+
+func (s *Server) setQueueDepth() {
+	s.tel.queueDepth.Set(float64(len(s.requeue) + len(s.high) + len(s.normal)))
 }
 
 // Submit enqueues a job request (the HTTP handler's core, exposed for
 // in-process use). Returns the status and true when the job was newly
 // admitted; an existing job (same deterministic ID) returns its current
-// status and false. A full queue returns ErrQueueFull; a draining server
+// status and false. Overload is shed with ErrQueueFull (lane full) or
+// ErrTenantQuota (tenant over its active-job quota); a draining server
 // returns ErrDraining.
 func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
 	if err := req.Validate(); err != nil {
@@ -211,26 +295,59 @@ func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
 		s.tel.deduped.Inc()
 		return jb.status(), false, nil
 	}
+	if s.opt.TenantQuota > 0 && s.tenants[req.Tenant] >= s.opt.TenantQuota {
+		s.mu.Unlock()
+		s.tel.shedTenant.Inc()
+		return JobStatus{}, false, ErrTenantQuota
+	}
 	jb := newJob(s.base, id, req)
 	s.jobs[id] = jb
+	s.tenants[req.Tenant]++
 	s.mu.Unlock()
 
+	lane := s.normal
+	if req.Priority == PriorityHigh {
+		lane = s.high
+	}
 	select {
-	case s.queue <- jb:
+	case lane <- jb:
 	default:
 		s.mu.Lock()
 		delete(s.jobs, id)
+		s.tenants[req.Tenant]--
 		s.mu.Unlock()
 		s.tel.rejected.Inc()
 		return JobStatus{}, false, ErrQueueFull
 	}
-	s.tel.queueDepth.Set(float64(len(s.queue)))
+	s.setQueueDepth()
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging submit: %v", id, err)
 	}
 	s.tel.submitted.Inc()
-	s.logf("job %s submitted (%d cells)", id, len(req.Cells))
+	s.logf("job %s submitted (%d cells, tenant %q, %s lane)", id, len(req.Cells), req.Tenant, laneName(req.Priority))
 	return jb.status(), true, nil
+}
+
+func laneName(priority string) string {
+	if priority == PriorityHigh {
+		return PriorityHigh
+	}
+	return PriorityNormal
+}
+
+// releaseTenant returns the job's tenant quota slot, exactly once.
+func (s *Server) releaseTenant(jb *job) {
+	if !jb.tenantReleased.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	if s.tenants[jb.req.Tenant] > 0 {
+		s.tenants[jb.req.Tenant]--
+	}
+	if s.tenants[jb.req.Tenant] == 0 {
+		delete(s.tenants, jb.req.Tenant)
+	}
+	s.mu.Unlock()
 }
 
 // Job returns a job's status by ID.
@@ -281,6 +398,7 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 		jb.mu.Unlock()
 		if queued {
 			jb.finish(StateCancelled)
+			s.releaseTenant(jb)
 			s.tel.cancelled.Inc()
 			if err := s.logJob(jb); err != nil {
 				s.logf("job %s: logging cancel: %v", id, err)
@@ -293,13 +411,21 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 
 // CellProgress routes a harness progress callback (experiments
 // Config.CellProgress) to every job currently running that cell, as
-// throttled "progress" stream events.
+// throttled "progress" stream events. Each delivery also heartbeats the
+// job's lease — a worker making simulation progress keeps ownership —
+// unless the chaos harness suppresses the renewal (HeartbeatSkip).
 func (s *Server) CellProgress(key string, processed, total uint64) {
 	s.mu.Lock()
 	jobs := append([]*job(nil), s.running[key]...)
 	s.mu.Unlock()
 	for _, jb := range jobs {
 		jb.setProgress(key, cellIndex(jb.req.Cells, key), processed, total)
+		if !s.opt.Chaos.Fire(chaos.HeartbeatSkip) {
+			jb.mu.Lock()
+			epoch := jb.epoch
+			jb.mu.Unlock()
+			jb.heartbeat(epoch, s.now(), s.opt.LeaseTTL)
+		}
 	}
 }
 
@@ -313,66 +439,162 @@ func cellIndex(cells []experiments.CellSpec, key string) int {
 	return 0
 }
 
-// worker executes queued jobs until the queue closes. While draining,
-// dequeued jobs are skipped — they stay logged as queued, so a restart
-// resumes them.
-func (s *Server) worker() {
-	for jb := range s.queue {
-		s.tel.queueDepth.Set(float64(len(s.queue)))
+// nextJob dequeues the next job in lane-priority order (requeue > high >
+// normal), or reports false when the server is draining.
+func (s *Server) nextJob() (*job, bool) {
+	for {
+		select {
+		case jb := <-s.requeue:
+			return jb, true
+		default:
+		}
+		select {
+		case jb := <-s.high:
+			return jb, true
+		default:
+		}
+		select {
+		case jb := <-s.requeue:
+			return jb, true
+		case jb := <-s.high:
+			return jb, true
+		case jb := <-s.normal:
+			return jb, true
+		case <-s.drainCh:
+			return nil, false
+		}
+	}
+}
+
+// worker executes queued jobs until drain. Each job runs under panic
+// supervision: a panicking dispatch (chaos-injected or real) is
+// contained, the worker survives to serve the next job, and the
+// abandoned job's lease expires into a supervisor re-dispatch.
+func (s *Server) worker(name string) {
+	for {
+		jb, ok := s.nextJob()
+		if !ok {
+			return
+		}
+		s.setQueueDepth()
 		if jb.terminal() {
 			continue // cancelled while queued
 		}
 		if s.draining.Load() || s.base.Err() != nil {
 			continue // leave for resume
 		}
-		s.runJob(jb)
+		epoch, runCtx, ok := jb.claim(name, s.now(), s.opt.LeaseTTL)
+		if !ok {
+			continue // raced with cancel or a live lease
+		}
+		s.superviseJob(jb, name, epoch, runCtx)
+	}
+}
+
+// superviseJob is the per-job panic boundary of a worker.
+func (s *Server) superviseJob(jb *job, name string, epoch uint64, runCtx context.Context) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The worker goroutine survives; the job keeps its (now
+			// unattended) lease until the supervisor reclaims it. Cells
+			// already completed are journaled, so the re-dispatch is
+			// exactly-once.
+			s.tel.workerPanic.Inc()
+			s.logf("job %s: %s panicked: %v (lease will expire and re-dispatch)", jb.id, name, rec)
+		}
+	}()
+	s.runJob(jb, epoch, runCtx)
+}
+
+// runCellFenced executes one cell, retrying (bounded) when the result is
+// a bare context cancellation while this dispatch's context is still
+// live — the footprint of joining a superseded dispatch's in-flight cell
+// via the harness single-flight, whose owning context was revoked. The
+// cell itself never completed, so re-running preserves exactly-once.
+func (s *Server) runCellFenced(runCtx context.Context, cell experiments.CellSpec) (*experiments.RunOutput, error) {
+	var out *experiments.RunOutput
+	var err error
+	for attempt := 0; ; attempt++ {
+		out, err = s.opt.Runner.RunCell(runCtx, cell)
+		if err == nil || runCtx.Err() != nil || attempt >= 2 || !errors.Is(err, context.Canceled) {
+			return out, err
+		}
+		s.logf("cell %s: joined a revoked dispatch's run; retrying", cell.Key())
 	}
 }
 
 // runJob executes one job's cells in order, streaming a "cell" event per
-// completion. Shutdown mid-job leaves the job non-terminal (resumable);
-// user cancellation, cell failures and clean completion finalize it.
-func (s *Server) runJob(jb *job) {
-	jb.setState(StateRunning)
+// completion. Every mutation is fenced on the dispatch epoch, so a
+// superseded dispatch (lease reclaimed) silently stands down. Shutdown
+// mid-job leaves the job non-terminal (resumable); user cancellation,
+// cell failures and clean completion finalize it.
+func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging start: %v", jb.id, err)
 	}
-	s.logf("job %s running", jb.id)
+	s.logf("job %s running (epoch %d)", jb.id, epoch)
 	s.tel.running.Set(float64(s.countRunning()))
 	defer func() { s.tel.running.Set(float64(s.countRunning())) }()
 
 	for i, cell := range jb.req.Cells {
-		if jb.ctx.Err() != nil {
+		if runCtx.Err() != nil {
 			break
+		}
+		if jb.hasCell(i) {
+			continue // already streamed by an earlier dispatch
+		}
+		// Chaos: a worker may die (panic, contained by superviseJob) or
+		// wedge (hold the lease without progress until revoked) exactly
+		// here, at cell pickup.
+		if s.opt.Chaos.Fire(chaos.WorkerPanic) {
+			//llbplint:allow nopanic -- chaos injection: simulates a crashed worker; contained by superviseJob
+			panic(fmt.Sprintf("chaos: worker killed at job %s cell %d", jb.id, i))
+		}
+		if s.opt.Chaos.Fire(chaos.WorkerStall) {
+			s.logf("job %s: chaos stall at cell %d; holding lease without progress", jb.id, i)
+			<-runCtx.Done() // wedged until the supervisor revokes the lease
+			return
 		}
 		key := cell.Key()
 		s.trackCell(key, jb)
-		out, err := s.opt.Runner.RunCell(jb.ctx, cell)
+		out, err := s.runCellFenced(runCtx, cell)
 		s.untrackCell(key, jb)
+		jb.heartbeat(epoch, s.now(), s.opt.LeaseTTL)
 		if err != nil {
-			if jb.ctx.Err() != nil {
+			if runCtx.Err() != nil {
 				break // aborted mid-cell: no event, cell re-runs on resume
 			}
-			jb.addCellError(i, key, err)
-			s.tel.cellsErr.Inc()
-			s.logf("job %s cell %s failed: %v", jb.id, key, err)
+			if jb.addCellError(epoch, i, key, err) {
+				s.tel.cellsErr.Inc()
+				s.logf("job %s cell %s failed: %v", jb.id, key, err)
+			}
 			continue
 		}
 		raw, merr := json.Marshal(out)
 		if merr != nil {
-			jb.addCellError(i, key, merr)
-			s.tel.cellsErr.Inc()
+			if jb.addCellError(epoch, i, key, merr) {
+				s.tel.cellsErr.Inc()
+			}
 			continue
 		}
-		jb.addCell(i, key, raw)
-		s.tel.cellsOK.Inc()
-		s.logf("job %s cell %s done", jb.id, key)
+		if jb.addCell(epoch, i, key, raw) {
+			s.tel.cellsOK.Inc()
+			s.logf("job %s cell %s done", jb.id, key)
+		}
 	}
 
+	if runCtx.Err() != nil && jb.ctx.Err() == nil {
+		// Only this dispatch was cancelled: the supervisor reclaimed the
+		// lease and the job is already back in the requeue lane. Stand
+		// down without touching it.
+		s.logf("job %s: dispatch epoch %d superseded; standing down", jb.id, epoch)
+		return
+	}
 	if jb.ctx.Err() != nil && !jb.userCancelled.Load() {
 		// Server shutdown: leave the job non-terminal so the restart
 		// path re-enqueues it. Its completed cells live in the harness
 		// cell journal, so only the remainder re-runs.
+		jb.release(epoch)
 		s.logf("job %s interrupted by shutdown; will resume", jb.id)
 		return
 	}
@@ -382,19 +604,73 @@ func (s *Server) runJob(jb *job) {
 	switch {
 	case jb.userCancelled.Load():
 		final = StateCancelled
-		s.tel.cancelled.Inc()
 	case st.Failed > 0:
 		final = StateFailed
-		s.tel.failed.Inc()
 	default:
 		final = StateDone
+	}
+	if !jb.finishEpoch(epoch, final) {
+		return // superseded at the finish line; the new owner decides
+	}
+	switch final {
+	case StateCancelled:
+		s.tel.cancelled.Inc()
+	case StateFailed:
+		s.tel.failed.Inc()
+	default:
 		s.tel.completed.Inc()
 	}
-	jb.finish(final)
+	s.releaseTenant(jb)
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging finish: %v", jb.id, err)
 	}
 	s.logf("job %s %s (%d ok, %d failed)", jb.id, final, st.Completed, st.Failed)
+}
+
+// supervisor reclaims expired leases: a job whose worker stopped
+// heartbeating (wedged, panicked, or chaos-delayed) has its dispatch
+// cancelled and is re-enqueued on the requeue lane. Exactly-once
+// execution survives re-dispatch because completed cells are journaled
+// and event emission is fenced on the dispatch epoch.
+func (s *Server) supervisor() {
+	ticker := time.NewTicker(s.opt.SupervisorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.reapLeases()
+		case <-s.drainCh:
+			return
+		}
+	}
+}
+
+// reapLeases scans for expired leases and re-dispatches their jobs. It
+// is the supervisor's tick body, exposed to tests driving a fake clock.
+func (s *Server) reapLeases() {
+	now := s.now()
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, jb := range s.jobs {
+		jobs = append(jobs, jb)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	for _, jb := range jobs {
+		owner, revoked := jb.revokeIfExpired(now)
+		if !revoked {
+			continue
+		}
+		s.tel.reclaimed.Inc()
+		s.logf("job %s: lease of %s expired; re-dispatching", jb.id, owner)
+		select {
+		case s.requeue <- jb:
+		case <-s.drainCh:
+			// Draining: the job is already journaled non-terminal, so a
+			// restart resumes it.
+			return
+		}
+	}
 }
 
 // countRunning counts non-terminal jobs past the queue.
@@ -462,7 +738,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return fmt.Errorf("service: already draining")
 	}
 	s.logf("draining: admission closed")
-	close(s.queue)
+	close(s.drainCh)
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -493,7 +769,7 @@ func (s *Server) Drain(ctx context.Context) error {
 // closest an in-process server gets to SIGKILL.
 func (s *Server) Kill() {
 	if s.draining.CompareAndSwap(false, true) {
-		close(s.queue)
+		close(s.drainCh)
 	}
 	s.baseStop()
 	s.wg.Wait()

@@ -1,14 +1,21 @@
 // Command benchreplay measures end-to-end replay throughput — branches
 // per second through sim.Run, per predictor family — and records it as a
-// small JSON document (BENCH_5.json at the repo root). CI re-validates
-// the committed document with -check and smoke-runs the measurement so
-// the number can't silently rot.
+// small JSON document (BENCH_N.json at the repo root). CI re-validates
+// the committed documents with -check and smoke-runs the measurement so
+// the numbers can't silently rot.
+//
+// -compare turns a run into a trajectory point: per-family branches/s is
+// measured fresh, the delta against a baseline document is computed, and
+// the run fails (exit 1) when any family regressed beyond -tolerance
+// percent. The -out document is written before the verdict, so the
+// artifact survives a failing gate.
 //
 // Usage:
 //
-//	benchreplay -out BENCH_5.json          # measure and write
-//	benchreplay -check BENCH_5.json        # validate an existing document
-//	benchreplay -branches 50000 -out -     # quick run to stdout
+//	benchreplay -out BENCH_5.json                        # measure and write
+//	benchreplay -check BENCH_5.json                      # validate an existing document
+//	benchreplay -compare BENCH_5.json -out BENCH_6.json  # measure, diff, gate
+//	benchreplay -branches 50000 -out -                   # quick run to stdout
 package main
 
 import (
@@ -34,20 +41,30 @@ const BenchSchema = "llbp-bench/1"
 
 // Doc is the serialized benchmark document.
 type Doc struct {
-	Schema   string   `json:"schema"`
-	GOOS     string   `json:"goos"`
-	GOARCH   string   `json:"goarch"`
-	Workload string   `json:"workload"`
-	Branches uint64   `json:"branches_per_iter"`
-	Results  []Result `json:"results"`
+	Schema   string `json:"schema"`
+	GOOS     string `json:"goos"`
+	GOARCH   string `json:"goarch"`
+	Workload string `json:"workload"`
+	Branches uint64 `json:"branches_per_iter"`
+	// BaselineFile names the document this run was compared against
+	// (set by -compare).
+	BaselineFile string   `json:"baseline_file,omitempty"`
+	Results      []Result `json:"results"`
 }
 
-// Result is one predictor family's measured replay rate.
+// Result is one predictor family's measured replay rate, plus — when the
+// run was a -compare — the baseline rate and the relative delta.
 type Result struct {
 	Family        string  `json:"family"`
 	Iterations    int     `json:"iterations"`
 	NsPerOp       int64   `json:"ns_per_op"`
 	BranchesPerSc float64 `json:"branches_per_sec"`
+	// BaselineBranchesPerSec is the same family's rate in the -compare
+	// baseline (0 when not compared or absent from the baseline).
+	BaselineBranchesPerSec float64 `json:"baseline_branches_per_sec,omitempty"`
+	// DeltaPct is 100 * (new - baseline) / baseline; negative means a
+	// regression.
+	DeltaPct float64 `json:"delta_pct,omitempty"`
 }
 
 // families mirrors BenchmarkReplayThroughput's predictor set; the
@@ -84,12 +101,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wlName   = fs.String("workload", "Tomcat", "catalog workload to replay")
 		branches = fs.Uint64("branches", 100_000, "branches per iteration (warmup+measure)")
 		warmup   = fs.Uint64("warmup", 20_000, "warmup branches per iteration")
+		compare  = fs.String("compare", "", "baseline benchmark document to diff the fresh measurement against")
+		tol      = fs.Float64("tolerance", 5.0, "max per-family branches/s regression percent before -compare fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *check != "" && *compare != "" {
+		fmt.Fprintln(stderr, "benchreplay: -check and -compare are mutually exclusive")
+		return 2
+	}
 	if *check != "" {
-		if err := checkDoc(*check); err != nil {
+		if _, err := parseDoc(*check); err != nil {
 			fmt.Fprintln(stderr, "benchreplay:", err)
 			return 1
 		}
@@ -97,17 +120,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *out == "" {
-		fmt.Fprintln(stderr, "usage: benchreplay -out <file|-> | -check <file>")
+		fmt.Fprintln(stderr, "usage: benchreplay -out <file|-> [-compare <baseline>] | -check <file>")
 		return 2
 	}
 	if *warmup >= *branches {
 		fmt.Fprintln(stderr, "benchreplay: -warmup must be below -branches")
 		return 2
 	}
+	var baseline *Doc
+	if *compare != "" {
+		var err error
+		if baseline, err = parseDoc(*compare); err != nil {
+			fmt.Fprintln(stderr, "benchreplay:", err)
+			return 1
+		}
+	}
 	doc, err := measure(*wlName, *branches, *warmup, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchreplay:", err)
 		return 1
+	}
+	var regressions []string
+	if baseline != nil {
+		doc.BaselineFile = *compare
+		regressions = compareDocs(doc, baseline, *tol, stderr)
 	}
 	w := stdout
 	if *out != "-" {
@@ -125,7 +161,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchreplay:", err)
 		return 1
 	}
+	if len(regressions) > 0 {
+		// The document above is already written: the trajectory artifact
+		// survives the failing gate.
+		fmt.Fprintf(stderr, "benchreplay: regression beyond %.1f%% tolerance: %v\n", *tol, regressions)
+		return 1
+	}
 	return 0
+}
+
+// compareDocs annotates doc's results with baseline rates and deltas,
+// returning the families that regressed beyond tol percent. Families
+// missing from the baseline are warned about and skipped (a newly added
+// family has no trajectory yet).
+func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
+	base := make(map[string]float64, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Family] = r.BranchesPerSc
+	}
+	var regressions []string
+	for i := range doc.Results {
+		r := &doc.Results[i]
+		b, ok := base[r.Family]
+		if !ok || b <= 0 {
+			fmt.Fprintf(stderr, "benchreplay: family %q absent from baseline %s; skipping\n", r.Family, doc.BaselineFile)
+			continue
+		}
+		r.BaselineBranchesPerSec = b
+		r.DeltaPct = 100 * (r.BranchesPerSc - b) / b
+		fmt.Fprintf(stderr, "%-10s %+7.1f%% vs baseline (%12.0f -> %12.0f branches/s)\n",
+			r.Family, r.DeltaPct, b, r.BranchesPerSc)
+		if r.DeltaPct < -tol {
+			regressions = append(regressions, fmt.Sprintf("%s %.1f%%", r.Family, r.DeltaPct))
+		}
+	}
+	return regressions
 }
 
 // measure runs the replay benchmark for every family via
@@ -182,34 +252,34 @@ func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, 
 	return doc, nil
 }
 
-// checkDoc validates a committed benchmark document: parseable, right
+// parseDoc loads and validates a benchmark document: parseable, right
 // schema, every family present with a positive measured rate.
-func checkDoc(path string) error {
+func parseDoc(path string) (*Doc, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var doc Doc
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if doc.Schema != BenchSchema {
-		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, BenchSchema)
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, BenchSchema)
 	}
 	if doc.Branches == 0 {
-		return fmt.Errorf("%s: branches_per_iter is zero", path)
+		return nil, fmt.Errorf("%s: branches_per_iter is zero", path)
 	}
 	seen := map[string]bool{}
 	for _, r := range doc.Results {
 		if r.BranchesPerSc <= 0 || r.NsPerOp <= 0 || r.Iterations <= 0 {
-			return fmt.Errorf("%s: family %q has non-positive measurements", path, r.Family)
+			return nil, fmt.Errorf("%s: family %q has non-positive measurements", path, r.Family)
 		}
 		seen[r.Family] = true
 	}
 	for _, fam := range families {
 		if !seen[fam.name] {
-			return fmt.Errorf("%s: family %q missing", path, fam.name)
+			return nil, fmt.Errorf("%s: family %q missing", path, fam.name)
 		}
 	}
-	return nil
+	return &doc, nil
 }

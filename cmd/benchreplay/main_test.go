@@ -92,3 +92,100 @@ func TestUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// writeBaseline synthesizes a valid baseline document with the given
+// per-family branches/s rate.
+func writeBaseline(t *testing.T, dir string, rate float64) string {
+	t.Helper()
+	doc := Doc{Schema: BenchSchema, Workload: "Tomcat", Branches: 2000}
+	for _, fam := range families {
+		doc.Results = append(doc.Results, Result{
+			Family: fam.name, Iterations: 1, NsPerOp: 1, BranchesPerSc: rate,
+		})
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestComparePass: against a trivially slow baseline the gate passes and
+// the written document carries baseline rates and positive deltas.
+func TestComparePass(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir, 1) // 1 branch/s: any real machine beats it
+	out := filepath.Join(dir, "next.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-compare", baseline, "-out", out, "-branches", "2000", "-warmup", "500"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("compare: code %d, stderr %q", code, stderr.String())
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Doc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.BaselineFile != baseline {
+		t.Errorf("baseline_file = %q, want %q", doc.BaselineFile, baseline)
+	}
+	for _, r := range doc.Results {
+		if r.BaselineBranchesPerSec != 1 || r.DeltaPct <= 0 {
+			t.Errorf("family %s: baseline %v delta %v", r.Family, r.BaselineBranchesPerSec, r.DeltaPct)
+		}
+	}
+}
+
+// TestCompareRegressionFails: an impossibly fast baseline trips the
+// tolerance gate (exit 1) but the -out document is still written — the
+// trajectory artifact must survive a failing gate.
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir, 1e15) // no machine reaches this
+	out := filepath.Join(dir, "next.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-compare", baseline, "-out", out, "-branches", "2000", "-warmup", "500"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("compare vs impossible baseline: code %d, want 1 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regression beyond") {
+		t.Errorf("stderr %q lacks the regression verdict", stderr.String())
+	}
+	var doc Doc
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("document not written on failing gate: %v", err)
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range doc.Results {
+		if r.DeltaPct >= 0 {
+			t.Errorf("family %s: delta %v, want negative", r.Family, r.DeltaPct)
+		}
+	}
+}
+
+// TestCompareUsage: -compare without -out and -compare with -check are
+// usage errors; a bad baseline is a runtime error.
+func TestCompareUsage(t *testing.T) {
+	dir := t.TempDir()
+	baseline := writeBaseline(t, dir, 1)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", baseline}, &stdout, &stderr); code != 2 {
+		t.Errorf("-compare without -out: code %d, want 2", code)
+	}
+	if code := run([]string{"-compare", baseline, "-check", baseline}, &stdout, &stderr); code != 2 {
+		t.Errorf("-compare with -check: code %d, want 2", code)
+	}
+	if code := run([]string{"-compare", filepath.Join(dir, "absent.json"), "-out", "-"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing baseline: code %d, want 1", code)
+	}
+}

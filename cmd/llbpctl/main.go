@@ -9,7 +9,8 @@
 //	llbpctl -server ... watch  [job-id]      # follows; reads id from stdin when piped
 //	llbpctl -server ... results [job-id] [-o out.jsonl]
 //	llbpctl -server ... cancel job-id
-//	llbpctl -server ... metrics [-o metrics.json]
+//	llbpctl -server ... metrics [-o metrics.json] [-text]
+//	llbpctl -server ... top [-interval 2s] [-n frames] [-plain]
 //	llbpctl -server ... health
 //
 // submit prints the job ID on stdout, so submit and watch compose:
@@ -73,7 +74,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] [-timeout d] [-retries n] [-backoff d] <submit|status|watch|results|cancel|metrics|health> [flags]")
+		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] [-timeout d] [-retries n] [-backoff d] <submit|status|watch|results|cancel|metrics|top|health> [flags]")
 		return 2
 	}
 	clRetries := *retries
@@ -105,6 +106,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdCancel(ctx, cl, rest, stdout)
 	case "metrics":
 		err = cmdMetrics(ctx, cl, rest, stdout, stderr)
+	case "top":
+		err = cmdTop(ctx, cl, rest, stdout, stderr)
 	case "health":
 		err = cl.Health(ctx)
 		if err == nil {
@@ -354,10 +357,15 @@ func cmdMetrics(ctx context.Context, cl *client.Client, args []string, stdout, s
 	fs := flag.NewFlagSet("llbpctl metrics", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	out := fs.String("o", "", "write the llbp-metrics/1 document to this file instead of stdout")
+	text := fs.Bool("text", false, "fetch the Prometheus text exposition (/metrics) instead of JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	raw, err := cl.Metrics(ctx)
+	fetch := cl.Metrics
+	if *text {
+		fetch = cl.MetricsText
+	}
+	raw, err := fetch(ctx)
 	if err != nil {
 		return err
 	}

@@ -163,3 +163,45 @@ func TestCtlPresets(t *testing.T) {
 		}
 	}
 }
+
+// TestCtlMetricsText fetches the Prometheus surface via -text and checks
+// it parses back.
+func TestCtlMetricsText(t *testing.T) {
+	addr := startService(t)
+	code, out, errb := ctl(t, "", "-server", addr, "metrics", "-text")
+	if code != 0 {
+		t.Fatalf("metrics -text: code %d, stderr %q", code, errb)
+	}
+	doc, err := telemetry.ParsePrometheus([]byte(out))
+	if err != nil {
+		t.Fatalf("output is not valid Prometheus text: %v\n%s", err, out)
+	}
+	if doc.Types["service_jobs_submitted"] != "counter" {
+		t.Errorf("service_jobs_submitted not declared a counter in %v", doc.Types)
+	}
+}
+
+// TestCtlTop renders one plain frame against a live daemon and checks
+// the operator view carries health, counters and the finished job.
+func TestCtlTop(t *testing.T) {
+	addr := startService(t)
+	code, out, errb := ctl(t, "", "-server", addr, "submit", "-cells", cellKey, "-tenant", "acme", "-wait")
+	if code != 0 {
+		t.Fatalf("submit: code %d, stderr %q", code, errb)
+	}
+	id := strings.TrimSpace(out)
+	ctl(t, id+"\n", "-server", addr, "watch") // wait for completion
+
+	code, out, errb = ctl(t, "", "-server", addr, "top", "-n", "2", "-interval", "10ms", "-plain")
+	if code != 0 {
+		t.Fatalf("top: code %d, stderr %q", code, errb)
+	}
+	for _, want := range []string{"status=ok", "submitted 1", "completed 1", "tenant throughput", "acme"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("top output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("-plain frame contains ANSI escapes:\n%q", out)
+	}
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"llbp/internal/report"
+	"llbp/internal/service/client"
+	"llbp/internal/telemetry"
+)
+
+// topState carries per-tenant completed-cell totals between frames so
+// throughput can be rendered as a rate.
+type topState struct {
+	lastCells map[string]int
+	lastAt    time.Time
+}
+
+// cmdTop renders a live operator view of the daemon: health, per-tenant
+// throughput, queue and lease state, refreshed every -interval until
+// interrupted (or -n frames have been drawn).
+func cmdTop(ctx context.Context, cl *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("llbpctl top", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	frames := fs.Int("n", 0, "stop after this many frames (0 = run until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing in place (no ANSI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st := &topState{lastCells: map[string]int{}}
+	timer := time.NewTimer(0) // fire the first frame immediately
+	defer timer.Stop()
+	for drawn := 0; ; {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-timer.C:
+		}
+		frame, err := renderTopFrame(ctx, cl, st)
+		if err != nil {
+			return err
+		}
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(stdout, frame)
+		drawn++
+		if *frames > 0 && drawn >= *frames {
+			return nil
+		}
+		timer.Reset(*interval)
+	}
+}
+
+// renderTopFrame fetches health, job diagnostics and metrics, and
+// renders one frame of the view.
+func renderTopFrame(ctx context.Context, cl *client.Client, st *topState) (string, error) {
+	health, err := cl.Healthz(ctx)
+	if err != nil {
+		return "", err
+	}
+	jobs, err := cl.DebugJobs(ctx)
+	if err != nil {
+		return "", err
+	}
+	raw, err := cl.Metrics(ctx)
+	if err != nil {
+		return "", err
+	}
+	mf, err := telemetry.ReadMetricsFile(raw)
+	if err != nil {
+		return "", fmt.Errorf("decoding /metrics.json: %w", err)
+	}
+	var snap telemetry.Snapshot
+	if len(mf.Runs) > 0 {
+		snap = mf.Runs[0].Metrics
+	}
+
+	now := time.Now()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "llbpd  %s  status=%s  jobs=%d queued=%d running=%d workers=%d",
+		now.Format("15:04:05"), health.Status, health.Jobs, health.Queued, health.Running, health.Workers)
+	if health.ExpiredLeases > 0 {
+		fmt.Fprintf(&buf, "  EXPIRED-LEASES=%d", health.ExpiredLeases)
+	}
+	fmt.Fprintln(&buf)
+	fmt.Fprintf(&buf, "queue depth %.0f  submitted %d  completed %d  failed %d  requeued %d  fences %d  panics %d\n\n",
+		snap.Gauges["service_queue_depth"],
+		snap.Counters["service_jobs_submitted"],
+		snap.Counters["service_jobs_completed"],
+		snap.Counters["service_jobs_failed"],
+		snap.Counters["service_jobs_requeued"],
+		snap.Counters["service_epoch_fences"],
+		snap.Counters["service_worker_panics"])
+
+	// Per-tenant throughput: completed-cell delta since the last frame.
+	cells := map[string]int{}
+	for _, j := range jobs {
+		tenant := j.Tenant
+		if tenant == "" {
+			tenant = "(anon)"
+		}
+		cells[tenant] += j.Completed
+	}
+	if !st.lastAt.IsZero() && now.After(st.lastAt) {
+		elapsed := now.Sub(st.lastAt).Seconds()
+		chart := report.BarChart{Title: "tenant throughput", Unit: " cells/s", Width: 32}
+		for _, tenant := range sortedTenants(cells) {
+			rate := float64(cells[tenant]-st.lastCells[tenant]) / elapsed
+			if rate < 0 {
+				rate = 0
+			}
+			chart.Labels = append(chart.Labels, tenant)
+			chart.Values = append(chart.Values, rate)
+		}
+		if len(chart.Labels) > 0 {
+			if err := chart.WriteText(&buf); err != nil {
+				return "", err
+			}
+			fmt.Fprintln(&buf)
+		}
+	}
+	st.lastCells, st.lastAt = cells, now
+
+	// Lease health, one line per non-terminal job.
+	active := 0
+	for _, j := range jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		if active == 0 {
+			fmt.Fprintln(&buf, "active jobs:")
+		}
+		active++
+		fmt.Fprintf(&buf, "  %-20.20s %-9s %3d/%d cells", j.ID, j.State, j.Completed, j.Cells)
+		if j.Worker != "" {
+			lease := fmt.Sprintf("ttl %s", (time.Duration(j.LeaseRemainingMS) * time.Millisecond).Round(time.Millisecond))
+			if j.LeaseExpired {
+				lease = "EXPIRED"
+			}
+			fmt.Fprintf(&buf, "  %s epoch %d %s", j.Worker, j.Epoch, lease)
+		}
+		fmt.Fprintln(&buf)
+	}
+	if active == 0 {
+		fmt.Fprintln(&buf, "no active jobs")
+	}
+	return buf.String(), nil
+}
+
+func sortedTenants(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -63,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		tenantQ    = fs.Int("tenant-quota", 0, "max active jobs per tenant; beyond it submissions get 429 (0 = unlimited)")
 		chaosSpec  = fs.String("chaos", "", "TESTING: chaos rules, e.g. 'worker.panic@2,stream.drop@3%5' (see internal/chaos)")
 		chaosSeed  = fs.Uint64("chaos-seed", 0, "TESTING: derive a random single-shot chaos scenario from this seed (0 = off)")
+		eventsPath = fs.String("events", "", "write an llbp-events/1 NDJSON job-lifecycle log to this file")
+		traceFile  = fs.String("tracefile", "", "write a Chrome trace-event file of job/cell lifecycle spans to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -99,6 +101,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	reg := telemetry.NewRegistry()
 	reg.SetClock(func() int64 { return time.Now().UnixMilli() })
+
+	var events *telemetry.EventLog
+	if *eventsPath != "" {
+		var err error
+		events, err = telemetry.CreateEventLog(*eventsPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "llbpd:", err)
+			return 1
+		}
+		events.SetClock(func() int64 { return time.Now().UnixMilli() })
+	}
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "llbpd:", err)
+			return 1
+		}
+		tracer = telemetry.NewTracer(f)
+		tracer.ProcessName(telemetry.PidService, "llbpd")
+	}
 
 	cfg := experiments.Config{
 		Warmup:      *warmup,
@@ -146,6 +169,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		TenantQuota:        *tenantQ,
 		Chaos:              injector,
 		Registry:           reg,
+		Events:             events,
+		Tracer:             tracer,
 		JobLogPath:         jobLogPath,
 		Logf:               logf,
 	})
@@ -197,6 +222,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "llbpd: shutdown:", err)
+	}
+	if events != nil {
+		if err := events.Close(); err != nil {
+			fmt.Fprintln(stderr, "llbpd: event log:", err)
+		}
+	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			fmt.Fprintln(stderr, "llbpd: trace:", err)
+		}
 	}
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
 		fmt.Fprintln(stderr, "llbpd: drain:", drainErr)

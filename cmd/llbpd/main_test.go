@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"llbp/internal/experiments"
 	"llbp/internal/service"
 	"llbp/internal/service/client"
+	"llbp/internal/telemetry"
 )
 
 // startDaemon runs the daemon in-process on an ephemeral port and
@@ -113,5 +115,104 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if c := run([]string{"-journal", filepath.Join(t.TempDir(), "nodir", "x.journal")}, &out, &errb, nil); c != 1 {
 		t.Errorf("unwritable journal: code %d, want 1", c)
+	}
+}
+
+// TestDaemonObservability boots llbpd with the event log and trace file
+// enabled, runs a job, and checks all four observability surfaces: the
+// Prometheus /metrics, the JSON /metrics.json, /debug/jobs + /healthz,
+// and — after drain — the llbp-events/1 log and the Chrome trace.
+func TestDaemonObservability(t *testing.T) {
+	dir := t.TempDir()
+	eventsFile := filepath.Join(dir, "events.ndjson")
+	traceFile := filepath.Join(dir, "trace.json")
+	cl, code, _ := startDaemon(t,
+		"-j", "2",
+		"-events", eventsFile,
+		"-tracefile", traceFile,
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := cl.SubmitWait(ctx, service.JobRequest{
+		Schema: service.JobSchema,
+		Tenant: "acme",
+		Cells: []experiments.CellSpec{
+			{Workload: "Tomcat", Predictor: "64k", Warmup: 1_000, Measure: 10_000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Stream(ctx, st.ID, true, func(service.StreamEvent) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	promRaw, err := cl.MetricsText(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := telemetry.ParsePrometheus(promRaw)
+	if err != nil {
+		t.Fatalf("/metrics: %v\n%s", err, promRaw)
+	}
+	if v, ok := doc.Value("service_jobs_completed"); !ok || v != 1 {
+		t.Errorf("prometheus service_jobs_completed = %v (present %v)", v, ok)
+	}
+	jsonRaw, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf, err := telemetry.ReadMetricsFile(jsonRaw); err != nil || len(mf.Runs) != 1 {
+		t.Errorf("/metrics.json: %+v, %v", mf, err)
+	}
+	jobs, err := cl.DebugJobs(ctx)
+	if err != nil || len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Errorf("/debug/jobs = %+v, %v", jobs, err)
+	}
+	h, err := cl.Healthz(ctx)
+	if err != nil || h.Status != "ok" || h.Workers != 2 {
+		t.Errorf("/healthz = %+v, %v", h, err)
+	}
+
+	if c := sigterm(t, code); c != 0 {
+		t.Fatalf("exit code after drain = %d", c)
+	}
+	evRaw, err := os.ReadFile(eventsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := telemetry.ReadEvents(evRaw)
+	if err != nil {
+		t.Fatalf("event log invalid: %v\n%s", err, evRaw)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		seen[ev.Type] = true
+		if ev.TimeUnixMS == 0 {
+			t.Errorf("event %d has no timestamp: %+v", ev.Seq, ev)
+		}
+	}
+	for _, want := range []string{telemetry.EventJobSubmitted, telemetry.EventJobClaimed, telemetry.EventJobCompleted} {
+		if !seen[want] {
+			t.Errorf("event log missing %s (have %v)", want, seen)
+		}
+	}
+	trRaw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traceEvents []map[string]any
+	if err := json.Unmarshal(trRaw, &traceEvents); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	var sawJob bool
+	for _, ev := range traceEvents {
+		if name, _ := ev["name"].(string); strings.HasPrefix(name, "job ") {
+			sawJob = true
+		}
+	}
+	if !sawJob {
+		t.Errorf("trace has no job span among %d events", len(traceEvents))
 	}
 }

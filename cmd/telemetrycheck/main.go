@@ -1,12 +1,17 @@
 // Command telemetrycheck validates telemetry artifacts in CI: that a
 // -metrics JSON snapshot parses against the llbp-metrics schema and
-// contains required counters and series, and that a trace-event file is
-// valid Chrome trace JSON. It exists so the workflow needs no external
-// JSON tooling.
+// contains required counters and series, that a -prom Prometheus text
+// exposition parses back with required counter families, that an
+// -events llbp-events/1 NDJSON log is well-formed (contiguous seq,
+// known types) and carries required event types, and that a trace-event
+// file is valid Chrome trace JSON. It exists so the workflow needs no
+// external JSON tooling.
 //
 // Usage:
 //
 //	telemetrycheck -metrics m.json -require pb_hits,prefetch_issued -require-series mpki
+//	telemetrycheck -prom m.prom -require service_jobs_submitted
+//	telemetrycheck -events ev.ndjson -require-events job.submitted,job.completed
 //	telemetrycheck -trace t.json
 package main
 
@@ -30,15 +35,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		metricsPath = fs.String("metrics", "", "metrics snapshot to validate")
-		require     = fs.String("require", "", "comma-separated counters that must be present in some run")
+		require     = fs.String("require", "", "comma-separated counters that must be present (-metrics: in some run; -prom: as counter families)")
 		requireSer  = fs.String("require-series", "", "comma-separated series that must be present and non-empty")
+		promPath    = fs.String("prom", "", "Prometheus text exposition to validate")
+		eventsPath  = fs.String("events", "", "llbp-events/1 NDJSON log to validate")
+		requireEv   = fs.String("require-events", "", "comma-separated event types that must appear in -events")
 		tracePath   = fs.String("trace", "", "trace-event file to validate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *metricsPath == "" && *tracePath == "" {
-		fmt.Fprintln(stderr, "telemetrycheck: pass -metrics and/or -trace")
+	if *metricsPath == "" && *tracePath == "" && *promPath == "" && *eventsPath == "" {
+		fmt.Fprintln(stderr, "telemetrycheck: pass -metrics, -prom, -events and/or -trace")
 		return 2
 	}
 
@@ -48,6 +56,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "metrics OK: %s\n", *metricsPath)
+	}
+	if *promPath != "" {
+		if err := checkProm(*promPath, splitList(*require)); err != nil {
+			fmt.Fprintln(stderr, "telemetrycheck:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "prometheus OK: %s\n", *promPath)
+	}
+	if *eventsPath != "" {
+		n, err := checkEvents(*eventsPath, splitList(*requireEv))
+		if err != nil {
+			fmt.Fprintln(stderr, "telemetrycheck:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "events OK: %s (%d events)\n", *eventsPath, n)
 	}
 	if *tracePath != "" {
 		n, err := checkTrace(*tracePath)
@@ -109,6 +132,52 @@ func checkMetrics(path string, counters, series []string) error {
 		}
 	}
 	return nil
+}
+
+// checkProm validates the Prometheus text exposition round-trip and
+// that every required name is declared as a counter family.
+func checkProm(path string, counters []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := telemetry.ParsePrometheus(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, name := range counters {
+		if doc.Types[name] != "counter" {
+			return fmt.Errorf("%s: required counter family %q missing (declared %q)", path, name, doc.Types[name])
+		}
+		if _, ok := doc.Value(name); !ok {
+			return fmt.Errorf("%s: counter family %q declared but has no sample", path, name)
+		}
+	}
+	return nil
+}
+
+// checkEvents validates the llbp-events/1 log (header schema, known
+// types, contiguous seq) and that every required event type appears,
+// returning the event count.
+func checkEvents(path string, types []string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	events, err := telemetry.ReadEvents(data)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	seen := make(map[string]bool, len(events))
+	for _, ev := range events {
+		seen[ev.Type] = true
+	}
+	for _, typ := range types {
+		if !seen[typ] {
+			return 0, fmt.Errorf("%s: required event type %q never emitted", path, typ)
+		}
+	}
+	return len(events), nil
 }
 
 // checkTrace validates that the file is a JSON array of trace events with

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llbp/internal/telemetry"
+)
+
+// check invokes the CLI and returns exit code + stderr.
+func check(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeProm renders a registry's snapshot to a .prom file.
+func writeProm(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckProm(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("service_jobs_submitted").Inc()
+	reg.Gauge("service_queue_depth").Set(1)
+	path := writeProm(t, reg)
+
+	if code, _, errb := check(t, "-prom", path, "-require", "service_jobs_submitted"); code != 0 {
+		t.Errorf("valid prom rejected: code %d, %s", code, errb)
+	}
+	// A gauge does not satisfy a counter requirement.
+	if code, _, _ := check(t, "-prom", path, "-require", "service_queue_depth"); code != 1 {
+		t.Errorf("gauge satisfied -require counter: code %d", code)
+	}
+	if code, _, _ := check(t, "-prom", path, "-require", "no_such_counter"); code != 1 {
+		t.Errorf("missing counter accepted: code %d", code)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.prom")
+	os.WriteFile(bad, []byte("orphan 3\n"), 0o644)
+	if code, _, _ := check(t, "-prom", bad); code != 1 {
+		t.Errorf("undeclared sample accepted: code %d", code)
+	}
+}
+
+func TestCheckEvents(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "events.ndjson")
+	log, err := telemetry.CreateEventLog(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Emit(telemetry.Event{Type: telemetry.EventJobSubmitted, Job: "job-a"})
+	log.Emit(telemetry.Event{Type: telemetry.EventJobClaimed, Job: "job-a", Worker: "worker-0"})
+	log.Emit(telemetry.Event{Type: telemetry.EventJobCompleted, Job: "job-a", State: "done"})
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, errb := check(t, "-events", good, "-require-events", "job.submitted,job.completed")
+	if code != 0 {
+		t.Errorf("valid events rejected: code %d, %s", code, errb)
+	}
+	if !strings.Contains(out, "events OK") || !strings.Contains(out, "(3 events)") {
+		t.Errorf("stdout = %q", out)
+	}
+	if code, _, _ := check(t, "-events", good, "-require-events", "lease.fenced"); code != 1 {
+		t.Errorf("missing event type accepted: code %d", code)
+	}
+
+	torn := filepath.Join(dir, "torn.ndjson")
+	os.WriteFile(torn, []byte(`{"schema":"llbp-events/1"}`+"\n"+`{"seq":2,"type":"job.submitted"}`+"\n"), 0o644)
+	if code, _, _ := check(t, "-events", torn); code != 1 {
+		t.Errorf("seq gap accepted: code %d", code)
+	}
+}
+
+func TestCheckUsage(t *testing.T) {
+	if code, _, _ := check(t); code != 2 {
+		t.Errorf("no flags: code %d, want 2", code)
+	}
+	if code, _, _ := check(t, "-events", "/no/such/file"); code != 1 {
+		t.Errorf("unreadable file: code %d, want 1", code)
+	}
+}

@@ -10,6 +10,8 @@ import (
 // TestTelemetrySafe covers field access, composite-literal construction
 // and name-scheme findings in a consumer package, and the negative case:
 // the telemetry package itself is exempt (it must touch its own fields).
+// The service/hotpath fixture exercises the service-scope hot-path rules
+// (allocation-free update arguments, no update under a held lock).
 func TestTelemetrySafe(t *testing.T) {
-	analysistest.Run(t, "testdata", lint.TelemetrySafe, "app", "telemetry")
+	analysistest.Run(t, "testdata", lint.TelemetrySafe, "app", "telemetry", "service/hotpath")
 }

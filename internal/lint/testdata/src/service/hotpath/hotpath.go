@@ -1,0 +1,94 @@
+// Package hotpath is the telemetrysafe service-scope fixture: its
+// import path carries a "service" segment, so the hot-path rules apply —
+// instrument update arguments must not allocate, and updates must not
+// run while a lock acquired in the same function is held.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+
+	"telemetry"
+)
+
+// Good shows the intended shape: updates with precomputed scalar
+// arguments, outside any critical section.
+func Good(reg *telemetry.Registry, n int) {
+	c := reg.Counter("cells_total")
+	c.Inc()
+	c.Add(uint64(n))
+	reg.Gauge("queue_depth").Set(uint64(n + 1))
+}
+
+// AllocInArgs exercises the allocation findings inside update arguments.
+func AllocInArgs(reg *telemetry.Registry, id string, xs []int) {
+	c := reg.Counter("cells_total")
+	g := reg.Gauge("queue_depth")
+
+	c.Add(uint64(len(fmt.Sprintf("%s", id))))      // want `telemetry update argument calls fmt\.Sprintf in Add`
+	c.Add(uint64(len(make([]int, len(xs)))))       // want `telemetry update argument allocates \(make in Add\)`
+	c.Add(uint64(len(append(xs, 1))))              // want `telemetry update argument allocates \(append in Add\)`
+	c.Add(uint64(len([]int{1, 2})))                // want `telemetry update argument allocates \(composite literal in Add\)`
+	g.Set(uint64(len(id + "-suffix")))             // want `telemetry update argument allocates \(string concatenation in Set\)`
+	g.Set(uint64(func() int { return len(xs) }())) // want `telemetry update argument allocates \(closure in Set\)`
+}
+
+// UnderLock exercises the lock-tracking rule: the first update runs
+// inside the critical section, the second after Unlock.
+func UnderLock(reg *telemetry.Registry, mu *sync.Mutex) {
+	c := reg.Counter("cells_total")
+	mu.Lock()
+	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+	mu.Unlock()
+	c.Inc()
+}
+
+// ReadLocked: RLock counts as holding the lock too.
+func ReadLocked(reg *telemetry.Registry, mu *sync.RWMutex, depth int) {
+	g := reg.Gauge("queue_depth")
+	mu.RLock()
+	g.Set(uint64(depth)) // want `telemetry update Set while holding mu\.Lock\(\)`
+	mu.RUnlock()
+	g.Set(uint64(depth))
+}
+
+// BranchUnlock shows the per-branch held-set copy: an early Unlock in a
+// branch clears the lock for that branch only, and the fall-through path
+// is clean only after its own Unlock.
+func BranchUnlock(reg *telemetry.Registry, mu *sync.Mutex, shed bool) {
+	c := reg.Counter("cells_total")
+	mu.Lock()
+	if shed {
+		mu.Unlock()
+		c.Inc()
+		return
+	}
+	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+	mu.Unlock()
+	c.Inc()
+}
+
+// DeferredUnlock: a deferred Unlock does not clear the lock — the update
+// still executes inside the critical section.
+func DeferredUnlock(reg *telemetry.Registry, mu *sync.Mutex) {
+	c := reg.Counter("cells_total")
+	mu.Lock()
+	defer mu.Unlock()
+	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+}
+
+// ClosureScope: a FuncLit is its own lock scope — the surrounding Lock
+// is invisible to it (it may run later, on another goroutine), and its
+// own locks are tracked independently.
+func ClosureScope(reg *telemetry.Registry, mu *sync.Mutex) func() {
+	c := reg.Counter("cells_total")
+	mu.Lock()
+	fn := func() {
+		c.Inc()
+		mu.Lock()
+		c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+		mu.Unlock()
+	}
+	mu.Unlock()
+	return fn
+}

@@ -17,6 +17,14 @@ func (c *Counter) Inc() {
 	c.V++
 }
 
+// Add accumulates a delta.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.V += n
+}
+
 // Value reads the field — fine here.
 func (c *Counter) Value() uint64 {
 	if c == nil {

@@ -1,0 +1,175 @@
+package service
+
+// Exact-accounting chaos test: every observability counter and event
+// must match the injected failure script exactly — not "at least one
+// fence" but precisely as many as the scenario causes. This is the
+// contract the operator view depends on: a fence count that drifts from
+// reality (double-counted stand-downs, phantom requeues) makes the
+// telemetry useless for diagnosing real incidents.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"llbp/internal/chaos"
+	"llbp/internal/experiments"
+	"llbp/internal/telemetry"
+)
+
+// TestChaosCountersExact scripts two failures against two single-cell
+// jobs on one worker — a panic at the first cell pickup, a stall at the
+// third — and asserts the counters and the event log agree with the
+// script to the digit:
+//
+//	dispatch 1: job1 claimed, chaos panic     → panics=1, no fence
+//	reap:       lease aged out                → reclaimed=1, requeued=1
+//	dispatch 2: job1 claimed, runs, done      → completed=1
+//	dispatch 3: job2 claimed, chaos stall     → lease held, no progress
+//	reap:       lease aged out                → reclaimed=2, requeued=2
+//	            stalled dispatch stands down  → fences=1 (exactly one)
+//	dispatch 4: job2 claimed, runs, done      → completed=2
+func TestChaosCountersExact(t *testing.T) {
+	clock := newFakeClock()
+	stub := newStubRunner()
+	reg := telemetry.NewRegistry()
+	inj := chaos.New(
+		chaos.Rule{Hook: chaos.WorkerPanic, At: 1},
+		chaos.Rule{Hook: chaos.WorkerStall, At: 2},
+	)
+	eventsPath := filepath.Join(t.TempDir(), "events.ndjson")
+	events, err := telemetry.CreateEventLog(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{
+		Runner:             stub,
+		Workers:            1,
+		LeaseTTL:           time.Minute,
+		SupervisorInterval: time.Hour, // ticker parked; the test reaps by hand
+		Now:                clock.Now,
+		Chaos:              inj,
+		Registry:           reg,
+		Events:             events,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Kill()
+
+	counter := func(name string) uint64 { return reg.Snapshot().Counters[name] }
+	waitCounter := func(name string, want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for counter(name) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d, want %d", name, counter(name), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Dispatch 1: the claim lands, then chaos kills the worker at cell
+	// pickup. The lease is now orphaned.
+	job1, _, err := s.Submit(JobRequest{Schema: JobSchema, Cells: []experiments.CellSpec{testCell(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCounter("service_worker_panics", 1)
+	clock.Advance(2 * time.Minute)
+	s.reapLeases()
+	if got := counter("service_leases_reclaimed"); got != 1 {
+		t.Fatalf("service_leases_reclaimed after panic reap = %d, want 1", got)
+	}
+
+	// Dispatch 2: the surviving worker re-claims job1 and completes it.
+	waitStart(t, stub)
+	stub.release <- struct{}{}
+	waitState(t, s, job1.ID, StateDone)
+
+	// Dispatch 3: job2's pickup is the WorkerStall hook's second consult
+	// — the worker wedges holding the lease. Wait for the firing (the
+	// claim precedes the hook), then age the lease and reap.
+	job2, _, err := s.Submit(JobRequest{Schema: JobSchema, Cells: []experiments.CellSpec{testCell(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for inj.Count(chaos.WorkerStall) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("chaos stall never consulted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	clock.Advance(2 * time.Minute)
+	s.reapLeases()
+	if got := counter("service_leases_reclaimed"); got != 2 {
+		t.Fatalf("service_leases_reclaimed after stall reap = %d, want 2", got)
+	}
+
+	// Dispatch 4: job2 re-claimed and completed; the stood-down stall
+	// dispatch must have accounted exactly one fence by then.
+	waitStart(t, stub)
+	stub.release <- struct{}{}
+	waitState(t, s, job2.ID, StateDone)
+	waitCounter("service_epoch_fences", 1)
+
+	// Counters vs the injection script, exactly.
+	var panicFirings, stallFirings uint64
+	for _, f := range inj.Firings() {
+		switch f.Hook {
+		case chaos.WorkerPanic:
+			panicFirings++
+		case chaos.WorkerStall:
+			stallFirings++
+		}
+	}
+	for name, want := range map[string]uint64{
+		"service_worker_panics":    panicFirings, // == 1
+		"service_epoch_fences":     stallFirings, // == 1: the stall's stand-down, nothing else
+		"service_leases_reclaimed": panicFirings + stallFirings,
+		"service_jobs_requeued":    panicFirings + stallFirings,
+		"service_jobs_submitted":   2,
+		"service_jobs_completed":   2,
+		"service_jobs_failed":      0,
+	} {
+		if got := counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if panicFirings != 1 || stallFirings != 1 {
+		t.Fatalf("firings = %d panics, %d stalls; the script fired unexpectedly", panicFirings, stallFirings)
+	}
+
+	// The event log tells the same story, record for record.
+	s.Kill()
+	if err := events.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := telemetry.ReadEvents(raw)
+	if err != nil {
+		t.Fatalf("event log invalid: %v", err)
+	}
+	byType := map[string]int{}
+	for _, ev := range evs {
+		byType[ev.Type]++
+	}
+	for typ, want := range map[string]int{
+		telemetry.EventJobSubmitted: 2,
+		telemetry.EventJobClaimed:   4, // dispatches 1-4 each claimed
+		telemetry.EventJobRequeued:  2,
+		telemetry.EventLeaseFenced:  1,
+		telemetry.EventJobCompleted: 2,
+		telemetry.EventJobShed:      0,
+	} {
+		if byType[typ] != want {
+			t.Errorf("event log has %d %s records, want %d (all: %v)", byType[typ], typ, want, byType)
+		}
+	}
+}

@@ -352,15 +352,26 @@ func (c *Client) streamOnce(ctx context.Context, id string, follow bool, from ui
 	return sawDone, advanced, nil
 }
 
-// Metrics fetches the daemon's /metrics document (llbp-metrics/1 JSON).
+// Metrics fetches the daemon's /metrics.json document (llbp-metrics/1
+// JSON). For the Prometheus text surface use MetricsText.
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	return c.fetchRaw(ctx, "/metrics.json", "metrics")
+}
+
+// MetricsText fetches the daemon's /metrics endpoint (Prometheus text
+// exposition).
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	return c.fetchRaw(ctx, "/metrics", "metrics")
+}
+
+func (c *Client) fetchRaw(ctx context.Context, path, what string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return nil, fmt.Errorf("llbpd: building request: %w", err)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("llbpd: fetching metrics: %w", err)
+		return nil, fmt.Errorf("llbpd: fetching %s: %w", what, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
@@ -369,9 +380,37 @@ func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// DebugJobs fetches /debug/jobs: every job's lease/epoch diagnostics.
+func (c *Client) DebugJobs(ctx context.Context) ([]service.DebugJob, error) {
+	var out []service.DebugJob
+	if err := c.do(ctx, http.MethodGet, "/debug/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Health probes /healthz; nil means the daemon is up and accepting.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Healthz fetches the full /healthz body. Unlike Health it decodes the
+// status document even on a 503 (a draining daemon still reports).
+func (c *Client) Healthz(ctx context.Context) (service.HealthStatus, error) {
+	var h service.HealthStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return h, fmt.Errorf("llbpd: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, fmt.Errorf("llbpd: fetching healthz: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return h, fmt.Errorf("llbpd: decoding healthz: %w", err)
+	}
+	return h, nil
 }
 
 // RunCell computes one cell on the daemon: submit (waiting out

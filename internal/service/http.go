@@ -25,7 +25,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /debug/jobs", s.handleDebugJobs)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -121,6 +123,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pos = n // Seq is 1-based position, so "after seq N" = index N
+		if pos > 0 {
+			// A resuming client: record how far behind the persisted
+			// stream it reconnected.
+			s.tel.resumes.Inc()
+			gap := jb.eventsLen() - pos
+			if gap < 0 {
+				gap = 0
+			}
+			s.tel.resumeGap.Observe(float64(gap))
+		}
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -181,10 +193,23 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics serves the telemetry registry as an llbp-metrics/1
+// handleMetricsProm serves the telemetry registry in Prometheus text
+// exposition format — the scrape surface. The JSON snapshot lives at
+// /metrics.json.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Registry == nil {
+		writeError(w, http.StatusNotFound, "telemetry disabled (no registry configured)")
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.PromContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = telemetry.WritePrometheus(w, s.opt.Registry.Snapshot())
+}
+
+// handleMetricsJSON serves the telemetry registry as an llbp-metrics/1
 // document (one run named after the daemon), the same format
 // cmd/telemetrycheck validates in CI.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	if s.opt.Registry == nil {
 		writeError(w, http.StatusNotFound, "telemetry disabled (no registry configured)")
 		return
@@ -196,22 +221,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthBody is the /healthz response.
-type healthBody struct {
-	Status   string `json:"status"`
-	Draining bool   `json:"draining"`
-	Jobs     int    `json:"jobs"`
+// handleDebugJobs dumps every job's runtime diagnostics (lease owner,
+// epoch, expiry) — the operator's view behind llbpctl top.
+func (s *Server) handleDebugJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.DebugJobs())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	n := len(s.jobs)
-	s.mu.Unlock()
-	body := healthBody{Status: "ok", Jobs: n, Draining: s.Draining()}
+	h := s.Health()
 	code := http.StatusOK
-	if body.Draining {
-		body.Status = "draining"
+	if h.Draining {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, body)
+	writeJSON(w, code, h)
 }

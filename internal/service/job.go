@@ -15,8 +15,11 @@
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/jobs/{id}/results stream JSON-lines StreamEvents
 //	                             (?follow=1 waits for new events)
-//	GET    /metrics              llbp-metrics/1 registry snapshot
-//	GET    /healthz              liveness + drain state
+//	GET    /metrics              Prometheus text exposition of the registry
+//	GET    /metrics.json         llbp-metrics/1 registry snapshot
+//	GET    /debug/jobs           per-job lease/epoch diagnostics
+//	GET    /healthz              readiness: ok / degraded (expired leases) /
+//	                             draining (503)
 //
 // Job identity is deterministic: the ID is a hash of the canonical cell
 // keys, so resubmitting the same sweep — from any client, before or

@@ -37,6 +37,11 @@ type job struct {
 	state     State
 	epoch     uint64 // dispatch generation; bumped by every claim
 	lease     lease  // current owner, zero when unowned
+	// submittedAt and claimedAt feed the claim-latency and job-duration
+	// histograms (submittedAt is the admission time — resume time for
+	// restarted jobs; claimedAt is the latest dispatch's claim time).
+	submittedAt time.Time
+	claimedAt   time.Time
 	events    []StreamEvent // persisted "cell" + "done" events; Seq = index+1
 	doneCells map[int]bool  // cell indices already evented (dedup across re-dispatch)
 	completed int
@@ -118,8 +123,32 @@ func (jb *job) claim(owner string, now time.Time, ttl time.Duration) (uint64, co
 	runCtx, runCancel := context.WithCancel(jb.ctx)
 	jb.lease = lease{owner: owner, expires: now.Add(ttl), runCancel: runCancel}
 	jb.state = StateRunning
+	jb.claimedAt = now
 	jb.wake()
 	return jb.epoch, runCtx, true
+}
+
+// markSubmitted stamps the admission time (feeds claim latency and job
+// duration).
+func (jb *job) markSubmitted(now time.Time) {
+	jb.mu.Lock()
+	jb.submittedAt = now
+	jb.mu.Unlock()
+}
+
+// times returns the admission and latest-claim timestamps.
+func (jb *job) times() (submitted, claimed time.Time) {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return jb.submittedAt, jb.claimedAt
+}
+
+// eventsLen returns the persisted event count (the resume-gap metric's
+// input).
+func (jb *job) eventsLen() int {
+	jb.mu.Lock()
+	defer jb.mu.Unlock()
+	return len(jb.events)
 }
 
 // heartbeat extends the lease when epoch still owns the job, reporting

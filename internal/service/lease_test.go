@@ -150,7 +150,7 @@ func (r *stubRunner) RunCell(ctx context.Context, spec experiments.CellSpec) (*e
 	}
 }
 
-func waitStart(t *testing.T, r *stubRunner) string {
+func waitStart(t testing.TB, r *stubRunner) string {
 	t.Helper()
 	select {
 	case key := <-r.started:
@@ -161,7 +161,7 @@ func waitStart(t *testing.T, r *stubRunner) string {
 	}
 }
 
-func waitState(t *testing.T, s *Server, id string, want State) {
+func waitState(t testing.TB, s *Server, id string, want State) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; the
+// overhead timing tests skip under it (instrumented timings are
+// meaningless as a cost bound).
+const raceEnabled = true

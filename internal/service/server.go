@@ -80,6 +80,14 @@ type Options struct {
 	// Registry, when non-nil, receives service metrics and backs the
 	// /metrics endpoint.
 	Registry *telemetry.Registry
+	// Events, when non-nil, receives one llbp-events/1 record per job
+	// lifecycle transition (submitted/claimed/lease-renewed/fenced/
+	// requeued/shed/completed). Nil costs nothing.
+	Events *telemetry.EventLog
+	// Tracer, when non-nil, receives per-job and per-cell lifecycle
+	// spans on the PidService track (one tid per worker). Nil costs
+	// nothing.
+	Tracer *telemetry.Tracer
 	// JobLogPath, when non-empty, is the job-state journal: submitted
 	// jobs and their terminal states are appended (fsynced per record),
 	// and New re-enqueues every non-terminal job found there. Pair it
@@ -128,11 +136,20 @@ type serviceTel struct {
 	cellsOK     *telemetry.Counter
 	cellsErr    *telemetry.Counter
 	reclaimed   *telemetry.Counter
+	requeued    *telemetry.Counter
+	epochFences *telemetry.Counter
+	resumes     *telemetry.Counter
 	workerPanic *telemetry.Counter
 	slowClients *telemetry.Counter
 	chaosDrops  *telemetry.Counter
 	queueDepth  *telemetry.Gauge
 	running     *telemetry.Gauge
+	staleness   *telemetry.Gauge
+	claimLat    *telemetry.Histogram
+	jobDur      *telemetry.Histogram
+	cellDur     *telemetry.Histogram
+	resumeGap   *telemetry.Histogram
+	submitDepth *telemetry.Histogram
 }
 
 // loggedJob is the job-log record format: enough to resume (the request)
@@ -191,11 +208,20 @@ func New(opt Options) (*Server, error) {
 		cellsOK:     reg.Counter("service_cells_completed"),
 		cellsErr:    reg.Counter("service_cells_failed"),
 		reclaimed:   reg.Counter("service_leases_reclaimed"),
+		requeued:    reg.Counter("service_jobs_requeued"),
+		epochFences: reg.Counter("service_epoch_fences"),
+		resumes:     reg.Counter("service_stream_resumes"),
 		workerPanic: reg.Counter("service_worker_panics"),
 		slowClients: reg.Counter("service_streams_slow_client"),
 		chaosDrops:  reg.Counter("service_streams_chaos_dropped"),
 		queueDepth:  reg.Gauge("service_queue_depth"),
 		running:     reg.Gauge("service_jobs_running"),
+		staleness:   reg.Gauge("service_heartbeat_staleness_ms"),
+		claimLat:    reg.Histogram("service_claim_latency_ms", telemetry.ExponentialBuckets(1, 4, 8)),
+		jobDur:      reg.Histogram("service_job_duration_ms", telemetry.ExponentialBuckets(1, 4, 10)),
+		cellDur:     reg.Histogram("service_cell_duration_ms", telemetry.ExponentialBuckets(1, 4, 10)),
+		resumeGap:   reg.Histogram("service_stream_resume_gap_events", telemetry.ExponentialBuckets(1, 2, 8)),
+		submitDepth: reg.Histogram("service_submit_queue_depth", telemetry.LinearBuckets(0, 4, 9)),
 	}
 
 	var resumable []*job
@@ -244,7 +270,9 @@ func New(opt Options) (*Server, error) {
 		s.mu.Lock()
 		s.tenants[jb.req.Tenant]++
 		s.mu.Unlock()
+		jb.markSubmitted(s.now())
 		s.tel.resumed.Inc()
+		s.event(telemetry.EventJobRequeued, jb.id, jb.req.Tenant, "", 0, "restart_resume")
 		s.logf("job %s resumed (%d cells)", jb.id, len(jb.req.Cells))
 	}
 	s.setQueueDepth()
@@ -255,10 +283,14 @@ func New(opt Options) (*Server, error) {
 func (s *Server) Start() {
 	for i := 0; i < s.opt.Workers; i++ {
 		name := fmt.Sprintf("worker-%d", i)
+		tid := i + 1 // tracer thread on the PidService track
+		if s.opt.Tracer != nil {
+			s.opt.Tracer.ThreadName(telemetry.PidService, tid, name)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.worker(name)
+			s.worker(tid, name)
 		}()
 	}
 	s.wg.Add(1)
@@ -287,6 +319,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
 	if s.draining.Load() {
 		return JobStatus{}, false, ErrDraining
 	}
+	s.tel.submitDepth.Observe(float64(len(s.requeue) + len(s.high) + len(s.normal)))
 	id := JobID(req.Cells)
 
 	s.mu.Lock()
@@ -298,6 +331,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
 	if s.opt.TenantQuota > 0 && s.tenants[req.Tenant] >= s.opt.TenantQuota {
 		s.mu.Unlock()
 		s.tel.shedTenant.Inc()
+		s.event(telemetry.EventJobShed, id, req.Tenant, "", 0, "tenant_quota")
 		return JobStatus{}, false, ErrTenantQuota
 	}
 	jb := newJob(s.base, id, req)
@@ -317,13 +351,16 @@ func (s *Server) Submit(req JobRequest) (JobStatus, bool, error) {
 		s.tenants[req.Tenant]--
 		s.mu.Unlock()
 		s.tel.rejected.Inc()
+		s.event(telemetry.EventJobShed, id, req.Tenant, "", 0, "queue_full")
 		return JobStatus{}, false, ErrQueueFull
 	}
 	s.setQueueDepth()
+	jb.markSubmitted(s.now())
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging submit: %v", id, err)
 	}
 	s.tel.submitted.Inc()
+	s.event(telemetry.EventJobSubmitted, id, req.Tenant, "", 0, laneName(req.Priority))
 	s.logf("job %s submitted (%d cells, tenant %q, %s lane)", id, len(req.Cells), req.Tenant, laneName(req.Priority))
 	return jb.status(), true, nil
 }
@@ -470,7 +507,7 @@ func (s *Server) nextJob() (*job, bool) {
 // supervision: a panicking dispatch (chaos-injected or real) is
 // contained, the worker survives to serve the next job, and the
 // abandoned job's lease expires into a supervisor re-dispatch.
-func (s *Server) worker(name string) {
+func (s *Server) worker(tid int, name string) {
 	for {
 		jb, ok := s.nextJob()
 		if !ok {
@@ -483,16 +520,21 @@ func (s *Server) worker(name string) {
 		if s.draining.Load() || s.base.Err() != nil {
 			continue // leave for resume
 		}
-		epoch, runCtx, ok := jb.claim(name, s.now(), s.opt.LeaseTTL)
+		now := s.now()
+		epoch, runCtx, ok := jb.claim(name, now, s.opt.LeaseTTL)
 		if !ok {
 			continue // raced with cancel or a live lease
 		}
-		s.superviseJob(jb, name, epoch, runCtx)
+		if submitted, _ := jb.times(); !submitted.IsZero() {
+			s.tel.claimLat.Observe(durMS(now.Sub(submitted)))
+		}
+		s.event(telemetry.EventJobClaimed, jb.id, jb.req.Tenant, name, epoch, "")
+		s.superviseJob(jb, name, tid, epoch, runCtx)
 	}
 }
 
 // superviseJob is the per-job panic boundary of a worker.
-func (s *Server) superviseJob(jb *job, name string, epoch uint64, runCtx context.Context) {
+func (s *Server) superviseJob(jb *job, name string, tid int, epoch uint64, runCtx context.Context) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			// The worker goroutine survives; the job keeps its (now
@@ -503,7 +545,7 @@ func (s *Server) superviseJob(jb *job, name string, epoch uint64, runCtx context
 			s.logf("job %s: %s panicked: %v (lease will expire and re-dispatch)", jb.id, name, rec)
 		}
 	}()
-	s.runJob(jb, epoch, runCtx)
+	s.runJob(jb, name, tid, epoch, runCtx)
 }
 
 // runCellFenced executes one cell, retrying (bounded) when the result is
@@ -528,11 +570,15 @@ func (s *Server) runCellFenced(runCtx context.Context, cell experiments.CellSpec
 // superseded dispatch (lease reclaimed) silently stands down. Shutdown
 // mid-job leaves the job non-terminal (resumable); user cancellation,
 // cell failures and clean completion finalize it.
-func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
+func (s *Server) runJob(jb *job, name string, tid int, epoch uint64, runCtx context.Context) {
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging start: %v", jb.id, err)
 	}
 	s.logf("job %s running (epoch %d)", jb.id, epoch)
+	var jobT0 float64
+	if s.opt.Tracer != nil {
+		jobT0 = s.opt.Tracer.Since()
+	}
 	s.tel.running.Set(float64(s.countRunning()))
 	defer func() { s.tel.running.Set(float64(s.countRunning())) }()
 
@@ -553,13 +599,22 @@ func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
 		if s.opt.Chaos.Fire(chaos.WorkerStall) {
 			s.logf("job %s: chaos stall at cell %d; holding lease without progress", jb.id, i)
 			<-runCtx.Done() // wedged until the supervisor revokes the lease
-			return
+			break           // fall through to stand-down accounting
 		}
 		key := cell.Key()
+		var cellT0 float64
+		if s.opt.Tracer != nil {
+			cellT0 = s.opt.Tracer.Since()
+		}
+		cellStart := s.now()
 		s.trackCell(key, jb)
 		out, err := s.runCellFenced(runCtx, cell)
 		s.untrackCell(key, jb)
-		jb.heartbeat(epoch, s.now(), s.opt.LeaseTTL)
+		s.tel.cellDur.Observe(durMS(s.now().Sub(cellStart)))
+		s.span(tid, "cell "+key, cellT0, map[string]any{"job": jb.id, "index": i})
+		if jb.heartbeat(epoch, s.now(), s.opt.LeaseTTL) {
+			s.event(telemetry.EventLeaseRenewed, jb.id, jb.req.Tenant, name, epoch, "")
+		}
 		if err != nil {
 			if runCtx.Err() != nil {
 				break // aborted mid-cell: no event, cell re-runs on resume
@@ -586,7 +641,10 @@ func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
 	if runCtx.Err() != nil && jb.ctx.Err() == nil {
 		// Only this dispatch was cancelled: the supervisor reclaimed the
 		// lease and the job is already back in the requeue lane. Stand
-		// down without touching it.
+		// down without touching it. This is the epoch fence closing —
+		// exactly one fence per superseded dispatch is accounted here.
+		s.tel.epochFences.Inc()
+		s.event(telemetry.EventLeaseFenced, jb.id, jb.req.Tenant, name, epoch, "superseded")
 		s.logf("job %s: dispatch epoch %d superseded; standing down", jb.id, epoch)
 		return
 	}
@@ -610,7 +668,10 @@ func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
 		final = StateDone
 	}
 	if !jb.finishEpoch(epoch, final) {
-		return // superseded at the finish line; the new owner decides
+		// Superseded at the finish line; the new owner decides.
+		s.tel.epochFences.Inc()
+		s.event(telemetry.EventLeaseFenced, jb.id, jb.req.Tenant, name, epoch, "finish")
+		return
 	}
 	switch final {
 	case StateCancelled:
@@ -624,6 +685,15 @@ func (s *Server) runJob(jb *job, epoch uint64, runCtx context.Context) {
 	if err := s.logJob(jb); err != nil {
 		s.logf("job %s: logging finish: %v", jb.id, err)
 	}
+	submitted, _ := jb.times()
+	dur := s.now().Sub(submitted)
+	if !submitted.IsZero() {
+		s.tel.jobDur.Observe(durMS(dur))
+	}
+	s.eventCompleted(jb, name, epoch, final, dur)
+	s.span(tid, "job "+jb.id, jobT0, map[string]any{
+		"state": string(final), "completed": st.Completed, "failed": st.Failed,
+	})
 	s.logf("job %s %s (%d ok, %d failed)", jb.id, final, st.Completed, st.Failed)
 }
 
@@ -656,21 +726,34 @@ func (s *Server) reapLeases() {
 	}
 	s.mu.Unlock()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].id < jobs[k].id })
+	// maxStale tracks the oldest last-heartbeat age across still-owned
+	// leases — the worker-liveness gauge. A lease expiring at E under TTL T
+	// was last renewed at E-T, so its staleness is now-(E-T).
+	var maxStale time.Duration
 	for _, jb := range jobs {
 		owner, revoked := jb.revokeIfExpired(now)
-		if !revoked {
+		if revoked {
+			s.tel.reclaimed.Inc()
+			s.logf("job %s: lease of %s expired; re-dispatching", jb.id, owner)
+			select {
+			case s.requeue <- jb:
+			case <-s.drainCh:
+				// Draining: the job is already journaled non-terminal, so a
+				// restart resumes it.
+				return
+			}
+			jb.markSubmitted(now) // claim latency restarts at re-admission
+			s.tel.requeued.Inc()
+			s.event(telemetry.EventJobRequeued, jb.id, jb.req.Tenant, owner, 0, "lease_expired")
 			continue
 		}
-		s.tel.reclaimed.Inc()
-		s.logf("job %s: lease of %s expired; re-dispatching", jb.id, owner)
-		select {
-		case s.requeue <- jb:
-		case <-s.drainCh:
-			// Draining: the job is already journaled non-terminal, so a
-			// restart resumes it.
-			return
+		if liveOwner, _, expires := jb.leaseInfo(); liveOwner != "" {
+			if stale := now.Sub(expires.Add(-s.opt.LeaseTTL)); stale > maxStale {
+				maxStale = stale
+			}
 		}
 	}
+	s.tel.staleness.Set(durMS(maxStale))
 }
 
 // countRunning counts non-terminal jobs past the queue.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -425,7 +426,7 @@ func TestMetricsAndHealthz(t *testing.T) {
 
 	scrape := func() telemetry.Snapshot {
 		t.Helper()
-		resp, err := http.Get(hs.URL + "/metrics")
+		resp, err := http.Get(hs.URL + "/metrics.json")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -449,6 +450,27 @@ func TestMetricsAndHealthz(t *testing.T) {
 	}
 	if m2.Counters["service_jobs_submitted"] != 1 || m2.Counters["service_jobs_completed"] != 1 {
 		t.Errorf("service counters = %v", m2.Counters)
+	}
+
+	// The Prometheus surface must parse back and carry the same counters.
+	promResp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promRaw, err := io.ReadAll(promResp.Body)
+	promResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := promResp.Header.Get("Content-Type"); ct != telemetry.PromContentType {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	doc, err := telemetry.ParsePrometheus(promRaw)
+	if err != nil {
+		t.Fatalf("/metrics not parseable: %v\n%s", err, promRaw)
+	}
+	if v, ok := doc.Value("service_jobs_completed"); !ok || v != 1 {
+		t.Errorf("prometheus service_jobs_completed = %v (present %v), want 1", v, ok)
 	}
 
 	resp, err := http.Get(hs.URL + "/healthz")

@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// EventsSchema identifies the structured NDJSON event-log format: one
+// header line {"schema":"llbp-events/1"} followed by one Event per line.
+const EventsSchema = "llbp-events/1"
+
+// The service lifecycle event vocabulary. cmd/telemetrycheck validates
+// against these names, so emitters must not invent ad-hoc types.
+const (
+	EventJobSubmitted = "job.submitted"
+	EventJobClaimed   = "job.claimed"
+	EventLeaseRenewed = "lease.renewed"
+	EventLeaseFenced  = "lease.fenced"
+	EventJobRequeued  = "job.requeued"
+	EventJobShed      = "job.shed"
+	EventJobCompleted = "job.completed"
+)
+
+// KnownEventTypes returns the canonical event vocabulary, in lifecycle
+// order.
+func KnownEventTypes() []string {
+	return []string{
+		EventJobSubmitted, EventJobClaimed, EventLeaseRenewed,
+		EventLeaseFenced, EventJobRequeued, EventJobShed, EventJobCompleted,
+	}
+}
+
+// Event is one llbp-events/1 NDJSON line. Field order is fixed by this
+// struct declaration and encoding/json preserves it, so emitted lines are
+// deterministic given deterministic contents — the event-log counterpart
+// of the snapshot determinism contract.
+type Event struct {
+	// Seq is the log-wide 1-based sequence number, assigned by the
+	// EventLog under the same lock that writes the line: file order and
+	// Seq order always agree, even across concurrent emitters.
+	Seq uint64 `json:"seq"`
+	// TimeUnixMS stamps the event when the log has a clock (SetClock);
+	// deterministic producers leave the clock unset and the field absent.
+	TimeUnixMS int64 `json:"time_unix_ms,omitempty"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Job, Tenant, Worker and Epoch identify what the event happened to
+	// and which dispatch did it.
+	Job    string `json:"job,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	Worker string `json:"worker,omitempty"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+	// State carries the terminal state on job.completed events.
+	State string `json:"state,omitempty"`
+	// DurationMS carries the submit-to-terminal duration on
+	// job.completed events.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Detail disambiguates within a type (admission lane, shed reason,
+	// fence site).
+	Detail string `json:"detail,omitempty"`
+}
+
+// eventHeader is the first line of every event log.
+type eventHeader struct {
+	Schema string `json:"schema"`
+}
+
+// EventLog is an append-only structured event sink. A nil *EventLog is
+// the disabled log — Emit on nil is a no-op — so emitters never test for
+// enablement. Emit is safe for concurrent use; sequence numbers are
+// assigned under the write lock, so the file's line order is the Seq
+// order.
+type EventLog struct {
+	mu        sync.Mutex
+	w         *bufio.Writer
+	c         io.Closer
+	seq       uint64
+	err       error
+	header    bool
+	nowMillis func() int64
+}
+
+// NewEventLog starts an event log writing to w. The llbp-events/1 header
+// line is written lazily with the first event.
+func NewEventLog(w io.Writer) *EventLog {
+	l := &EventLog{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// CreateEventLog creates (truncating) an event-log file at path. Each
+// daemon run owns one fresh log, so sequence numbers always start at 1.
+func CreateEventLog(path string) (*EventLog, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: creating event log: %w", err)
+	}
+	return NewEventLog(f), nil
+}
+
+// SetClock gives the log a wall-clock source (Unix milliseconds) used to
+// stamp events. Leave it unset for byte-deterministic logs. Nil logs
+// ignore the call.
+func (l *EventLog) SetClock(nowMillis func() int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.nowMillis = nowMillis
+	l.mu.Unlock()
+}
+
+// Emit appends one event, assigning its sequence number and timestamp.
+// Events are flushed line-by-line so the log is tailable and a crash
+// loses at most the event being written. Emit on a nil or failed log is
+// a no-op (the first error latches, observable via Err).
+func (l *EventLog) Emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil || l.w == nil {
+		return
+	}
+	if !l.header {
+		hdr, _ := json.Marshal(eventHeader{Schema: EventsSchema})
+		if _, l.err = l.w.Write(append(hdr, '\n')); l.err != nil {
+			return
+		}
+		l.header = true
+	}
+	l.seq++
+	ev.Seq = l.seq
+	if l.nowMillis != nil {
+		ev.TimeUnixMS = l.nowMillis()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		l.err = err
+		return
+	}
+	if _, l.err = l.w.Write(append(line, '\n')); l.err != nil {
+		return
+	}
+	l.err = l.w.Flush()
+}
+
+// Seq returns the sequence number of the last emitted event (0 for a nil
+// or empty log).
+func (l *EventLog) Seq() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Err returns the first write or encoding error, if any.
+func (l *EventLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// Close flushes and closes the log (closing the underlying file when the
+// log owns one). Nil logs close cleanly.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if ferr := l.w.Flush(); l.err == nil {
+			l.err = ferr
+		}
+		l.w = nil
+	}
+	if l.c != nil {
+		if cerr := l.c.Close(); l.err == nil {
+			l.err = cerr
+		}
+		l.c = nil
+	}
+	return l.err
+}
+
+// ReadEvents parses an llbp-events/1 document, validating the header,
+// that every event carries a known type, and that sequence numbers are
+// exactly 1..N in file order — the invariant concurrent emitters must
+// not break. It is the reader side used by cmd/telemetrycheck and tests.
+func ReadEvents(data []byte) ([]Event, error) {
+	lines := bytes.Split(data, []byte("\n"))
+	if len(lines) == 0 || len(bytes.TrimSpace(lines[0])) == 0 {
+		return nil, fmt.Errorf("telemetry: event log is empty (no header)")
+	}
+	var hdr eventHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return nil, fmt.Errorf("telemetry: event log header: %w", err)
+	}
+	if hdr.Schema != EventsSchema {
+		return nil, fmt.Errorf("telemetry: event schema %q, want %q", hdr.Schema, EventsSchema)
+	}
+	known := map[string]bool{}
+	for _, t := range KnownEventTypes() {
+		known[t] = true
+	}
+	var events []Event
+	for i, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: event line %d: %w", i+2, err)
+		}
+		if !known[ev.Type] {
+			return nil, fmt.Errorf("telemetry: event line %d: unknown type %q", i+2, ev.Type)
+		}
+		if want := uint64(len(events) + 1); ev.Seq != want {
+			return nil, fmt.Errorf("telemetry: event line %d: seq %d, want %d (sequence must be contiguous from 1)", i+2, ev.Seq, want)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}

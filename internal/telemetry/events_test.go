@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventFieldOrder pins the NDJSON field order: downstream line
+// tooling (and the determinism contract) depend on a fixed layout, so a
+// struct reordering must fail loudly here.
+func TestEventFieldOrder(t *testing.T) {
+	raw, err := json.Marshal(Event{
+		Seq: 3, TimeUnixMS: 99, Type: EventJobCompleted,
+		Job: "job-1", Tenant: "acme", Worker: "worker-0", Epoch: 2,
+		State: "done", DurationMS: 1.5, Detail: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"seq":3,"time_unix_ms":99,"type":"job.completed",` +
+		`"job":"job-1","tenant":"acme","worker":"worker-0","epoch":2,` +
+		`"state":"done","duration_ms":1.5,"detail":"x"}`
+	if string(raw) != want {
+		t.Errorf("field order changed:\n got %s\nwant %s", raw, want)
+	}
+}
+
+// TestEventLogRoundTrip emits the full vocabulary and reads it back.
+func TestEventLogRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewEventLog(&buf)
+	log.SetClock(func() int64 { return 1234 })
+	for _, typ := range KnownEventTypes() {
+		log.Emit(Event{Type: typ, Job: "job-a", Tenant: "t"})
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(buf.Bytes())
+	if err != nil {
+		t.Fatalf("read-back failed: %v\n%s", err, buf.String())
+	}
+	if len(events) != len(KnownEventTypes()) {
+		t.Fatalf("got %d events, want %d", len(events), len(KnownEventTypes()))
+	}
+	for i, ev := range events {
+		if ev.Type != KnownEventTypes()[i] || ev.Seq != uint64(i+1) || ev.TimeUnixMS != 1234 {
+			t.Errorf("event %d = %+v", i, ev)
+		}
+	}
+}
+
+// TestEventLogSeqUnderConcurrency is the snapshot-determinism regression
+// test for the event log: N goroutines emit concurrently, and the file
+// must still carry seq exactly 1..total in line order — the EventLog
+// assigns seq under the same lock that writes the line, so no
+// interleaving can reorder them.
+func TestEventLogSeqUnderConcurrency(t *testing.T) {
+	var buf lockedBuffer
+	log := NewEventLog(&buf)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				log.Emit(Event{Type: EventLeaseRenewed, Job: fmt.Sprintf("job-%d", g)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(buf.Bytes())
+	if err != nil {
+		t.Fatalf("concurrent emission broke the log: %v", err)
+	}
+	if len(events) != goroutines*perG {
+		t.Fatalf("got %d events, want %d", len(events), goroutines*perG)
+	}
+	// ReadEvents already enforces seq == line index + 1; double-check the
+	// last one to make the invariant explicit here.
+	if last := events[len(events)-1].Seq; last != goroutines*perG {
+		t.Errorf("last seq = %d, want %d", last, goroutines*perG)
+	}
+}
+
+// lockedBuffer makes bytes.Buffer safe for the concurrent flushes Emit
+// performs.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Bytes()
+}
+
+// TestEventLogDeterministicWithoutClock checks two identical emission
+// sequences produce byte-identical files when no clock is set.
+func TestEventLogDeterministicWithoutClock(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		log := NewEventLog(&buf)
+		log.Emit(Event{Type: EventJobSubmitted, Job: "job-a", Tenant: "acme", Detail: "normal"})
+		log.Emit(Event{Type: EventJobClaimed, Job: "job-a", Worker: "worker-0", Epoch: 1})
+		log.Emit(Event{Type: EventJobCompleted, Job: "job-a", State: "done"})
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Errorf("identical emissions rendered differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestEventLogNilSafety: a nil log must absorb every call.
+func TestEventLogNilSafety(t *testing.T) {
+	var log *EventLog
+	log.SetClock(func() int64 { return 1 })
+	log.Emit(Event{Type: EventJobSubmitted})
+	if log.Seq() != 0 || log.Err() != nil || log.Close() != nil {
+		t.Error("nil EventLog is not a clean no-op")
+	}
+}
+
+// TestReadEventsRejects covers the validator's failure modes.
+func TestReadEventsRejects(t *testing.T) {
+	hdr := `{"schema":"llbp-events/1"}` + "\n"
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     `{"schema":"llbp-events/9"}` + "\n",
+		"unknown type":   hdr + `{"seq":1,"type":"job.exploded"}` + "\n",
+		"seq gap":        hdr + `{"seq":1,"type":"job.submitted"}` + "\n" + `{"seq":3,"type":"job.claimed"}` + "\n",
+		"seq not 1":      hdr + `{"seq":2,"type":"job.submitted"}` + "\n",
+		"malformed line": hdr + "{not json}\n",
+	}
+	for name, text := range cases {
+		if _, err := ReadEvents([]byte(text)); err == nil {
+			t.Errorf("%s: accepted %q", name, strings.TrimSpace(text))
+		}
+	}
+}

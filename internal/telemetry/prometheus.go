@@ -1,0 +1,301 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format this encoder emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4). Output is deterministic: metric
+// families are sorted by name and floats use the shortest round-trip
+// formatting, so two snapshots with equal state render byte-identically.
+//
+// Mapping:
+//   - counters render as counter families (integer values);
+//   - gauges render as gauge families;
+//   - histograms render Prometheus-style: cumulative "_bucket" samples
+//     with an le label per bound plus le="+Inf", then "_sum" and
+//     "_count" (the internal representation is per-bucket, so the
+//     encoder accumulates);
+//   - series have no Prometheus equivalent and render as two gauges,
+//     "<name>_points" (point count) and "<name>_last" (latest value),
+//     enough for dashboards to track liveness and level.
+//
+// Snapshot Seq and TimeUnixMS travel as "# llbp seq"/"# llbp time_unix_ms"
+// comments, which Prometheus scrapers ignore and ParsePrometheus recovers.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	bw := bufio.NewWriter(w)
+	if snap.Seq > 0 {
+		fmt.Fprintf(bw, "# llbp seq %d\n", snap.Seq)
+	}
+	if snap.TimeUnixMS > 0 {
+		fmt.Fprintf(bw, "# llbp time_unix_ms %d\n", snap.TimeUnixMS)
+	}
+	for _, name := range sortedKeys(snap.Counters) {
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		cum := uint64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", name, h.Count)
+	}
+	for _, name := range sortedKeys(snap.Series) {
+		s := snap.Series[name]
+		fmt.Fprintf(bw, "# TYPE %s_points gauge\n%s_points %d\n", name, name, len(s.Points))
+		if len(s.Points) > 0 {
+			fmt.Fprintf(bw, "# TYPE %s_last gauge\n%s_last %s\n", name, name, promFloat(s.Points[len(s.Points)-1]))
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// promFloat formats a float the shortest way that round-trips, matching
+// what ParsePrometheus reads back.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed sample line of a Prometheus text document.
+type PromSample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// suffix.
+	Name string
+	// Labels holds the sample's label set ({le="0.5"} → {"le": "0.5"}).
+	Labels map[string]string
+	Value  float64
+}
+
+// PromDoc is a parsed Prometheus text document: the declared family
+// types plus every sample, in file order.
+type PromDoc struct {
+	// Types maps family name → declared type ("counter", "gauge",
+	// "histogram").
+	Types map[string]string
+	// Samples lists every sample line in order.
+	Samples []PromSample
+	// Seq and TimeUnixMS are recovered from the llbp comment lines when
+	// present (0 otherwise).
+	Seq        uint64
+	TimeUnixMS int64
+}
+
+// Value returns the label-less sample with the given name.
+func (d *PromDoc) Value(name string) (float64, bool) {
+	for _, s := range d.Samples {
+		if s.Name == name && len(s.Labels) == 0 {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Buckets returns a histogram family's cumulative bucket counts keyed by
+// le label, in file order.
+func (d *PromDoc) Buckets(family string) []PromSample {
+	var out []PromSample
+	for _, s := range d.Samples {
+		if s.Name == family+"_bucket" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ParsePrometheus parses a Prometheus text exposition document and
+// validates the invariants WritePrometheus guarantees: every sample
+// belongs to a declared family, histogram buckets are cumulative
+// (non-decreasing) ending in an le="+Inf" bucket that equals the
+// family's _count sample, and no family is declared twice. It is the
+// parse-back half of the round-trip cmd/telemetrycheck verifies in CI.
+func ParsePrometheus(data []byte) (*PromDoc, error) {
+	doc := &PromDoc{Types: map[string]string{}}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parsePromComment(doc, line); err != nil {
+				return nil, fmt.Errorf("telemetry: prometheus line %d: %w", ln+1, err)
+			}
+			continue
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: prometheus line %d: %w", ln+1, err)
+		}
+		doc.Samples = append(doc.Samples, sample)
+	}
+	if err := validateProm(doc); err != nil {
+		return nil, fmt.Errorf("telemetry: prometheus: %w", err)
+	}
+	return doc, nil
+}
+
+func parsePromComment(doc *PromDoc, line string) error {
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) >= 4 && fields[1] == "TYPE":
+		name, typ := fields[2], fields[3]
+		if typ != "counter" && typ != "gauge" && typ != "histogram" {
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if _, dup := doc.Types[name]; dup {
+			return fmt.Errorf("family %s declared twice", name)
+		}
+		doc.Types[name] = typ
+	case len(fields) == 4 && fields[1] == "llbp" && fields[2] == "seq":
+		v, err := strconv.ParseUint(fields[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad llbp seq comment: %v", err)
+		}
+		doc.Seq = v
+	case len(fields) == 4 && fields[1] == "llbp" && fields[2] == "time_unix_ms":
+		v, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad llbp time_unix_ms comment: %v", err)
+		}
+		doc.TimeUnixMS = v
+	}
+	return nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	s := PromSample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("sample %q has an unterminated label set", line)
+		}
+		s.Labels = map[string]string{}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok {
+				return s, fmt.Errorf("sample %q has a malformed label %q", line, pair)
+			}
+			unq, err := strconv.Unquote(v)
+			if err != nil {
+				return s, fmt.Errorf("sample %q label %s: %v", line, k, err)
+			}
+			s.Labels[k] = unq
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := parsePromValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %q value: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// family strips the histogram sample suffixes off a sample name when its
+// base has a declared histogram type.
+func (d *PromDoc) family(sample string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suffix)
+		if base != sample && d.Types[base] == "histogram" {
+			return base
+		}
+	}
+	return sample
+}
+
+func validateProm(doc *PromDoc) error {
+	for _, s := range doc.Samples {
+		if _, ok := doc.Types[doc.family(s.Name)]; !ok {
+			return fmt.Errorf("sample %s has no # TYPE declaration", s.Name)
+		}
+	}
+	for name, typ := range doc.Types {
+		if typ != "histogram" {
+			continue
+		}
+		buckets := doc.Buckets(name)
+		if len(buckets) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", name)
+		}
+		prev := -1.0
+		var cum float64
+		for i, b := range buckets {
+			le, err := parsePromValue(b.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", name, b.Labels["le"])
+			}
+			if le <= prev {
+				return fmt.Errorf("histogram %s: le bounds not ascending", name)
+			}
+			prev = le
+			if b.Value < cum {
+				return fmt.Errorf("histogram %s: bucket counts not cumulative", name)
+			}
+			cum = b.Value
+			if i == len(buckets)-1 && !math.IsInf(le, 1) {
+				return fmt.Errorf("histogram %s: last bucket is not le=\"+Inf\"", name)
+			}
+		}
+		count, ok := doc.Value(name + "_count")
+		if !ok {
+			return fmt.Errorf("histogram %s: missing _count", name)
+		}
+		if count != buckets[len(buckets)-1].Value {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", name, count, buckets[len(buckets)-1].Value)
+		}
+		if _, ok := doc.Value(name + "_sum"); !ok {
+			return fmt.Errorf("histogram %s: missing _sum", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func promFixture() *Registry {
+	reg := NewRegistry()
+	reg.Counter("service_jobs_submitted").Add(7)
+	reg.Counter("harness_cells_run").Add(3)
+	reg.Gauge("service_queue_depth").Set(2.5)
+	h := reg.Histogram("service_claim_latency_ms", []float64{1, 10, 100})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(5000)
+	reg.Series("mpki", 1000).Append(4.2)
+	reg.Series("mpki", 1000).Append(3.9)
+	return reg
+}
+
+// TestPrometheusRoundTrip encodes a snapshot, parses it back, and checks
+// every value survived — the parse-back contract telemetrycheck's -prom
+// gate relies on.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := promFixture()
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParsePrometheus(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse-back failed: %v\n%s", err, buf.String())
+	}
+	if doc.Seq != snap.Seq {
+		t.Errorf("Seq = %d, want %d", doc.Seq, snap.Seq)
+	}
+	for name, want := range snap.Counters {
+		if got, ok := doc.Value(name); !ok || got != float64(want) {
+			t.Errorf("counter %s = %v (present %v), want %d", name, got, ok, want)
+		}
+		if doc.Types[name] != "counter" {
+			t.Errorf("counter %s declared as %q", name, doc.Types[name])
+		}
+	}
+	if got, _ := doc.Value("service_queue_depth"); got != 2.5 {
+		t.Errorf("gauge = %v, want 2.5", got)
+	}
+	buckets := doc.Buckets("service_claim_latency_ms")
+	if len(buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4 (3 bounds + +Inf)", len(buckets))
+	}
+	// Cumulative: le=1 → 1 obs (0.5), le=10 → 2, le=100 → 2, +Inf → 3.
+	wantCum := []float64{1, 2, 2, 3}
+	for i, b := range buckets {
+		if b.Value != wantCum[i] {
+			t.Errorf("bucket %d (le=%s) = %g, want %g", i, b.Labels["le"], b.Value, wantCum[i])
+		}
+	}
+	if !math.IsInf(mustParseLe(t, buckets[3].Labels["le"]), 1) {
+		t.Errorf("last bucket le = %q, want +Inf", buckets[3].Labels["le"])
+	}
+	if got, _ := doc.Value("service_claim_latency_ms_count"); got != 3 {
+		t.Errorf("_count = %v, want 3", got)
+	}
+	if got, _ := doc.Value("service_claim_latency_ms_sum"); got != 5005.5 {
+		t.Errorf("_sum = %v, want 5005.5", got)
+	}
+	if got, _ := doc.Value("mpki_points"); got != 2 {
+		t.Errorf("mpki_points = %v, want 2", got)
+	}
+	if got, _ := doc.Value("mpki_last"); got != 3.9 {
+		t.Errorf("mpki_last = %v, want 3.9", got)
+	}
+}
+
+func mustParseLe(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := parsePromValue(s)
+	if err != nil {
+		t.Fatalf("le %q: %v", s, err)
+	}
+	return v
+}
+
+// TestPrometheusDeterministic renders the same state twice and demands
+// byte-identical output (family ordering must not leak map order).
+func TestPrometheusDeterministic(t *testing.T) {
+	render := func() string {
+		reg := promFixture()
+		snap := reg.Snapshot()
+		snap.Seq = 1 // normalize: Snapshot bumps per call
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, snap); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("two renders of equal state differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+}
+
+// TestParsePrometheusRejectsBadDocuments covers the validation the CI
+// gate depends on: undeclared samples, non-cumulative buckets, count
+// mismatches, bad values.
+func TestParsePrometheusRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"undeclared sample":  "orphan 3\n",
+		"duplicate family":   "# TYPE a counter\n# TYPE a counter\na 1\n",
+		"bad type":           "# TYPE a summary\na 1\n",
+		"bad value":          "# TYPE a counter\na one\n",
+		"unterminated label": "# TYPE h histogram\nh_bucket{le=\"1\" 2\nh_sum 1\nh_count 2\n",
+		"non-cumulative buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"descending bounds": "# TYPE h histogram\n" +
+			"h_bucket{le=\"10\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParsePrometheus([]byte(text)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, text)
+		}
+	}
+}
+
+// TestPrometheusEmptySnapshot checks the degenerate render stays valid.
+func TestPrometheusEmptySnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, Snapshot{Counters: map[string]uint64{}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParsePrometheus(buf.Bytes()); err != nil {
+		t.Fatalf("empty document did not parse back: %v", err)
+	}
+	if strings.Contains(buf.String(), "seq") {
+		t.Errorf("zero Seq leaked into output:\n%s", buf.String())
+	}
+}

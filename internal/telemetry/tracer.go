@@ -35,6 +35,10 @@ const (
 	// PidHarness is the process track for wall-clock events (ts =
 	// microseconds since NewTracer).
 	PidHarness = 2
+	// PidService is the process track for llbpd job-lifecycle spans
+	// (wall clock, ts = microseconds since NewTracer; tid = worker
+	// index + 1).
+	PidService = 3
 )
 
 // NewTracer starts a tracer writing to w. Call Close to terminate the

@@ -25,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"llbp/internal/core"
@@ -46,10 +47,61 @@ type Doc struct {
 	GOARCH   string `json:"goarch"`
 	Workload string `json:"workload"`
 	Branches uint64 `json:"branches_per_iter"`
+	// Machine identifies the hardware and runtime that produced the
+	// measurement. Branches/s is a property of (code, machine), not of
+	// the code alone: the BENCH_5→BENCH_6 trajectory recorded -26..-37%
+	// "regressions" that were really a slower CI machine, which is why
+	// comparisons now carry this block and warn when it changes.
+	Machine *Machine `json:"machine,omitempty"`
 	// BaselineFile names the document this run was compared against
 	// (set by -compare).
-	BaselineFile string   `json:"baseline_file,omitempty"`
+	BaselineFile string `json:"baseline_file,omitempty"`
+	// TolerancePct is the -tolerance the comparison was gated with, so a
+	// recorded verdict can be interpreted without knowing the CI flags
+	// of the day.
+	TolerancePct float64  `json:"tolerance_pct,omitempty"`
 	Results      []Result `json:"results"`
+}
+
+// Machine is the measurement environment fingerprint.
+type Machine struct {
+	CPUModel   string `json:"cpu_model,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// currentMachine fingerprints the running host. Best-effort: fields the
+// platform cannot provide stay empty.
+func currentMachine() *Machine {
+	m := &Machine{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if host, err := os.Hostname(); err == nil {
+		m.Hostname = host
+	}
+	m.CPUModel = cpuModel()
+	return m
+}
+
+// cpuModel extracts the first "model name" from /proc/cpuinfo (Linux
+// only; empty elsewhere).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, val, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(val)
+			}
+		}
+	}
+	return ""
 }
 
 // Result is one predictor family's measured replay rate, plus — when the
@@ -65,6 +117,11 @@ type Result struct {
 	// DeltaPct is 100 * (new - baseline) / baseline; negative means a
 	// regression.
 	DeltaPct float64 `json:"delta_pct,omitempty"`
+	// Verdict records how the comparison gate judged this family:
+	// "ok" (within tolerance), "regression" (beyond it), or
+	// "no-baseline" (family absent from the baseline document). Empty
+	// when the run was not a -compare.
+	Verdict string `json:"verdict,omitempty"`
 }
 
 // families mirrors BenchmarkReplayThroughput's predictor set; the
@@ -170,11 +227,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// compareDocs annotates doc's results with baseline rates and deltas,
-// returning the families that regressed beyond tol percent. Families
-// missing from the baseline are warned about and skipped (a newly added
-// family has no trajectory yet).
+// compareDocs annotates doc's results with baseline rates, deltas, and
+// per-family verdicts under tol percent, returning the families that
+// regressed beyond it. Families missing from the baseline are warned
+// about and skipped (a newly added family has no trajectory yet). A
+// baseline measured on a different machine is called out: the delta
+// then measures the machines, not the code.
 func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
+	doc.TolerancePct = tol
+	if bm, m := baseline.Machine, doc.Machine; bm != nil && m != nil && bm.CPUModel != m.CPUModel {
+		fmt.Fprintf(stderr, "benchreplay: baseline %s was measured on %q, this run on %q; deltas compare machines as much as code\n",
+			doc.BaselineFile, bm.CPUModel, m.CPUModel)
+	}
 	base := make(map[string]float64, len(baseline.Results))
 	for _, r := range baseline.Results {
 		base[r.Family] = r.BranchesPerSc
@@ -184,16 +248,19 @@ func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
 		r := &doc.Results[i]
 		b, ok := base[r.Family]
 		if !ok || b <= 0 {
+			r.Verdict = "no-baseline"
 			fmt.Fprintf(stderr, "benchreplay: family %q absent from baseline %s; skipping\n", r.Family, doc.BaselineFile)
 			continue
 		}
 		r.BaselineBranchesPerSec = b
 		r.DeltaPct = 100 * (r.BranchesPerSc - b) / b
-		fmt.Fprintf(stderr, "%-10s %+7.1f%% vs baseline (%12.0f -> %12.0f branches/s)\n",
-			r.Family, r.DeltaPct, b, r.BranchesPerSc)
+		r.Verdict = "ok"
 		if r.DeltaPct < -tol {
+			r.Verdict = "regression"
 			regressions = append(regressions, fmt.Sprintf("%s %.1f%%", r.Family, r.DeltaPct))
 		}
+		fmt.Fprintf(stderr, "%-10s %+7.1f%% vs baseline (%12.0f -> %12.0f branches/s) [%s, tolerance %.1f%%]\n",
+			r.Family, r.DeltaPct, b, r.BranchesPerSc, r.Verdict, tol)
 	}
 	return regressions
 }
@@ -217,6 +284,7 @@ func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, 
 		GOARCH:   runtime.GOARCH,
 		Workload: wlName,
 		Branches: branches,
+		Machine:  currentMachine(),
 	}
 	for _, fam := range families {
 		var runErr error

@@ -35,6 +35,15 @@ func TestMeasureAndCheck(t *testing.T) {
 		if r.BranchesPerSc <= 0 {
 			t.Errorf("family %s measured %v branches/s", r.Family, r.BranchesPerSc)
 		}
+		if r.Verdict != "" {
+			t.Errorf("family %s has verdict %q without -compare", r.Family, r.Verdict)
+		}
+	}
+	if doc.Machine == nil {
+		t.Fatal("document missing the machine fingerprint")
+	}
+	if doc.Machine.NumCPU <= 0 || doc.Machine.GOMAXPROCS <= 0 || doc.Machine.GoVersion == "" {
+		t.Errorf("machine fingerprint incomplete: %+v", doc.Machine)
 	}
 
 	stdout.Reset()
@@ -136,9 +145,15 @@ func TestComparePass(t *testing.T) {
 	if doc.BaselineFile != baseline {
 		t.Errorf("baseline_file = %q, want %q", doc.BaselineFile, baseline)
 	}
+	if doc.TolerancePct != 5.0 {
+		t.Errorf("tolerance_pct = %v, want the default 5.0", doc.TolerancePct)
+	}
 	for _, r := range doc.Results {
 		if r.BaselineBranchesPerSec != 1 || r.DeltaPct <= 0 {
 			t.Errorf("family %s: baseline %v delta %v", r.Family, r.BaselineBranchesPerSec, r.DeltaPct)
+		}
+		if r.Verdict != "ok" {
+			t.Errorf("family %s: verdict %q, want \"ok\"", r.Family, r.Verdict)
 		}
 	}
 }
@@ -169,6 +184,9 @@ func TestCompareRegressionFails(t *testing.T) {
 	for _, r := range doc.Results {
 		if r.DeltaPct >= 0 {
 			t.Errorf("family %s: delta %v, want negative", r.Family, r.DeltaPct)
+		}
+		if r.Verdict != "regression" {
+			t.Errorf("family %s: verdict %q, want \"regression\"", r.Family, r.Verdict)
 		}
 	}
 }

@@ -1,0 +1,257 @@
+// Autofixes for the two mechanical diagnostic classes, applied as
+// textual patches so the surrounding formatting survives untouched:
+//
+//   - the determinism analyzer's map-iteration finding, rewritten from
+//     `for k := range m {` to `for _, k := range slices.Sorted(maps.Keys(m)) {`
+//     (key-only ranges only — a key/value range needs a real refactor),
+//     adding the maps/slices imports when missing;
+//   - a malformed //llbplint:allow directive, completed with a
+//     justification stub the author must fill in.
+//
+// -diff prints the patch per file in unified style; -fix writes it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// keyRangeRE matches a key-only map range header on one line.
+var keyRangeRE = regexp.MustCompile(`^(\s*)for\s+([A-Za-z_][A-Za-z0-9_]*)\s*:=\s*range\s+([^{]+?)\s*\{(.*)$`)
+
+// fileFix is the set of line edits planned for one file.
+type fileFix struct {
+	path     string   // absolute
+	rel      string   // as reported in diagnostics
+	lines    []string // file content, 1-based via index+1
+	replaced map[int]string
+	imports  []string // import paths to add
+}
+
+// runFixes plans and (apply=true) writes the autofixes for the fixable
+// findings, or prints the patch. Returns the process exit code.
+func runFixes(absDir string, all []jsonDiagnostic, apply bool, stdout, stderr io.Writer) int {
+	fixes := map[string]*fileFix{}
+	get := func(rel string) (*fileFix, error) {
+		if f, ok := fixes[rel]; ok {
+			return f, nil
+		}
+		path := rel
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(absDir, filepath.FromSlash(rel))
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f := &fileFix{
+			path:     path,
+			rel:      rel,
+			lines:    strings.Split(string(data), "\n"),
+			replaced: map[int]string{},
+		}
+		fixes[rel] = f
+		return f, nil
+	}
+
+	planned, skipped := 0, 0
+	for _, d := range all {
+		switch {
+		case d.Analyzer == "determinism" && strings.Contains(d.Message, "map iteration order"):
+			f, err := get(d.File)
+			if err != nil {
+				fmt.Fprintln(stderr, "llbplint:", err)
+				return 2
+			}
+			if f.fixMapRange(d.Line) {
+				planned++
+			} else {
+				skipped++
+				fmt.Fprintf(stderr, "llbplint: %s:%d: not auto-fixable (only `for k := range m` rewrites mechanically)\n", d.File, d.Line)
+			}
+		case d.Analyzer == "directive" && strings.Contains(d.Message, "missing justification"):
+			f, err := get(d.File)
+			if err != nil {
+				fmt.Fprintln(stderr, "llbplint:", err)
+				return 2
+			}
+			if f.fixDirectiveStub(d.Line) {
+				planned++
+			} else {
+				skipped++
+			}
+		}
+	}
+	if planned == 0 {
+		fmt.Fprintf(stderr, "llbplint: no auto-fixable findings (%d skipped)\n", skipped)
+		return 0
+	}
+
+	rels := make([]string, 0, len(fixes))
+	for rel := range fixes {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		f := fixes[rel]
+		if len(f.replaced) == 0 && len(f.imports) == 0 {
+			continue
+		}
+		if apply {
+			if err := os.WriteFile(f.path, []byte(strings.Join(f.render(), "\n")), 0o644); err != nil {
+				fmt.Fprintln(stderr, "llbplint:", err)
+				return 2
+			}
+		} else {
+			f.printDiff(stdout)
+		}
+	}
+	if apply {
+		fmt.Fprintf(stderr, "llbplint: fixed %d site(s) in %d file(s); re-run llbplint to verify\n", planned, len(rels))
+	}
+	return 0
+}
+
+// fixMapRange rewrites a key-only map range header at line (1-based) to
+// iterate sorted keys, scheduling the maps/slices imports.
+func (f *fileFix) fixMapRange(line int) bool {
+	if line < 1 || line > len(f.lines) {
+		return false
+	}
+	src := f.lines[line-1]
+	m := keyRangeRE.FindStringSubmatch(src)
+	if m == nil {
+		return false
+	}
+	indent, key, operand, rest := m[1], m[2], m[3], m[4]
+	if strings.Contains(operand, ",") {
+		return false // multi-assign or something odd: leave to a human
+	}
+	f.replaced[line] = fmt.Sprintf("%sfor _, %s := range slices.Sorted(maps.Keys(%s)) {%s", indent, key, operand, rest)
+	f.needImport("maps")
+	f.needImport("slices")
+	return true
+}
+
+// fixDirectiveStub completes an unjustified allow directive with a
+// to-be-filled stub.
+func (f *fileFix) fixDirectiveStub(line int) bool {
+	if line < 1 || line > len(f.lines) {
+		return false
+	}
+	src := f.lines[line-1]
+	idx := strings.Index(src, "//llbplint:allow")
+	if idx < 0 || strings.Contains(src[idx:], "--") {
+		return false
+	}
+	f.replaced[line] = strings.TrimRight(src, " \t") + " -- TODO: justify this suppression"
+	return true
+}
+
+func (f *fileFix) needImport(path string) {
+	quoted := `"` + path + `"`
+	for _, l := range f.lines {
+		if strings.TrimSpace(l) == quoted || strings.HasSuffix(strings.TrimSpace(l), " "+quoted) {
+			return // already imported (possibly aliased)
+		}
+	}
+	for _, p := range f.imports {
+		if p == path {
+			return
+		}
+	}
+	f.imports = append(f.imports, path)
+}
+
+// render applies the planned replacements, then inserts any missing
+// imports into the first parenthesized import block (created from a
+// single-import line if needed), keeping the block sorted.
+func (f *fileFix) render() []string {
+	out := make([]string, len(f.lines))
+	copy(out, f.lines)
+	for line, text := range f.replaced {
+		out[line-1] = text
+	}
+	if len(f.imports) == 0 {
+		return out
+	}
+	sort.Strings(f.imports)
+	for i, l := range out {
+		trimmed := strings.TrimSpace(l)
+		if trimmed == "import (" {
+			// Insert each path at its sorted position within the block.
+			block := out[:i+1]
+			rest := out[i+1:]
+			var ins []string
+			for _, p := range f.imports {
+				ins = append(ins, "\t\""+p+"\"")
+			}
+			merged := append(append([]string{}, block...), append(ins, rest...)...)
+			sortImportBlock(merged, i+1)
+			return merged
+		}
+		if strings.HasPrefix(trimmed, "import \"") {
+			// Turn `import "x"` into a block with the additions.
+			var b []string
+			b = append(b, out[:i]...)
+			b = append(b, "import (")
+			paths := append([]string{strings.TrimPrefix(trimmed, "import ")}, nil...)
+			for _, p := range f.imports {
+				paths = append(paths, "\""+p+"\"")
+			}
+			sort.Strings(paths)
+			for _, p := range paths {
+				b = append(b, "\t"+p)
+			}
+			b = append(b, ")")
+			b = append(b, out[i+1:]...)
+			return b
+		}
+	}
+	return out
+}
+
+// sortImportBlock sorts the quoted import lines of the block starting
+// at index start until the closing paren.
+func sortImportBlock(lines []string, start int) {
+	end := start
+	for end < len(lines) && strings.TrimSpace(lines[end]) != ")" {
+		end++
+	}
+	seg := lines[start:end]
+	sortable := true
+	for _, l := range seg {
+		t := strings.TrimSpace(l)
+		if t == "" || strings.HasPrefix(t, "//") {
+			sortable = false // grouped imports: do not reshuffle groups
+			break
+		}
+	}
+	if sortable {
+		sort.Strings(seg)
+	}
+}
+
+// printDiff emits a minimal unified-style patch for the planned edits.
+func (f *fileFix) printDiff(w io.Writer) {
+	fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", f.rel, f.rel)
+	lines := make([]int, 0, len(f.replaced))
+	for l := range f.replaced {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	for _, l := range lines {
+		fmt.Fprintf(w, "@@ -%d +%d @@\n-%s\n+%s\n", l, l, f.lines[l-1], f.replaced[l])
+	}
+	if len(f.imports) > 0 {
+		fmt.Fprintf(w, "@@ imports @@\n")
+		for _, p := range f.imports {
+			fmt.Fprintf(w, "+\t%q\n", p)
+		}
+	}
+}

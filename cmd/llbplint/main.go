@@ -1,10 +1,11 @@
 // Command llbplint runs the repository's custom static-analysis suite
-// (internal/lint) over Go packages and fails on any diagnostic. It is a
-// tier-1 CI gate alongside go vet.
+// (internal/lint) over Go packages and fails on any new diagnostic. It
+// is a tier-1 CI gate alongside go vet.
 //
 // Usage:
 //
-//	llbplint [-C dir] [-json] [-<analyzer>=false ...] [packages]
+//	llbplint [-C dir] [-json] [-baseline file] [-write-baseline]
+//	         [-fix | -diff] [-<analyzer>=false ...] [packages]
 //
 // Packages default to ./... . Each analyzer has a disable flag named
 // after it (e.g. -determinism=false). Findings that are intentional are
@@ -12,16 +13,34 @@
 //
 //	//llbplint:allow <analyzer> -- <reason>
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+// A justified directive that no longer suppresses anything is itself a
+// finding (dead-allow detection): stale suppressions rot into false
+// documentation, so the driver fails until they are deleted.
+//
+// Grandfathered findings live in the committed baseline file (default
+// lint.baseline, resolved relative to -C): findings whose
+// file+analyzer+message appear there are reported as grandfathered and
+// do not fail the run; anything new does. -write-baseline regenerates
+// the file from the current findings.
+//
+// -fix applies the two mechanical autofixes in place (sorted-key map
+// range rewrite, missing-justification stub); -diff prints the same
+// patch without writing.
+//
+// Exit status: 0 clean (or baseline-covered), 1 new findings, 2 usage
+// or load failure.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"llbp/internal/lint"
 	"llbp/internal/lint/analysis"
@@ -32,6 +51,13 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonStep is one hop of a finding's evidence chain in -json output.
+type jsonStep struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Note string `json:"note"`
+}
+
 // jsonDiagnostic is the -json output record for one finding.
 type jsonDiagnostic struct {
 	File     string `json:"file"`
@@ -39,15 +65,32 @@ type jsonDiagnostic struct {
 	Column   int    `json:"column"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	// Grandfathered marks findings covered by the baseline file; they
+	// are reported but do not fail the run.
+	Grandfathered bool `json:"grandfathered,omitempty"`
+	// Path is the interprocedural evidence chain (source→sink for
+	// detflow, root→write for fencecheck, the acquisition chain for
+	// lockorder).
+	Path []jsonStep `json:"path,omitempty"`
+}
+
+// baselineKey identifies a finding across runs: file and message are
+// stable, line numbers are not.
+func baselineKey(d jsonDiagnostic) string {
+	return d.File + "\t" + d.Analyzer + "\t" + d.Message
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("llbplint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dir     = fs.String("C", ".", "change to `dir` (the module root) before loading packages")
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array")
-		listAll = fs.Bool("list", false, "list the analyzers and exit")
+		dir       = fs.String("C", ".", "change to `dir` (the module root) before loading packages")
+		jsonOut   = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		listAll   = fs.Bool("list", false, "list the analyzers and exit")
+		baseFile  = fs.String("baseline", "lint.baseline", "grandfathered-findings `file` (relative to -C; missing file means empty baseline)")
+		writeBase = fs.Bool("write-baseline", false, "rewrite the baseline file from the current findings and exit")
+		doFix     = fs.Bool("fix", false, "apply the mechanical autofixes in place")
+		doDiff    = fs.Bool("diff", false, "print the autofix patch without applying it")
 	)
 	enabled := map[string]*bool{}
 	for _, a := range lint.All() {
@@ -66,76 +109,196 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	absDir, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "llbplint:", err)
+		return 2
+	}
 
 	pkgs, err := load.Targets(*dir, patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "llbplint:", err)
 		return 2
 	}
+	if len(pkgs) == 0 {
+		return 0
+	}
+	fset := pkgs[0].Fset // load.Targets checks every package into one FileSet
 
-	var all []jsonDiagnostic
+	// One suppression index across the whole load, so program analyzers
+	// and the dead-allow check see every directive.
+	var files []*ast.File
 	for _, pkg := range pkgs {
-		sup := analysis.CollectSuppressions(pkg.Fset, pkg.Files)
-		var diags []analysis.Diagnostic
-		diags = append(diags, sup.Problems()...)
+		files = append(files, pkg.Files...)
+	}
+	sup := analysis.CollectSuppressions(fset, files)
+
+	var diags []analysis.Diagnostic
+	diags = append(diags, sup.Problems()...)
+	for _, pkg := range pkgs {
 		for _, a := range lint.All() {
-			if !*enabled[a.Name] {
+			if a.Run == nil || !*enabled[a.Name] {
 				continue
 			}
-			ds, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, sup)
+			ds, err := analysis.Run(a, fset, pkg.Files, pkg.Types, pkg.TypesInfo, sup)
 			if err != nil {
 				fmt.Fprintln(stderr, "llbplint:", err)
 				return 2
 			}
 			diags = append(diags, ds...)
 		}
-		analysis.SortDiagnostics(pkg.Fset, diags)
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
-			all = append(all, jsonDiagnostic{
-				File:     relPath(pos.Filename),
-				Line:     pos.Line,
-				Column:   pos.Column,
-				Analyzer: d.Category,
-				Message:  d.Message,
-			})
+	}
+	progPkgs := make([]*analysis.ProgramPkg, len(pkgs))
+	for i, pkg := range pkgs {
+		progPkgs[i] = &analysis.ProgramPkg{
+			Path:      pkg.ImportPath,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+	}
+	for _, a := range lint.All() {
+		if a.RunProgram == nil || !*enabled[a.Name] {
+			continue
+		}
+		ds, err := analysis.RunProgram(a, fset, progPkgs, sup)
+		if err != nil {
+			fmt.Fprintln(stderr, "llbplint:", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+	// Dead-allow detection runs after every enabled analyzer has had
+	// the chance to use each directive.
+	diags = append(diags, sup.Stale(func(name string) bool {
+		on, ok := enabled[name]
+		return ok && *on
+	})...)
+	analysis.SortDiagnostics(fset, diags)
+
+	all := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		jd := jsonDiagnostic{
+			File:     relTo(absDir, pos.Filename),
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: d.Category,
+			Message:  d.Message,
+		}
+		for _, s := range d.Path {
+			sp := fset.Position(s.Pos)
+			jd.Path = append(jd.Path, jsonStep{File: relTo(absDir, sp.Filename), Line: sp.Line, Note: s.Note})
+		}
+		all = append(all, jd)
+	}
+
+	basePath := *baseFile
+	if !filepath.IsAbs(basePath) {
+		basePath = filepath.Join(absDir, basePath)
+	}
+	if *writeBase {
+		if err := writeBaseline(basePath, all); err != nil {
+			fmt.Fprintln(stderr, "llbplint:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "llbplint: wrote %d finding(s) to %s\n", len(all), *baseFile)
+		return 0
+	}
+	if *doFix || *doDiff {
+		return runFixes(absDir, all, *doFix, stdout, stderr)
+	}
+
+	base, err := readBaseline(basePath)
+	if err != nil {
+		fmt.Fprintln(stderr, "llbplint:", err)
+		return 2
+	}
+	newCount, grandfathered := 0, 0
+	for i := range all {
+		key := baselineKey(all[i])
+		if base[key] > 0 {
+			base[key]--
+			all[i].Grandfathered = true
+			grandfathered++
+		} else {
+			newCount++
 		}
 	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if all == nil {
-			all = []jsonDiagnostic{}
-		}
 		if err := enc.Encode(all); err != nil {
 			fmt.Fprintln(stderr, "llbplint:", err)
 			return 2
 		}
 	} else {
 		for _, d := range all {
-			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+			tag := ""
+			if d.Grandfathered {
+				tag = " (grandfathered)"
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s%s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message, tag)
+			for _, s := range d.Path {
+				fmt.Fprintf(stdout, "\t%s:%d: %s\n", s.File, s.Line, s.Note)
+			}
 		}
 	}
-	if len(all) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(stderr, "llbplint: %d finding(s)\n", len(all))
-		}
+	if grandfathered > 0 {
+		fmt.Fprintf(stderr, "llbplint: %d grandfathered finding(s) tracked in %s\n", grandfathered, *baseFile)
+	}
+	if newCount > 0 {
+		fmt.Fprintf(stderr, "llbplint: %d new finding(s)\n", newCount)
 		return 1
 	}
 	return 0
 }
 
-// relPath renders a diagnostic path relative to the working directory
-// when that shortens it; absolute paths stay clickable otherwise.
-func relPath(path string) string {
-	wd, err := os.Getwd()
+// relTo renders path relative to the analysis root with forward
+// slashes, so baseline keys are stable across machines and working
+// directories.
+func relTo(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// readBaseline parses the baseline file into a key→count multiset. A
+// missing file is an empty baseline.
+func readBaseline(path string) (map[string]int, error) {
+	base := map[string]int{}
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return path
+		if os.IsNotExist(err) {
+			return base, nil
+		}
+		return nil, err
 	}
-	rel, err := filepath.Rel(wd, path)
-	if err != nil || len(rel) >= len(path) {
-		return path
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line]++
 	}
-	return rel
+	return base, nil
+}
+
+// writeBaseline renders the findings as sorted baseline lines.
+func writeBaseline(path string, all []jsonDiagnostic) error {
+	lines := make([]string, 0, len(all))
+	for _, d := range all {
+		lines = append(lines, baselineKey(d))
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	b.WriteString("# llbplint baseline: grandfathered findings (file<TAB>analyzer<TAB>message).\n")
+	b.WriteString("# Regenerate with: go run ./cmd/llbplint -write-baseline ./...\n")
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

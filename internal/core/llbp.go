@@ -423,6 +423,8 @@ func (p *Predictor) llbpPatternKey() uint64 {
 
 // Update implements predictor.Predictor (unknown target; see
 // UpdateWithTarget).
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) Update(pc uint64, taken bool) {
 	p.UpdateWithTarget(pc, pc+4, taken)
 }
@@ -430,6 +432,8 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 // UpdateWithTarget implements predictor.TargetUpdater: trains the
 // providing component, allocates longer-history patterns on provider
 // mispredictions (§V-D), and advances LLBP's history mirrors.
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 	if pc != p.lastPC {
 		assert.Failf("core: Update(%#x) without matching Predict (last %#x)", pc, p.lastPC)

@@ -137,6 +137,8 @@ func (j *Journal) SetWriteHook(fn func(line []byte) ([]byte, error)) {
 // already journaled with byte-identical value is skipped, so a resumed
 // run that re-records cells it could not prove durable (crash between
 // write and fsync) does not accumulate duplicate lines.
+//
+//llbplint:sink -- journal bytes are replayed for exactly-once resume; they must be identical across runs
 func (j *Journal) Record(key string, value any) error {
 	raw, err := json.Marshal(value)
 	if err != nil {

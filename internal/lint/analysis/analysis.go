@@ -29,18 +29,23 @@ import (
 	"strings"
 )
 
-// An Analyzer is one static check. Run inspects the package presented by
-// the Pass and reports findings via Pass.Report.
+// An Analyzer is one static check. Exactly one of Run and RunProgram is
+// set: Run inspects one package at a time, RunProgram sees every loaded
+// package at once (the interprocedural analyzers need whole-program
+// object identity to walk call graphs across package boundaries).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, disable flags and
 	// allow directives. It must be a valid identifier.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Run executes the check. Diagnostics are delivered through
-	// pass.Report; the error return is for operational failures only
-	// (it aborts the run, it does not mean "findings exist").
+	// Run executes a per-package check. Diagnostics are delivered
+	// through pass.Report; the error return is for operational failures
+	// only (it aborts the run, it does not mean "findings exist").
 	Run func(*Pass) error
+	// RunProgram executes a whole-program check over every package of a
+	// ProgramPass.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass presents one type-checked package to an analyzer.
@@ -60,13 +65,49 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// A Diagnostic is one finding at a source position.
+// A ProgramPkg is one package of a whole-program pass.
+type ProgramPkg struct {
+	Path      string
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// A ProgramPass presents every loaded package to a program analyzer.
+// The packages share one FileSet and one type-object universe: a
+// function imported by package A from package B is the same *types.Func
+// as B's own definition.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*ProgramPkg
+	Report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position. Interprocedural
+// findings carry the evidence chain in Path (source first, sink last).
 type Diagnostic struct {
 	Pos token.Pos
 	// Category is the reporting analyzer's name ("directive" for
 	// malformed suppression comments).
 	Category string
 	Message  string
+	// Path, when non-empty, is the interprocedural step chain behind
+	// the finding: for detflow the source→…→sink flow, for fencecheck
+	// the worker-root→…→write chain, for lockorder the acquisition
+	// cycle.
+	Path []PathStep
+}
+
+// A PathStep is one hop of a diagnostic's evidence chain.
+type PathStep struct {
+	Pos  token.Pos
+	Note string
 }
 
 // allowDirective is the parsed form of one //llbplint:allow comment.
@@ -76,6 +117,9 @@ type allowDirective struct {
 	file      string
 	analyzers map[string]bool
 	justified bool
+	// used records that the directive suppressed at least one diagnostic
+	// in this run — the input of the driver's dead-allow check.
+	used bool
 }
 
 const directivePrefix = "llbplint:allow"
@@ -125,18 +169,58 @@ func CollectSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 }
 
 // Allows reports whether a diagnostic from the named analyzer at pos is
-// suppressed by a justified directive on the same or the preceding line.
+// suppressed by a justified directive on the same or the preceding line,
+// marking the matching directive as used.
 func (s *Suppressions) Allows(fset *token.FileSet, name string, pos token.Pos) bool {
 	p := fset.Position(pos)
-	for _, d := range s.directives {
+	for i := range s.directives {
+		d := &s.directives[i]
 		if !d.justified || d.file != p.Filename {
 			continue
 		}
 		if (d.line == p.Line || d.line == p.Line-1) && (d.analyzers[name] || d.analyzers["all"]) {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// Stale returns one diagnostic per justified directive that suppressed
+// nothing during the run — a dead allow whose underlying finding no
+// longer fires, so the justification is rot. Directives naming only
+// analyzers for which active(name) is false are skipped (the finding may
+// fire when that analyzer is re-enabled). Call it after every analyzer
+// has run.
+func (s *Suppressions) Stale(active func(name string) bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range s.directives {
+		d := &s.directives[i]
+		if !d.justified || d.used {
+			continue
+		}
+		anyActive := d.analyzers["all"]
+		for name := range d.analyzers {
+			if name != "all" && active(name) {
+				anyActive = true
+			}
+		}
+		if !anyActive {
+			continue
+		}
+		names := make([]string, 0, len(d.analyzers))
+		for name := range d.analyzers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Category: DirectiveCategory,
+			Message: fmt.Sprintf("stale allow directive: no %s diagnostic fires here anymore; delete it",
+				strings.Join(names, ",")),
+		})
+	}
+	return out
 }
 
 // Problems returns one diagnostic per malformed (unjustified) directive.
@@ -163,8 +247,8 @@ func (a *Analyzer) Validate() error {
 	if !nameRE.MatchString(a.Name) {
 		return fmt.Errorf("analysis: invalid analyzer name %q", a.Name)
 	}
-	if a.Run == nil {
-		return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+	if (a.Run == nil) == (a.RunProgram == nil) {
+		return fmt.Errorf("analysis: analyzer %s must set exactly one of Run and RunProgram", a.Name)
 	}
 	return nil
 }
@@ -197,6 +281,45 @@ func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package
 		},
 	}
 	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
+	}
+	SortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+// RunProgram executes one whole-program analyzer over every package,
+// applying the shared suppression index, and returns the surviving
+// diagnostics sorted by position.
+func RunProgram(a *Analyzer, fset *token.FileSet, pkgs []*ProgramPkg, sup *Suppressions) ([]Diagnostic, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if a.RunProgram == nil {
+		return nil, fmt.Errorf("analysis: analyzer %s is not a program analyzer", a.Name)
+	}
+	if sup == nil {
+		var files []*ast.File
+		for _, p := range pkgs {
+			files = append(files, p.Files...)
+		}
+		sup = CollectSuppressions(fset, files)
+	}
+	var diags []Diagnostic
+	pass := &ProgramPass{
+		Analyzer: a,
+		Fset:     fset,
+		Packages: pkgs,
+		Report: func(d Diagnostic) {
+			if d.Category == "" {
+				d.Category = a.Name
+			}
+			if sup.Allows(fset, d.Category, d.Pos) {
+				return
+			}
+			diags = append(diags, d)
+		},
+	}
+	if err := a.RunProgram(pass); err != nil {
 		return nil, fmt.Errorf("analysis: %s: %w", a.Name, err)
 	}
 	SortDiagnostics(fset, diags)

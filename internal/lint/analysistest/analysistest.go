@@ -14,6 +14,18 @@
 // Every reported diagnostic must be matched by a want on its line and
 // every want must match a diagnostic, or the test fails. Diagnostics for
 // malformed //llbplint:allow directives participate like any other.
+//
+// A want may be scoped to one analyzer by prefixing the pattern with
+// its name:
+//
+//	keys := collect(m) // want detflow:"reaches determinism-critical sink"
+//
+// Scoped wants let one fixture package serve several analyzers: a
+// prefixed want is consulted only when the named analyzer is under
+// test, and it matches only diagnostics of that category. RunProgram —
+// the whole-program counterpart of Run — considers *only* prefixed
+// wants, because program analyzers load shared fixture packages whose
+// unprefixed wants belong to the per-package analyzers.
 package analysistest
 
 import (
@@ -54,8 +66,46 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
 		}
 		diags = append(diags, sup.Problems()...)
-		checkWants(t, ld.fset, pkg.files, diags)
+		names := map[string]bool{a.Name: true, analysis.DirectiveCategory: true}
+		checkWants(t, ld.fset, pkg.files, diags, names, false)
 	}
+}
+
+// RunProgram loads all fixture packages into one shared type universe,
+// applies a whole-program analyzer once, and checks its diagnostics
+// against analyzer-prefixed want comments across every loaded file. The
+// surviving diagnostics are returned so callers can additionally assert
+// on evidence paths.
+func RunProgram(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) []analysis.Diagnostic {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	ld, err := newLoader(srcRoot)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var pkgs []*analysis.ProgramPkg
+	var files []*ast.File
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, &analysis.ProgramPkg{
+			Path:      path,
+			Files:     pkg.files,
+			Pkg:       pkg.types,
+			TypesInfo: pkg.info,
+		})
+		files = append(files, pkg.files...)
+	}
+	sup := analysis.CollectSuppressions(ld.fset, files)
+	diags, err := analysis.RunProgram(a, ld.fset, pkgs, sup)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	names := map[string]bool{a.Name: true, analysis.DirectiveCategory: true}
+	checkWants(t, ld.fset, files, diags, names, true)
+	return diags
 }
 
 // fixturePkg is one loaded fixture package.
@@ -174,15 +224,18 @@ func (ld *loader) load(path string) (*fixturePkg, error) {
 
 // want is one expectation parsed from a comment.
 type want struct {
-	file    string
-	line    int
+	file string
+	line int
+	// prefix scopes the want to one analyzer ("" = the analyzer under
+	// test, whichever it is).
+	prefix  string
 	re      *regexp.Regexp
 	raw     string
 	matched bool
 }
 
 var wantTextRE = regexp.MustCompile(`want\s+(.*)$`)
-var wantQuoteRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+var wantQuoteRE = regexp.MustCompile("(?:([a-zA-Z][a-zA-Z0-9]*):)?(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
 
 // parseWants extracts want expectations from every comment.
 func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
@@ -197,16 +250,16 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, q := range wantQuoteRE.FindAllString(m[1], -1) {
-					s, err := strconv.Unquote(q)
+				for _, q := range wantQuoteRE.FindAllStringSubmatch(m[1], -1) {
+					s, err := strconv.Unquote(q[2])
 					if err != nil {
-						t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+						t.Fatalf("%s: bad want literal %s: %v", pos, q[2], err)
 					}
 					re, err := regexp.Compile(s)
 					if err != nil {
 						t.Fatalf("%s: bad want regexp %q: %v", pos, s, err)
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: s})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, prefix: q[1], re: re, raw: s})
 				}
 			}
 		}
@@ -215,14 +268,31 @@ func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
 }
 
 // checkWants matches diagnostics against wants one-to-one by line.
-func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+// names holds the analyzer categories under test; prefixed wants naming
+// other analyzers are out of scope and ignored. With prefixOnly (the
+// RunProgram mode), unprefixed wants are ignored too.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, names map[string]bool, prefixOnly bool) {
 	t.Helper()
-	wants := parseWants(t, fset, files)
+	all := parseWants(t, fset, files)
+	var wants []*want
+	for _, w := range all {
+		if w.prefix == "" {
+			if prefixOnly {
+				continue
+			}
+		} else if !names[w.prefix] {
+			continue
+		}
+		wants = append(wants, w)
+	}
 	for _, d := range diags {
 		pos := fset.Position(d.Pos)
 		found := false
 		for _, w := range wants {
 			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.prefix != "" && w.prefix != d.Category {
 				continue
 			}
 			if w.re.MatchString(d.Message) {

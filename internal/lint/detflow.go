@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"llbp/internal/lint/analysis"
+	"llbp/internal/lint/dataflow"
+)
+
+// Detflow is the interprocedural determinism-taint analyzer: it tracks
+// values produced by nondeterminism sources (map iteration order, wall
+// clocks, the global math/rand state, select arrival order, and
+// functions annotated //llbplint:source) through assignments and call
+// chains, and reports when one reaches a determinism-critical sink — a
+// function annotated //llbplint:sink, such as the harness journal's
+// Record, telemetry event emission, predictor table updates, or the
+// service NDJSON encoders. Sorting (sort.*, slices.Sort*) or a
+// //llbplint:sanitizer call launders the taint. Unlike the determinism
+// analyzer, which syntactically bans source *calls* inside simulation
+// packages, detflow follows the *values*: a time.Now three calls away
+// from a journal write is a finding anywhere in the module, and a
+// sorted map collection is not. Diagnostics carry the full source→sink
+// path in Diagnostic.Path.
+//
+// Detflow is also the analyzer that surfaces malformed //llbplint:
+// annotations (missing `-- reason`), so they are reported exactly once
+// per run even though all three program analyzers parse them.
+var Detflow = &analysis.Analyzer{
+	Name:       "detflow",
+	Doc:        "interprocedural taint from nondeterminism sources to determinism-critical sinks (journal, telemetry, predictor tables, NDJSON)",
+	RunProgram: runDetflow,
+}
+
+func runDetflow(pass *analysis.ProgramPass) error {
+	prog := dataflow.Build(pass.Fset, pass.Packages)
+	for _, d := range prog.Problems {
+		pass.Report(d)
+	}
+	eng := dataflow.NewTaintEngine(prog)
+	eng.Run()
+	for _, d := range eng.Findings {
+		pass.Report(d)
+	}
+	return nil
+}

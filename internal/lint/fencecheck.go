@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"llbp/internal/lint/analysis"
+	"llbp/internal/lint/dataflow"
+)
+
+// Fencecheck proves the lease protocol's central rule on the call
+// graph: every write to lease-owned job state that a worker goroutine
+// can reach must be dominated by an epoch guard. State-carrying types
+// are annotated //llbplint:leased; worker entry points are functions
+// launched via `go` statements plus //llbplint:worker-annotated
+// handlers (HTTP endpoints executing on behalf of remote workers). A
+// write is fenced when it sits under (or straight-line after an
+// early-out on) an `if` condition reading the leased type's epoch
+// field — the `if jb.epoch != epoch { return }` shape the claim/
+// heartbeat/release methods use. Functions that themselves write the
+// epoch field (claim, revoke) are fence constructors and exempt, as
+// are functions annotated //llbplint:fence with a reason. Findings
+// carry the worker-root→call-chain→write path in Diagnostic.Path.
+var Fencecheck = &analysis.Analyzer{
+	Name:       "fencecheck",
+	Doc:        "writes to lease-owned state reachable from worker goroutines must be dominated by an epoch guard",
+	RunProgram: runFencecheck,
+}
+
+func runFencecheck(pass *analysis.ProgramPass) error {
+	prog := dataflow.Build(pass.Fset, pass.Packages)
+	eng := dataflow.NewFenceEngine(prog)
+	eng.Run()
+	for _, d := range eng.Findings {
+		pass.Report(d)
+	}
+	return nil
+}

@@ -23,6 +23,19 @@
 //     and chaos randomness have to be injectable (Options.Now, seeded
 //     streams) so scenarios replay deterministically from a seed.
 //
+// On top of the per-package analyzers, three whole-program analyzers
+// run on the summary-based dataflow engine in internal/lint/dataflow
+// (DESIGN.md §13):
+//
+//   - detflow: interprocedural taint from nondeterminism sources to
+//     determinism-critical sinks, with //llbplint:source / sink /
+//     sanitizer annotations in the code.
+//   - fencecheck: writes to //llbplint:leased state reachable from
+//     worker goroutines must be dominated by an epoch guard.
+//   - lockorder: lock-acquisition cycles, mutex re-entry, and
+//     telemetry-updates-under-held-locks at call-graph depth in
+//     service + telemetry.
+//
 // Scope is decided by import-path segments so that both the real module
 // ("llbp/internal/harness") and the analysistest fixtures ("harness")
 // classify identically. Findings that are intentional carry an in-code
@@ -37,9 +50,11 @@ import (
 	"llbp/internal/lint/analysis"
 )
 
-// All returns the llbplint analyzer suite in stable order.
+// All returns the llbplint analyzer suite in stable order: the
+// per-package analyzers first, then the whole-program dataflow
+// analyzers.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic, Injectable}
+	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic, Injectable, Detflow, Fencecheck, Lockorder}
 }
 
 // hasSegment reports whether any "/"-separated segment of the import

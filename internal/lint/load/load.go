@@ -46,6 +46,7 @@ type listedPkg struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Standard   bool
 	DepOnly    bool
 	Name       string
@@ -58,7 +59,7 @@ type listedPkg struct {
 func list(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
 	args := append([]string{
 		"list", "-export", "-deps",
-		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Name,Error",
+		"-json=ImportPath,Dir,Export,GoFiles,Imports,Standard,DepOnly,Name,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -125,8 +126,59 @@ func NewInfo() *types.Info {
 	}
 }
 
+// sourceImporter resolves imports preferring packages already
+// type-checked from source (so every target package shares one object
+// identity universe — the property the interprocedural analyzers need),
+// falling back to export data for out-of-target dependencies.
+type sourceImporter struct {
+	checked map[string]*types.Package
+	exports types.Importer
+}
+
+func (si *sourceImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := si.checked[path]; ok {
+		return pkg, nil
+	}
+	return si.exports.Import(path)
+}
+
+// topoSort orders targets dependencies-first (imports restricted to the
+// target set), so each package type-checks against source-checked
+// versions of its in-module imports. `go list -deps` already emits
+// roughly this order; the explicit sort makes it a guarantee.
+func topoSort(targets []listedPkg) []listedPkg {
+	byPath := make(map[string]*listedPkg, len(targets))
+	for i := range targets {
+		byPath[targets[i].ImportPath] = &targets[i]
+	}
+	var out []listedPkg
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listedPkg)
+	visit = func(p *listedPkg) {
+		if state[p.ImportPath] != 0 {
+			return // visiting (cycle: impossible in Go) or done
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, *p)
+	}
+	for i := range targets {
+		visit(&targets[i])
+	}
+	return out
+}
+
 // Targets loads, parses (with comments) and type-checks the module
-// packages matching patterns, rooted at dir.
+// packages matching patterns, rooted at dir. Packages are checked in
+// dependency order against each other's source-checked types: a
+// *types.Func seen through an import is the same object as the one
+// defined in the imported target package, so whole-program analyses can
+// join facts across package boundaries.
 func Targets(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -136,9 +188,12 @@ func Targets(dir string, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := Importer(fset, exports)
+	imp := &sourceImporter{
+		checked: map[string]*types.Package{},
+		exports: Importer(fset, exports),
+	}
 	var out []*Package
-	for _, tp := range targets {
+	for _, tp := range topoSort(targets) {
 		if len(tp.GoFiles) == 0 {
 			continue
 		}
@@ -156,6 +211,7 @@ func Targets(dir string, patterns ...string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("load: type-checking %s: %w", tp.ImportPath, err)
 		}
+		imp.checked[tp.ImportPath] = tpkg
 		out = append(out, &Package{
 			ImportPath: tp.ImportPath,
 			Dir:        tp.Dir,

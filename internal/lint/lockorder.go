@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"llbp/internal/lint/analysis"
+	"llbp/internal/lint/dataflow"
+)
+
+// Lockorder derives the lock-acquisition graph for the service and
+// telemetry packages — every sync.Mutex/RWMutex abstracted to a lock
+// class like `service.job.mu`, with acquisitions made by callees folded
+// in through bottom-up summaries — and rejects:
+//
+//   - acquisition-order cycles (lock A held while taking B in one path,
+//     B while taking A in another: the classic deadlock);
+//   - re-acquiring a lock class already held (self-deadlock on Go's
+//     non-reentrant mutexes);
+//   - telemetry instrument updates executed while any lock is held,
+//     directly or through a call chain.
+//
+// The third rule supersedes the syntactic telemetrysafe hot-path lock
+// rule from PR 3, which only saw updates lexically between Lock and
+// Unlock in a single body; lockorder sees an update two calls below
+// the critical section. Findings carry the acquisition evidence chain
+// in Diagnostic.Path.
+var Lockorder = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "lock-acquisition graph for service+telemetry: no cycles, no re-entry, no telemetry updates under held locks (call-graph depth)",
+	RunProgram: runLockorder,
+}
+
+func runLockorder(pass *analysis.ProgramPass) error {
+	prog := dataflow.Build(pass.Fset, pass.Packages)
+	eng := dataflow.NewLockEngine(prog, func(pkgPath string) bool {
+		return hasSegment(pkgPath, "service", "telemetry")
+	})
+	eng.Run()
+	for _, d := range eng.Findings {
+		pass.Report(d)
+	}
+	return nil
+}

@@ -6,7 +6,6 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
 
 	"llbp/internal/lint/analysis"
 )
@@ -19,16 +18,16 @@ import (
 // Gauge/Histogram/Series must be snake_case, the scheme the CI
 // telemetrycheck gate keys on.
 //
-// In service packages (import-path segment "service") two hot-path rules
-// apply on top: arguments of instrument update calls
+// In service packages (import-path segment "service") one hot-path rule
+// applies on top: arguments of instrument update calls
 // (Inc/Add/Set/Observe/Append) must not allocate — no composite or
 // function literals, no make/new/append, no string concatenation, no
-// fmt/strings/strconv/sort/bytes calls — and updates must not run while
-// a lock acquired in the same function is still held (move them after
-// Unlock; instruments synchronize internally).
+// fmt/strings/strconv/sort/bytes calls. The former syntactic
+// updates-under-held-lock rule moved to the lockorder program analyzer,
+// which proves it at call-graph depth instead of within one body.
 var TelemetrySafe = &analysis.Analyzer{
 	Name: "telemetrysafe",
-	Doc:  "telemetry instruments: methods only, Registry-constructed, snake_case names, allocation- and lock-free updates in service code",
+	Doc:  "telemetry instruments: methods only, Registry-constructed, snake_case names, allocation-free updates in service code",
 	Run:  runTelemetrySafe,
 }
 
@@ -86,9 +85,6 @@ func runTelemetrySafe(pass *analysis.Pass) error {
 			}
 			return true
 		})
-		if serviceScope {
-			checkLockedUpdates(pass, f)
-		}
 	}
 	return nil
 }
@@ -166,140 +162,6 @@ func isStringType(t types.Type) bool {
 	}
 	b, ok := t.Underlying().(*types.Basic)
 	return ok && b.Info()&types.IsString != 0
-}
-
-// checkLockedUpdates enforces the lock-free rule with a sequential
-// per-block scan of every function body: an x.Lock()/x.RLock()
-// statement marks x held, the matching Unlock statement clears it, and
-// any instrument update reached while something is held is reported.
-// The tracking is intentionally simple — branch bodies get a copy of
-// the held set, deferred unlocks do not clear (the update still runs
-// under the lock), and cross-function locking is invisible.
-func checkLockedUpdates(pass *analysis.Pass, f *ast.File) {
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncDecl:
-			if n.Body != nil {
-				walkLockStmts(pass, n.Body.List, map[string]bool{})
-			}
-		case *ast.FuncLit:
-			walkLockStmts(pass, n.Body.List, map[string]bool{})
-		}
-		return true
-	})
-}
-
-// lockOp classifies a call as Lock/RLock (acquire=true) or
-// Unlock/RUnlock (acquire=false) and returns the receiver expression as
-// the lock key.
-func lockOp(call *ast.CallExpr) (key string, acquire, ok bool) {
-	sel, selOK := call.Fun.(*ast.SelectorExpr)
-	if !selOK || len(call.Args) != 0 {
-		return "", false, false
-	}
-	switch sel.Sel.Name {
-	case "Lock", "RLock":
-		return types.ExprString(sel.X), true, true
-	case "Unlock", "RUnlock":
-		return types.ExprString(sel.X), false, true
-	}
-	return "", false, false
-}
-
-func cloneLocks(held map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(held))
-	for k := range held {
-		out[k] = true
-	}
-	return out
-}
-
-func walkLockStmts(pass *analysis.Pass, list []ast.Stmt, held map[string]bool) {
-	for _, stmt := range list {
-		walkLockStmt(pass, stmt, held)
-	}
-}
-
-func walkLockStmt(pass *analysis.Pass, stmt ast.Stmt, held map[string]bool) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if key, acquire, ok := lockOp(call); ok {
-				if acquire {
-					held[key] = true
-				} else {
-					delete(held, key)
-				}
-				return
-			}
-		}
-		reportUpdatesUnderLock(pass, s, held)
-	case *ast.DeferStmt, *ast.GoStmt:
-		// Deferred/spawned work runs under an unknowable lock state;
-		// nested FuncLit bodies are walked as their own scopes.
-	case *ast.BlockStmt:
-		walkLockStmts(pass, s.List, held)
-	case *ast.LabeledStmt:
-		walkLockStmt(pass, s.Stmt, held)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			reportUpdatesUnderLock(pass, s.Init, held)
-		}
-		reportUpdatesUnderLock(pass, s.Cond, held)
-		walkLockStmts(pass, s.Body.List, cloneLocks(held))
-		if s.Else != nil {
-			walkLockStmt(pass, s.Else, cloneLocks(held))
-		}
-	case *ast.ForStmt:
-		walkLockStmts(pass, s.Body.List, cloneLocks(held))
-	case *ast.RangeStmt:
-		walkLockStmts(pass, s.Body.List, cloneLocks(held))
-	case *ast.SwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				walkLockStmts(pass, cc.Body, cloneLocks(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CaseClause); ok {
-				walkLockStmts(pass, cc.Body, cloneLocks(held))
-			}
-		}
-	case *ast.SelectStmt:
-		for _, clause := range s.Body.List {
-			if cc, ok := clause.(*ast.CommClause); ok {
-				walkLockStmts(pass, cc.Body, cloneLocks(held))
-			}
-		}
-	default:
-		reportUpdatesUnderLock(pass, stmt, held)
-	}
-}
-
-// reportUpdatesUnderLock flags every instrument update inside node while
-// held is non-empty. FuncLits are skipped — they are separate scopes.
-func reportUpdatesUnderLock(pass *analysis.Pass, node ast.Node, held map[string]bool) {
-	if len(held) == 0 || node == nil {
-		return
-	}
-	keys := make([]string, 0, len(held))
-	for k := range held {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	ast.Inspect(node, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if call, ok := n.(*ast.CallExpr); ok {
-			if method, ok := instrumentUpdate(pass, call); ok {
-				pass.Reportf(call.Pos(),
-					"telemetry update %s while holding %s.Lock(); move it after Unlock (instruments synchronize internally)", method, keys[0])
-			}
-		}
-		return true
-	})
 }
 
 // telemetryInstrument reports whether t (possibly behind pointers) is an

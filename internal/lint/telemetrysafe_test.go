@@ -10,8 +10,9 @@ import (
 // TestTelemetrySafe covers field access, composite-literal construction
 // and name-scheme findings in a consumer package, and the negative case:
 // the telemetry package itself is exempt (it must touch its own fields).
-// The service/hotpath fixture exercises the service-scope hot-path rules
-// (allocation-free update arguments, no update under a held lock).
+// The service/hotpath fixture exercises the service-scope allocation
+// rule; its lockorder-prefixed wants (the update-under-held-lock rule
+// that moved to the program analyzer) are checked by TestLockorder.
 func TestTelemetrySafe(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.TelemetrySafe, "app", "telemetry", "service/hotpath")
 }

@@ -1,7 +1,9 @@
-// Package hotpath is the telemetrysafe service-scope fixture: its
-// import path carries a "service" segment, so the hot-path rules apply —
-// instrument update arguments must not allocate, and updates must not
-// run while a lock acquired in the same function is held.
+// Package hotpath is the service-scope telemetry fixture. Its import
+// path carries a "service" segment, so two rule sets apply: the
+// telemetrysafe allocation rule (instrument update arguments must not
+// allocate — plain wants) and the lockorder program analyzer's
+// no-update-under-held-lock rule (lockorder-prefixed wants; the
+// syntactic lock rule this replaces lived in telemetrysafe until v2).
 package hotpath
 
 import (
@@ -33,12 +35,12 @@ func AllocInArgs(reg *telemetry.Registry, id string, xs []int) {
 	g.Set(uint64(func() int { return len(xs) }())) // want `telemetry update argument allocates \(closure in Set\)`
 }
 
-// UnderLock exercises the lock-tracking rule: the first update runs
-// inside the critical section, the second after Unlock.
+// UnderLock: the first update runs inside the critical section, the
+// second after Unlock.
 func UnderLock(reg *telemetry.Registry, mu *sync.Mutex) {
 	c := reg.Counter("cells_total")
 	mu.Lock()
-	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+	c.Inc() // want lockorder:`telemetry Counter\.Inc update while holding mu`
 	mu.Unlock()
 	c.Inc()
 }
@@ -47,7 +49,7 @@ func UnderLock(reg *telemetry.Registry, mu *sync.Mutex) {
 func ReadLocked(reg *telemetry.Registry, mu *sync.RWMutex, depth int) {
 	g := reg.Gauge("queue_depth")
 	mu.RLock()
-	g.Set(uint64(depth)) // want `telemetry update Set while holding mu\.Lock\(\)`
+	g.Set(uint64(depth)) // want lockorder:`telemetry Gauge\.Set update while holding mu`
 	mu.RUnlock()
 	g.Set(uint64(depth))
 }
@@ -63,7 +65,7 @@ func BranchUnlock(reg *telemetry.Registry, mu *sync.Mutex, shed bool) {
 		c.Inc()
 		return
 	}
-	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+	c.Inc() // want lockorder:`telemetry Counter\.Inc update while holding mu`
 	mu.Unlock()
 	c.Inc()
 }
@@ -74,7 +76,7 @@ func DeferredUnlock(reg *telemetry.Registry, mu *sync.Mutex) {
 	c := reg.Counter("cells_total")
 	mu.Lock()
 	defer mu.Unlock()
-	c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+	c.Inc() // want lockorder:`telemetry Counter\.Inc update while holding mu`
 }
 
 // ClosureScope: a FuncLit is its own lock scope — the surrounding Lock
@@ -86,9 +88,23 @@ func ClosureScope(reg *telemetry.Registry, mu *sync.Mutex) func() {
 	fn := func() {
 		c.Inc()
 		mu.Lock()
-		c.Inc() // want `telemetry update Inc while holding mu\.Lock\(\)`
+		c.Inc() // want lockorder:`telemetry Counter\.Inc update while holding mu`
 		mu.Unlock()
 	}
 	mu.Unlock()
 	return fn
+}
+
+// IndirectUnderLock is what the old syntactic rule could not see: the
+// update happens one call below the critical section, and lockorder
+// finds it through bump's summary.
+func IndirectUnderLock(reg *telemetry.Registry, mu *sync.Mutex) {
+	c := reg.Counter("cells_total")
+	mu.Lock()
+	bump(c) // want lockorder:`telemetry Counter\.Inc update while holding mu`
+	mu.Unlock()
+}
+
+func bump(c *telemetry.Counter) {
+	c.Inc()
 }

@@ -1,0 +1,84 @@
+// Package lease is the fencecheck fixture: it models the service's
+// epoch-fenced lease protocol. jobState is annotated leased; claim is a
+// fence constructor (it writes the epoch field); finish and release
+// show the two fenced shapes (early-out guard, write inside the epoch
+// condition); touch and Progress are the violations — writes with no
+// fence, reachable from a worker goroutine and a worker-annotated
+// handler respectively.
+package lease
+
+import "sync"
+
+// jobState carries lease-owned job state.
+//
+//llbplint:leased -- mutated only while holding a valid lease epoch
+type jobState struct {
+	mu    sync.Mutex
+	epoch uint64
+	state string
+	cells int
+}
+
+// claim bumps the epoch and takes ownership: a fence constructor,
+// exempt from the guard rule by definition.
+func (j *jobState) claim() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.epoch++
+	j.state = "claimed"
+	return j.epoch
+}
+
+// finish is fenced by the canonical early-out guard: everything after
+// the `if` runs only when the caller still owns the lease.
+func (j *jobState) finish(epoch uint64) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch != epoch {
+		return false
+	}
+	j.state = "done"
+	return true
+}
+
+// release writes inside the epoch condition — the other fenced shape.
+func (j *jobState) release(epoch uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.epoch == epoch {
+		j.state = "released"
+	}
+}
+
+// touch mutates lease-owned state with no fence at all. On its own that
+// is only a summary fact; it becomes a finding because run — a worker
+// goroutine — reaches it.
+func (j *jobState) touch(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cells = n // want fencecheck:`unfenced write to lease-owned jobState\.cells`
+}
+
+// run is the worker body Serve launches.
+func run(j *jobState) {
+	epoch := j.claim()
+	if !j.finish(epoch) {
+		return
+	}
+	j.release(epoch)
+	j.touch(1)
+}
+
+// Serve spawns the worker goroutine, making run a fencecheck root.
+func Serve(j *jobState) {
+	go run(j)
+}
+
+// Progress stands in for an HTTP handler that executes on behalf of a
+// remote worker: the annotation makes it a root even though no `go`
+// statement spawns it.
+//
+//llbplint:worker -- invoked by remote workers via the progress endpoint
+func Progress(j *jobState, n int) {
+	j.cells = n // want fencecheck:`unfenced write to lease-owned jobState\.cells`
+}

@@ -1,0 +1,56 @@
+// Package locks is the lockorder cycle fixture: sched.mu and pool.mu
+// are acquired in opposite orders on two call paths — one of them
+// through a callee's summary, which is what makes the cycle invisible
+// to any per-function check — plus a self-deadlock through a helper
+// that re-acquires a lock its caller already holds.
+package locks
+
+import "sync"
+
+type sched struct {
+	mu sync.Mutex
+	q  []int
+}
+
+type pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Drain acquires sched.mu, then reaches pool.mu through grow's summary.
+func (s *sched) Drain(p *pool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p.grow()
+	s.q = s.q[:0]
+}
+
+func (p *pool) grow() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// Refill acquires the same two locks in the opposite order: with Drain
+// this closes the cycle.
+func (p *pool) Refill(s *sched) {
+	p.mu.Lock()
+	s.mu.Lock() // want lockorder:`lock-order cycle between locks\.pool\.mu and locks\.sched\.mu`
+	s.q = append(s.q, p.n)
+	s.mu.Unlock()
+	p.mu.Unlock()
+}
+
+// Reenter re-acquires sched.mu through a helper while already holding
+// it — a self-deadlock on Go's non-reentrant mutex.
+func (s *sched) Reenter() {
+	s.mu.Lock()
+	s.swap() // want lockorder:`lock locks\.sched\.mu acquired while already held`
+	s.mu.Unlock()
+}
+
+func (s *sched) swap() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.q = nil
+}

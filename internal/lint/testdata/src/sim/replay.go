@@ -1,0 +1,74 @@
+// replay.go is the detflow sink side of the cross-package taint
+// fixture. journal.Record is the determinism-critical sink; the flows
+// below reach it from tables.SeedFromClock (cross-package), through an
+// intermediate helper (summary composition), and from map iteration
+// order — and the sorted variant shows the sanitizer killing the taint.
+// The determinism analyzer also runs over this package, so only
+// detflow-prefixed wants appear here and no statement trips the
+// syntactic checks (the map ranges use the sanctioned append-collect
+// idiom).
+package sim
+
+import (
+	"sort"
+
+	"tables"
+)
+
+// journal stands in for the harness journal.
+type journal struct {
+	entries map[string]uint64
+}
+
+// Record persists one replay artifact.
+//
+//llbplint:sink -- journal bytes must be byte-identical across runs
+func (j *journal) Record(key string, v uint64) {
+	if j.entries == nil {
+		j.entries = map[string]uint64{}
+	}
+	j.entries[key] = v
+}
+
+// ReplaySeed journals a clock-derived seed born in another package —
+// the flow crosses the tables→sim boundary through a summary.
+func ReplaySeed(j *journal) {
+	seed := tables.SeedFromClock()
+	j.Record("seed", seed) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// logSeed only forwards to the sink; detflow records that its parameter
+// reaches Record and surfaces the finding at the tainted call site.
+func logSeed(j *journal, v uint64) {
+	j.Record("seed", v)
+}
+
+// ReplayVia reaches the sink two calls deep.
+func ReplayVia(j *journal) {
+	logSeed(j, tables.SeedFromClock()) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// ReplayUnsorted journals keys in map iteration order: tainted.
+func ReplayUnsorted(j *journal, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		// Both the key and the value indexed by it are order-tainted.
+		j.Record(k, m[k]) // want detflow:`nondeterministic value reaches determinism-critical sink` detflow:`nondeterministic value reaches determinism-critical sink`
+	}
+}
+
+// ReplaySorted is the same collection laundered by sort.Strings — the
+// sanitizer clears the taint and nothing is reported.
+func ReplaySorted(j *journal, m map[string]uint64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		j.Record(k, m[k])
+	}
+}

@@ -1,0 +1,26 @@
+// clockseed.go is the detflow source side of the cross-package taint
+// fixture: values born here are nondeterministic, and the sim package
+// journals them. The bitmask analyzer also loads this package and must
+// stay quiet here — no computed table indexing.
+package tables
+
+import "time"
+
+// SeedFromClock derives a seed from the wall clock. The annotation
+// makes the whole function a taint source; the time.Now inside would be
+// discovered as a builtin source regardless.
+//
+//llbplint:source -- wall-clock seed; every downstream value differs per run
+func SeedFromClock() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// NewFromClock taints a whole table through its constructor: the seed
+// flows into the backing slice, so the returned *T is tainted via the
+// function summary.
+func NewFromClock() *T {
+	t := New(4)
+	seed := SeedFromClock()
+	t.tbl[0] = uint8(seed)
+	return t
+}

@@ -32,6 +32,7 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+//llbplint:sink -- wire responses are asserted byte-for-byte in the e2e suite; payloads must not depend on iteration or arrival order
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)

@@ -20,6 +20,8 @@ import (
 // superseded (the supervisor reclaimed an expired lease and re-dispatched
 // the job), so a wedged-then-revived worker can never double-emit an
 // event or finalize a job it no longer owns.
+//
+//llbplint:leased -- job state is owned by the current dispatch; worker-reachable writes must be fenced on the claim epoch
 type job struct {
 	id     string
 	req    JobRequest
@@ -130,6 +132,8 @@ func (jb *job) claim(owner string, now time.Time, ttl time.Duration) (uint64, co
 
 // markSubmitted stamps the admission time (feeds claim latency and job
 // duration).
+//
+//llbplint:fence -- admission stamp, not dispatch-owned state: written only while the job is unowned (pre-claim submit/resume, or supervisor re-queue after the lease was already revoked)
 func (jb *job) markSubmitted(now time.Time) {
 	jb.mu.Lock()
 	jb.submittedAt = now
@@ -261,10 +265,16 @@ func (jb *job) addCellError(epoch uint64, index int, key string, err error) bool
 
 // setProgress publishes an ephemeral progress snapshot, throttled to
 // roughly one snapshot per progressStride branches per cell (plus the
-// final tick). Reports whether the snapshot was published.
-func (jb *job) setProgress(key string, index int, processed, total uint64) bool {
+// final tick). The write is fenced on the dispatch epoch: a superseded
+// dispatch's harness callback (its lease was reclaimed mid-simulation)
+// must not clobber the progress stream of the dispatch that now owns
+// the job. Reports whether the snapshot was published.
+func (jb *job) setProgress(epoch uint64, key string, index int, processed, total uint64) bool {
 	jb.mu.Lock()
 	defer jb.mu.Unlock()
+	if jb.epoch != epoch {
+		return false
+	}
 	last := jb.lastProgressEmit[key]
 	if processed < total && processed-last < progressStride {
 		return false

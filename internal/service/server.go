@@ -451,16 +451,18 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 // throttled "progress" stream events. Each delivery also heartbeats the
 // job's lease — a worker making simulation progress keeps ownership —
 // unless the chaos harness suppresses the renewal (HeartbeatSkip).
+//
+//llbplint:worker -- harness progress callback; runs on worker goroutines mid-simulation
 func (s *Server) CellProgress(key string, processed, total uint64) {
 	s.mu.Lock()
 	jobs := append([]*job(nil), s.running[key]...)
 	s.mu.Unlock()
 	for _, jb := range jobs {
-		jb.setProgress(key, cellIndex(jb.req.Cells, key), processed, total)
+		jb.mu.Lock()
+		epoch := jb.epoch
+		jb.mu.Unlock()
+		jb.setProgress(epoch, key, cellIndex(jb.req.Cells, key), processed, total)
 		if !s.opt.Chaos.Fire(chaos.HeartbeatSkip) {
-			jb.mu.Lock()
-			epoch := jb.epoch
-			jb.mu.Unlock()
 			jb.heartbeat(epoch, s.now(), s.opt.LeaseTTL)
 		}
 	}
@@ -528,7 +530,13 @@ func (s *Server) worker(tid int, name string) {
 		if submitted, _ := jb.times(); !submitted.IsZero() {
 			s.tel.claimLat.Observe(durMS(now.Sub(submitted)))
 		}
+		// The job a worker dequeues depends on goroutine scheduling, so
+		// everything derived from it is order-tainted; the service event
+		// log and job log record that operational reality (which worker
+		// claimed what, when) and are sequence-numbered, not byte-diffed.
+		//llbplint:allow detflow -- service logs record real claim order; cross-run byte-determinism applies to sim artifacts, not the job server
 		s.event(telemetry.EventJobClaimed, jb.id, jb.req.Tenant, name, epoch, "")
+		//llbplint:allow detflow -- service logs record real claim order; cross-run byte-determinism applies to sim artifacts, not the job server
 		s.superviseJob(jb, name, tid, epoch, runCtx)
 	}
 }

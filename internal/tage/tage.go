@@ -269,6 +269,8 @@ func (p *Predictor) providerEntry() *entry {
 // Update implements predictor.Predictor: trains counters and useful bits,
 // allocates longer-history patterns on mispredictions, and finally pushes
 // the outcome into the global/path/folded histories.
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) Update(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {
@@ -283,6 +285,8 @@ func (p *Predictor) Update(pc uint64, taken bool) {
 // uses it when LLBP overrides TAGE: "only the providing component is
 // updated ... TAGE will cancel its update" (§V-D) — but allocation on a
 // *provider* misprediction is handled by LLBP, not TAGE, in that case.
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) UpdateNoAlloc(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {
@@ -480,6 +484,8 @@ func (p *Predictor) LastConfident() bool {
 // training any counters or allocating patterns. The LLBP composite calls
 // this when LLBP provides the prediction and TAGE "cancels its update"
 // (§V-D).
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) UpdateHistoryOnly(pc uint64, taken bool) {
 	s := &p.scratch
 	if pc != s.pc {

@@ -121,6 +121,8 @@ func (l *EventLog) SetClock(nowMillis func() int64) {
 // Events are flushed line-by-line so the log is tailable and a crash
 // loses at most the event being written. Emit on a nil or failed log is
 // a no-op (the first error latches, observable via Err).
+//
+//llbplint:sink -- event logs are diffed across runs in CI; payloads must be byte-deterministic (timestamps come only from the injected clock)
 func (l *EventLog) Emit(ev Event) {
 	if l == nil {
 		return

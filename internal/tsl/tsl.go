@@ -262,12 +262,16 @@ func (p *Predictor) Predict(pc uint64) bool {
 
 // Update implements predictor.Predictor (unknown target; see
 // UpdateWithTarget).
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) Update(pc uint64, taken bool) {
 	p.UpdateWithTarget(pc, pc+4, taken)
 }
 
 // UpdateWithTarget implements predictor.TargetUpdater: the resolved
 // target feeds the corrector's IMLI component.
+//
+//llbplint:sink -- predictor tables define simulated accuracy; training on a nondeterministic value forks the trajectory
 func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 	p.updateAux(pc, target, taken)
 	p.tage.Update(pc, taken)

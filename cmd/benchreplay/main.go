@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,11 +28,15 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"llbp/internal/core"
+	"llbp/internal/experiments"
 	"llbp/internal/predictor"
+	"llbp/internal/session"
 	"llbp/internal/sim"
 	"llbp/internal/tage"
+	"llbp/internal/trace"
 	"llbp/internal/trace/cache"
 	"llbp/internal/tsl"
 	"llbp/internal/workload"
@@ -122,7 +127,21 @@ type Result struct {
 	// "no-baseline" (family absent from the baseline document). Empty
 	// when the run was not a -compare.
 	Verdict string `json:"verdict,omitempty"`
+	// VsBatchPct is set on the streamed-session family only: the rate
+	// relative to the same predictor's batch replay ("tage-sc-l"),
+	// 100 * (stream - batch) / batch. Negative is the serving layer's
+	// overhead — frame validation, epoch fencing, outcome encoding and
+	// checkpoint forks.
+	VsBatchPct float64 `json:"vs_batch_pct,omitempty"`
 }
+
+// sessionFamily is the streamed-throughput family: the same branches
+// pushed through the session subsystem instead of sim.Run. It is newer
+// than the sim families, so parseDoc treats it as optional — BENCH_6 and
+// earlier predate it and must keep parsing, both under -check and as
+// -compare baselines (where compareDocs hands the absent family a
+// "no-baseline" verdict instead of failing the parse).
+const sessionFamily = "session"
 
 // families mirrors BenchmarkReplayThroughput's predictor set; the
 // committed document must cover exactly these.
@@ -317,7 +336,96 @@ func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, 
 		fmt.Fprintf(progress, "%-10s %12d ns/op %12.0f branches/s\n",
 			fam.name, res.NsPerOp, res.BranchesPerSc)
 	}
+	if err := measureSession(doc, wl, branches, progress); err != nil {
+		return nil, err
+	}
 	return doc, nil
+}
+
+// measureSession appends the session_branches_per_sec family: the same
+// trace streamed through the session subsystem — frame validation,
+// epoch-fenced batch application, outcome-byte encoding, auto-checkpoint
+// forks on the default cadence — instead of batch sim.Run. Journaling is
+// off, matching the batch families (neither path fsyncs per branch), so
+// the delta is the serving layer itself. The predictor is the 64 KiB
+// TAGE-SC-L, making "tage-sc-l" the batch twin VsBatchPct compares to.
+func measureSession(doc *Doc, wl *workload.Source, branches uint64, progress io.Writer) error {
+	const batchLen = 1024
+	r := wl.Open()
+	var b trace.Branch
+	var frames []session.Frame
+	for total, seq := uint64(0), uint64(1); total < branches; seq++ {
+		recs := make([]session.BranchRec, 0, batchLen)
+		for len(recs) < batchLen && total < branches {
+			if err := r.Read(&b); err == io.EOF {
+				break
+			} else if err != nil {
+				return fmt.Errorf("reading %s: %w", wl.Name(), err)
+			}
+			recs = append(recs, session.BranchRec{
+				PC: b.PC, Target: b.Target, Kind: uint8(b.Type), Taken: b.Taken,
+				Instructions: b.Instructions, TargetMiss: b.MispredictedTarget,
+			})
+			total++
+		}
+		if len(recs) == 0 {
+			break
+		}
+		frames = append(frames, session.Frame{Type: session.FrameBranchBatch, Seq: seq, Branches: recs})
+	}
+
+	h := experiments.NewHarness(experiments.Config{
+		Warmup: 1, Measure: 1, Workloads: []*workload.Source{wl},
+	})
+	ctx := context.Background()
+	var runErr error
+	br := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			m, err := session.New(session.Options{Forker: h, LeaseTTL: time.Minute})
+			if err != nil {
+				runErr = err
+				tb.FailNow()
+			}
+			st, err := m.Open(ctx, session.Request{Schema: session.Schema, Predictor: "64k"})
+			if err != nil {
+				runErr = err
+				tb.FailNow()
+			}
+			c, err := m.Claim(ctx, st.ID, "bench")
+			if err != nil {
+				runErr = err
+				tb.FailNow()
+			}
+			for _, f := range frames {
+				if _, err := c.Apply(f); err != nil {
+					runErr = err
+					tb.FailNow()
+				}
+			}
+			c.Release()
+		}
+	})
+	if runErr != nil {
+		return fmt.Errorf("%s: %w", sessionFamily, runErr)
+	}
+	if br.N == 0 {
+		return fmt.Errorf("%s: benchmark did not run", sessionFamily)
+	}
+	res := Result{
+		Family:        sessionFamily,
+		Iterations:    br.N,
+		NsPerOp:       br.NsPerOp(),
+		BranchesPerSc: float64(br.N) * float64(branches) / br.T.Seconds(),
+	}
+	for _, twin := range doc.Results {
+		if twin.Family == "tage-sc-l" && twin.BranchesPerSc > 0 {
+			res.VsBatchPct = 100 * (res.BranchesPerSc - twin.BranchesPerSc) / twin.BranchesPerSc
+		}
+	}
+	doc.Results = append(doc.Results, res)
+	fmt.Fprintf(progress, "%-10s %12d ns/op %12.0f branches/s (%+.1f%% vs batch tage-sc-l)\n",
+		sessionFamily, res.NsPerOp, res.BranchesPerSc, res.VsBatchPct)
+	return nil
 }
 
 // parseDoc loads and validates a benchmark document: parseable, right

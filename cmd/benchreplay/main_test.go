@@ -28,8 +28,12 @@ func TestMeasureAndCheck(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Schema != BenchSchema || doc.Branches != 5000 || len(doc.Results) != len(families) {
+	if doc.Schema != BenchSchema || doc.Branches != 5000 || len(doc.Results) != len(families)+1 {
 		t.Fatalf("document: %+v", doc)
+	}
+	last := doc.Results[len(doc.Results)-1]
+	if last.Family != sessionFamily || last.VsBatchPct == 0 {
+		t.Errorf("streamed-session family missing or uncompared: %+v", last)
 	}
 	for _, r := range doc.Results {
 		if r.BranchesPerSc <= 0 {
@@ -103,7 +107,8 @@ func TestUsageErrors(t *testing.T) {
 }
 
 // writeBaseline synthesizes a valid baseline document with the given
-// per-family branches/s rate.
+// per-family branches/s rate — session family included, mirroring
+// BENCH_7-era documents.
 func writeBaseline(t *testing.T, dir string, rate float64) string {
 	t.Helper()
 	doc := Doc{Schema: BenchSchema, Workload: "Tomcat", Branches: 2000}
@@ -112,6 +117,9 @@ func writeBaseline(t *testing.T, dir string, rate float64) string {
 			Family: fam.name, Iterations: 1, NsPerOp: 1, BranchesPerSc: rate,
 		})
 	}
+	doc.Results = append(doc.Results, Result{
+		Family: sessionFamily, Iterations: 1, NsPerOp: 1, BranchesPerSc: rate,
+	})
 	raw, err := json.Marshal(doc)
 	if err != nil {
 		t.Fatal(err)
@@ -187,6 +195,53 @@ func TestCompareRegressionFails(t *testing.T) {
 		}
 		if r.Verdict != "regression" {
 			t.Errorf("family %s: verdict %q, want \"regression\"", r.Family, r.Verdict)
+		}
+	}
+}
+
+// TestCompareAbsentFamilyBaseline: a BENCH_6-era baseline that predates
+// the session family still parses and gates — the new family gets a
+// "no-baseline" verdict instead of failing the run.
+func TestCompareAbsentFamilyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	doc := Doc{Schema: BenchSchema, Workload: "Tomcat", Branches: 2000}
+	for _, fam := range families {
+		doc.Results = append(doc.Results, Result{
+			Family: fam.name, Iterations: 1, NsPerOp: 1, BranchesPerSc: 1,
+		})
+	}
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "bench6-era.json")
+	if err := os.WriteFile(baseline, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "next.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-compare", baseline, "-out", out, "-branches", "2000", "-warmup", "500"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("compare vs pre-session baseline: code %d, stderr %q", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "absent from baseline") {
+		t.Errorf("stderr %q lacks the no-baseline warning", stderr.String())
+	}
+	var got Doc
+	rawOut, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawOut, &got); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got.Results {
+		want := "ok"
+		if r.Family == sessionFamily {
+			want = "no-baseline"
+		}
+		if r.Verdict != want {
+			t.Errorf("family %s: verdict %q, want %q", r.Family, r.Verdict, want)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	llbpctl -server ... cancel job-id
 //	llbpctl -server ... metrics [-o metrics.json] [-text]
 //	llbpctl -server ... top [-interval 2s] [-n frames] [-plain]
+//	llbpctl -server ... session <open|push|stream|status|list|close> [flags]
 //	llbpctl -server ... health
 //
 // submit prints the job ID on stdout, so submit and watch compose:
@@ -74,7 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] [-timeout d] [-retries n] [-backoff d] <submit|status|watch|results|cancel|metrics|top|health> [flags]")
+		fmt.Fprintln(stderr, "usage: llbpctl [-server addr] [-timeout d] [-retries n] [-backoff d] <submit|status|watch|results|cancel|metrics|top|session|health> [flags]")
 		return 2
 	}
 	clRetries := *retries
@@ -108,6 +109,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdMetrics(ctx, cl, rest, stdout, stderr)
 	case "top":
 		err = cmdTop(ctx, cl, rest, stdout, stderr)
+	case "session":
+		err = cmdSession(ctx, cl, rest, stdin, stdout, stderr)
 	case "health":
 		err = cl.Health(ctx)
 		if err == nil {

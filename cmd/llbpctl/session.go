@@ -1,0 +1,303 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"llbp/internal/service/client"
+	"llbp/internal/session"
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+// cmdSession is the streaming-session surface: predict-as-a-service
+// against a predictor forked from the daemon's warm snapshots.
+//
+//	llbpctl session open -predictor llbp -workload Tomcat -warmup 200000
+//	llbpctl session push <id> -workload Tomcat -n 50000 -batch 512
+//	llbpctl session push <id> < frames.ndjson        # raw llbp-session/1 frames
+//	llbpctl session stream <id> [-follow] [-o out.ndjson]
+//	llbpctl session status [id] | list | close <id> | drain ... | bye ...
+//
+// open prints the session ID on stdout, so open/push/stream compose the
+// same way submit/watch do.
+func cmdSession(ctx context.Context, cl *client.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: llbpctl session <open|push|stream|status|list|close> [flags]")
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "open":
+		return sessionOpen(ctx, cl, rest, stdout, stderr)
+	case "push":
+		return sessionPush(ctx, cl, rest, stdin, stdout, stderr)
+	case "stream":
+		return sessionStream(ctx, cl, rest, stdin, stdout, stderr)
+	case "status":
+		return sessionStatus(ctx, cl, rest, stdin, stdout)
+	case "list":
+		list, err := cl.Sessions(ctx)
+		if err != nil {
+			return err
+		}
+		for _, st := range list {
+			printSession(stdout, st)
+		}
+		return nil
+	case "close":
+		ids, err := jobIDs(rest, stdin)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			st, err := cl.CloseSession(ctx, id)
+			if err != nil {
+				return err
+			}
+			printSession(stdout, st)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown session verb %q (want open, push, stream, status, list or close)", verb)
+	}
+}
+
+func printSession(w io.Writer, st session.Status) {
+	fmt.Fprintf(w, "%s  %-8s  %s/%s  seq %d  %d branches  %d mispredicts  epoch %d\n",
+		st.ID, st.State, st.Predictor, st.Workload, st.LastSeq, st.Branches, st.Mispredicts, st.Epoch)
+}
+
+func sessionOpen(ctx context.Context, cl *client.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("llbpctl session open", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		pred   = fs.String("predictor", "llbp", "predictor spec key to fork for this session")
+		wl     = fs.String("workload", "", "workload whose warm snapshot seeds the fork (empty = cold predictor)")
+		warmup = fs.Uint64("warmup", 0, "warmup branches folded into the forked snapshot")
+		ckpt   = fs.Uint64("checkpoint", 0, "auto-checkpoint cadence in branches (0 = daemon default)")
+		tenant = fs.String("tenant", "", "tenant name, surfaced in session listings and events")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := cl.OpenSession(ctx, session.Request{
+		Schema: session.Schema, Predictor: *pred, Workload: *wl,
+		Warmup: *warmup, CheckpointBranches: *ckpt, Tenant: *tenant,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "session %s: %s %s/%s\n", st.ID, st.State, st.Predictor, st.Workload)
+	fmt.Fprintln(stdout, st.ID) // bare ID on stdout: pipeable into push/stream
+	return nil
+}
+
+// sessionPush streams branch batches at a session. Without -workload it
+// forwards raw llbp-session/1 NDJSON frames from stdin (hello excluded —
+// the client prepends it); with -workload it generates batches from the
+// named trace, which is how the CI smoke test streams real branches
+// without a separate generator binary. -start-seq resumes a pusher after
+// an interruption: already-applied overlap batches are acknowledged
+// idempotently by the daemon.
+func sessionPush(ctx context.Context, cl *client.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("llbpctl session push", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		worker   = fs.String("worker", "", "lease owner name (defaults to the connection's remote address)")
+		wl       = fs.String("workload", "", "generate batches from this workload's trace instead of reading stdin")
+		n        = fs.Uint64("n", 50_000, "branches to stream when generating from -workload")
+		batch    = fs.Uint64("batch", 512, "branches per batch when generating")
+		skip     = fs.Uint64("skip", 0, "trace records to skip before the first generated batch")
+		startSeq = fs.Uint64("start-seq", 1, "first batch sequence number (resume point after an interrupted push)")
+		drain    = fs.Bool("drain", false, "send a drain frame after the batches (hand the session to a successor)")
+		bye      = fs.Bool("bye", false, "send a bye frame after the batches (close the session)")
+	)
+	// The session id leads (`session push <id> -flags`), matching the
+	// other verbs; stdlib flag parsing stops at the first positional, so
+	// peel it off before parsing.
+	var id string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		id, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	}
+	if id == "" || fs.NArg() > 1 {
+		return fmt.Errorf("session push needs exactly one session id")
+	}
+
+	body := stdin
+	if *wl != "" {
+		pr, pw := io.Pipe()
+		go func() { pw.CloseWithError(generateBatches(pw, *wl, *n, *batch, *skip, *startSeq, *drain, *bye)) }()
+		body = pr
+	} else if *drain || *bye {
+		// Raw-stdin mode still honors the trailer flags by appending the
+		// frame after stdin runs dry.
+		var trailer strings.Builder
+		if *drain {
+			trailer.WriteString(`{"type":"drain"}` + "\n")
+		}
+		if *bye {
+			trailer.WriteString(`{"type":"bye"}` + "\n")
+		}
+		body = io.MultiReader(stdin, strings.NewReader(trailer.String()))
+	}
+
+	sum, err := cl.PushSessionReader(ctx, id, *worker, body)
+	if err != nil {
+		return err
+	}
+	if sum.Error != "" {
+		fmt.Fprintf(stderr, "session %s: push ended: %s (seq %d, %d branches)\n", id, sum.Error, sum.LastSeq, sum.Branches)
+		return fmt.Errorf("push failed at seq %d: %s", sum.LastSeq, sum.Error)
+	}
+	state := "released"
+	switch {
+	case sum.Closed:
+		state = "closed"
+	case sum.Drained:
+		state = "drained"
+	}
+	fmt.Fprintf(stderr, "session %s: applied %d batches, seq %d, %d branches, %s\n",
+		id, sum.Applied, sum.LastSeq, sum.Branches, state)
+	fmt.Fprintln(stdout, sum.LastSeq) // resume cursor on stdout: feeds -start-seq
+	return nil
+}
+
+// generateBatches writes llbp-session/1 branch-batch frames from a
+// workload trace. Sequencing starts at startSeq, and the trace cursor is
+// positioned as if batches 1..startSeq-1 were already streamed — so a
+// resumed push regenerates exactly the suffix the daemon hasn't seen.
+func generateBatches(w io.Writer, wlName string, n, batchLen, skip, startSeq uint64, drain, bye bool) error {
+	if batchLen == 0 {
+		return fmt.Errorf("batch size must be positive")
+	}
+	if batchLen > session.MaxBatchBranches {
+		return fmt.Errorf("batch size %d exceeds the protocol cap %d", batchLen, session.MaxBatchBranches)
+	}
+	wl, err := workload.ByName(wlName)
+	if err != nil {
+		return err
+	}
+	r := wl.Open()
+	var b trace.Branch
+	for i := uint64(0); i < skip+(startSeq-1)*batchLen; i++ {
+		if err := r.Read(&b); err != nil {
+			return fmt.Errorf("positioning trace: %w", err)
+		}
+	}
+	enc := json.NewEncoder(w)
+	seq := startSeq
+	for streamed := uint64(0); streamed < n; seq++ {
+		want := batchLen
+		if left := n - streamed; left < want {
+			want = left
+		}
+		recs := make([]session.BranchRec, 0, want)
+		for uint64(len(recs)) < want {
+			if err := r.Read(&b); err == io.EOF {
+				break
+			} else if err != nil {
+				return err
+			}
+			recs = append(recs, session.BranchRec{
+				PC: b.PC, Target: b.Target, Kind: uint8(b.Type), Taken: b.Taken,
+				Instructions: b.Instructions, TargetMiss: b.MispredictedTarget,
+			})
+		}
+		if len(recs) == 0 {
+			break // trace exhausted
+		}
+		if err := enc.Encode(session.Frame{Type: session.FrameBranchBatch, Seq: seq, Branches: recs}); err != nil {
+			return err
+		}
+		streamed += uint64(len(recs))
+	}
+	if drain {
+		if err := enc.Encode(session.Frame{Type: session.FrameDrain}); err != nil {
+			return err
+		}
+	}
+	if bye {
+		if err := enc.Encode(session.Frame{Type: session.FrameBye}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sessionStream pulls a session's output log as NDJSON, resuming across
+// dropped connections. The emitted bytes are the byte-identity surface
+// the resume smoke test diffs.
+func sessionStream(ctx context.Context, cl *client.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("llbpctl session stream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the NDJSON frame stream to this file instead of stdout")
+	follow := fs.Bool("follow", false, "stay attached until the session closes")
+	// Accept `stream <id> -flags` as well as `stream -flags <id>`: stdlib
+	// flag parsing stops at the first positional, so peel a leading id.
+	var lead []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		lead, args = append(lead, args[0]), args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids, err := jobIDs(append(lead, fs.Args()...), stdin)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			return err
+		}
+		w = f
+	}
+	for _, id := range ids {
+		err := cl.StreamSession(ctx, id, *follow, func(of session.OutFrame) error {
+			raw, err := json.Marshal(of)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s\n", raw)
+			return err
+		})
+		if err != nil {
+			if f != nil {
+				f.Close()
+			}
+			return err
+		}
+	}
+	if f != nil {
+		return f.Close()
+	}
+	return nil
+}
+
+func sessionStatus(ctx context.Context, cl *client.Client, args []string, stdin io.Reader, stdout io.Writer) error {
+	ids, err := jobIDs(args, stdin)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		st, err := cl.Session(ctx, id)
+		if err != nil {
+			return err
+		}
+		printSession(stdout, st)
+	}
+	return nil
+}

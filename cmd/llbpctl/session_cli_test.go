@@ -1,0 +1,121 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"llbp/internal/experiments"
+	"llbp/internal/session"
+	"llbp/internal/workload"
+)
+
+// startSessionService mirrors llbpd's top-level mux: session routes plus
+// the job service fallback, so the CLI sees the real wire layout.
+func startSessionService(t *testing.T) string {
+	t.Helper()
+	wl, err := workload.ByName("Tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := experiments.NewHarness(experiments.Config{
+		Warmup: 2_000, Measure: 10_000, Workloads: []*workload.Source{wl},
+	})
+	sm, err := session.New(session.Options{
+		Forker: h, CheckpointBranches: 10_000, LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := http.NewServeMux()
+	top.Handle("/v1/session", sm.Handler())
+	top.Handle("/v1/session/", sm.Handler())
+	hs := httptest.NewServer(top)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// TestCtlSessionPipeline drives the composed CLI flow the README shows:
+// open | push (generated from a workload trace, ending in bye) | stream,
+// with the session ID flowing through stdout pipes.
+func TestCtlSessionPipeline(t *testing.T) {
+	addr := startSessionService(t)
+
+	code, out, errb := ctl(t, "", "-server", addr, "session", "open",
+		"-predictor", "64k", "-workload", "Tomcat", "-warmup", "1000")
+	if code != 0 {
+		t.Fatalf("open: code %d, stderr %q", code, errb)
+	}
+	id := strings.TrimSpace(out)
+	if !strings.HasPrefix(id, "sess-") {
+		t.Fatalf("open stdout %q is not a bare session id", out)
+	}
+
+	code, out, errb = ctl(t, "", "-server", addr, "session", "push", id,
+		"-workload", "Tomcat", "-skip", "1000", "-n", "2000", "-batch", "400", "-bye")
+	if code != 0 {
+		t.Fatalf("push: code %d, stderr %q", code, errb)
+	}
+	if strings.TrimSpace(out) != "5" { // 2000 branches / 400 per batch
+		t.Fatalf("push cursor %q, want 5 (stderr %q)", out, errb)
+	}
+	if !strings.Contains(errb, "closed") {
+		t.Errorf("push stderr %q missing closed state", errb)
+	}
+
+	streamFile := filepath.Join(t.TempDir(), "frames.ndjson")
+	code, _, errb = ctl(t, id+"\n", "-server", addr, "session", "stream", "-o", streamFile)
+	if code != 0 {
+		t.Fatalf("stream: code %d, stderr %q", code, errb)
+	}
+	raw, err := os.ReadFile(streamFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 6 { // 5 predictions + done
+		t.Fatalf("stream file has %d lines:\n%s", len(lines), raw)
+	}
+	if !strings.Contains(lines[5], `"type":"done"`) {
+		t.Errorf("last stream line %q is not the done frame", lines[5])
+	}
+
+	code, out, _ = ctl(t, "", "-server", addr, "session", "list")
+	if code != 0 || !strings.Contains(out, id) || !strings.Contains(out, "closed") {
+		t.Errorf("list: code %d, out %q", code, out)
+	}
+}
+
+// TestCtlSessionResumePush: an interrupted pusher resumes with
+// -start-seq; overlap batches are acknowledged idempotently and the
+// stream stays gapless.
+func TestCtlSessionResumePush(t *testing.T) {
+	addr := startSessionService(t)
+	_, out, _ := ctl(t, "", "-server", addr, "session", "open",
+		"-predictor", "64k", "-workload", "Tomcat", "-warmup", "1000")
+	id := strings.TrimSpace(out)
+
+	// First pusher covers batches 1..3, then "dies" (no bye, lease released
+	// on EOF).
+	code, out, errb := ctl(t, "", "-server", addr, "session", "push", id,
+		"-workload", "Tomcat", "-skip", "1000", "-n", "1200", "-batch", "400")
+	if code != 0 || strings.TrimSpace(out) != "3" {
+		t.Fatalf("first push: code %d, cursor %q, stderr %q", code, out, errb)
+	}
+	// Resume overlapping one already-applied batch: seq 3 is acked as a
+	// dup, 4..6 apply fresh.
+	code, out, errb = ctl(t, "", "-server", addr, "session", "push", id,
+		"-workload", "Tomcat", "-skip", "1000", "-n", "1600", "-batch", "400", "-start-seq", "3", "-bye")
+	if code != 0 || strings.TrimSpace(out) != "6" {
+		t.Fatalf("resumed push: code %d, cursor %q, stderr %q", code, out, errb)
+	}
+
+	code, out, _ = ctl(t, "", "-server", addr, "session", "status", id)
+	if code != 0 || !strings.Contains(out, "seq 6") || !strings.Contains(out, "2400 branches") {
+		t.Fatalf("status after resume: code %d, out %q", code, out)
+	}
+}

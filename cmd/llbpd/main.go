@@ -33,6 +33,7 @@ import (
 	"llbp/internal/experiments"
 	"llbp/internal/harness"
 	"llbp/internal/service"
+	"llbp/internal/session"
 	"llbp/internal/telemetry"
 )
 
@@ -65,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		chaosSeed  = fs.Uint64("chaos-seed", 0, "TESTING: derive a random single-shot chaos scenario from this seed (0 = off)")
 		eventsPath = fs.String("events", "", "write an llbp-events/1 NDJSON job-lifecycle log to this file")
 		traceFile  = fs.String("tracefile", "", "write a Chrome trace-event file of job/cell lifecycle spans to this file")
+		sessJourn  = fs.String("session-journal", "", "streaming-session journal path; enables exactly-once session resume (defaults to <-journal>.sessions when -journal is set)")
+		sessCkpt   = fs.Uint64("session-checkpoint", 25_000, "auto-checkpoint cadence in branches for streaming sessions")
+		maxSess    = fs.Int("max-sessions", 64, "concurrently open streaming sessions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -184,6 +188,32 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 1
 	}
 
+	// The streaming-session subsystem rides the same harness (sessions
+	// fork the experiment matrix's warm snapshots), telemetry and chaos
+	// injector as the job service, but journals separately — session
+	// streams are branch-level input logs, not cell results.
+	sessionJournal := *sessJourn
+	if sessionJournal == "" && *journal != "" {
+		sessionJournal = *journal + ".sessions"
+	}
+	sm, err := session.New(session.Options{
+		Forker:             h,
+		JournalPath:        sessionJournal,
+		LeaseTTL:           *leaseTTL,
+		CheckpointBranches: *sessCkpt,
+		MaxSessions:        *maxSess,
+		StreamWriteTimeout: *streamT,
+		Chaos:              injector,
+		Registry:           reg,
+		Events:             events,
+		Tracer:             tracer,
+		Logf:               logf,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "llbpd:", err)
+		return 1
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "llbpd:", err)
@@ -200,7 +230,31 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fmt.Fprintf(stdout, "llbpd listening on %s\n", bound)
 
 	srv.Start()
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Session lease supervision: revoke claims whose push connection went
+	// silent past the TTL, so a successor can take the session over.
+	sweepDone := make(chan struct{})
+	go func() {
+		defer close(sweepDone)
+		tick := time.NewTicker(*leaseTTL / 2)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				sm.ExpireLeases()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// One mux, two subsystems: session routes first (most specific wins
+	// is irrelevant here — the prefixes are disjoint), job service as the
+	// fallback root.
+	top := http.NewServeMux()
+	top.Handle("/v1/session", sm.Handler())
+	top.Handle("/v1/session/", sm.Handler())
+	top.Handle("/", srv.Handler())
+	httpSrv := &http.Server{Handler: top}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 	if ready != nil {
@@ -228,6 +282,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "llbpd: shutdown:", err)
 	}
+	<-sweepDone
+	sm.Shutdown()
 	if events != nil {
 		if err := events.Close(); err != nil {
 			fmt.Fprintln(stderr, "llbpd: event log:", err)

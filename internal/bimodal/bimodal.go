@@ -66,3 +66,12 @@ func (t *Table) Confident(pc uint64) bool {
 func (t *Table) StorageBits() int {
 	return len(t.pred) + len(t.hyst)
 }
+
+// Fork returns an independent deep copy of the table: training either
+// copy never affects the other.
+func (t *Table) Fork() *Table {
+	out := *t
+	out.pred = append([]bool(nil), t.pred...)
+	out.hyst = append([]bool(nil), t.hyst...)
+	return &out
+}

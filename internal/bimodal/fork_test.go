@@ -1,0 +1,39 @@
+package bimodal
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func driveBimodal(t *Table, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + rng.Intn(64)*4)
+		t.Update(pc, rng.Intn(3) != 0)
+	}
+}
+
+// TestForkEquivalence: fork-then-diverge must match two independently
+// warmed twins byte for byte.
+func TestForkEquivalence(t *testing.T) {
+	const warm, diverge = 4000, 3000
+	parent, twinP, twinC := New(12), New(12), New(12)
+	driveBimodal(parent, 11, warm)
+	driveBimodal(twinP, 11, warm)
+	driveBimodal(twinC, 11, warm)
+
+	child := parent.Fork()
+
+	driveBimodal(parent, 22, diverge)
+	driveBimodal(twinP, 22, diverge)
+	driveBimodal(child, 33, diverge)
+	driveBimodal(twinC, 33, diverge)
+
+	if !reflect.DeepEqual(parent, twinP) {
+		t.Error("parent state not byte-identical to unforked twin")
+	}
+	if !reflect.DeepEqual(child, twinC) {
+		t.Error("child state not byte-identical to independently warmed twin")
+	}
+}

@@ -19,6 +19,23 @@ type CDEntry struct {
 	CID uint64
 	// lastUse is the LRU timestamp (ReplacementLRU ablation only).
 	lastUse uint64
+	// shared marks Set as copy-on-write: a fork leaves the bulk pattern
+	// storage shared between both predictors and marks both directory
+	// entries shared; each side clones the set on its first write (see
+	// ownSet). Reads never clone — the fork cost is proportional to the
+	// patterns actually retrained, not to LLBP storage size.
+	shared bool
+}
+
+// ownSet returns the entry's pattern set for writing, cloning it first
+// when it is still shared with a forked predictor. Every pattern-set
+// mutation must go through this choke point; reads may use Set directly.
+func (e *CDEntry) ownSet() *PatternSet {
+	if e.shared {
+		e.Set = e.Set.clone()
+		e.shared = false
+	}
+	return e.Set
 }
 
 // Directory is the context directory plus the LLBP bulk storage it

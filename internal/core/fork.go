@@ -1,0 +1,118 @@
+package core
+
+import (
+	"llbp/internal/history"
+	"llbp/internal/predictor"
+	"llbp/internal/tsl"
+)
+
+var _ predictor.Forkable = (*Predictor)(nil)
+
+// Fork implements predictor.Forkable: it returns an independent copy of
+// the whole composite — the forked baseline, the RCR, the context
+// directory, the pattern buffer, LLBP's history mirrors, the power-gate
+// state machine and the cumulative stats. The bulk pattern storage is
+// NOT copied eagerly: directory entries on both sides are marked
+// copy-on-write and each side clones a pattern set only on its first
+// write to it (see CDEntry.ownSet), so a fork costs O(directory) rather
+// than O(patterns).
+//
+// clock becomes the child's time base and is advanced to the parent's
+// current cycle, keeping the pattern buffer's prefetch-ready deadlines
+// (absolute cycles) meaningful; pass the clock the child's driver will
+// advance, or nil for a detached one. Call at a branch boundary (after
+// Update, before the next Predict).
+func (p *Predictor) Fork(clock *predictor.Clock) predictor.Predictor {
+	if clock == nil {
+		clock = &predictor.Clock{}
+	}
+	clock.Reset()
+	clock.Advance(p.clock.NowF())
+	out := *p
+	out.base = p.base.Fork(nil).(*tsl.Predictor)
+	out.clock = clock
+	out.rcr = p.rcr.fork()
+	dir, remap := p.dir.fork()
+	out.dir = dir
+	out.pb = p.pb.fork(remap)
+	ghr := p.ghr.Snapshot()
+	out.ghr = &ghr
+	out.fold1 = append([]history.Folded(nil), p.fold1...)
+	out.fold2 = append([]history.Folded(nil), p.fold2...)
+	out.lenFold = append([]int(nil), p.lenFold...)
+	out.tel = coreTel{}
+	// The per-prediction scratch points into the parent's pattern
+	// buffer; at a branch boundary it is dead, so the child starts with
+	// it cleared rather than aliased.
+	out.pbe = nil
+	return &out
+}
+
+// fork deep-copies the rolling context register.
+func (r *RCR) fork() *RCR {
+	out := *r
+	out.pcs = append([]uint64(nil), r.pcs...)
+	return &out
+}
+
+// fork duplicates the directory, marking every live entry on BOTH sides
+// as sharing its pattern set copy-on-write. It returns the copy plus a
+// CID -> new-entry map so the pattern buffer can rebind its cached
+// pointers into the copied directory.
+func (d *Directory) fork() (*Directory, map[uint64]*CDEntry) {
+	out := *d
+	if d.assoc != nil {
+		remap := make(map[uint64]*CDEntry, len(d.entries))
+		out.assoc = make(map[uint64]*CDEntry, len(d.entries))
+		out.entries = make([]*CDEntry, len(d.entries))
+		for i, e := range d.entries {
+			e.shared = true
+			ce := *e
+			out.entries[i] = &ce
+			out.assoc[ce.CID] = &ce
+			remap[ce.CID] = &ce
+		}
+		return &out, remap
+	}
+	remap := make(map[uint64]*CDEntry)
+	out.sets = make([][]CDEntry, len(d.sets))
+	for i := range d.sets {
+		row := append([]CDEntry(nil), d.sets[i]...)
+		for j := range row {
+			if !row[j].Valid {
+				continue
+			}
+			d.sets[i][j].shared = true
+			row[j].shared = true
+			remap[row[j].CID] = &row[j]
+		}
+		out.sets[i] = row
+	}
+	return &out, remap
+}
+
+// fork duplicates the pattern buffer, rebinding every cached entry's
+// directory pointer into the forked directory via the CID remap. An
+// entry whose backing context is somehow absent (impossible while the
+// CD-eviction invalidation invariant holds) is dropped rather than left
+// aliasing the parent.
+func (b *Buffer) fork(remap map[uint64]*CDEntry) *Buffer {
+	out := *b
+	out.sets = make([][]PBEntry, len(b.sets))
+	for i := range b.sets {
+		row := append([]PBEntry(nil), b.sets[i]...)
+		for j := range row {
+			if !row[j].Valid {
+				continue
+			}
+			ent := remap[row[j].CID]
+			if ent == nil {
+				row[j] = PBEntry{}
+				continue
+			}
+			row[j].Ent = ent
+		}
+		out.sets[i] = row
+	}
+	return &out
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"llbp/internal/predictor"
+	"llbp/internal/trace"
+	"llbp/internal/tsl"
+)
+
+// driveStream applies a deterministic pseudo-random branch stream (mixed
+// conditionals, calls and jumps, with pipeline resets on mispredictions)
+// and returns the prediction outcomes, so two predictors fed the same
+// seed can be compared both behaviourally and structurally.
+func driveForkStream(p *Predictor, clock *predictor.Clock, seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			pc := uint64(0x9000 + rng.Intn(64)*0x20)
+			p.TrackOther(pc, pc+0x400, trace.Call)
+		case 1:
+			pc := uint64(0xA000 + rng.Intn(16)*0x40)
+			p.TrackOther(pc, pc+0x100, trace.Jump)
+		default:
+			pc := uint64(0x4000 + rng.Intn(96)*4)
+			taken := rng.Intn(3) != 0
+			target := pc + 4
+			if rng.Intn(4) == 0 {
+				target = pc - 64
+			}
+			pred := p.Predict(pc)
+			p.UpdateWithTarget(pc, target, taken)
+			if pred == taken {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+				p.OnPipelineReset()
+			}
+		}
+		clock.Advance(1.25)
+	}
+	return out
+}
+
+// clearShared drops the copy-on-write marks a fork leaves on directory
+// entries, so a forked predictor can be structurally compared against a
+// never-forked twin (the marks are bookkeeping, not predictor state).
+func clearShared(p *Predictor) {
+	if p.dir.assoc != nil {
+		for _, e := range p.dir.entries {
+			e.shared = false
+		}
+		return
+	}
+	for i := range p.dir.sets {
+		for j := range p.dir.sets[i] {
+			p.dir.sets[i][j].shared = false
+		}
+	}
+}
+
+func newLLBP(t *testing.T, cfg Config) (*Predictor, *predictor.Clock) {
+	t.Helper()
+	clock := &predictor.Clock{}
+	p, err := New(cfg, tsl.MustNew(tsl.Config64K()), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, clock
+}
+
+// TestForkEquivalence is the fork correctness property for the LLBP
+// composite: warming a predictor and forking it, then feeding parent and
+// child divergent streams, must leave each byte-identical to a twin that
+// was independently warmed on the same prefix + divergent stream — the
+// copy-on-write pattern storage must never let one lineage's training
+// leak into the other.
+func TestForkEquivalence(t *testing.T) {
+	const warm, diverge = 6000, 4000
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"set-assoc", DefaultConfig()},
+		{"full-assoc", func() Config {
+			c := DefaultConfig()
+			c.FullAssocCD = true
+			c.CIDBits = 31
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			parent, parentClock := newLLBP(t, tc.cfg)
+			twinP, twinPClock := newLLBP(t, tc.cfg)
+			twinC, twinCClock := newLLBP(t, tc.cfg)
+
+			driveForkStream(parent, parentClock, 11, warm)
+			driveForkStream(twinP, twinPClock, 11, warm)
+			driveForkStream(twinC, twinCClock, 11, warm)
+
+			childClock := &predictor.Clock{}
+			child := parent.Fork(childClock).(*Predictor)
+			if got, want := childClock.NowF(), parentClock.NowF(); got != want {
+				t.Fatalf("forked clock at %v, parent at %v", got, want)
+			}
+
+			// Divergent tails: parent continues one stream, child another.
+			gotP := driveForkStream(parent, parentClock, 22, diverge)
+			wantP := driveForkStream(twinP, twinPClock, 22, diverge)
+			gotC := driveForkStream(child, childClock, 33, diverge)
+			wantC := driveForkStream(twinC, twinCClock, 33, diverge)
+
+			if !bytes.Equal(gotP, wantP) {
+				t.Error("parent outcome stream diverged from unforked twin")
+			}
+			if !bytes.Equal(gotC, wantC) {
+				t.Error("child outcome stream diverged from independently warmed twin")
+			}
+			clearShared(parent)
+			clearShared(child)
+			if !reflect.DeepEqual(parent.Stats(), twinP.Stats()) {
+				t.Errorf("parent stats diverged:\n got %+v\nwant %+v", parent.Stats(), twinP.Stats())
+			}
+			if !reflect.DeepEqual(child.Stats(), twinC.Stats()) {
+				t.Errorf("child stats diverged:\n got %+v\nwant %+v", child.Stats(), twinC.Stats())
+			}
+			if !reflect.DeepEqual(parent.dir, twinP.dir) {
+				t.Error("parent directory/pattern storage not byte-identical to unforked twin")
+			}
+			if !reflect.DeepEqual(child.dir, twinC.dir) {
+				t.Error("child directory/pattern storage not byte-identical to independently warmed twin")
+			}
+			if !reflect.DeepEqual(parent.pb, twinP.pb) {
+				t.Error("parent pattern buffer not byte-identical to unforked twin")
+			}
+			if !reflect.DeepEqual(child.pb, twinC.pb) {
+				t.Error("child pattern buffer not byte-identical to independently warmed twin")
+			}
+		})
+	}
+}
+
+// TestForkSharesUntouchedSets verifies the copy-on-write economics: right
+// after a fork every live pattern set is physically shared, and only
+// written sets get privatized.
+func TestForkSharesUntouchedSets(t *testing.T) {
+	parent, clock := newLLBP(t, DefaultConfig())
+	driveForkStream(parent, clock, 7, 8000)
+	live := parent.dir.Live()
+	if live == 0 {
+		t.Fatal("warmup installed no contexts")
+	}
+	childClock := &predictor.Clock{}
+	child := parent.Fork(childClock).(*Predictor)
+	shared := 0
+	for i := range child.dir.sets {
+		for j := range child.dir.sets[i] {
+			e := &child.dir.sets[i][j]
+			if e.Valid && e.shared {
+				shared++
+			}
+		}
+	}
+	if shared != live {
+		t.Fatalf("fork privatized eagerly: %d of %d live sets shared", shared, live)
+	}
+	// Train the child and confirm the parent's bulk storage is untouched
+	// while written sets got privatized.
+	before := parent.stats.PatternAllocs
+	driveForkStream(child, childClock, 13, 4000)
+	if parent.stats.PatternAllocs != before {
+		t.Error("training the child mutated parent stats")
+	}
+}

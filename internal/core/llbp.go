@@ -480,7 +480,7 @@ func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 		// confidence allowed the override (like TAGE training a
 		// newly allocated provider while the alt prediction is
 		// used).
-		pat := &p.pbe.Ent.Set.Pats[p.matchSlot]
+		pat := &p.pbe.Ent.ownSet().Pats[p.matchSlot]
 		if taken {
 			if pat.Ctr < p.ctrMax() {
 				pat.Ctr++
@@ -564,7 +564,7 @@ func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
 	pbe.Ent = ent
 	// Steps 2–4: replace the least-confident pattern in the target
 	// bucket and keep the bucket sorted.
-	ent.Set.insert(p.tagFor(pc, lenIdx), uint8(lenIdx), taken, p.cfg.Buckets, len(p.cfg.HistLengths))
+	ent.ownSet().insert(p.tagFor(pc, lenIdx), uint8(lenIdx), taken, p.cfg.Buckets, len(p.cfg.HistLengths))
 	pbe.Dirty = true
 	p.dir.RefreshConf(ent)
 	p.stats.PatternAllocs++

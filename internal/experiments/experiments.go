@@ -86,6 +86,13 @@ type Config struct {
 	// useful for memory-constrained hosts and A/B measurement).
 	TraceCache        *cache.Cache
 	DisableTraceCache bool
+
+	// DisableForkWarm turns off the warm-snapshot fork cache, so every
+	// cell replays its own warmup even when cells share a (workload,
+	// predictor, warmup) prefix. Results are byte-identical either way
+	// (the fork property tests pin this down); the switch exists for A/B
+	// wall-clock measurement and as an escape hatch.
+	DisableForkWarm bool
 }
 
 // DefaultConfig returns the standard laptop-scale budgets.
@@ -184,6 +191,12 @@ type Harness struct {
 	mu       sync.Mutex
 	cache    map[string]*RunOutput
 	inflight map[string]*inflightCell
+
+	// Warm-snapshot fork cache (see forkwarm.go): one warmed parent per
+	// (workload, predictor, warmup) triple, forked per cell.
+	warmMu    sync.Mutex
+	warmCache map[string]*warmState
+	warmOrder []string
 }
 
 // inflightCell tracks one cell being computed so concurrent requesters
@@ -212,10 +225,11 @@ func NewHarness(cfg Config) *Harness {
 		Tracer:      cfg.Tracer,
 	})
 	return &Harness{
-		Cfg:      cfg,
-		runner:   runner,
-		cache:    make(map[string]*RunOutput),
-		inflight: make(map[string]*inflightCell),
+		Cfg:       cfg,
+		runner:    runner,
+		cache:     make(map[string]*RunOutput),
+		inflight:  make(map[string]*inflightCell),
+		warmCache: make(map[string]*warmState),
 	}
 }
 
@@ -353,8 +367,16 @@ func (h *Harness) source(wl *workload.Source, n uint64) (trace.Source, func()) {
 }
 
 // simulate is the body of one cell: build the predictor, wire optional
-// fault injection, replay the trace under ctx.
+// fault injection, replay the trace under ctx. Cells with a shareable
+// warmup prefix and a forkable predictor take the warm-snapshot fork
+// path instead (forkwarm.go); fault-injected cells never do — the
+// injector must see the warmup phase, which a fork skips.
 func (h *Harness) simulate(ctx context.Context, wl *workload.Source, spec PredictorSpec, warm, meas uint64, fs *FaultSpec) (*RunOutput, error) {
+	if fs == nil && warm > 0 && meas > 0 && !h.Cfg.DisableForkWarm {
+		if out, ok, err := h.simulateForked(ctx, wl, spec, warm, meas); ok {
+			return out, err
+		}
+	}
 	clock := &predictor.Clock{}
 	p, err := spec.Build(clock)
 	if err != nil {

@@ -154,8 +154,12 @@ func ExtScale(h *Harness) ([]*report.Table, error) {
 	}
 	t := report.New(fmt.Sprintf("Extension: budget sensitivity (%s) — MPKI (reduction vs 64K)", wl.Name()),
 		"measured-branches", "64K-TSL", "LLBP", "Inf-TAGE")
+	// The warmup is pinned to the headline budget rather than scaled with
+	// the row: every budget row then shares one warm prefix per predictor
+	// — and shares it with the headline cells — so the whole sweep forks a
+	// single warm snapshot per spec instead of rewarming four times.
+	warm := h.Cfg.Warmup
 	for _, budget := range extScaleBudgets {
-		warm := budget / 5
 		base, err := h.runBudget(wl, Spec64K(), warm, budget)
 		if err != nil {
 			return nil, err

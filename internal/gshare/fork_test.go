@@ -1,0 +1,47 @@
+package gshare
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func driveFork(p *Predictor, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + rng.Intn(64)*4)
+		taken := rng.Intn(3) != 0
+		p.Predict(pc)
+		p.Update(pc, taken)
+	}
+}
+
+// TestForkEquivalence: fork-then-diverge must match two independently
+// warmed twins byte for byte.
+func TestForkEquivalence(t *testing.T) {
+	mk := func() *Predictor {
+		p, err := New(Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	parent, twinP, twinC := mk(), mk(), mk()
+	driveFork(parent, 11, 4000)
+	driveFork(twinP, 11, 4000)
+	driveFork(twinC, 11, 4000)
+
+	child := parent.Fork(nil).(*Predictor)
+
+	driveFork(parent, 22, 3000)
+	driveFork(twinP, 22, 3000)
+	driveFork(child, 33, 3000)
+	driveFork(twinC, 33, 3000)
+
+	if !reflect.DeepEqual(parent, twinP) {
+		t.Error("parent state not byte-identical to unforked twin")
+	}
+	if !reflect.DeepEqual(child, twinC) {
+		t.Error("child state not byte-identical to independently warmed twin")
+	}
+}

@@ -115,3 +115,14 @@ func (p *Predictor) push(taken bool) {
 
 // StorageBits returns the table cost in bits.
 func (p *Predictor) StorageBits() int { return len(p.ctrs) * 2 }
+
+var _ predictor.Forkable = (*Predictor)(nil)
+
+// Fork implements predictor.Forkable (the clock is ignored: gshare is
+// latency-free). Call at a branch boundary.
+func (p *Predictor) Fork(clock *predictor.Clock) predictor.Predictor {
+	_ = clock
+	out := *p
+	out.ctrs = append([]uint8(nil), p.ctrs...)
+	return &out
+}

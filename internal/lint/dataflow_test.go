@@ -15,7 +15,7 @@ import (
 // complete interprocedural evidence chain — a source step and a sink
 // step at minimum.
 func TestDetflow(t *testing.T) {
-	diags := analysistest.RunProgram(t, "testdata", lint.Detflow, "tables", "sim")
+	diags := analysistest.RunProgram(t, "testdata", lint.Detflow, "tables", "sim", "session")
 	sawInterprocedural := false
 	for _, d := range diags {
 		if d.Category != "detflow" {

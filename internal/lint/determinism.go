@@ -18,9 +18,12 @@ import (
 // progress), harness (deadlines and backoff jitter are wall-clock by
 // design), telemetry (the tracer timestamps events), service (the llbpd
 // daemon and its client live in wall-clock land: Retry-After backoff,
-// snapshot timestamps, drain deadlines), and lint itself. Simulation
-// results must stay a pure function of (workload seed, predictor
-// config) everywhere else.
+// snapshot timestamps, drain deadlines), session (the streaming serving
+// layer shares service's clock discipline: lease TTLs and write
+// deadlines are wall-clock, while everything that feeds the journal or
+// the output log stays input-derived — detflow enforces that boundary),
+// and lint itself. Simulation results must stay a pure function of
+// (workload seed, predictor config) everywhere else.
 var Determinism = &analysis.Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall clocks, global RNG and map iteration in simulation packages",
@@ -37,7 +40,7 @@ var wallClockFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *analysis.Pass) error {
-	if hasSegment(pass.Pkg.Path(), "cmd", "harness", "telemetry", "service", "lint") {
+	if hasSegment(pass.Pkg.Path(), "cmd", "harness", "telemetry", "service", "session", "lint") {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -1,0 +1,101 @@
+// Package session is the detflow fixture for the streaming-session wire
+// path: WriteFrame stands in for the llbp-session/1 stream writer, whose
+// bytes are diffed byte-for-byte between a killed-and-resumed session
+// and an uninterrupted one. Anything nondeterministic that reaches it —
+// wall-clock stamps, map iteration order — breaks that equivalence, so
+// the writer and the session journal are sinks. The sorted and
+// cursor-derived variants show the sanctioned shapes staying quiet.
+package session
+
+import (
+	"sort"
+	"time"
+)
+
+// frame is one NDJSON output line.
+type frame struct {
+	Seq    uint64
+	Labels []string
+	Stamp  uint64
+}
+
+// wire collects the session's output log.
+type wire struct {
+	frames []frame
+}
+
+// WriteFrame appends one frame to the output log.
+//
+//llbplint:sink -- session output frames are compared byte-for-byte across kill/resume
+func (w *wire) WriteFrame(f frame) {
+	w.frames = append(w.frames, f)
+}
+
+// journal persists session input batches for exactly-once resume.
+type journal struct {
+	entries map[string][]byte
+}
+
+// Record journals one entry.
+//
+//llbplint:sink -- journal replay must regenerate identical frames
+func (j *journal) Record(key string, payload []byte) {
+	if j.entries == nil {
+		j.entries = map[string][]byte{}
+	}
+	j.entries[key] = payload
+}
+
+// StampFrame wires a wall-clock timestamp into a persisted frame: the
+// resumed session would regenerate a different stamp, so the streams
+// diverge.
+func StampFrame(w *wire, seq uint64) {
+	stamp := uint64(time.Now().UnixNano())
+	w.WriteFrame(frame{Seq: seq, Stamp: stamp}) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// emit only forwards to the sink; the finding surfaces at the tainted
+// call site two frames up.
+func emit(w *wire, f frame) {
+	w.WriteFrame(f)
+}
+
+// StampVia reaches the wire through a helper.
+func StampVia(w *wire, seq uint64) {
+	emit(w, frame{Seq: seq, Stamp: uint64(time.Now().UnixNano())}) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// TelemetryUnsorted assembles a telemetry frame's labels in map
+// iteration order: two runs serialize different bytes.
+func TelemetryUnsorted(w *wire, gauges map[string]uint64) {
+	labels := make([]string, 0, len(gauges))
+	for name := range gauges {
+		labels = append(labels, name)
+	}
+	w.WriteFrame(frame{Labels: labels}) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// TelemetrySorted is the same collection laundered through sort.Strings
+// — the sanitizer clears the taint and nothing is reported.
+func TelemetrySorted(w *wire, gauges map[string]uint64) {
+	labels := make([]string, 0, len(gauges))
+	for name := range gauges {
+		labels = append(labels, name)
+	}
+	sort.Strings(labels)
+	w.WriteFrame(frame{Labels: labels})
+}
+
+// JournalStamp keys a journal entry by arrival time — replay order would
+// differ from live order.
+func JournalStamp(j *journal, payload []byte) {
+	key := string(rune(time.Now().Unix()))
+	j.Record(key, payload) // want detflow:`nondeterministic value reaches determinism-critical sink`
+}
+
+// JournalCursor keys entries by the session's input cursor — the
+// sanctioned shape: derived from counted input, identical on replay.
+func JournalCursor(j *journal, seq uint64, payload []byte) {
+	key := string(rune(seq))
+	j.Record(key, payload)
+}

@@ -1,0 +1,49 @@
+package looppred
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func driveLoop(p *Predictor, seed int64, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pc := uint64(0x4000 + rng.Intn(48)*4)
+		trip := 3 + int(pc>>4)%5
+		taken := i%trip != trip-1 // regular loops with per-branch trip counts
+		p.Predict(pc)
+		p.Update(pc, taken, rng.Intn(4) == 0)
+	}
+}
+
+// TestForkEquivalence: fork-then-diverge must match two independently
+// warmed twins byte for byte.
+func TestForkEquivalence(t *testing.T) {
+	const warm, diverge = 4000, 3000
+	mk := func() *Predictor {
+		p, err := New(4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	parent, twinP, twinC := mk(), mk(), mk()
+	driveLoop(parent, 11, warm)
+	driveLoop(twinP, 11, warm)
+	driveLoop(twinC, 11, warm)
+
+	child := parent.Fork()
+
+	driveLoop(parent, 22, diverge)
+	driveLoop(twinP, 22, diverge)
+	driveLoop(child, 33, diverge)
+	driveLoop(twinC, 33, diverge)
+
+	if !reflect.DeepEqual(parent, twinP) {
+		t.Error("parent state not byte-identical to unforked twin")
+	}
+	if !reflect.DeepEqual(child, twinC) {
+		t.Error("child state not byte-identical to independently warmed twin")
+	}
+}

@@ -154,6 +154,18 @@ func (p *Predictor) Update(pc uint64, taken bool, tageWrong bool) {
 // Valid reports whether the last Predict produced a confident prediction.
 func (p *Predictor) Valid() bool { return p.lastValid }
 
+// Fork returns an independent deep copy of the predictor (all loop
+// entries and the Predict/Update scratch), so training either copy never
+// affects the other. Call at a branch boundary.
+func (p *Predictor) Fork() *Predictor {
+	out := *p
+	out.sets = make([][]loopEntry, len(p.sets))
+	for i := range p.sets {
+		out.sets[i] = append([]loopEntry(nil), p.sets[i]...)
+	}
+	return &out
+}
+
 // StorageBits returns the approximate storage cost in bits
 // (tag 14 + 2×iter 14 + confidence 2 + age 8 + valid 1 per entry).
 func (p *Predictor) StorageBits() int {

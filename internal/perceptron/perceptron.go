@@ -153,6 +153,20 @@ func (p *Predictor) StorageBits() int {
 	return len(p.weights) * (p.cfg.HistBits + 1) * p.cfg.WeightBits
 }
 
+var _ predictor.Forkable = (*Predictor)(nil)
+
+// Fork implements predictor.Forkable (the clock is ignored: the
+// perceptron is latency-free). Call at a branch boundary.
+func (p *Predictor) Fork(clock *predictor.Clock) predictor.Predictor {
+	_ = clock
+	out := *p
+	out.weights = make([][]int16, len(p.weights))
+	for i := range p.weights {
+		out.weights[i] = append([]int16(nil), p.weights[i]...)
+	}
+	return &out
+}
+
 func abs(x int) int {
 	if x < 0 {
 		return -x

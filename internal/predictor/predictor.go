@@ -113,6 +113,30 @@ type Detail struct {
 	LLBPOverrode bool
 }
 
+// Forkable is implemented by predictors whose complete training state
+// can be duplicated into an independent instance. Fork must be called at
+// a branch boundary (after Update, before the next Predict) and returns
+// a predictor whose future trajectory is byte-identical to what an
+// independently warmed twin would produce — the contract the fork
+// property tests assert per family.
+//
+// The child is detached from the parent: subsequent training of either
+// never affects the other (implementations may share storage
+// copy-on-write as long as that isolation holds). Telemetry instruments
+// are NOT carried across a fork; attach a registry to the child
+// explicitly if it should be observed.
+//
+// Latency-aware predictors (LLBP's prefetch pipeline) read simulation
+// time from a Clock: the caller passes the clock the child will be
+// driven by, and Fork aligns it with the parent's current cycle so
+// in-flight prefetch deadlines stay meaningful. Clock-free predictors
+// ignore the argument (nil is fine).
+type Forkable interface {
+	// Fork returns an independent deep copy of the predictor, driven by
+	// clock (which is advanced to the parent's current cycle).
+	Fork(clock *Clock) Predictor
+}
+
 // Clock is the simulation time base shared between the driver and
 // latency-aware predictors. The driver advances it; predictors read it.
 type Clock struct {

@@ -1,0 +1,215 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"llbp/internal/session"
+)
+
+// Streaming-session client surface. A session is two half-duplex HTTP
+// calls: PushSession (or PushSessionReader) streams llbp-session/1
+// frames at the daemon while it holds the session's lease, and
+// StreamSession pulls the answering prediction/verdict frames, resuming
+// from its cursor across any number of interruptions.
+
+// OpenSession opens a streaming prediction session.
+func (c *Client) OpenSession(ctx context.Context, req session.Request) (session.Status, error) {
+	if req.Schema == "" {
+		req.Schema = session.Schema
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return session.Status{}, fmt.Errorf("llbpd: encoding session request: %w", err)
+	}
+	var st session.Status
+	if err := c.do(ctx, http.MethodPost, "/v1/session", raw, &st); err != nil {
+		return session.Status{}, err
+	}
+	return st, nil
+}
+
+// Sessions lists every session on the daemon.
+func (c *Client) Sessions(ctx context.Context) ([]session.Status, error) {
+	var out []session.Status
+	err := c.do(ctx, http.MethodGet, "/v1/session", nil, &out)
+	return out, err
+}
+
+// Session fetches one session's status.
+func (c *Client) Session(ctx context.Context, id string) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodGet, "/v1/session/"+id, nil, &st)
+	return st, err
+}
+
+// CloseSession closes a session; its persisted frames stay readable.
+func (c *Client) CloseSession(ctx context.Context, id string) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodDelete, "/v1/session/"+id, nil, &st)
+	return st, err
+}
+
+// PushSession streams frames at a session on one push connection (the
+// hello is prepended automatically) and returns the daemon's trailing
+// summary. The connection claims the session's lease for its duration.
+// Not idempotent as a whole — but batch application is: on a transport
+// failure, re-push from one batch before the summary's LastSeq and the
+// overlap is acknowledged without re-applying.
+func (c *Client) PushSession(ctx context.Context, id, worker string, frames []session.Frame) (session.PushSummary, error) {
+	pr, pw := io.Pipe()
+	go func() {
+		enc := json.NewEncoder(pw)
+		for i := range frames {
+			if err := enc.Encode(&frames[i]); err != nil {
+				pw.CloseWithError(err)
+				return
+			}
+		}
+		pw.Close()
+	}()
+	return c.PushSessionReader(ctx, id, worker, pr)
+}
+
+// PushSessionReader streams raw NDJSON llbp-session/1 frames from body
+// (hello excluded — it is prepended here) at a session. This is the
+// piped-input path: llbpctl connects stdin straight through.
+func (c *Client) PushSessionReader(ctx context.Context, id, worker string, body io.Reader) (session.PushSummary, error) {
+	hello, err := json.Marshal(session.Frame{Type: session.FrameHello, Schema: session.Schema})
+	if err != nil {
+		return session.PushSummary{}, fmt.Errorf("llbpd: encoding hello: %w", err)
+	}
+	path := "/v1/session/" + id + "/branches"
+	if worker != "" {
+		path += "?worker=" + url.QueryEscape(worker)
+	}
+	rd := io.MultiReader(bytesReader(append(hello, '\n')), body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, rd)
+	if err != nil {
+		return session.PushSummary{}, fmt.Errorf("llbpd: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return session.PushSummary{}, fmt.Errorf("llbpd: pushing to session %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	var sum session.PushSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		return session.PushSummary{}, fmt.Errorf("llbpd: decoding push summary: %w", err)
+	}
+	if resp.StatusCode >= 300 && sum.Error == "" {
+		return sum, &apiError{Status: resp.StatusCode, Message: "session push failed"}
+	}
+	return sum, nil
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{b: b} }
+
+type sliceReader struct{ b []byte }
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if len(r.b) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b)
+	r.b = r.b[n:]
+	return n, nil
+}
+
+// StreamSession reads a session's output frames, invoking fn per frame.
+// With follow, the stream runs until the session's done frame or ctx
+// cancellation; without, it replays what exists and returns. A dropped
+// connection resumes with ?from=<last delivered frame seq>, so fn sees
+// every persisted frame exactly once across interruptions (ephemeral
+// telemetry frames carry Seq 0 and may be re-delivered or skipped).
+func (c *Client) StreamSession(ctx context.Context, id string, follow bool, fn func(session.OutFrame) error) error {
+	var lastSeq uint64
+	attempt := 0
+	for {
+		sawDone, advanced, err := c.streamSessionOnce(ctx, id, follow, lastSeq, &lastSeq, fn)
+		if err == nil && (sawDone || !follow) {
+			return nil
+		}
+		if fe, ok := err.(*fnError); ok {
+			return fe.err
+		}
+		if err != nil {
+			if _, ok := err.(*apiError); ok {
+				return err
+			}
+			if ctx.Err() != nil {
+				return err
+			}
+		}
+		if advanced {
+			attempt = 0
+		}
+		if attempt >= c.retries {
+			if err == nil {
+				err = fmt.Errorf("llbpd: stream for session %s ended before it closed", id)
+			}
+			return fmt.Errorf("llbpd: giving up resuming session %s stream after %d attempts: %w", id, c.retries, err)
+		}
+		if !c.policy.Sleep(ctx, attempt) {
+			return fmt.Errorf("llbpd: resuming session %s stream: %w", id, ctx.Err())
+		}
+		attempt++
+	}
+}
+
+func (c *Client) streamSessionOnce(ctx context.Context, id string, follow bool, from uint64, lastSeq *uint64, fn func(session.OutFrame) error) (sawDone, advanced bool, err error) {
+	path := "/v1/session/" + id + "/stream"
+	sep := "?"
+	if follow {
+		path += sep + "follow=1&telemetry=1"
+		sep = "&"
+	}
+	if from > 0 {
+		path += sep + "from=" + strconv.FormatUint(from, 10)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return false, false, fmt.Errorf("llbpd: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, false, fmt.Errorf("llbpd: streaming session %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return false, false, readAPIError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), session.MaxFrameBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var of session.OutFrame
+		if err := json.Unmarshal(line, &of); err != nil {
+			return sawDone, advanced, fmt.Errorf("llbpd: bad session stream line for %s: %w", id, err)
+		}
+		if of.Seq > 0 {
+			*lastSeq = of.Seq
+			advanced = true
+		}
+		if err := fn(of); err != nil {
+			return sawDone, advanced, &fnError{err}
+		}
+		if of.Type == session.FrameDone {
+			sawDone = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sawDone, advanced, fmt.Errorf("llbpd: streaming session %s: %w", id, err)
+	}
+	return sawDone, advanced, nil
+}

@@ -1,0 +1,188 @@
+package client
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"llbp/internal/experiments"
+	"llbp/internal/session"
+	"llbp/internal/trace"
+	"llbp/internal/workload"
+)
+
+// sessionServer stands up a real session.Manager (real harness, real
+// Tomcat trace) behind an httptest listener — the client's view of the
+// llbpd session surface.
+func sessionServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	wl, err := workload.ByName("Tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := experiments.NewHarness(experiments.Config{
+		Warmup:    5_000,
+		Measure:   10_000,
+		Workloads: []*workload.Source{wl},
+	})
+	m, err := session.New(session.Options{
+		Forker:             h,
+		CheckpointBranches: 500,
+		LeaseTTL:           time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sessionBatches reads nBatches of batchLen Tomcat branches into wire
+// frames, skipping the warmup prefix the session already consumed.
+func sessionBatches(t *testing.T, skip uint64, nBatches, batchLen int) []session.Frame {
+	t.Helper()
+	wl, err := workload.ByName("Tomcat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := wl.Open()
+	var b trace.Branch
+	for i := uint64(0); i < skip; i++ {
+		if err := r.Read(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frames := make([]session.Frame, nBatches)
+	for i := range frames {
+		recs := make([]session.BranchRec, batchLen)
+		for k := range recs {
+			if err := r.Read(&b); err != nil {
+				t.Fatal(err)
+			}
+			recs[k] = session.BranchRec{
+				PC: b.PC, Target: b.Target, Kind: uint8(b.Type), Taken: b.Taken,
+				Instructions: b.Instructions, TargetMiss: b.MispredictedTarget,
+			}
+		}
+		frames[i] = session.Frame{Type: session.FrameBranchBatch, Seq: uint64(i + 1), Branches: recs}
+	}
+	return frames
+}
+
+// TestClientSessionRoundTrip drives the whole client surface: open,
+// push, follow-stream to the done frame, status, list, close.
+func TestClientSessionRoundTrip(t *testing.T) {
+	ts := sessionServer(t)
+	cl := New(ts.URL)
+	ctx := t.Context()
+
+	st, err := cl.OpenSession(ctx, session.Request{Predictor: "64k", Workload: "Tomcat", Warmup: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != session.StateOpen || st.ID == "" {
+		t.Fatalf("open: %+v", st)
+	}
+
+	batches := sessionBatches(t, 2_000, 4, 150)
+	frames := append(append([]session.Frame{}, batches...), session.Frame{Type: session.FrameBye})
+	sum, err := cl.PushSession(ctx, st.ID, "ctl", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Closed || sum.Applied != 4 || sum.LastSeq != 4 || sum.Branches != 600 {
+		t.Fatalf("push summary: %+v", sum)
+	}
+
+	var preds, dones int
+	var lastSeq uint64
+	err = cl.StreamSession(ctx, st.ID, true, func(of session.OutFrame) error {
+		if of.Seq > 0 {
+			if of.Seq != lastSeq+1 {
+				t.Fatalf("stream gap: %d after %d", of.Seq, lastSeq)
+			}
+			lastSeq = of.Seq
+		}
+		switch of.Type {
+		case session.FramePredictions:
+			preds++
+			if len(of.Outcomes) == 0 || of.N != 150 {
+				t.Fatalf("predictions frame: %+v", of)
+			}
+		case session.FrameDone:
+			dones++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds != 4 || dones != 1 {
+		t.Fatalf("stream shape: %d predictions, %d done", preds, dones)
+	}
+
+	got, err := cl.Session(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != session.StateClosed || got.Branches != 600 {
+		t.Fatalf("status: %+v", got)
+	}
+	list, err := cl.Sessions(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list: %+v", list)
+	}
+}
+
+// TestClientSessionDrainHandoff: one pusher drains, a successor resumes
+// the stream, and the client-side close call lands the done frame.
+func TestClientSessionDrainHandoff(t *testing.T) {
+	ts := sessionServer(t)
+	cl := New(ts.URL)
+	ctx := t.Context()
+
+	st, err := cl.OpenSession(ctx, session.Request{Predictor: "64k", Workload: "Tomcat", Warmup: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := sessionBatches(t, 1_000, 4, 100)
+
+	sum, err := cl.PushSession(ctx, st.ID, "w1",
+		append(append([]session.Frame{}, batches[:2]...), session.Frame{Type: session.FrameDrain}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Drained || sum.LastSeq != 2 {
+		t.Fatalf("drain summary: %+v", sum)
+	}
+	sum, err = cl.PushSession(ctx, st.ID, "w2", batches[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Applied != 2 || sum.LastSeq != 4 {
+		t.Fatalf("handoff summary: %+v", sum)
+	}
+	if _, err := cl.CloseSession(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Non-follow replay after close sees every batch exactly once.
+	seen := map[uint64]int{}
+	err = cl.StreamSession(ctx, st.ID, false, func(of session.OutFrame) error {
+		if of.Type == session.FramePredictions {
+			seen[of.Batch]++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if seen[seq] != 1 {
+			t.Fatalf("batch %d delivered %d times", seq, seen[seq])
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package session
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameReaderWellFormed(t *testing.T) {
+	in := `{"type":"hello","schema":"llbp-session/1"}
+{"type":"branch-batch","seq":1,"branches":[{"pc":1024,"taken":true,"instr":7}]}
+
+{"type":"checkpoint"}
+{"type":"bye"}
+`
+	fr := NewFrameReader(strings.NewReader(in))
+	types := []string{FrameHello, FrameBranchBatch, FrameCheckpoint, FrameBye}
+	for _, want := range types {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("want %s frame: %v", want, err)
+		}
+		if f.Type != want {
+			t.Fatalf("frame type %q, want %q", f.Type, want)
+		}
+		if want == FrameBranchBatch {
+			if f.Seq != 1 || len(f.Branches) != 1 || !f.Branches[0].Taken {
+				t.Fatalf("batch payload: %+v", f)
+			}
+			b := f.Branches[0].Branch()
+			if b.PC != 1024 || b.Instructions != 7 || !b.Type.IsConditional() {
+				t.Fatalf("converted branch: %+v", b)
+			}
+		}
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("end of stream: %v", err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("error must be sticky: %v", err)
+	}
+}
+
+func TestFrameReaderRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   string
+	}{
+		{"malformed json", "{nope\n"},
+		{"truncated frame", `{"type":"branch-batch","seq":1,"branches":[{"pc"` + "\n"},
+		{"unknown type", `{"type":"quux"}` + "\n"},
+		{"hello wrong schema", `{"type":"hello","schema":"llbp-session/2"}` + "\n"},
+		{"batch no seq", `{"type":"branch-batch","branches":[{"pc":4}]}` + "\n"},
+		{"batch empty", `{"type":"branch-batch","seq":3}` + "\n"},
+		{"bye with payload", `{"type":"bye","branches":[{"pc":4}]}` + "\n"},
+		{"oversized line", `{"type":"hello","schema":"` + strings.Repeat("x", MaxFrameBytes) + `"}` + "\n"},
+	} {
+		fr := NewFrameReader(strings.NewReader(tc.in))
+		if _, err := fr.Next(); err == nil || err == io.EOF {
+			t.Errorf("%s: accepted (err=%v)", tc.name, err)
+		}
+	}
+}
+
+// FuzzFrameReader is the llbp-session/1 parser fuzz target: whatever the
+// bytes — truncated frames, interleaved sequence numbers, oversized
+// batches, binary garbage — the reader must terminate, never panic, and
+// only ever return frames that revalidate cleanly.
+func FuzzFrameReader(f *testing.F) {
+	f.Add([]byte(`{"type":"hello","schema":"llbp-session/1"}` + "\n" +
+		`{"type":"branch-batch","seq":1,"branches":[{"pc":64,"taken":true}]}` + "\n"))
+	f.Add([]byte(`{"type":"branch-batch","seq":18446744073709551615,"branches":[{"pc":1}]}` + "\n" +
+		`{"type":"branch-batch","seq":2,"branches":[{"pc":2}]}` + "\n"))
+	f.Add([]byte(`{"type":"branch-batch","seq":1,"branches":[{"pc"`)) // truncated mid-frame
+	f.Add([]byte("\x00\xff\xfe{}[]"))
+	f.Add([]byte(`{"type":"checkpoint"}` + "\r\n" + `{"type":"drain"}` + "\n\n" + `{"type":"bye"}`))
+	f.Add([]byte(`{"type":"hello","schema":"llbp-session/1","seq":0}` + "\n" + `{"type":"bye","branches":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(strings.NewReader(string(data)))
+		var frames int
+		for {
+			fr2, err := fr.Next()
+			if err != nil {
+				// Errors must be sticky.
+				if _, err2 := fr.Next(); err2 != err {
+					t.Fatalf("error not sticky: %v then %v", err, err2)
+				}
+				break
+			}
+			// Every accepted frame revalidates and survives a JSON
+			// round-trip within the parser limits.
+			if verr := ValidateFrame(fr2); verr != nil {
+				t.Fatalf("reader returned invalid frame %+v: %v", fr2, verr)
+			}
+			if len(fr2.Branches) > MaxBatchBranches {
+				t.Fatalf("reader returned oversized batch: %d", len(fr2.Branches))
+			}
+			if _, merr := json.Marshal(fr2); merr != nil {
+				t.Fatalf("frame does not re-marshal: %v", merr)
+			}
+			frames++
+			if frames > 1<<16 {
+				t.Fatal("unbounded frame stream from bounded input")
+			}
+		}
+	})
+}

@@ -74,6 +74,10 @@ type Options struct {
 	// TracePID selects the trace-event process id for this run (default
 	// telemetry.PidSim); multi-workload drivers use one pid per workload.
 	TracePID int
+
+	// warmupOnly marks a Warm call: the run stops at the end of the
+	// warmup phase and MeasureBranches is allowed to be zero.
+	warmupOnly bool
 }
 
 // cancelCheckMask throttles context polling to every 4096 branches.
@@ -108,9 +112,23 @@ type Result struct {
 	IPC            float64
 }
 
+// Warm replays opt.WarmupBranches branches of src through p exactly as
+// Run's warmup phase would — clock advance at base CPI, mispredict and
+// target-miss penalties, pipeline resets — and collects no measurements.
+// It is the warm-snapshot path: the harness warms one predictor per
+// shared prefix, forks it per cell (predictor.Forkable), and each fork
+// resumes with a measure-only Run over the stream's tail, producing
+// results byte-identical to a monolithic warm+measure Run.
+func Warm(src trace.Source, p predictor.Predictor, opt Options) error {
+	opt.MeasureBranches = 0
+	opt.warmupOnly = true
+	_, err := Run(src, p, opt)
+	return err
+}
+
 // Run replays src through p under opt.
 func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) {
-	if opt.MeasureBranches == 0 {
+	if opt.MeasureBranches == 0 && !opt.warmupOnly {
 		return nil, fmt.Errorf("sim: MeasureBranches must be positive")
 	}
 	if opt.Pipeline.BaseCPI == 0 {
@@ -337,6 +355,12 @@ func Run(src trace.Source, p predictor.Predictor, opt Options) (*Result, error) 
 	if opt.Tracer != nil {
 		end := clock.NowF()
 		opt.Tracer.ThreadName(tracePID, 1, src.Name())
+		if opt.warmupOnly {
+			// The whole run was warmup; there is no measure span.
+			opt.Tracer.Span(tracePID, 1, "warmup", "sim", clockStart, end-clockStart,
+				map[string]any{"workload": src.Name(), "predictor": p.Name(), "branches": opt.WarmupBranches})
+			return res, nil
+		}
 		if warmupEnd > clockStart {
 			opt.Tracer.Span(tracePID, 1, "warmup", "sim", clockStart, warmupEnd-clockStart,
 				map[string]any{"workload": src.Name(), "predictor": p.Name(), "branches": opt.WarmupBranches})

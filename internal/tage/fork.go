@@ -1,0 +1,40 @@
+package tage
+
+// Fork returns an independent deep copy of the predictor: bimodal and
+// tagged tables (or the infinite associative maps), global/path/folded
+// histories, the allocator's tick and RNG state, and the
+// Predict/Update scratch. Training either copy never affects the other,
+// and — because the RNG state is carried — both copies replay the exact
+// allocation schedule an unforked predictor would. Telemetry instruments
+// are not carried across; attach a registry to the child explicitly.
+// Call at a branch boundary (after Update, before the next Predict).
+func (p *Predictor) Fork() *Predictor {
+	out := *p
+	out.bim = p.bim.Fork()
+	if p.cfg.Infinite {
+		out.inf = make([]map[infKey]*entry, len(p.inf))
+		for i, m := range p.inf {
+			nm := make(map[infKey]*entry, len(m))
+			//llbplint:allow determinism -- map-to-map deep copy: the result is the same set of entries whatever order the range visits
+			for k, e := range m {
+				ce := *e
+				nm[k] = &ce
+			}
+			out.inf[i] = nm
+		}
+	} else {
+		out.tables = make([][]entry, len(p.tables))
+		for i := range p.tables {
+			out.tables[i] = append([]entry(nil), p.tables[i]...)
+		}
+	}
+	ghr := p.ghr.Snapshot()
+	out.ghr = &ghr
+	path := *p.path
+	out.path = &path
+	out.folds = append([]tableFolds(nil), p.folds...)
+	out.telAllocs = nil
+	out.telAllocFails = nil
+	out.telProviderLens = nil
+	return &out
+}

@@ -1,0 +1,80 @@
+package tage
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+func driveTAGE(p *Predictor, seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(6) == 0 {
+			pc := uint64(0x9000 + rng.Intn(32)*0x20)
+			p.TrackOther(pc, pc+0x400, trace.Call)
+			continue
+		}
+		pc := uint64(0x4000 + rng.Intn(64)*4)
+		taken := rng.Intn(3) != 0
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if pred == taken {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// TestForkEquivalence: fork-then-diverge must match two independently
+// warmed twins byte for byte, in both the finite-table and the
+// infinite-map organizations (including the allocator's RNG schedule).
+func TestForkEquivalence(t *testing.T) {
+	const warm, diverge = 6000, 4000
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"finite", DefaultConfig()},
+		{"infinite", DefaultConfig().InfiniteConfig()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Predictor {
+				p, err := New(tc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return p
+			}
+			parent, twinP, twinC := mk(), mk(), mk()
+			driveTAGE(parent, 11, warm)
+			driveTAGE(twinP, 11, warm)
+			driveTAGE(twinC, 11, warm)
+
+			child := parent.Fork()
+
+			gotP := driveTAGE(parent, 22, diverge)
+			wantP := driveTAGE(twinP, 22, diverge)
+			gotC := driveTAGE(child, 33, diverge)
+			wantC := driveTAGE(twinC, 33, diverge)
+
+			if !bytes.Equal(gotP, wantP) {
+				t.Error("parent outcome stream diverged from unforked twin")
+			}
+			if !bytes.Equal(gotC, wantC) {
+				t.Error("child outcome stream diverged from independently warmed twin")
+			}
+			if !reflect.DeepEqual(parent, twinP) {
+				t.Error("parent state not byte-identical to unforked twin")
+			}
+			if !reflect.DeepEqual(child, twinC) {
+				t.Error("child state not byte-identical to independently warmed twin")
+			}
+		})
+	}
+}

@@ -24,6 +24,16 @@ const (
 	EventJobRequeued  = "job.requeued"
 	EventJobShed      = "job.shed"
 	EventJobCompleted = "job.completed"
+
+	// Streaming-session lifecycle (internal/session). The Job field of
+	// these events carries the session ID.
+	EventSessionOpened     = "session.opened"
+	EventSessionClaimed    = "session.claimed"
+	EventSessionCheckpoint = "session.checkpoint"
+	EventSessionFenced     = "session.fenced"
+	EventSessionDrained    = "session.drained"
+	EventSessionResumed    = "session.resumed"
+	EventSessionClosed     = "session.closed"
 )
 
 // KnownEventTypes returns the canonical event vocabulary, in lifecycle
@@ -32,6 +42,9 @@ func KnownEventTypes() []string {
 	return []string{
 		EventJobSubmitted, EventJobClaimed, EventLeaseRenewed,
 		EventLeaseFenced, EventJobRequeued, EventJobShed, EventJobCompleted,
+		EventSessionOpened, EventSessionClaimed, EventSessionCheckpoint,
+		EventSessionFenced, EventSessionDrained, EventSessionResumed,
+		EventSessionClosed,
 	}
 }
 

@@ -39,6 +39,9 @@ const (
 	// (wall clock, ts = microseconds since NewTracer; tid = worker
 	// index + 1).
 	PidService = 3
+	// PidSession is the process track for streaming-session epoch spans
+	// (wall clock; one tid per session, assigned in open order).
+	PidSession = 4
 )
 
 // NewTracer starts a tracer writing to w. Call Close to terminate the

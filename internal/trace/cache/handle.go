@@ -53,6 +53,47 @@ func (h *Handle) Open() trace.Reader { return &handleReader{h: h} }
 // OpenBatch implements trace.BatchSource.
 func (h *Handle) OpenBatch() trace.BatchReader { return &handleReader{h: h} }
 
+// Tail returns a trace.Source replaying branches [skip, Len()) of the
+// handle's snapshot — the measure phase of a stream whose warmup prefix
+// was already consumed by a warm-snapshot fork parent. The view shares
+// the handle's pin: keep the handle unreleased while tail readers are in
+// use, and Release the handle (not the view) afterwards. A skip beyond
+// the snapshot yields an immediately-EOF stream, matching direct replay
+// of a source shorter than the requested prefix.
+func (h *Handle) Tail(skip uint64) trace.Source {
+	if skip == 0 {
+		return h
+	}
+	s := len(h.pcs)
+	if skip < uint64(s) {
+		s = int(skip)
+	}
+	return &tailView{h: h, skip: s}
+}
+
+// tailView is a positioned view over a Handle's snapshot.
+type tailView struct {
+	h    *Handle
+	skip int
+}
+
+var (
+	_ trace.Source      = (*tailView)(nil)
+	_ trace.BatchSource = (*tailView)(nil)
+)
+
+// Name implements trace.Source; the tail is the same workload.
+func (v *tailView) Name() string { return v.h.name }
+
+// Len returns the number of branches the view replays.
+func (v *tailView) Len() int { return len(v.h.pcs) - v.skip }
+
+// Open implements trace.Source.
+func (v *tailView) Open() trace.Reader { return &handleReader{h: v.h, pos: v.skip} }
+
+// OpenBatch implements trace.BatchSource.
+func (v *tailView) OpenBatch() trace.BatchReader { return &handleReader{h: v.h, pos: v.skip} }
+
 // handleReader decodes branches out of the columnar snapshot.
 type handleReader struct {
 	h   *Handle

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+// TestHandleTail: a tail view replays exactly the suffix of the handle's
+// snapshot, via both Read and ReadBatch, and degenerate skips behave
+// (skip 0 = the handle itself; skip past the end = immediate EOF).
+func TestHandleTail(t *testing.T) {
+	src := newKeyedSource("tail", 5, 1000)
+	c := New(1 << 20)
+	hd, err := c.Acquire(src, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hd.Release()
+
+	for _, skip := range []uint64{1, 37, 999, 1000} {
+		tail := hd.Tail(skip)
+		if tail.Name() != src.Name() {
+			t.Fatalf("tail renamed the source: %q", tail.Name())
+		}
+		got := drain(t, tail)
+		want := src.branches[skip:]
+		if len(want) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("skip=%d: want empty stream, got %d branches", skip, len(got))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, []trace.Branch(want)) {
+			t.Fatalf("skip=%d: tail replay diverged from snapshot suffix", skip)
+		}
+		// Batch path too.
+		br := tail.(trace.BatchSource).OpenBatch()
+		buf := make([]trace.Branch, 256)
+		var batched []trace.Branch
+		for {
+			n, err := br.ReadBatch(buf)
+			batched = append(batched, buf[:n]...)
+			if err != nil {
+				if !trace.IsEOF(err) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if !reflect.DeepEqual(batched, []trace.Branch(want)) {
+			t.Fatalf("skip=%d: batched tail replay diverged", skip)
+		}
+	}
+
+	if hd.Tail(0) != trace.Source(hd) {
+		t.Error("Tail(0) should return the handle itself")
+	}
+	if got := hd.Tail(5000).(*tailView); got.Len() != 0 {
+		t.Errorf("skip past end: want empty view, got Len=%d", got.Len())
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import "io"
+
+// Skip returns a view of src that replays the same stream with the first
+// n branches discarded. It is the uncached fallback of the warm-snapshot
+// fork path: when a warmed predictor is forked past its warmup prefix,
+// the measure-only replay must start at branch n of the identical stream,
+// and sources that aren't in the materialized trace cache can only get
+// there by reading and dropping the prefix. The discard is batched, so
+// skipping costs one decode pass, not n interface calls.
+func Skip(src Source, n uint64) Source {
+	if n == 0 {
+		return src
+	}
+	return &skipSource{src: src, n: n}
+}
+
+type skipSource struct {
+	src Source
+	n   uint64
+}
+
+var (
+	_ Source      = (*skipSource)(nil)
+	_ BatchSource = (*skipSource)(nil)
+)
+
+// Name implements Source. The view keeps the underlying name: a skipped
+// stream is the same workload, not a new one, so results keyed by source
+// name stay comparable.
+func (s *skipSource) Name() string { return s.src.Name() }
+
+// Open implements Source.
+func (s *skipSource) Open() Reader {
+	return &skipReader{br: OpenBatched(s.src), toSkip: s.n}
+}
+
+// OpenBatch implements BatchSource.
+func (s *skipSource) OpenBatch() BatchReader {
+	return &skipReader{br: OpenBatched(s.src), toSkip: s.n}
+}
+
+// skipReader discards the prefix lazily on first read, then delegates.
+type skipReader struct {
+	br     BatchReader
+	toSkip uint64
+	err    error // sticky terminal error
+}
+
+var (
+	_ Reader      = (*skipReader)(nil)
+	_ BatchReader = (*skipReader)(nil)
+)
+
+// skip drains the prefix. A stream that ends inside the prefix leaves the
+// reader at EOF, matching what a direct replay of the same budget would
+// report (the stream is simply shorter than warmup+measure).
+func (r *skipReader) skip() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.toSkip == 0 {
+		return nil
+	}
+	buf := make([]Branch, 4096)
+	for r.toSkip > 0 {
+		want := buf
+		if r.toSkip < uint64(len(want)) {
+			want = want[:r.toSkip]
+		}
+		n, err := r.br.ReadBatch(want)
+		r.toSkip -= uint64(n)
+		if err != nil {
+			if r.toSkip > 0 {
+				r.err = err
+				return err
+			}
+			// The source reported EOF exactly at the prefix boundary;
+			// subsequent reads will surface it.
+			break
+		}
+	}
+	return nil
+}
+
+// Read implements Reader.
+func (r *skipReader) Read(b *Branch) error {
+	if err := r.skip(); err != nil {
+		return err
+	}
+	var one [1]Branch
+	n, err := r.br.ReadBatch(one[:])
+	if n == 1 {
+		*b = one[0]
+		return nil
+	}
+	if err == nil {
+		err = io.EOF
+	}
+	r.err = err
+	return err
+}
+
+// ReadBatch implements BatchReader.
+func (r *skipReader) ReadBatch(dst []Branch) (int, error) {
+	if err := r.skip(); err != nil {
+		return 0, err
+	}
+	n, err := r.br.ReadBatch(dst)
+	if err != nil {
+		r.err = err
+	}
+	return n, err
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func skipFixture(n int) []Branch {
+	out := make([]Branch, n)
+	for i := range out {
+		out[i] = Branch{
+			PC:           0x1000 + uint64(i)*4,
+			Target:       0x2000 + uint64(i)*4,
+			Type:         BranchType(i % 6),
+			Taken:        i%3 == 0,
+			Instructions: uint32(i%7 + 1),
+		}
+	}
+	return out
+}
+
+// TestSkip: a skipped view replays exactly the suffix of the stream, via
+// both the record and the batch paths, with degenerate skips handled
+// (skip 0 = the source itself; skip ≥ length = immediate EOF).
+func TestSkip(t *testing.T) {
+	branches := skipFixture(500)
+	src := &SliceSource{SourceName: "skip-test", Branches: branches}
+
+	for _, n := range []uint64{1, 13, 499, 500, 700} {
+		view := Skip(src, n)
+		if view.Name() != src.Name() {
+			t.Fatalf("skip renamed the source: %q", view.Name())
+		}
+		want := []Branch{}
+		if n < uint64(len(branches)) {
+			want = branches[n:]
+		}
+
+		var got []Branch
+		r := view.Open()
+		var b Branch
+		for {
+			err := r.Read(&b)
+			if err != nil {
+				if !IsEOF(err) {
+					t.Fatal(err)
+				}
+				break
+			}
+			got = append(got, b)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("skip=%d: record replay diverged (%d branches, want %d)", n, len(got), len(want))
+		}
+
+		br := view.(BatchSource).OpenBatch()
+		buf := make([]Branch, 128)
+		var batched []Branch
+		for {
+			k, err := br.ReadBatch(buf)
+			batched = append(batched, buf[:k]...)
+			if err != nil {
+				if !IsEOF(err) {
+					t.Fatal(err)
+				}
+				break
+			}
+		}
+		if len(batched) != len(want) || (len(want) > 0 && !reflect.DeepEqual(batched, want)) {
+			t.Fatalf("skip=%d: batched replay diverged (%d branches, want %d)", n, len(batched), len(want))
+		}
+	}
+
+	if Skip(src, 0) != Source(src) {
+		t.Error("Skip(src, 0) should return src itself")
+	}
+}

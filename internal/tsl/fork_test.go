@@ -1,0 +1,81 @@
+package tsl
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"llbp/internal/trace"
+)
+
+// driveTSL applies a deterministic pseudo-random branch stream and
+// returns the prediction outcomes.
+func driveTSL(p *Predictor, seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(6) == 0 {
+			pc := uint64(0x9000 + rng.Intn(32)*0x20)
+			p.TrackOther(pc, pc+0x400, trace.Call)
+			continue
+		}
+		pc := uint64(0x4000 + rng.Intn(64)*4)
+		taken := rng.Intn(3) != 0
+		target := pc + 4
+		if rng.Intn(4) == 0 {
+			target = pc - 32
+		}
+		pred := p.Predict(pc)
+		p.UpdateWithTarget(pc, target, taken)
+		if pred == taken {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// TestForkEquivalence: fork-then-diverge must match two independently
+// warmed twins, byte for byte, across every component of the composite
+// (TAGE tables, SC counter banks, loop entries, choosers, scratch).
+func TestForkEquivalence(t *testing.T) {
+	const warm, diverge = 6000, 4000
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"64k", Config64K()},
+		{"inf-tsl", ConfigInfTSL()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			parent := MustNew(tc.cfg)
+			twinP := MustNew(tc.cfg)
+			twinC := MustNew(tc.cfg)
+			driveTSL(parent, 11, warm)
+			driveTSL(twinP, 11, warm)
+			driveTSL(twinC, 11, warm)
+
+			child := parent.Fork(nil).(*Predictor)
+
+			gotP := driveTSL(parent, 22, diverge)
+			wantP := driveTSL(twinP, 22, diverge)
+			gotC := driveTSL(child, 33, diverge)
+			wantC := driveTSL(twinC, 33, diverge)
+
+			if !bytes.Equal(gotP, wantP) {
+				t.Error("parent outcome stream diverged from unforked twin")
+			}
+			if !bytes.Equal(gotC, wantC) {
+				t.Error("child outcome stream diverged from independently warmed twin")
+			}
+			if !reflect.DeepEqual(parent, twinP) {
+				t.Error("parent state not byte-identical to unforked twin")
+			}
+			if !reflect.DeepEqual(child, twinC) {
+				t.Error("child state not byte-identical to independently warmed twin")
+			}
+		})
+	}
+}

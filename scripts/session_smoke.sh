@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Session resume smoke: stream 50k branches at llbpd, kill -9 the daemon
+# mid-session, restart it on the same journal, resume the push, and
+# require the killed-and-resumed session's verdict stream to be
+# byte-identical to an uninterrupted session fed the same branches.
+#
+# Usage: scripts/session_smoke.sh [chaos-spec]
+#
+# With a chaos spec argument (e.g. 'stream.drop@5%7,worker.stall@4') the
+# daemon injects stream severs and a wedged push connection; the helpers
+# below resume across the resulting fences, so the byte-identity
+# assertion is unchanged — that is the point.
+#
+# LLBPD / LLBPCTL name prebuilt binaries (defaults: /tmp/llbpd,
+# /tmp/llbpctl).
+set -euo pipefail
+
+LLBPD=${LLBPD:-/tmp/llbpd}
+LLBPCTL=${LLBPCTL:-/tmp/llbpctl}
+CHAOS=${1:-}
+
+WORKLOAD=Tomcat
+PREDICTOR=llbp
+WARMUP=20000 # branches folded into the forked warm snapshot
+TOTAL=50000  # branches streamed per session
+BATCH=500    # must divide TOTAL and HALF so resume regenerates exact batches
+HALF=25000   # branches applied before the kill
+
+DIR=$(mktemp -d)
+LLBPD_PID=""
+trap '[ -n "$LLBPD_PID" ] && kill -9 "$LLBPD_PID" 2>/dev/null; rm -rf "$DIR"' EXIT
+
+log() { echo "session-smoke: $*" >&2; }
+
+start_llbpd() {
+  local extra=()
+  [ -n "$CHAOS" ] && extra+=(-chaos "$CHAOS")
+  rm -f "$DIR/addr"
+  "$LLBPD" -addr 127.0.0.1:0 -addr-file "$DIR/addr" -j 2 \
+    -journal "$DIR/llbpd.journal" -lease-ttl 2s \
+    -events "$DIR/events.ndjson" "${extra[@]}" \
+    >>"$DIR/llbpd.log" 2>&1 &
+  LLBPD_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$DIR/addr" ] && break
+    sleep 0.1
+  done
+  test -s "$DIR/addr" || { cat "$DIR/llbpd.log" >&2; exit 1; }
+  ADDR=$(cat "$DIR/addr")
+}
+
+ctl() { "$LLBPCTL" -server "$ADDR" "$@"; }
+
+open_session() {
+  ctl session open -predictor "$PREDICTOR" -workload "$WORKLOAD" -warmup "$WARMUP"
+}
+
+# push_to_total <id>: stream branches until the session holds TOTAL, then
+# close it with bye. Each attempt reads the daemon's cursor and resumes
+# at the next batch, so a fence (chaos stall, lease expiry, daemon kill
+# in between) just means another lap.
+push_to_total() {
+  local id=$1 line state seq remaining
+  for _ in $(seq 1 30); do
+    line=$(ctl session status "$id")
+    state=$(awk '{print $2}' <<<"$line")
+    [ "$state" = closed ] && return 0
+    seq=$(awk '{print $5}' <<<"$line")
+    remaining=$((TOTAL - seq * BATCH))
+    if [ "$remaining" -le 0 ]; then
+      if ctl session push "$id" -bye </dev/null >/dev/null; then
+        return 0
+      fi
+    else
+      if ctl session push "$id" -workload "$WORKLOAD" -skip "$WARMUP" \
+        -batch "$BATCH" -start-seq $((seq + 1)) -n "$remaining" -bye >/dev/null; then
+        return 0
+      fi
+    fi
+    sleep 1
+  done
+  log "session $id never reached $TOTAL branches + close"
+  return 1
+}
+
+# stream_to <id> <file>: pull the full output log. The client resumes
+# severed streams from its cursor internally; a daemon-level failure
+# (chaos exhausting the retry budget) gets a few fresh laps.
+stream_to() {
+  local id=$1 out=$2
+  for _ in $(seq 1 10); do
+    if ctl session stream -o "$out" "$id"; then
+      return 0
+    fi
+    sleep 1
+  done
+  return 1
+}
+
+start_llbpd
+log "llbpd on $ADDR (chaos: ${CHAOS:-none})"
+
+# Uninterrupted reference: one session, all 50k branches, one connection
+# (chaos permitting), closed cleanly.
+REF=$(open_session)
+log "reference session $REF"
+push_to_total "$REF"
+stream_to "$REF" "$DIR/ref.ndjson"
+test -s "$DIR/ref.ndjson"
+
+# Victim: same open parameters, first half streamed, then the daemon is
+# killed -9 — no drain, no graceful close; the journal is all that
+# survives.
+VIC=$(open_session)
+log "victim session $VIC"
+push_to_half() {
+  for _ in $(seq 1 30); do
+    local seq
+    seq=$(ctl session status "$VIC" | awk '{print $5}')
+    [ "$((seq * BATCH))" -ge "$HALF" ] && return 0
+    if ctl session push "$VIC" -workload "$WORKLOAD" -skip "$WARMUP" \
+      -batch "$BATCH" -start-seq $((seq + 1)) -n $((HALF - seq * BATCH)) >/dev/null; then
+      return 0
+    fi
+    sleep 1
+  done
+  return 1
+}
+push_to_half
+log "killing llbpd mid-session (pid $LLBPD_PID)"
+kill -9 "$LLBPD_PID"
+wait "$LLBPD_PID" 2>/dev/null || true
+LLBPD_PID=""
+
+# Restart on the same journal and finish the victim: the daemon replays
+# the journaled batches to rebuild the forked predictor and output log,
+# the push resumes at the cursor, and the combined stream must match the
+# reference byte for byte.
+start_llbpd
+log "llbpd restarted on $ADDR"
+push_to_total "$VIC"
+stream_to "$VIC" "$DIR/vic.ndjson"
+
+if ! cmp "$DIR/ref.ndjson" "$DIR/vic.ndjson"; then
+  log "killed-and-resumed stream diverged from the uninterrupted stream"
+  diff <(head -c 2000 "$DIR/ref.ndjson") <(head -c 2000 "$DIR/vic.ndjson") >&2 || true
+  exit 1
+fi
+FRAMES=$(wc -l <"$DIR/ref.ndjson")
+log "verdict streams byte-identical ($FRAMES frames, $TOTAL branches each)"
+
+# The restarted daemon must have resumed the victim from its journal.
+grep -q '"type":"session.resumed"' "$DIR/events.ndjson" || {
+  log "no session.resumed event after restart"
+  exit 1
+}
+log "ok"

@@ -345,10 +345,16 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 }
 
 // TestDisabledTelemetryOverhead asserts the disabled-registry fast path
-// costs under 2% of a 64K TSL run. Comparing two full end-to-end timings
+// costs under 4% of a 64K TSL run. Comparing two full end-to-end timings
 // is hopelessly noisy in shared CI, so the bound is derived instead: the
 // measured cost of one nil-instrument operation, times the documented
 // per-branch operation count, against the measured cost of one branch.
+// The bound is deliberately loose: a nil-instrument op is a fixed ~1ns
+// nil check, and every speedup of the branch path (DESIGN.md §15)
+// shrinks the denominator, so a tight fraction would fail precisely when
+// the predictor gets faster. 4% still catches the real failure mode — an
+// accidental map lookup, interface call or atomic in the nil path costs
+// tens of ns and blows far past it.
 func TestDisabledTelemetryOverhead(t *testing.T) {
 	if raceEnabled {
 		t.Skip("timing bound is meaningless under the race detector")
@@ -377,7 +383,7 @@ func TestDisabledTelemetryOverhead(t *testing.T) {
 	}
 	frac := telOpsPerBranch * nilNs / branchNs
 	t.Logf("nil instrument op: %.3gns, branch: %.4gns, derived overhead: %.3g%%", nilNs, branchNs, frac*100)
-	if frac >= 0.02 {
-		t.Errorf("disabled telemetry costs %.2f%% of a 64K TSL branch, want < 2%%", frac*100)
+	if frac >= 0.04 {
+		t.Errorf("disabled telemetry costs %.2f%% of a 64K TSL branch, want < 4%%", frac*100)
 	}
 }

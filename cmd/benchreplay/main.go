@@ -16,6 +16,8 @@
 //	benchreplay -check BENCH_5.json                      # validate an existing document
 //	benchreplay -compare BENCH_5.json -out BENCH_6.json  # measure, diff, gate
 //	benchreplay -branches 50000 -out -                   # quick run to stdout
+//	benchreplay -out BENCH_8.json -cpuprofile llbp.prof  # plus llbp CPU profile
+//	benchreplay -micro                                   # per-component microbenchmarks
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -124,8 +127,10 @@ type Result struct {
 	DeltaPct float64 `json:"delta_pct,omitempty"`
 	// Verdict records how the comparison gate judged this family:
 	// "ok" (within tolerance), "regression" (beyond it), or
-	// "no-baseline" (family absent from the baseline document). Empty
-	// when the run was not a -compare.
+	// "inherited-baseline" (family absent from the baseline document;
+	// this run's own rate is recorded as its first baseline so the next
+	// comparison gates it normally). Empty when the run was not a
+	// -compare.
 	Verdict string `json:"verdict,omitempty"`
 	// VsBatchPct is set on the streamed-session family only: the rate
 	// relative to the same predictor's batch replay ("tage-sc-l"),
@@ -139,8 +144,8 @@ type Result struct {
 // pushed through the session subsystem instead of sim.Run. It is newer
 // than the sim families, so parseDoc treats it as optional — BENCH_6 and
 // earlier predate it and must keep parsing, both under -check and as
-// -compare baselines (where compareDocs hands the absent family a
-// "no-baseline" verdict instead of failing the parse).
+// -compare baselines (where compareDocs hands the absent family an
+// "inherited-baseline" verdict instead of failing the parse).
 const sessionFamily = "session"
 
 // families mirrors BenchmarkReplayThroughput's predictor set; the
@@ -179,9 +184,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		warmup   = fs.Uint64("warmup", 20_000, "warmup branches per iteration")
 		compare  = fs.String("compare", "", "baseline benchmark document to diff the fresh measurement against")
 		tol      = fs.Float64("tolerance", 5.0, "max per-family branches/s regression percent before -compare fails")
+		micro    = fs.Bool("micro", false, "run the per-component llbp microbenchmarks instead of the replay families")
+		profile  = fs.String("cpuprofile", "", "write a CPU profile of the llbp family's measurement to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *micro {
+		if *check != "" || *compare != "" {
+			fmt.Fprintln(stderr, "benchreplay: -micro is exclusive with -check/-compare")
+			return 2
+		}
+		return runMicro(stdout, stderr)
 	}
 	if *check != "" && *compare != "" {
 		fmt.Fprintln(stderr, "benchreplay: -check and -compare are mutually exclusive")
@@ -211,7 +225,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	doc, err := measure(*wlName, *branches, *warmup, stderr)
+	doc, err := measure(*wlName, *branches, *warmup, *profile, stderr)
 	if err != nil {
 		fmt.Fprintln(stderr, "benchreplay:", err)
 		return 1
@@ -248,10 +262,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // compareDocs annotates doc's results with baseline rates, deltas, and
 // per-family verdicts under tol percent, returning the families that
-// regressed beyond it. Families missing from the baseline are warned
-// about and skipped (a newly added family has no trajectory yet). A
-// baseline measured on a different machine is called out: the delta
-// then measures the machines, not the code.
+// regressed beyond it. A family missing from the baseline inherits its
+// own fresh measurement as the first baseline (verdict
+// "inherited-baseline", delta 0): the written document then carries a
+// positive rate for the family, so the next -compare against it gates
+// the family like every other one instead of repeating "no-baseline"
+// forever. A baseline measured on a different machine is called out:
+// the delta then measures the machines, not the code.
 func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
 	doc.TolerancePct = tol
 	if bm, m := baseline.Machine, doc.Machine; bm != nil && m != nil && bm.CPUModel != m.CPUModel {
@@ -267,8 +284,10 @@ func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
 		r := &doc.Results[i]
 		b, ok := base[r.Family]
 		if !ok || b <= 0 {
-			r.Verdict = "no-baseline"
-			fmt.Fprintf(stderr, "benchreplay: family %q absent from baseline %s; skipping\n", r.Family, doc.BaselineFile)
+			r.BaselineBranchesPerSec = r.BranchesPerSc
+			r.Verdict = "inherited-baseline"
+			fmt.Fprintf(stderr, "benchreplay: family %q absent from baseline %s; inheriting this run's %.0f branches/s as its first baseline\n",
+				r.Family, doc.BaselineFile, r.BranchesPerSc)
 			continue
 		}
 		r.BaselineBranchesPerSec = b
@@ -284,9 +303,29 @@ func compareDocs(doc, baseline *Doc, tol float64, stderr io.Writer) []string {
 	return regressions
 }
 
+// runMicro measures the per-component llbp microbenchmarks
+// (core.Microbenches) and prints one line each. The components are the
+// structures the end-to-end llbp number decomposes into, so a replay
+// regression can be localized without a profiler.
+func runMicro(stdout, stderr io.Writer) int {
+	for _, m := range core.Microbenches() {
+		r := testing.Benchmark(func(b *testing.B) { m.Run(b.N) })
+		if r.N == 0 {
+			fmt.Fprintf(stderr, "benchreplay: microbenchmark %s did not run\n", m.Name)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-18s %12d iters %10.1f ns/op\n",
+			m.Name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+	return 0
+}
+
 // measure runs the replay benchmark for every family via
 // testing.Benchmark, so iteration scaling matches `go test -bench`.
-func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, error) {
+// When cpuprofile is non-empty, the llbp family's measurement — the
+// family the perf roadmap tracks — runs under the CPU profiler and the
+// profile is written there.
+func measure(wlName string, branches, warmup uint64, cpuprofile string, progress io.Writer) (*Doc, error) {
 	wl, err := workload.ByName(wlName)
 	if err != nil {
 		return nil, err
@@ -306,6 +345,20 @@ func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, 
 		Machine:  currentMachine(),
 	}
 	for _, fam := range families {
+		profiled := cpuprofile != "" && fam.name == "llbp"
+		if profiled {
+			f, err := os.Create(cpuprofile)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			// Stopped right after this family's benchmark returns, so the
+			// profile holds llbp's measurement alone.
+			defer f.Close()
+		}
 		var runErr error
 		r := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -320,6 +373,9 @@ func measure(wlName string, branches, warmup uint64, progress io.Writer) (*Doc, 
 				}
 			}
 		})
+		if profiled {
+			pprof.StopCPUProfile()
+		}
 		if runErr != nil {
 			return nil, fmt.Errorf("%s: %w", fam.name, runErr)
 		}

@@ -200,8 +200,9 @@ func TestCompareRegressionFails(t *testing.T) {
 }
 
 // TestCompareAbsentFamilyBaseline: a BENCH_6-era baseline that predates
-// the session family still parses and gates — the new family gets a
-// "no-baseline" verdict instead of failing the run.
+// the session family still parses and gates — the new family inherits
+// its own fresh rate as a first baseline ("inherited-baseline") instead
+// of failing the run or staying unaccountable forever.
 func TestCompareAbsentFamilyBaseline(t *testing.T) {
 	dir := t.TempDir()
 	doc := Doc{Schema: BenchSchema, Workload: "Tomcat", Branches: 2000}
@@ -225,7 +226,7 @@ func TestCompareAbsentFamilyBaseline(t *testing.T) {
 		t.Fatalf("compare vs pre-session baseline: code %d, stderr %q", code, stderr.String())
 	}
 	if !strings.Contains(stderr.String(), "absent from baseline") {
-		t.Errorf("stderr %q lacks the no-baseline warning", stderr.String())
+		t.Errorf("stderr %q lacks the inherited-baseline notice", stderr.String())
 	}
 	var got Doc
 	rawOut, err := os.ReadFile(out)
@@ -238,7 +239,11 @@ func TestCompareAbsentFamilyBaseline(t *testing.T) {
 	for _, r := range got.Results {
 		want := "ok"
 		if r.Family == sessionFamily {
-			want = "no-baseline"
+			want = "inherited-baseline"
+			if r.BaselineBranchesPerSec != r.BranchesPerSc {
+				t.Errorf("family %s: inherited baseline %v, want own rate %v",
+					r.Family, r.BaselineBranchesPerSec, r.BranchesPerSc)
+			}
 		}
 		if r.Verdict != want {
 			t.Errorf("family %s: verdict %q, want %q", r.Family, r.Verdict, want)
@@ -260,5 +265,30 @@ func TestCompareUsage(t *testing.T) {
 	}
 	if code := run([]string{"-compare", filepath.Join(dir, "absent.json"), "-out", "-"}, &stdout, &stderr); code != 1 {
 		t.Errorf("missing baseline: code %d, want 1", code)
+	}
+	if code := run([]string{"-micro", "-check", baseline}, &stdout, &stderr); code != 2 {
+		t.Errorf("-micro with -check: code %d, want 2", code)
+	}
+	if code := run([]string{"-micro", "-compare", baseline}, &stdout, &stderr); code != 2 {
+		t.Errorf("-micro with -compare: code %d, want 2", code)
+	}
+}
+
+// TestCPUProfileArtifact: -cpuprofile writes a non-empty profile of the
+// llbp family's measurement alongside the document.
+func TestCPUProfileArtifact(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "llbp.prof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-out", filepath.Join(dir, "bench.json"), "-branches", "2000", "-warmup", "500", "-cpuprofile", prof}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run with -cpuprofile: code %d, stderr %q", code, stderr.String())
+	}
+	info, err := os.Stat(prof)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile file is empty")
 	}
 }

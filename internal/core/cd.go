@@ -13,30 +13,19 @@ type CDEntry struct {
 	// high-confidence patterns the set holds (§V-D step 1); the entry
 	// with the lowest count is the eviction victim.
 	Conf uint8
-	// Set is the pattern set in LLBP bulk storage.
-	Set *PatternSet
+	// Set is the pattern set in LLBP bulk storage, held by value: the
+	// evaluated design's 16 packed lanes live inline in the entry, so a
+	// set transfer or fork clone is a flat copy with no pointer chase.
+	Set PatternSet
 	// CID is the full context ID (diagnostics and PB invalidation).
 	CID uint64
 	// lastUse is the LRU timestamp (ReplacementLRU ablation only).
 	lastUse uint64
-	// shared marks Set as copy-on-write: a fork leaves the bulk pattern
-	// storage shared between both predictors and marks both directory
-	// entries shared; each side clones the set on its first write (see
-	// ownSet). Reads never clone — the fork cost is proportional to the
-	// patterns actually retrained, not to LLBP storage size.
-	shared bool
 }
 
-// ownSet returns the entry's pattern set for writing, cloning it first
-// when it is still shared with a forked predictor. Every pattern-set
-// mutation must go through this choke point; reads may use Set directly.
-func (e *CDEntry) ownSet() *PatternSet {
-	if e.shared {
-		e.Set = e.Set.clone()
-		e.shared = false
-	}
-	return e.Set
-}
+// cdInvalidKey marks an empty way in the directory's key lane. Stored
+// keys are zero-extended 32-bit tags, so all-ones never collides.
+const cdInvalidKey = ^uint64(0)
 
 // Directory is the context directory plus the LLBP bulk storage it
 // indexes. Two organizations are supported: the production design's
@@ -44,8 +33,14 @@ func (e *CDEntry) ownSet() *PatternSet {
 // index + 3-bit tag, §VI), and the fully associative variant with wide
 // tags used by the Figure 14 design-space study.
 type Directory struct {
-	// Set-associative organization.
+	// Set-associative organization. keys mirrors sets way-for-way with
+	// the packed valid+tag compare lane: a CDEntry embeds its pattern
+	// set by value (~200 bytes), so scanning the entries themselves
+	// would touch one cache line per way — the key lane keeps the
+	// per-lookup footprint to the set's few contiguous words, and only
+	// a hit dereferences the entry.
 	sets    [][]CDEntry
+	keys    [][]uint64
 	setBits uint
 
 	// Fully associative organization.
@@ -86,11 +81,27 @@ func newDirectory(cfg *Config) *Directory {
 		panic(fmt.Sprintf("core: CDSets %d must be a power of two", cfg.CDSets))
 	}
 	d.setBits = uint(setBits)
-	d.sets = make([][]CDEntry, cfg.CDSets)
-	for i := range d.sets {
-		d.sets[i] = make([]CDEntry, ways)
-	}
+	d.sets, d.keys = cdRows(cfg.CDSets, ways)
 	return d
+}
+
+// cdRows carves the directory's per-set entry and key rows out of two
+// flat backing arrays: two allocations instead of thousands, and the
+// whole structure is contiguous for the per-branch key-lane probes.
+func cdRows(nsets, ways int) ([][]CDEntry, [][]uint64) {
+	sets := make([][]CDEntry, nsets)
+	keys := make([][]uint64, nsets)
+	entBacking := make([]CDEntry, nsets*ways)
+	keyBacking := make([]uint64, nsets*ways)
+	for i := range keyBacking {
+		keyBacking[i] = cdInvalidKey
+	}
+	for i := 0; i < nsets; i++ {
+		lo, hi := i*ways, (i+1)*ways
+		sets[i] = entBacking[lo:hi:hi]
+		keys[i] = keyBacking[lo:hi:hi]
+	}
+	return sets, keys
 }
 
 func (d *Directory) setAndTag(cid uint64) (uint64, uint32) {
@@ -103,6 +114,7 @@ func (d *Directory) setAndTag(cid uint64) (uint64, uint32) {
 func (d *Directory) Lookup(cid uint64) *CDEntry {
 	d.tick++
 	if d.assoc != nil {
+		//llbplint:allow hotpath -- FullAssocCD is the Figure 14 design-space ablation, not the evaluated set-associative hardware path
 		e := d.assoc[cid]
 		if e != nil {
 			e.lastUse = d.tick
@@ -110,9 +122,9 @@ func (d *Directory) Lookup(cid uint64) *CDEntry {
 		return e
 	}
 	set, tag := d.setAndTag(cid)
-	for i := range d.sets[set] {
-		e := &d.sets[set][i]
-		if e.Valid && e.Tag == tag {
+	for i, k := range d.keys[set] {
+		if k == uint64(tag) {
+			e := &d.sets[set][i]
 			e.lastUse = d.tick
 			return e
 		}
@@ -162,6 +174,7 @@ func (d *Directory) Insert(cid uint64) (e *CDEntry, evictedCID uint64, evicted b
 		CID:     cid,
 		lastUse: d.tick,
 	}
+	d.keys[set][victim] = uint64(tag)
 	return ent, evictedCID, evicted
 }
 
@@ -189,19 +202,23 @@ func (d *Directory) insertAssoc(cid uint64) (*CDEntry, uint64, bool) {
 		d.cursor = (d.cursor + window) % (len(d.entries) + 1)
 		v := d.entries[victim]
 		evictedCID, evicted = v.CID, true
+		//llbplint:allow hotpath -- FullAssocCD ablation: the map IS the directory in this organization
 		delete(d.assoc, v.CID)
 		last := len(d.entries) - 1
 		d.entries[victim] = d.entries[last]
 		d.entries = d.entries[:last]
 		d.evictions++
 	}
+	//llbplint:allow hotpath -- FullAssocCD ablation: entries are heap values by design, one per context insert (miss-driven, not per branch)
 	e := &CDEntry{
 		Valid:   true,
 		Set:     newPatternSet(d.patternsPerSet),
 		CID:     cid,
 		lastUse: d.tick,
 	}
+	//llbplint:allow hotpath -- FullAssocCD ablation: the map IS the directory in this organization
 	d.assoc[cid] = e
+	//llbplint:allow hotpath -- FullAssocCD ablation: insertion-ordered backing grows once per context, off the per-branch steady state
 	d.entries = append(d.entries, e)
 	return e, evictedCID, evicted
 }

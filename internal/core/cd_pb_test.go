@@ -112,11 +112,7 @@ func TestRefreshConf(t *testing.T) {
 	e, _, _ := d.Insert(0x1)
 	e.Set.insert(0x10, 0, true, 4, 16)
 	e.Set.insert(0x20, 4, true, 4, 16)
-	for i := range e.Set.Pats {
-		if e.Set.Pats[i].Valid {
-			e.Set.Pats[i].Ctr = 3
-		}
-	}
+	setAllCtrs(&e.Set, 3)
 	d.RefreshConf(e)
 	if e.Conf != 2 {
 		t.Errorf("Conf = %d, want 2", e.Conf)

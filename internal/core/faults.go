@@ -58,31 +58,36 @@ func (p *Predictor) FaultFields() []faults.Field {
 	lenBits := lenIdxBits(len(p.cfg.HistLengths))
 	nLengths := len(p.cfg.HistLengths)
 
-	pat := func(i int) *Pattern {
+	// Patterns are stored as packed lanes; the fault surface reads and
+	// writes whole patterns through the unpacked view, so field addressing
+	// is unchanged from the scalar layout.
+	get := func(i int) (Pattern, bool) {
 		ent := p.dir.entryAt(i / per)
-		if ent == nil || ent.Set == nil {
-			return nil
+		if ent == nil {
+			return Pattern{}, false
 		}
-		return &ent.Set.Pats[i%per]
+		return ent.Set.Pattern(i % per), true
+	}
+	put := func(i int, q Pattern) {
+		if ent := p.dir.entryAt(i / per); ent != nil {
+			ent.Set.SetPattern(i%per, q)
+		}
 	}
 	ctrBits := p.cfg.CtrBits
-	reset := func(i int) {
-		if q := pat(i); q != nil {
-			*q = Pattern{}
-		}
-	}
+	reset := func(i int) { put(i, Pattern{}) }
 	fields = append(fields,
 		faults.Field{
 			Name: "llbp.pattern.tag", Bits: p.cfg.TagBits, Len: slots,
 			Get: func(i int) uint64 {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					return uint64(q.Tag)
 				}
 				return 0
 			},
 			Set: func(i int, v uint64) {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					q.Tag = uint32(v)
+					put(i, q)
 				}
 			},
 			Reset: reset,
@@ -90,14 +95,15 @@ func (p *Predictor) FaultFields() []faults.Field {
 		faults.Field{
 			Name: "llbp.pattern.ctr", Bits: ctrBits, Len: slots,
 			Get: func(i int) uint64 {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					return faults.Unsigned(int64(q.Ctr), ctrBits)
 				}
 				return 0
 			},
 			Set: func(i int, v uint64) {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					q.Ctr = int8(faults.SignExtend(v, ctrBits))
+					put(i, q)
 				}
 			},
 			Reset: reset,
@@ -105,13 +111,13 @@ func (p *Predictor) FaultFields() []faults.Field {
 		faults.Field{
 			Name: "llbp.pattern.len", Bits: lenBits, Len: slots,
 			Get: func(i int) uint64 {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					return uint64(q.LenIdx)
 				}
 				return 0
 			},
 			Set: func(i int, v uint64) {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					// A corrupt encoding beyond the configured length
 					// count decodes as the last valid length (hardware
 					// would select some row of the mux cascade; any
@@ -120,6 +126,7 @@ func (p *Predictor) FaultFields() []faults.Field {
 						v = uint64(nLengths - 1)
 					}
 					q.LenIdx = uint8(v)
+					put(i, q)
 				}
 			},
 			Reset: reset,
@@ -127,14 +134,15 @@ func (p *Predictor) FaultFields() []faults.Field {
 		faults.Field{
 			Name: "llbp.pattern.valid", Bits: 1, Len: slots,
 			Get: func(i int) uint64 {
-				if q := pat(i); q != nil && q.Valid {
+				if q, ok := get(i); ok && q.Valid {
 					return 1
 				}
 				return 0
 			},
 			Set: func(i int, v uint64) {
-				if q := pat(i); q != nil {
+				if q, ok := get(i); ok {
 					q.Valid = v != 0
+					put(i, q)
 				}
 			},
 			Reset: reset,

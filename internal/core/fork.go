@@ -1,7 +1,6 @@
 package core
 
 import (
-	"llbp/internal/history"
 	"llbp/internal/predictor"
 	"llbp/internal/tsl"
 )
@@ -35,11 +34,12 @@ func (p *Predictor) Fork(clock *predictor.Clock) predictor.Predictor {
 	dir, remap := p.dir.fork()
 	out.dir = dir
 	out.pb = p.pb.fork(remap)
-	ghr := p.ghr.Snapshot()
-	out.ghr = &ghr
-	out.fold1 = append([]history.Folded(nil), p.fold1...)
-	out.fold2 = append([]history.Folded(nil), p.fold2...)
-	out.lenFold = append([]int(nil), p.lenFold...)
+	// Clone the shared history engine and rebind the forked baseline's
+	// TAGE to the clone; the cached fold locations (f1Loc/f2Loc/lenFold)
+	// are immutable after construction and valid for the clone, so the
+	// child shares them.
+	out.eng = p.eng.Clone()
+	out.base.TAGE().RebindHistoryEngine(out.eng)
 	out.tel = coreTel{}
 	// The per-prediction scratch points into the parent's pattern
 	// buffer; at a branch boundary it is dead, so the child starts with
@@ -55,10 +55,12 @@ func (r *RCR) fork() *RCR {
 	return &out
 }
 
-// fork duplicates the directory, marking every live entry on BOTH sides
-// as sharing its pattern set copy-on-write. It returns the copy plus a
-// CID -> new-entry map so the pattern buffer can rebind its cached
-// pointers into the copied directory.
+// fork duplicates the directory. Pattern sets are values inside the
+// entries, so the row copy IS the pattern-storage copy — one flat memcpy
+// per set row, no per-pattern work (sets that spilled to a heap extension
+// are unshared explicitly). It returns the copy plus a CID -> new-entry
+// map so the pattern buffer can rebind its cached pointers into the
+// copied directory.
 func (d *Directory) fork() (*Directory, map[uint64]*CDEntry) {
 	out := *d
 	if d.assoc != nil {
@@ -66,8 +68,8 @@ func (d *Directory) fork() (*Directory, map[uint64]*CDEntry) {
 		out.assoc = make(map[uint64]*CDEntry, len(d.entries))
 		out.entries = make([]*CDEntry, len(d.entries))
 		for i, e := range d.entries {
-			e.shared = true
 			ce := *e
+			ce.Set.unshare()
 			out.entries[i] = &ce
 			out.assoc[ce.CID] = &ce
 			remap[ce.CID] = &ce
@@ -75,18 +77,22 @@ func (d *Directory) fork() (*Directory, map[uint64]*CDEntry) {
 		return &out, remap
 	}
 	remap := make(map[uint64]*CDEntry)
-	out.sets = make([][]CDEntry, len(d.sets))
+	ways := 0
+	if len(d.sets) > 0 {
+		ways = len(d.sets[0])
+	}
+	out.sets, out.keys = cdRows(len(d.sets), ways)
 	for i := range d.sets {
-		row := append([]CDEntry(nil), d.sets[i]...)
+		row := out.sets[i]
+		copy(row, d.sets[i])
+		copy(out.keys[i], d.keys[i])
 		for j := range row {
 			if !row[j].Valid {
 				continue
 			}
-			d.sets[i][j].shared = true
-			row[j].shared = true
+			row[j].Set.unshare()
 			remap[row[j].CID] = &row[j]
 		}
-		out.sets[i] = row
 	}
 	return &out, remap
 }
@@ -98,21 +104,20 @@ func (d *Directory) fork() (*Directory, map[uint64]*CDEntry) {
 // aliasing the parent.
 func (b *Buffer) fork(remap map[uint64]*CDEntry) *Buffer {
 	out := *b
-	out.sets = make([][]PBEntry, len(b.sets))
-	for i := range b.sets {
-		row := append([]PBEntry(nil), b.sets[i]...)
-		for j := range row {
-			if !row[j].Valid {
+	out.sets = append([]pbSet(nil), b.sets...)
+	for i := range out.sets {
+		s := &out.sets[i]
+		for w := 0; w < b.nways; w++ {
+			if !s.ways[w].Valid {
 				continue
 			}
-			ent := remap[row[j].CID]
+			ent := remap[s.ways[w].CID]
 			if ent == nil {
-				row[j] = PBEntry{}
+				s.clearWay(w)
 				continue
 			}
-			row[j].Ent = ent
+			s.ways[w].Ent = ent
 		}
-		out.sets[i] = row
 	}
 	return &out
 }

@@ -47,23 +47,6 @@ func driveForkStream(p *Predictor, clock *predictor.Clock, seed int64, n int) []
 	return out
 }
 
-// clearShared drops the copy-on-write marks a fork leaves on directory
-// entries, so a forked predictor can be structurally compared against a
-// never-forked twin (the marks are bookkeeping, not predictor state).
-func clearShared(p *Predictor) {
-	if p.dir.assoc != nil {
-		for _, e := range p.dir.entries {
-			e.shared = false
-		}
-		return
-	}
-	for i := range p.dir.sets {
-		for j := range p.dir.sets[i] {
-			p.dir.sets[i][j].shared = false
-		}
-	}
-}
-
 func newLLBP(t *testing.T, cfg Config) (*Predictor, *predictor.Clock) {
 	t.Helper()
 	clock := &predictor.Clock{}
@@ -121,8 +104,6 @@ func TestForkEquivalence(t *testing.T) {
 			if !bytes.Equal(gotC, wantC) {
 				t.Error("child outcome stream diverged from independently warmed twin")
 			}
-			clearShared(parent)
-			clearShared(child)
 			if !reflect.DeepEqual(parent.Stats(), twinP.Stats()) {
 				t.Errorf("parent stats diverged:\n got %+v\nwant %+v", parent.Stats(), twinP.Stats())
 			}
@@ -145,35 +126,29 @@ func TestForkEquivalence(t *testing.T) {
 	}
 }
 
-// TestForkSharesUntouchedSets verifies the copy-on-write economics: right
-// after a fork every live pattern set is physically shared, and only
-// written sets get privatized.
-func TestForkSharesUntouchedSets(t *testing.T) {
+// TestForkIsolatesPatternStorage verifies the flat-copy fork economics:
+// pattern sets are values inside directory entries, so a fork copies them
+// verbatim and training one lineage can never reach the other's storage.
+func TestForkIsolatesPatternStorage(t *testing.T) {
 	parent, clock := newLLBP(t, DefaultConfig())
 	driveForkStream(parent, clock, 7, 8000)
-	live := parent.dir.Live()
-	if live == 0 {
+	if parent.dir.Live() == 0 {
 		t.Fatal("warmup installed no contexts")
 	}
 	childClock := &predictor.Clock{}
 	child := parent.Fork(childClock).(*Predictor)
-	shared := 0
-	for i := range child.dir.sets {
-		for j := range child.dir.sets[i] {
-			e := &child.dir.sets[i][j]
-			if e.Valid && e.shared {
-				shared++
-			}
-		}
+	if !reflect.DeepEqual(parent.dir.sets, child.dir.sets) {
+		t.Fatal("fork must copy the directory storage verbatim")
 	}
-	if shared != live {
-		t.Fatalf("fork privatized eagerly: %d of %d live sets shared", shared, live)
-	}
-	// Train the child and confirm the parent's bulk storage is untouched
-	// while written sets got privatized.
+	// Train the child; the parent's bulk storage and stats must be
+	// untouched.
+	snap, _ := parent.dir.fork()
 	before := parent.stats.PatternAllocs
 	driveForkStream(child, childClock, 13, 4000)
 	if parent.stats.PatternAllocs != before {
 		t.Error("training the child mutated parent stats")
+	}
+	if !reflect.DeepEqual(parent.dir.sets, snap.sets) {
+		t.Error("training the child mutated the parent's pattern storage")
 	}
 }

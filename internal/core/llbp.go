@@ -69,12 +69,19 @@ type Predictor struct {
 	dir *Directory
 	pb  *Buffer
 
-	// LLBP's own history mirrors (identical content to TAGE's, §V-B).
-	ghr   *history.Global
-	fold1 []history.Folded // per distinct history length, TagBits wide (value slice: walked every branch)
-	fold2 []history.Folded // per distinct history length, TagBits-1 wide
+	// Shared folded-history engine (§V-B: LLBP's folds are identical in
+	// content to the baseline's, so the composite owns one engine, adopted
+	// from the baseline TAGE, and pushes it exactly once per branch for
+	// both components). f1Loc/f2Loc cache the packed locations of LLBP's
+	// TagBits and TagBits-1 folds per distinct history length.
+	eng   *history.Engine
+	f1Loc []history.Loc
+	f2Loc []history.Loc
 	// lenFold maps a HistLengths index to its distinct-length fold index.
 	lenFold []int
+	// tagPlan flattens tagFor's per-length state (fold locations resolved
+	// through lenFold, AltHash flag) for matchPatterns' key-fill loop.
+	tagPlan []tagPlan
 
 	stats  Stats
 	tel    coreTel
@@ -109,13 +116,13 @@ type Predictor struct {
 	override   bool // provider match was confident enough to override
 	finalTaken bool
 
-	// Pattern-match tag scratch, struct-resident so matchPatterns does
-	// not zero ~1.3KB of stack per prediction: a slot's cached tag is
-	// valid only when its epoch equals tagEpoch, and bumping tagEpoch
-	// invalidates every slot at once.
-	tagScratch [maxLengths]uint32
-	tagValid   [maxLengths]uint64
-	tagEpoch   uint64
+	// wantKeys[li] is the packed-lane match key (valid | lenIdx | tag)
+	// expected for history-length index li at the current PB-hit PC.
+	// matchPatterns fills the configured prefix once per PB-hit branch
+	// straight from the shared folds — the ≤16 tags reuse the ≤12
+	// distinct-length fold pairs — and the set probe reduces to one
+	// masked compare per lane.
+	wantKeys [maxLengths]uint64
 }
 
 var (
@@ -144,21 +151,44 @@ func New(cfg Config, base *tsl.Predictor, clock *predictor.Clock) (*Predictor, e
 		rcr:   NewRCR(cfg.W, cfg.D, cfg.CIDBits, cfg.ShiftedHash),
 		dir:   newDirectory(&cfg),
 		pb:    newBuffer(cfg.PBEntries, cfg.PBWays),
-		ghr:   history.NewGlobal(),
 	}
+	// Adopt the baseline's history engine: from here on the composite is
+	// the single owner pushing it, and LLBP's folds register into the same
+	// packed words (deduping against TAGE's where (length, width) match).
+	p.eng = base.TAGE().AdoptHistoryEngine()
 	p.lenFold = make([]int, len(cfg.HistLengths))
 	seen := map[int]int{}
 	for i, h := range cfg.HistLengths {
 		fi, ok := seen[h.Len]
 		if !ok {
-			fi = len(p.fold1)
+			fi = len(p.f1Loc)
 			seen[h.Len] = fi
-			p.fold1 = append(p.fold1, history.NewFoldedValue(h.Len, cfg.TagBits))
-			p.fold2 = append(p.fold2, history.NewFoldedValue(h.Len, cfg.TagBits-1))
+			p.f1Loc = append(p.f1Loc, p.eng.Loc(p.eng.Register(h.Len, cfg.TagBits)))
+			p.f2Loc = append(p.f2Loc, p.eng.Loc(p.eng.Register(h.Len, cfg.TagBits-1)))
 		}
 		p.lenFold[i] = fi
 	}
+	p.tagPlan = make([]tagPlan, len(cfg.HistLengths))
+	for i, h := range cfg.HistLengths {
+		l1, l2 := p.f1Loc[p.lenFold[i]], p.f2Loc[p.lenFold[i]]
+		p.tagPlan[i] = tagPlan{
+			m1: l1.Mask, m2: l2.Mask,
+			w1: l1.Word, w2: l2.Word,
+			s1: l1.Shift, s2: l2.Shift,
+			alt: h.AltHash,
+		}
+	}
 	return p, nil
+}
+
+// tagPlan is one history length's flattened tag-hash schedule: the two
+// fold locations (already resolved through lenFold) and the AltHash
+// flag, laid out for sequential reads in matchPatterns' key-fill loop.
+type tagPlan struct {
+	m1, m2 uint64
+	w1, w2 int32
+	s1, s2 uint8
+	alt    bool
 }
 
 // MustNew is New panicking on error, for the always-valid package configs.
@@ -256,8 +286,9 @@ func (p *Predictor) AttachTelemetry(reg *telemetry.Registry) {
 // histories differently, like the baseline TAGE's modified hash.
 func (p *Predictor) tagFor(pc uint64, lenIdx int) uint32 {
 	fi := p.lenFold[lenIdx]
-	f1 := p.fold1[fi].Value()
-	f2 := p.fold2[fi].Value()
+	l1, l2 := p.f1Loc[fi], p.f2Loc[fi]
+	f1 := (p.eng.Word(l1.Word) >> l1.Shift) & l1.Mask
+	f2 := (p.eng.Word(l2.Word) >> l2.Shift) & l2.Mask
 	mask := uint64(1)<<uint(p.cfg.TagBits) - 1
 	if p.cfg.HistLengths[lenIdx].AltHash {
 		rot := (f1 << 3) | (f1 >> uint(p.cfg.TagBits-3))
@@ -323,8 +354,8 @@ func (p *Predictor) Predict(pc uint64) bool {
 		// prediction, mirroring TAGE's use-alt-on-newly-allocated
 		// heuristic — a weak counter carries no evidence yet. The
 		// pattern still trains as the provider.
-		pat := &p.pbe.Ent.Set.Pats[p.matchSlot]
-		confident := pat.Ctr >= 1 || pat.Ctr <= -2
+		ctr := laneCtr(p.pbe.Ent.Set.lanes()[p.matchSlot])
+		confident := ctr >= 1 || ctr <= -2
 		if p.llbpWins && confident {
 			p.override = true
 			p.finalTaken = p.llbpTaken
@@ -389,36 +420,59 @@ func (p *Predictor) tickGate() {
 // matchPatterns scans the current pattern set for the longest matching
 // pattern. Sets are kept in ascending history-length order, so the last
 // match in slot order is the longest (§V-B).
+//
+// The probe is branch-free: the expected key for every configured length
+// is computed up front (valid bit, length index and tag packed exactly as
+// the lanes store them), then each lane needs one mask, one table load
+// and one compare, with the matching slot carried in a conditional move.
 func (p *Predictor) matchPatterns(pc uint64) {
-	set := p.pbe.Ent.Set
-	p.tagEpoch++
-	epoch := p.tagEpoch
-	for i := range set.Pats {
-		pat := &set.Pats[i]
-		if !pat.Valid {
-			continue
+	// Key fill: tagFor unrolled over the flattened plan with the packed
+	// word slice in a local, so each length costs two indexed loads plus
+	// shifts/xors (tagFor is the reference formulation of the same hash).
+	words := p.eng.Words()
+	mask := uint64(1)<<uint(p.cfg.TagBits) - 1
+	rot := uint(p.cfg.TagBits - 3)
+	base := pc >> 2
+	for li := range p.tagPlan {
+		t := &p.tagPlan[li]
+		f1 := (words[t.w1] >> t.s1) & t.m1
+		f2 := (words[t.w2] >> t.s2) & t.m2
+		var tag uint64
+		if t.alt {
+			tag = (base ^ ((f1 << 3) | (f1 >> rot)) ^ (f2 << 2)) & mask
+		} else {
+			tag = (base ^ f1 ^ (f2 << 1)) & mask
 		}
-		li := int(pat.LenIdx)
-		if p.tagValid[li] != epoch {
-			p.tagScratch[li] = p.tagFor(pc, li)
-			p.tagValid[li] = epoch
-		}
-		if pat.Tag == p.tagScratch[li] {
-			p.matched = true
-			p.matchSlot = i
-			p.llbpTaken = pat.Ctr >= 0
-			p.llbpLenIdx = li
+		p.wantKeys[li] = laneValidBit | uint64(li)<<laneLenShift | tag
+	}
+	lanes := p.pbe.Ent.Set.lanes()
+	slot := -1
+	for i, lane := range lanes {
+		// The valid bit sits just above the 8-bit length field, so the
+		// uint8 truncation is the field mask; an invalid lane can never
+		// equal its key (every key carries the valid bit), and a valid
+		// lane's length index is always < n by construction.
+		li := uint8(lane >> laneLenShift)
+		if lane&laneKeyMask == p.wantKeys[li] {
+			slot = i
 		}
 	}
+	if slot < 0 {
+		return
+	}
+	lane := lanes[slot]
+	p.matched = true
+	p.matchSlot = slot
+	p.llbpTaken = laneCtr(lane) >= 0
+	p.llbpLenIdx = int((lane >> laneLenShift) & laneLenMask)
 }
 
 // maxLengths bounds the per-prediction tag scratch.
 const maxLengths = 256
 
 func (p *Predictor) llbpPatternKey() uint64 {
-	set := p.pbe.Ent.Set
-	pat := set.Pats[p.matchSlot]
-	return 1<<63 | p.cid<<20 | uint64(pat.Tag)<<5 | uint64(pat.LenIdx)
+	q := p.pbe.Ent.Set.Pattern(p.matchSlot)
+	return 1<<63 | p.cid<<20 | uint64(q.Tag)<<5 | uint64(q.LenIdx)
 }
 
 // Update implements predictor.Predictor (unknown target; see
@@ -480,14 +534,16 @@ func (p *Predictor) UpdateWithTarget(pc, target uint64, taken bool) {
 		// confidence allowed the override (like TAGE training a
 		// newly allocated provider while the alt prediction is
 		// used).
-		pat := &p.pbe.Ent.ownSet().Pats[p.matchSlot]
+		lanes := p.pbe.Ent.Set.lanes()
+		ctr := laneCtr(lanes[p.matchSlot])
 		if taken {
-			if pat.Ctr < p.ctrMax() {
-				pat.Ctr++
+			if ctr < p.ctrMax() {
+				ctr++
 			}
-		} else if pat.Ctr > p.ctrMin() {
-			pat.Ctr--
+		} else if ctr > p.ctrMin() {
+			ctr--
 		}
+		lanes[p.matchSlot] = laneWithCtr(lanes[p.matchSlot], ctr)
 		p.pbe.Dirty = true
 		p.dir.RefreshConf(p.pbe.Ent)
 		providerWrong = p.llbpTaken != taken
@@ -564,7 +620,7 @@ func (p *Predictor) allocate(pc uint64, taken bool, provLen int) {
 	pbe.Ent = ent
 	// Steps 2–4: replace the least-confident pattern in the target
 	// bucket and keep the bucket sorted.
-	ent.ownSet().insert(p.tagFor(pc, lenIdx), uint8(lenIdx), taken, p.cfg.Buckets, len(p.cfg.HistLengths))
+	ent.Set.insert(p.tagFor(pc, lenIdx), uint8(lenIdx), taken, p.cfg.Buckets, len(p.cfg.HistLengths))
 	pbe.Dirty = true
 	p.dir.RefreshConf(ent)
 	p.stats.PatternAllocs++
@@ -664,20 +720,12 @@ func (p *Predictor) onContextSwitch() {
 	}
 }
 
-// pushHistory advances LLBP's global-history mirror.
+// pushHistory advances the shared history engine — the composite's
+// single per-branch fold update, serving the baseline's tables and
+// LLBP's pattern tags alike. It runs after allocation (which must see
+// the pre-branch folds) and after the baseline's table training.
 func (p *Predictor) pushHistory(taken bool) {
-	p.ghr.Push(taken)
-	in := uint64(0)
-	if taken {
-		in = 1
-	}
-	// fold1/fold2 pairs share a history length: one outgoing-bit read
-	// serves both.
-	for i := range p.fold1 {
-		out := p.ghr.Bit(p.fold1[i].OrigLength)
-		p.fold1[i].UpdateBits(in, out)
-		p.fold2[i].UpdateBits(in, out)
-	}
+	p.eng.Push(taken)
 }
 
 // OnPipelineReset implements predictor.Resettable: squash in-flight
@@ -709,41 +757,26 @@ func (p *Predictor) LastDetail() predictor.Detail { return p.detail }
 // context register — the exact state §V-E2 checkpoints per branch ("a
 // snapshot of the CCID and a pointer to the head of the RCR").
 type HistoryCheckpoint struct {
-	base  *tsl.HistoryCheckpoint
-	ghr   history.Global
-	fold1 []uint64
-	fold2 []uint64
-	rcr   []uint64
+	base *tsl.HistoryCheckpoint // path + SC histories (the engine is ours)
+	eng  history.EngineCheckpoint
+	rcr  []uint64
 }
 
-// CheckpointHistory snapshots the speculative history state.
+// CheckpointHistory snapshots the speculative history state. One engine
+// checkpoint covers the baseline's and LLBP's folds — they are the same
+// registers.
 func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
-	cp := &HistoryCheckpoint{
-		base:  p.base.CheckpointHistory(),
-		ghr:   p.ghr.Snapshot(),
-		fold1: make([]uint64, len(p.fold1)),
-		fold2: make([]uint64, len(p.fold2)),
-		rcr:   p.rcr.Snapshot(),
+	return &HistoryCheckpoint{
+		base: p.base.CheckpointHistory(),
+		eng:  p.eng.Checkpoint(),
+		rcr:  p.rcr.Snapshot(),
 	}
-	for i := range p.fold1 {
-		cp.fold1[i] = p.fold1[i].Snapshot()
-		cp.fold2[i] = p.fold2[i].Snapshot()
-	}
-	return cp
 }
 
 // RestoreHistory rewinds the speculative history state to a checkpoint
 // (the §V-E2 misprediction-recovery path).
 func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
-	if len(cp.fold1) != len(p.fold1) {
-		assert.Failf("core: checkpoint for %d folds restored into %d", len(cp.fold1), len(p.fold1))
-		return
-	}
 	p.base.RestoreHistory(cp.base)
-	p.ghr.Restore(cp.ghr)
-	for i := range p.fold1 {
-		p.fold1[i].Restore(cp.fold1[i])
-		p.fold2[i].Restore(cp.fold2[i])
-	}
+	p.eng.Restore(cp.eng)
 	p.rcr.Restore(cp.rcr)
 }

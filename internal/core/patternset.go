@@ -22,11 +22,15 @@ var DefaultHistLengths = []HistLen{
 	{482, false}, {695, false}, {1444, false}, {3000, false},
 }
 
-// Pattern is one LLBP pattern (§V-B): a prediction counter, a partial tag,
-// and a history-length field selecting the hash used to match the tag. In
-// hardware this is 18 bits (3b ctr + 13b tag + 2b length-within-bucket);
-// here lenIdx stores the global index into Config.HistLengths, from which
-// the 2-bit in-bucket field is derivable.
+// Pattern is the unpacked view of one LLBP pattern (§V-B): a prediction
+// counter, a partial tag, and a history-length field selecting the hash
+// used to match the tag. In hardware this is 18 bits (3b ctr + 13b tag +
+// 2b length-within-bucket); here LenIdx stores the global index into
+// Config.HistLengths, from which the 2-bit in-bucket field is derivable.
+//
+// Storage-side, patterns live bit-packed in one 64-bit lane each (see the
+// lane* constants); Pattern is the decode used by training, allocation,
+// fault injection and tests.
 type Pattern struct {
 	Tag    uint32
 	Ctr    int8
@@ -40,33 +44,129 @@ func (p *Pattern) Confident() bool {
 	return p.Valid && (p.Ctr >= 2 || p.Ctr <= -3)
 }
 
+// Lane layout: every pattern packs into one uint64 with a fixed field
+// placement sized for the configuration maxima (TagBits <= 31, CtrBits <=
+// 7, 256 history lengths), so no per-config plumbing reaches the
+// per-branch match loop:
+//
+//	bit  0..30  tag (stored pre-masked to TagBits)
+//	bit 31..37  ctr (two's complement, sign bit at lane bit 37)
+//	bit 38..45  length index
+//	bit 46      valid
+//
+// The match loop compares lane & laneKeyMask — valid, length index and
+// tag in one masked word compare — against a per-length expected key, so
+// a set probe is a branch-free sweep over contiguous words.
+const (
+	laneTagWidth = 31
+	laneCtrShift = 31
+	laneCtrWidth = 7
+	laneLenShift = laneCtrShift + laneCtrWidth
+	laneLenWidth = 8
+	laneValidBit = uint64(1) << (laneLenShift + laneLenWidth)
+
+	laneTagMask = uint64(1)<<laneTagWidth - 1
+	laneLenMask = uint64(1)<<laneLenWidth - 1
+	laneKeyMask = laneValidBit | laneLenMask<<laneLenShift | laneTagMask
+)
+
+// packLane encodes a pattern into its storage lane. Invalid patterns keep
+// their field contents (fault injection can flip the valid bit off and
+// back on without losing state, like real SRAM).
+func packLane(q Pattern) uint64 {
+	lane := uint64(q.Tag) & laneTagMask
+	lane |= (uint64(q.Ctr) & (1<<laneCtrWidth - 1)) << laneCtrShift
+	lane |= (uint64(q.LenIdx) & laneLenMask) << laneLenShift
+	if q.Valid {
+		lane |= laneValidBit
+	}
+	return lane
+}
+
+// unpackLane decodes a storage lane.
+func unpackLane(lane uint64) Pattern {
+	return Pattern{
+		Tag:    uint32(lane & laneTagMask),
+		Ctr:    laneCtr(lane),
+		LenIdx: uint8((lane >> laneLenShift) & laneLenMask),
+		Valid:  lane&laneValidBit != 0,
+	}
+}
+
+// laneCtr sign-extends the counter field of a lane.
+func laneCtr(lane uint64) int8 {
+	return int8(int64(lane<<(64-laneCtrShift-laneCtrWidth)) >> (64 - laneCtrWidth))
+}
+
+// laneWithCtr returns the lane with its counter field replaced.
+func laneWithCtr(lane uint64, ctr int8) uint64 {
+	const ctrMask = uint64(1<<laneCtrWidth-1) << laneCtrShift
+	return lane&^ctrMask | (uint64(ctr)&(1<<laneCtrWidth-1))<<laneCtrShift
+}
+
+// maxInlinePatterns is the lane count stored inside the set itself. The
+// evaluated design's 16-pattern sets (§VI) fit entirely inline, so a set
+// is a flat value — no heap pointer, transferable and forkable with a
+// plain copy; only the Figure 14 study sizes (32/64 patterns) spill to a
+// heap extension.
+const maxInlinePatterns = 16
+
 // PatternSet is the complete set of patterns for one program context
-// (§V-A). Patterns are stored in ascending history-length order so the
-// same multiplexer cascade as TAGE selects the longest match (§V-B); with
-// bucketing enabled (§V-D) the order is maintained per four-pattern bucket,
-// and bucket b may only hold history lengths 4b..4b+3.
+// (§V-A), stored as packed lanes. Patterns are kept in ascending
+// history-length order so the same multiplexer cascade as TAGE selects
+// the longest match (§V-B); with bucketing enabled (§V-D) the order is
+// maintained per four-pattern bucket, and bucket b may only hold history
+// lengths 4b..4b+3.
 type PatternSet struct {
-	Pats []Pattern
+	n      int32
+	inline [maxInlinePatterns]uint64
+	ext    []uint64 // backing when n > maxInlinePatterns (Figure 14 study)
 }
 
-// newPatternSet returns an empty set of n pattern slots.
-func newPatternSet(n int) *PatternSet {
-	return &PatternSet{Pats: make([]Pattern, n)}
+// newPatternSet returns an empty set of n pattern slots, by value.
+func newPatternSet(n int) PatternSet {
+	s := PatternSet{n: int32(n)}
+	if n > maxInlinePatterns {
+		//llbplint:allow hotpath -- only the Figure 14 study sizes (32/64 patterns) spill; the evaluated 16-pattern set is a flat value
+		s.ext = make([]uint64, n)
+	}
+	return s
 }
 
-// clone deep-copies the set (used by the PB/LLBP storage transfer model).
-func (s *PatternSet) clone() *PatternSet {
-	out := &PatternSet{Pats: make([]Pattern, len(s.Pats))}
-	copy(out.Pats, s.Pats)
-	return out
+// lanes returns the set's packed storage.
+func (s *PatternSet) lanes() []uint64 {
+	if s.ext != nil {
+		return s.ext
+	}
+	return s.inline[:s.n]
 }
+
+// unshare deep-copies any heap extension so a value-copied set stops
+// aliasing its source (inline lanes copy with the value already).
+func (s *PatternSet) unshare() {
+	if s.ext != nil {
+		s.ext = append([]uint64(nil), s.ext...)
+	}
+}
+
+// Len returns the number of pattern slots.
+func (s *PatternSet) Len() int { return int(s.n) }
+
+// Pattern returns the unpacked view of slot i.
+func (s *PatternSet) Pattern(i int) Pattern { return unpackLane(s.lanes()[i]) }
+
+// SetPattern overwrites slot i.
+func (s *PatternSet) SetPattern(i int, q Pattern) { s.lanes()[i] = packLane(q) }
 
 // ConfidentCount returns the number of high-confidence patterns, saturated
 // at max — the CD replacement metadata (§V-D, step 1).
 func (s *PatternSet) ConfidentCount(max int) int {
 	n := 0
-	for i := range s.Pats {
-		if s.Pats[i].Confident() {
+	for _, lane := range s.lanes() {
+		if lane&laneValidBit == 0 {
+			continue
+		}
+		if c := laneCtr(lane); c >= 2 || c <= -3 {
 			n++
 			if n >= max {
 				return max
@@ -99,30 +199,30 @@ func bucketRange(lenIdx, setSize, nBuckets, nLengths int) (lo, hi int) {
 // the counter to the weak state for the resolved direction, and restore
 // ascending history-length order inside the bucket.
 func (s *PatternSet) insert(tag uint32, lenIdx uint8, taken bool, nBuckets, nLengths int) {
-	lo, hi := bucketRange(int(lenIdx), len(s.Pats), nBuckets, nLengths)
-	if lo < 0 || hi > len(s.Pats) || lo >= hi {
-		assert.Failf("core: bad bucket range [%d,%d) for set of %d", lo, hi, len(s.Pats))
+	lanes := s.lanes()
+	lo, hi := bucketRange(int(lenIdx), len(lanes), nBuckets, nLengths)
+	if lo < 0 || hi > len(lanes) || lo >= hi {
+		assert.Failf("core: bad bucket range [%d,%d) for set of %d", lo, hi, len(lanes))
 		return
 	}
 	// If the identical pattern already exists, refresh its counter
 	// instead of duplicating it.
+	key := laneValidBit | uint64(lenIdx)<<laneLenShift | uint64(tag)&laneTagMask
 	for i := lo; i < hi; i++ {
-		p := &s.Pats[i]
-		if p.Valid && p.Tag == tag && p.LenIdx == lenIdx {
-			p.Ctr = weakCtr(taken)
+		if lanes[i]&laneKeyMask == key {
+			lanes[i] = laneWithCtr(lanes[i], weakCtr(taken))
 			return
 		}
 	}
 	victim := lo
 	victimScore := 127
 	for i := lo; i < hi; i++ {
-		p := &s.Pats[i]
-		if !p.Valid {
+		if lanes[i]&laneValidBit == 0 {
 			victim = i
 			victimScore = -1
 			break
 		}
-		score := int(p.Ctr)
+		score := int(laneCtr(lanes[i]))
 		if score < 0 {
 			score = -score - 1 // counter magnitude: -1,-4 -> 0,3
 		}
@@ -130,36 +230,38 @@ func (s *PatternSet) insert(tag uint32, lenIdx uint8, taken bool, nBuckets, nLen
 			victim, victimScore = i, score
 		}
 	}
-	s.Pats[victim] = Pattern{Tag: tag, Ctr: weakCtr(taken), LenIdx: lenIdx, Valid: true}
-	s.sortBucket(lo, hi)
+	lanes[victim] = packLane(Pattern{Tag: tag, Ctr: weakCtr(taken), LenIdx: lenIdx, Valid: true})
+	sortBucket(lanes, lo, hi)
 }
 
 // sortBucket restores ascending LenIdx order among the valid patterns of
-// slots [lo,hi), keeping invalid slots at the end. Buckets hold four
+// lanes [lo,hi), keeping invalid slots at the end. Buckets hold four
 // patterns, so insertion sort is the hardware-faithful (and fastest)
 // choice.
-func (s *PatternSet) sortBucket(lo, hi int) {
+func sortBucket(lanes []uint64, lo, hi int) {
 	for i := lo + 1; i < hi; i++ {
-		p := s.Pats[i]
+		lane := lanes[i]
 		j := i - 1
-		for j >= lo && less(p, s.Pats[j]) {
-			s.Pats[j+1] = s.Pats[j]
+		for j >= lo && laneLess(lane, lanes[j]) {
+			lanes[j+1] = lanes[j]
 			j--
 		}
-		s.Pats[j+1] = p
+		lanes[j+1] = lane
 	}
 }
 
-// less orders valid patterns before invalid ones, then by ascending
-// history length.
-func less(a, b Pattern) bool {
-	if a.Valid != b.Valid {
-		return a.Valid
+// laneLess orders valid patterns before invalid ones, then by ascending
+// history length. The comparison never looks at tag or counter bits, so
+// the insertion sort permutes lanes exactly as the unpacked sort did.
+func laneLess(a, b uint64) bool {
+	av, bv := a&laneValidBit != 0, b&laneValidBit != 0
+	if av != bv {
+		return av
 	}
-	if !a.Valid {
+	if !av {
 		return false
 	}
-	return a.LenIdx < b.LenIdx
+	return (a>>laneLenShift)&laneLenMask < (b>>laneLenShift)&laneLenMask
 }
 
 // weakCtr returns the weak 3-bit counter state for a direction.
@@ -174,7 +276,8 @@ func weakCtr(taken bool) int8 {
 // within each bucket (and invalid slots trail) — the §V-B invariant the
 // multiplexer cascade relies on. Exposed for property tests.
 func (s *PatternSet) sorted(nBuckets, nLengths int) bool {
-	size := len(s.Pats)
+	lanes := s.lanes()
+	size := len(lanes)
 	per := size
 	if nBuckets > 0 {
 		per = size / nBuckets
@@ -184,18 +287,18 @@ func (s *PatternSet) sorted(nBuckets, nLengths int) bool {
 		seenInvalid := false
 		last := -1
 		for i := lo; i < hi && i < size; i++ {
-			p := s.Pats[i]
-			if !p.Valid {
+			q := unpackLane(lanes[i])
+			if !q.Valid {
 				seenInvalid = true
 				continue
 			}
 			if seenInvalid {
 				return false
 			}
-			if int(p.LenIdx) < last {
+			if int(q.LenIdx) < last {
 				return false
 			}
-			last = int(p.LenIdx)
+			last = int(q.LenIdx)
 		}
 	}
 	return true

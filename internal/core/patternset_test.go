@@ -39,7 +39,7 @@ func TestInsertKeepsSortedInvariant(t *testing.T) {
 		lenIdx := uint8(rng.Intn(testLengths))
 		s.insert(uint32(rng.Intn(1<<13)), lenIdx, rng.Intn(2) == 0, testBuckets, testLengths)
 		if !s.sorted(testBuckets, testLengths) {
-			t.Fatalf("after insert %d, set violates the sorted invariant: %+v", i, s.Pats)
+			t.Fatalf("after insert %d, set violates the sorted invariant: %+v", i, s.lanes())
 		}
 	}
 }
@@ -50,7 +50,7 @@ func TestInsertFreeFormSorted(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		s.insert(uint32(rng.Intn(1<<13)), uint8(rng.Intn(testLengths)), true, 0, testLengths)
 		if !s.sorted(0, testLengths) {
-			t.Fatalf("free-form set unsorted after insert %d: %+v", i, s.Pats)
+			t.Fatalf("free-form set unsorted after insert %d: %+v", i, s.lanes())
 		}
 	}
 }
@@ -82,16 +82,13 @@ func TestInsertRefreshesExistingPattern(t *testing.T) {
 	s := newPatternSet(testSetSize)
 	s.insert(0x123, 2, true, testBuckets, testLengths)
 	// Strengthen the pattern.
-	for i := range s.Pats {
-		if s.Pats[i].Valid {
-			s.Pats[i].Ctr = 3
-		}
-	}
+	setAllCtrs(&s, 3)
 	// Re-inserting the identical (tag, len) resets to weak rather than
 	// duplicating.
 	s.insert(0x123, 2, false, testBuckets, testLengths)
 	n := 0
-	for _, p := range s.Pats {
+	for i := 0; i < s.Len(); i++ {
+		p := s.Pattern(i)
 		if p.Valid {
 			n++
 			if p.Ctr != -1 {
@@ -111,21 +108,22 @@ func TestInsertEvictsLeastConfident(t *testing.T) {
 		s.insert(uint32(0x100+i), uint8(i), true, testBuckets, testLengths)
 	}
 	// Make slots confident except the pattern with tag 0x102.
-	for i := range s.Pats[:4] {
-		if s.Pats[i].Tag == 0x102 {
-			s.Pats[i].Ctr = 0 // weak
+	for i := 0; i < 4; i++ {
+		p := s.Pattern(i)
+		if p.Tag == 0x102 {
+			p.Ctr = 0 // weak
 		} else {
-			s.Pats[i].Ctr = 3 // saturated
+			p.Ctr = 3 // saturated
 		}
+		s.SetPattern(i, p)
 	}
 	s.insert(0x999, 1, true, testBuckets, testLengths)
-	for _, p := range s.Pats[:4] {
+	found := false
+	for i := 0; i < 4; i++ {
+		p := s.Pattern(i)
 		if p.Valid && p.Tag == 0x102 {
 			t.Error("least-confident pattern was not the victim")
 		}
-	}
-	found := false
-	for _, p := range s.Pats[:4] {
 		if p.Valid && p.Tag == 0x999 {
 			found = true
 		}
@@ -146,21 +144,13 @@ func TestConfidentCount(t *testing.T) {
 	if s.ConfidentCount(3) != 0 {
 		t.Error("weak patterns must not count as confident")
 	}
-	for i := range s.Pats {
-		if s.Pats[i].Valid {
-			s.Pats[i].Ctr = 3
-		}
-	}
+	setAllCtrs(&s, 3)
 	if got := s.ConfidentCount(3); got != 3 {
 		t.Errorf("ConfidentCount = %d, want 3", got)
 	}
 	// Saturation at max.
 	s.insert(0x4, 12, true, testBuckets, testLengths)
-	for i := range s.Pats {
-		if s.Pats[i].Valid {
-			s.Pats[i].Ctr = -4
-		}
-	}
+	setAllCtrs(&s, -4)
 	if got := s.ConfidentCount(3); got != 3 {
 		t.Errorf("ConfidentCount must saturate at 3, got %d", got)
 	}
@@ -183,12 +173,51 @@ func TestPatternConfident(t *testing.T) {
 	}
 }
 
-func TestClone(t *testing.T) {
+// setAllCtrs forces every valid pattern's counter, via the packed lanes.
+func setAllCtrs(s *PatternSet, ctr int8) {
+	for i := 0; i < s.Len(); i++ {
+		if p := s.Pattern(i); p.Valid {
+			p.Ctr = ctr
+			s.SetPattern(i, p)
+		}
+	}
+}
+
+func TestValueCopyIndependence(t *testing.T) {
+	// Inline sets: a plain value copy is a deep copy.
 	s := newPatternSet(4)
 	s.insert(0x42, 0, true, 0, testLengths)
-	c := s.clone()
-	c.Pats[0].Ctr = 3
-	if s.Pats[0].Ctr == 3 {
-		t.Error("clone must deep-copy patterns")
+	c := s
+	p := c.Pattern(0)
+	p.Ctr = 3
+	c.SetPattern(0, p)
+	if s.Pattern(0).Ctr == 3 {
+		t.Error("value copy of an inline set aliased its source")
+	}
+	// Spilled sets (Figure 14 sizes) alias until unshared.
+	big := newPatternSet(2 * maxInlinePatterns)
+	big.insert(0x17, 1, true, 0, testLengths)
+	cb := big
+	cb.unshare()
+	p = cb.Pattern(0)
+	p.Ctr = 3
+	cb.SetPattern(0, p)
+	if big.Pattern(0).Ctr == 3 {
+		t.Error("unshare did not privatize the heap extension")
+	}
+}
+
+func TestPackLaneRoundTrip(t *testing.T) {
+	cases := []Pattern{
+		{},
+		{Tag: 0x1fff, Ctr: 3, LenIdx: 15, Valid: true},
+		{Tag: 0x7fffffff, Ctr: -4, LenIdx: 255, Valid: true},
+		{Tag: 0x123, Ctr: -64, LenIdx: 7, Valid: false},
+		{Tag: 0x456, Ctr: 63, LenIdx: 0, Valid: true},
+	}
+	for _, q := range cases {
+		if got := unpackLane(packLane(q)); got != q {
+			t.Errorf("round trip %+v -> %+v", q, got)
+		}
 	}
 }

@@ -25,15 +25,35 @@ type PBEntry struct {
 	// PB untouched was wasted bandwidth.
 	Prefetched bool
 	Touched    bool
-	lru        uint64
+}
+
+// pbWaysMax bounds the PB associativity so a set's CID compare lane is a
+// fixed array the lookup sweeps without a loop (the evaluated design is
+// 4-way, §VI).
+const pbWaysMax = 8
+
+// pbInvalidCID marks an empty way in the compare lane. Context IDs are at
+// most 63 bits wide (Config.CIDBits), so all-ones can never collide with
+// a real CID — the compare lane needs no separate valid flags.
+const pbInvalidCID = ^uint64(0)
+
+// pbSet is one pattern-buffer set: the packed CID compare lane, the way
+// payloads, and a per-set reference clock for LRU. A per-set counter
+// orders accesses within the set exactly as the former global tick did —
+// only within-set order ever decided a victim.
+type pbSet struct {
+	cid  [pbWaysMax]uint64
+	lru  [pbWaysMax]uint64
+	ways [pbWaysMax]PBEntry
+	tick uint64
 }
 
 // Buffer is the pattern buffer (§V-A): a small set-associative cache of
 // pattern sets (64 entries, 4-way, LRU in the evaluated design) accessed
 // in parallel with the baseline TAGE predictor.
 type Buffer struct {
-	sets [][]PBEntry
-	tick uint64
+	sets  []pbSet
+	nways int
 }
 
 // newBuffer builds a pattern buffer with the given total entries and
@@ -42,33 +62,64 @@ func newBuffer(entries, ways int) *Buffer {
 	if entries <= 0 || ways <= 0 || entries%ways != 0 {
 		panic(fmt.Sprintf("core: invalid PB geometry %d entries / %d ways", entries, ways))
 	}
+	if ways > pbWaysMax {
+		panic(fmt.Sprintf("core: PB associativity %d exceeds %d ways", ways, pbWaysMax))
+	}
 	nsets := entries / ways
 	if nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("core: PB set count %d must be a power of two", nsets))
 	}
-	b := &Buffer{sets: make([][]PBEntry, nsets)}
+	b := &Buffer{sets: make([]pbSet, nsets), nways: ways}
 	for i := range b.sets {
-		b.sets[i] = make([]PBEntry, ways)
+		s := &b.sets[i]
+		for w := range s.cid {
+			s.cid[w] = pbInvalidCID
+		}
 	}
 	return b
 }
 
-func (b *Buffer) set(cid uint64) []PBEntry {
-	return b.sets[cid&(uint64(len(b.sets))-1)]
+func (b *Buffer) set(cid uint64) *pbSet {
+	return &b.sets[cid&(uint64(len(b.sets))-1)]
 }
 
-// Lookup returns the entry caching cid, bumping its LRU age, or nil.
+// Lookup returns the entry caching cid, bumping its LRU age, or nil. The
+// probe is a branch-free sweep of the fixed compare lane: eight masked
+// CID compares folding into one way index (empty ways hold a sentinel no
+// real CID equals), with a single predictable branch on the outcome.
 func (b *Buffer) Lookup(cid uint64) *PBEntry {
-	set := b.set(cid)
-	for i := range set {
-		e := &set[i]
-		if e.Valid && e.CID == cid {
-			b.tick++
-			e.lru = b.tick
-			return e
-		}
+	s := b.set(cid)
+	w := -1
+	if s.cid[0] == cid {
+		w = 0
 	}
-	return nil
+	if s.cid[1] == cid {
+		w = 1
+	}
+	if s.cid[2] == cid {
+		w = 2
+	}
+	if s.cid[3] == cid {
+		w = 3
+	}
+	if s.cid[4] == cid {
+		w = 4
+	}
+	if s.cid[5] == cid {
+		w = 5
+	}
+	if s.cid[6] == cid {
+		w = 6
+	}
+	if s.cid[7] == cid {
+		w = 7
+	}
+	if w < 0 {
+		return nil
+	}
+	s.tick++
+	s.lru[w] = s.tick
+	return &s.ways[w]
 }
 
 // Insert caches a pattern set, evicting the LRU way of the target set.
@@ -76,36 +127,42 @@ func (b *Buffer) Lookup(cid uint64) *PBEntry {
 // writeback if it was dirty; evicted.Valid is false when a free way was
 // used.
 func (b *Buffer) Insert(cid uint64, ent *CDEntry, ready float64) (inserted *PBEntry, evicted PBEntry) {
-	set := b.set(cid)
+	s := b.set(cid)
 	victim := 0
 	var victimLRU uint64 = ^uint64(0)
-	for i := range set {
-		e := &set[i]
-		if !e.Valid {
-			victim = i
-			victimLRU = 0
+	for w := 0; w < b.nways; w++ {
+		if s.cid[w] == pbInvalidCID {
+			victim = w
 			break
 		}
-		if e.lru < victimLRU {
-			victim, victimLRU = i, e.lru
+		if s.lru[w] < victimLRU {
+			victim, victimLRU = w, s.lru[w]
 		}
 	}
-	evicted = set[victim]
-	b.tick++
-	set[victim] = PBEntry{Valid: true, CID: cid, Ent: ent, Ready: ready, lru: b.tick}
-	return &set[victim], evicted
+	evicted = s.ways[victim]
+	s.tick++
+	s.cid[victim] = cid
+	s.lru[victim] = s.tick
+	s.ways[victim] = PBEntry{Valid: true, CID: cid, Ent: ent, Ready: ready}
+	return &s.ways[victim], evicted
+}
+
+// clearWay empties way w of set s.
+func (s *pbSet) clearWay(w int) {
+	s.cid[w] = pbInvalidCID
+	s.lru[w] = 0
+	s.ways[w] = PBEntry{}
 }
 
 // Invalidate drops the entry caching cid (used when the context directory
 // evicts the backing context). It returns the dropped entry by value;
 // Valid is false if cid was not cached.
 func (b *Buffer) Invalidate(cid uint64) PBEntry {
-	set := b.set(cid)
-	for i := range set {
-		e := &set[i]
-		if e.Valid && e.CID == cid {
-			out := *e
-			*e = PBEntry{}
+	s := b.set(cid)
+	for w := 0; w < b.nways; w++ {
+		if s.cid[w] == cid {
+			out := s.ways[w]
+			s.clearWay(w)
 			return out
 		}
 	}
@@ -117,15 +174,16 @@ func (b *Buffer) Invalidate(cid uint64) PBEntry {
 // reset (§VI). It returns the number of squashed prefetches.
 func (b *Buffer) SquashInflight(now float64) int {
 	n := 0
-	for _, set := range b.sets {
-		for i := range set {
-			e := &set[i]
+	for i := range b.sets {
+		s := &b.sets[i]
+		for w := 0; w < b.nways; w++ {
+			e := &s.ways[w]
 			if e.Valid && e.Ready > now && !e.Dirty {
 				// Dirty entries hold trained state pending
 				// writeback (the hardware pins sets with
 				// unresolved predictions, §V-E2); only clean
 				// in-flight fetches are squashed.
-				*e = PBEntry{}
+				s.clearWay(w)
 				n++
 			}
 		}
@@ -136,9 +194,10 @@ func (b *Buffer) SquashInflight(now float64) int {
 // Live returns the number of valid entries.
 func (b *Buffer) Live() int {
 	n := 0
-	for _, set := range b.sets {
-		for i := range set {
-			if set[i].Valid {
+	for i := range b.sets {
+		s := &b.sets[i]
+		for w := 0; w < b.nways; w++ {
+			if s.cid[w] != pbInvalidCID {
 				n++
 			}
 		}

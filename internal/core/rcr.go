@@ -82,6 +82,22 @@ type RCR struct {
 	d     int
 	bits  int  // CID width in bits
 	shift bool // position-dependent shifting (§V-E3); false = plain XOR ablation
+
+	// Cached window hashes, refreshed on Push/Restore. The register
+	// contents only change there, while CCID is read every prediction —
+	// caching turns the per-branch read into a field load, as in hardware
+	// where the CID registers are latched once per context-feeding branch.
+	ccid uint64
+	pcid uint64
+
+	// Unfolded 64-bit window hashes (the XOR of position-shifted terms
+	// before the CID-width fold), maintained incrementally on Push: one
+	// element enters each window, one leaves, and every survivor's
+	// position shift grows by exactly 2 — so the whole W-term hash rolls
+	// with two XORs and a shift. Valid only while rolling is (see
+	// NewRCR); otherwise Push recomputes from scratch.
+	hc64, hp64 uint64
+	rolling    bool
 }
 
 // NewRCR returns a rolling context register with hash window w, prefetch
@@ -98,50 +114,110 @@ func NewRCR(w, d, cidBits int, shifted bool) *RCR {
 	if cidBits < 4 || cidBits > 63 {
 		panic(fmt.Sprintf("core: cidBits %d out of range [4,63]", cidBits))
 	}
-	return &RCR{
+	r := &RCR{
 		pcs:   make([]uint64, w+d),
 		w:     w,
 		d:     d,
 		bits:  cidBits,
 		shift: shifted,
+		// The O(1) roll needs every survivor's shift to grow by exactly
+		// 2 per push, which the %48 shift wrap breaks once a window
+		// position reaches 24; plain-XOR hashing has no shifts at all,
+		// so it always rolls.
+		rolling: !shifted || 2*(w-1) < 48,
 	}
+	r.refresh()
+	return r
 }
 
 // Push records a new context-feeding branch PC.
 func (r *RCR) Push(pc uint64) {
-	r.head = (r.head + 1) % len(r.pcs)
-	r.pcs[r.head] = pc
+	next := r.head + 1
+	if next >= len(r.pcs) {
+		next = 0
+	}
+	if !r.rolling {
+		r.head = next
+		r.pcs[next] = pc
+		r.refresh()
+		return
+	}
+	// The slot being overwritten holds the oldest element — the one
+	// leaving the CCID window; the element leaving the prefetch window
+	// (old position W-1) is read before any overwrite so the d==0 case
+	// (where the two coincide) stays correct.
+	exitC := r.pcs[next]
+	exitP := r.at(r.head, r.w-1)
+	r.head = next
+	r.pcs[next] = pc
+	enterC := r.at(next, r.d) // the PC pushed D branches ago; pc itself when d==0
+	if r.shift {
+		last := uint(2 * (r.w - 1))
+		r.hp64 = (pc >> 1) ^ ((r.hp64 ^ ((exitP >> 1) << last)) << 2)
+		r.hc64 = (enterC >> 1) ^ ((r.hc64 ^ ((exitC >> 1) << last)) << 2)
+	} else {
+		r.hp64 ^= (pc >> 1) ^ (exitP >> 1)
+		r.hc64 ^= (enterC >> 1) ^ (exitC >> 1)
+	}
+	r.ccid = r.fold(r.hc64)
+	r.pcid = r.fold(r.hp64)
+}
+
+// at returns the PC `back` positions behind ring index head.
+func (r *RCR) at(head, back int) uint64 {
+	pos := head - back
+	for pos < 0 {
+		pos += len(r.pcs)
+	}
+	return r.pcs[pos]
+}
+
+// fold compresses a 64-bit window mix down to the CID width.
+func (r *RCR) fold(h uint64) uint64 {
+	h ^= h >> uint(r.bits)
+	h ^= h >> uint(2*r.bits)
+	return h & (uint64(1)<<uint(r.bits) - 1)
+}
+
+// refresh recomputes the unfolded window hashes from the ring buffer and
+// re-latches the cached CID registers (construction, Restore, and the
+// non-rolling wide-window fallback).
+func (r *RCR) refresh() {
+	r.hc64 = r.windowXor(r.d)
+	r.hp64 = r.windowXor(0)
+	r.ccid = r.fold(r.hc64)
+	r.pcid = r.fold(r.hp64)
+}
+
+// windowXor computes the unfolded hash of the W PCs starting `offset`
+// branches before the most recent one — the from-scratch reference the
+// rolling update maintains incrementally.
+func (r *RCR) windowXor(offset int) uint64 {
+	var h uint64
+	for i := 0; i < r.w; i++ {
+		pc := r.at(r.head, offset+i) >> 1
+		if r.shift {
+			pc <<= uint(2*i) % 48
+		}
+		h ^= pc
+	}
+	return h
 }
 
 // hashWindow hashes the W PCs starting at `offset` branches before the most
 // recent one. Position i (0 = newest in the window) is shifted by 2*i so
 // repeated addresses in tight loops do not cancel (§V-E3).
 func (r *RCR) hashWindow(offset int) uint64 {
-	var h uint64
-	for i := 0; i < r.w; i++ {
-		pos := r.head - offset - i
-		for pos < 0 {
-			pos += len(r.pcs)
-		}
-		pc := r.pcs[pos] >> 1
-		if r.shift {
-			pc <<= uint(2*i) % 48
-		}
-		h ^= pc
-	}
-	// Fold the 64-bit mix down to the CID width.
-	h ^= h >> uint(r.bits)
-	h ^= h >> uint(2*r.bits)
-	return h & (uint64(1)<<uint(r.bits) - 1)
+	return r.fold(r.windowXor(offset))
 }
 
 // CCID returns the current context ID (excluding the D most recent
 // context-feeding branches).
-func (r *RCR) CCID() uint64 { return r.hashWindow(r.d) }
+func (r *RCR) CCID() uint64 { return r.ccid }
 
 // PrefetchCID returns the context ID that will become current after D more
 // context-feeding branches.
-func (r *RCR) PrefetchCID() uint64 { return r.hashWindow(0) }
+func (r *RCR) PrefetchCID() uint64 { return r.pcid }
 
 // Snapshot captures the register for checkpoint/rollback tests.
 func (r *RCR) Snapshot() []uint64 {
@@ -166,6 +242,7 @@ func (r *RCR) Restore(s []uint64) {
 	for i, pc := range s {
 		r.pcs[r.head-i] = pc
 	}
+	r.refresh()
 }
 
 // Window returns (W, D).

@@ -1,0 +1,271 @@
+package history
+
+import "testing"
+
+// engineRNG is a tiny deterministic xorshift for test streams.
+type engineRNG uint64
+
+func (r *engineRNG) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = engineRNG(x)
+	return x
+}
+
+// TestEngineMatchesScalarFolded drives an engine and the classic scalar
+// Folded registers with the same outcome stream and demands equal values
+// after every push — the bit-exactness contract behind the shared history
+// engine.
+func TestEngineMatchesScalarFolded(t *testing.T) {
+	// The real composite's register population: TAGE's (len, idx/tag1/tag2)
+	// triples plus LLBP's (len, 13/12) pairs, including full duplicates.
+	type reg struct{ length, width int }
+	var regs []reg
+	tageLens := []int{4, 6, 8, 10, 12, 17, 21, 26, 38, 54, 78, 112, 161, 232, 336, 482, 695, 1002, 1444, 2081, 3000}
+	for i, l := range tageLens {
+		tag := 9
+		if i >= 7 {
+			tag = 11
+		}
+		if i >= 14 {
+			tag = 13
+		}
+		regs = append(regs, reg{l, 10}, reg{l, tag}, reg{l, tag - 1})
+	}
+	for _, l := range []int{12, 26, 54, 78, 112, 161, 232, 336, 482, 695, 1444, 3000} {
+		regs = append(regs, reg{l, 13}, reg{l, 12})
+	}
+	// Plus awkward shapes: width > length, width 1, max width, length
+	// divisible by width (outpoint 0).
+	regs = append(regs, reg{4, 10}, reg{7, 1}, reg{3000, 63}, reg{60, 12}, reg{64, 8})
+
+	eng := NewEngine()
+	ids := make([]FoldID, len(regs))
+	for i, r := range regs {
+		ids[i] = eng.Register(r.length, r.width)
+	}
+	ghr := NewGlobal()
+	scalars := make([]Folded, len(regs))
+	for i, r := range regs {
+		scalars[i] = NewFoldedValue(r.length, r.width)
+	}
+
+	rng := engineRNG(0x1234_5678_9abc_def1)
+	for step := 0; step < 8192; step++ {
+		taken := rng.next()&1 == 1
+		eng.Push(taken)
+		ghr.Push(taken)
+		in := uint64(0)
+		if taken {
+			in = 1
+		}
+		for i := range scalars {
+			scalars[i].UpdateBits(in, ghr.Bit(scalars[i].OrigLength))
+		}
+		for i := range scalars {
+			if got, want := eng.Value(ids[i]), scalars[i].Value(); got != want {
+				t.Fatalf("step %d: reg %d (len %d width %d): engine %#x != scalar %#x",
+					step, i, regs[i].length, regs[i].width, got, want)
+			}
+		}
+		// Spot-check against the from-scratch reference fold too.
+		if step%1024 == 1023 {
+			for i := range regs {
+				if got, want := eng.Value(ids[i]), ghr.Hash(regs[i].length, regs[i].width); got != want {
+					t.Fatalf("step %d: reg %d: engine %#x != reference hash %#x", step, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineDedupe: identical (length, width) pairs share one register.
+func TestEngineDedupe(t *testing.T) {
+	e := NewEngine()
+	a := e.Register(336, 13)
+	b := e.Register(336, 12)
+	if c := e.Register(336, 13); c != a {
+		t.Errorf("duplicate registration returned new id %d != %d", c, a)
+	}
+	if b == a {
+		t.Error("distinct widths must not share an id")
+	}
+	la, lb := e.Loc(a), e.Loc(b)
+	if la == lb {
+		t.Error("distinct registers share a location")
+	}
+	if (e.Word(la.Word)>>la.Shift)&la.Mask != e.Value(a) {
+		t.Error("Loc/Word read disagrees with Value")
+	}
+}
+
+// TestEngineLateRegistration: a register added after pushes must equal the
+// reference fold of the current history and track scalar updates after.
+func TestEngineLateRegistration(t *testing.T) {
+	e := NewEngine()
+	e.Register(54, 11) // pre-existing occupant of the length-54 group
+	rng := engineRNG(42)
+	ghr := NewGlobal()
+	for i := 0; i < 500; i++ {
+		taken := rng.next()&1 == 1
+		e.Push(taken)
+		ghr.Push(taken)
+	}
+	id := e.Register(54, 13)
+	if got, want := e.Value(id), ghr.Hash(54, 13); got != want {
+		t.Fatalf("late register starts at %#x, want reference fold %#x", got, want)
+	}
+	f := NewFoldedValue(54, 13)
+	f.Restore(ghr.Hash(54, 13))
+	for i := 0; i < 500; i++ {
+		taken := rng.next()&1 == 1
+		e.Push(taken)
+		ghr.Push(taken)
+		in := uint64(0)
+		if taken {
+			in = 1
+		}
+		f.UpdateBits(in, ghr.Bit(54))
+		if e.Value(id) != f.Value() {
+			t.Fatalf("push %d after late registration: engine %#x != scalar %#x", i, e.Value(id), f.Value())
+		}
+	}
+}
+
+// TestEngineCheckpointRestore: checkpoint, diverge, restore, and the
+// engine must replay identically to an engine that never diverged.
+func TestEngineCheckpointRestore(t *testing.T) {
+	e := NewEngine()
+	ids := []FoldID{e.Register(12, 13), e.Register(78, 12), e.Register(3000, 13)}
+	rng := engineRNG(7)
+	for i := 0; i < 300; i++ {
+		e.Push(rng.next()&1 == 1)
+	}
+	cp := e.Checkpoint()
+	want := make([]uint64, len(ids))
+	for i, id := range ids {
+		want[i] = e.Value(id)
+	}
+	for i := 0; i < 100; i++ {
+		e.Push(rng.next()&1 == 1) // wrong-path pushes
+	}
+	e.Restore(cp)
+	for i, id := range ids {
+		if e.Value(id) != want[i] {
+			t.Fatalf("restore: register %d = %#x, want %#x", i, e.Value(id), want[i])
+		}
+	}
+	if e.Bit(0) != cp.ghr.Bit(0) {
+		t.Error("restore did not rewind the global history")
+	}
+}
+
+// TestEngineClone: clones diverge independently; the parent is unaffected.
+func TestEngineClone(t *testing.T) {
+	e := NewEngine()
+	id := e.Register(26, 13)
+	rng := engineRNG(99)
+	for i := 0; i < 200; i++ {
+		e.Push(rng.next()&1 == 1)
+	}
+	c := e.Clone()
+	if c.Value(id) != e.Value(id) {
+		t.Fatal("clone must start equal")
+	}
+	before := e.Value(id)
+	c.Push(true)
+	c.Push(true)
+	if e.Value(id) != before {
+		t.Error("pushing the clone mutated the parent")
+	}
+	e.Push(false)
+	two := e.Clone()
+	e.Push(true)
+	if two.Value(id) == e.Value(id) {
+		t.Error("parent push leaked into clone")
+	}
+	// Registration on a clone must not disturb the parent's layout.
+	nid := c.Register(38, 9)
+	if got, want := c.Value(nid), c.Hash(38, 9); got != want {
+		t.Errorf("clone registration: %#x, want %#x", got, want)
+	}
+	if len(e.Clone().locs) != len(e.locs) {
+		t.Error("clone registration grew the parent")
+	}
+}
+
+// TestEngineZeroLength: zero-length folds are constant zero, like Folded.
+func TestEngineZeroLength(t *testing.T) {
+	e := NewEngine()
+	id := e.Register(0, 10)
+	e.Push(true)
+	e.Push(true)
+	if e.Value(id) != 0 {
+		t.Errorf("zero-length fold = %#x, want 0", e.Value(id))
+	}
+}
+
+func BenchmarkEnginePush(b *testing.B) {
+	e := NewEngine()
+	tageLens := []int{4, 6, 8, 10, 12, 17, 21, 26, 38, 54, 78, 112, 161, 232, 336, 482, 695, 1002, 1444, 2081, 3000}
+	for i, l := range tageLens {
+		tag := 9
+		if i >= 7 {
+			tag = 11
+		}
+		if i >= 14 {
+			tag = 13
+		}
+		e.Register(l, 10)
+		e.Register(l, tag)
+		e.Register(l, tag-1)
+	}
+	for _, l := range []int{12, 26, 54, 78, 112, 161, 232, 336, 482, 695, 1444, 3000} {
+		e.Register(l, 13)
+		e.Register(l, 12)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Push(i&3 != 0)
+	}
+}
+
+// BenchmarkScalarFoldPush is the pre-engine baseline: the same register
+// population updated one scalar Folded at a time (tage walk + core walk).
+func BenchmarkScalarFoldPush(b *testing.B) {
+	type reg struct{ length, width int }
+	var regs []reg
+	tageLens := []int{4, 6, 8, 10, 12, 17, 21, 26, 38, 54, 78, 112, 161, 232, 336, 482, 695, 1002, 1444, 2081, 3000}
+	for i, l := range tageLens {
+		tag := 9
+		if i >= 7 {
+			tag = 11
+		}
+		if i >= 14 {
+			tag = 13
+		}
+		regs = append(regs, reg{l, 10}, reg{l, tag}, reg{l, tag - 1})
+	}
+	for _, l := range []int{12, 26, 54, 78, 112, 161, 232, 336, 482, 695, 1444, 3000} {
+		regs = append(regs, reg{l, 13}, reg{l, 12})
+	}
+	folds := make([]Folded, len(regs))
+	for i, r := range regs {
+		folds[i] = NewFoldedValue(r.length, r.width)
+	}
+	ghr := NewGlobal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		taken := i&3 != 0
+		ghr.Push(taken)
+		in := uint64(0)
+		if taken {
+			in = 1
+		}
+		for j := range folds {
+			folds[j].UpdateBits(in, ghr.Bit(folds[j].OrigLength))
+		}
+	}
+}

@@ -35,6 +35,10 @@
 //   - lockorder: lock-acquisition cycles, mutex re-entry, and
 //     telemetry-updates-under-held-locks at call-graph depth in
 //     service + telemetry.
+//   - hotpath: no allocation and no map access reachable from the
+//     per-branch entry points core.Predictor.Predict/UpdateWithTarget —
+//     the packed hot-path layouts stay flat array arithmetic; cold
+//     miss-driven layers carry //llbplint:allow hotpath justifications.
 //
 // Scope is decided by import-path segments so that both the real module
 // ("llbp/internal/harness") and the analysistest fixtures ("harness")
@@ -54,7 +58,7 @@ import (
 // per-package analyzers first, then the whole-program dataflow
 // analyzers.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic, Injectable, Detflow, Fencecheck, Lockorder}
+	return []*analysis.Analyzer{Determinism, Bitmask, TelemetrySafe, NoPanic, Injectable, Detflow, Fencecheck, Lockorder, Hotpath}
 }
 
 // hasSegment reports whether any "/"-separated segment of the import

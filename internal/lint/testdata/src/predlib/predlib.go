@@ -1,0 +1,14 @@
+// Package predlib is the hotpath fixture's cross-package callee: Mix is
+// hot only because core.Predictor.Predict reaches it through scan, so a
+// finding here proves the traversal crosses package boundaries.
+package predlib
+
+func Mix(pc uint64) int {
+	b := []byte{byte(pc)} // want hotpath:"allocates \\(slice literal\\)"
+	return int(b[0])
+}
+
+// Unreached allocates but no entry point calls it.
+func Unreached() []int {
+	return make([]int, 8)
+}

@@ -28,11 +28,14 @@ func (p *Predictor) Fork() *Predictor {
 			out.tables[i] = append([]entry(nil), p.tables[i]...)
 		}
 	}
-	ghr := p.ghr.Snapshot()
-	out.ghr = &ghr
 	path := *p.path
 	out.path = &path
-	out.folds = append([]tableFolds(nil), p.folds...)
+	if p.engOwner {
+		out.eng = p.eng.Clone()
+	}
+	// A non-owner's engine belongs to the composite, which clones it and
+	// rebinds the forked TAGE via RebindHistoryEngine. Cached fold
+	// locations stay valid either way (clones share the packed layout).
 	out.telAllocs = nil
 	out.telAllocFails = nil
 	out.telProviderLens = nil

@@ -19,12 +19,34 @@ type entry struct {
 	useful uint8
 }
 
-// tableFolds is one tagged table's folded-history registers, grouped so
-// the per-branch history update touches contiguous memory.
-type tableFolds struct {
-	idx  history.Folded
-	tag1 history.Folded
-	tag2 history.Folded
+// tableLocs caches one tagged table's folded-history locations inside
+// the shared history engine, so the index/tag hashes read packed words
+// directly.
+type tableLocs struct {
+	idx  history.Loc
+	tag1 history.Loc
+	tag2 history.Loc
+}
+
+// tableHash is the flattened per-table hash schedule consumed by
+// Predict's scratch-fill loop: fold word positions and every
+// loop-invariant shift/mask in one sequentially-read struct, so the
+// per-table work is pure ALU ops on three packed-word loads. idxMask
+// doubles as the index fold's field mask (the fold is registered at
+// exactly logE bits), and the tag folds need no field masks at all:
+// their stray high bits land above TagBits and the final tagMask clears
+// them (AND distributes over XOR).
+type tableHash struct {
+	idxMask   uint64
+	tagMask   uint32
+	idxWord   int32
+	tag1Word  int32
+	tag2Word  int32
+	idxShift  uint8
+	tag1Shift uint8
+	tag2Shift uint8
+	pcShift   uint8 // logE - i&3
+	pathShift uint8 // i&7 for long-history tables, 0 otherwise
 }
 
 // infKey identifies a pattern in infinite mode: the full branch PC plus
@@ -49,13 +71,17 @@ type Predictor struct {
 	// Infinite storage: one unbounded associative map per table.
 	inf []map[infKey]*entry
 
-	ghr      *history.Global
-	path     *history.Path
-	// One table's three folded registers live side by side: pushHistory
-	// walks all of them every branch, and grouping per table turns three
-	// slice walks (with three bounds checks per table) into one
-	// cache-line-friendly sweep.
-	folds []tableFolds
+	path *history.Path
+	// eng maintains the global history and every folded register,
+	// bit-packed so one push updates all of them (see history.Engine).
+	// The composite predictor shares this engine (§V-B: LLBP's fold
+	// mirrors are identical in content to the baseline's) and, when it
+	// does, takes over pushing: engOwner is false and TAGE's own update
+	// paths advance only the path history.
+	eng      *history.Engine
+	engOwner bool
+	locs     []tableLocs
+	plan     []tableHash
 
 	useAltOnNA int8 // 4-bit counter: >=0 means trust alt over newly allocated providers
 	tick       int  // useful-bit aging counter
@@ -91,6 +117,7 @@ type scratch struct {
 	pc          uint64
 	idx         [64]uint32
 	tag         [64]uint32
+	ent         [64]entry // per-table candidate entries (finite fast path)
 	provider    int // table index of longest match, -1 if none
 	alt         int // table index of next-longest match, -1 if bimodal
 	providerKey infKey
@@ -113,11 +140,12 @@ func New(cfg Config) (*Predictor, error) {
 		return nil, fmt.Errorf("tage: at most 64 tables supported, got %d", n)
 	}
 	p := &Predictor{
-		cfg:  cfg,
-		bim:  bimodal.New(cfg.BimodalLog),
-		ghr:  history.NewGlobal(),
-		path: history.NewPath(cfg.PathBits),
-		rng:  cfg.Seed | 1,
+		cfg:      cfg,
+		bim:      bimodal.New(cfg.BimodalLog),
+		path:     history.NewPath(cfg.PathBits),
+		eng:      history.NewEngine(),
+		engOwner: true,
+		rng:      cfg.Seed | 1,
 	}
 	if cfg.Infinite {
 		p.inf = make([]map[infKey]*entry, n)
@@ -125,12 +153,22 @@ func New(cfg Config) (*Predictor, error) {
 			p.inf[i] = make(map[infKey]*entry)
 		}
 	} else {
+		// All tables share one flat backing array: a single allocation,
+		// contiguous for the per-branch provider scan.
+		total := 0
+		for i := 0; i < n; i++ {
+			total += 1 << uint(cfg.LogEntries[i])
+		}
+		backing := make([]entry, total)
 		p.tables = make([][]entry, n)
+		off := 0
 		for i := range p.tables {
-			p.tables[i] = make([]entry, 1<<uint(cfg.LogEntries[i]))
+			sz := 1 << uint(cfg.LogEntries[i])
+			p.tables[i] = backing[off : off+sz : off+sz]
+			off += sz
 		}
 	}
-	p.folds = make([]tableFolds, n)
+	p.locs = make([]tableLocs, n)
 	for i := 0; i < n; i++ {
 		idxBits := cfg.LogEntries[i]
 		if cfg.Infinite {
@@ -138,14 +176,51 @@ func New(cfg Config) (*Predictor, error) {
 			// the hash functions are unchanged.
 			idxBits = 10
 		}
-		p.folds[i] = tableFolds{
-			idx:  history.NewFoldedValue(cfg.HistLengths[i], idxBits),
-			tag1: history.NewFoldedValue(cfg.HistLengths[i], cfg.TagBits[i]),
-			tag2: history.NewFoldedValue(cfg.HistLengths[i], cfg.TagBits[i]-1),
+		p.locs[i] = tableLocs{
+			idx:  p.eng.Loc(p.eng.Register(cfg.HistLengths[i], idxBits)),
+			tag1: p.eng.Loc(p.eng.Register(cfg.HistLengths[i], cfg.TagBits[i])),
+			tag2: p.eng.Loc(p.eng.Register(cfg.HistLengths[i], cfg.TagBits[i]-1)),
+		}
+	}
+	p.plan = make([]tableHash, n)
+	for i := 0; i < n; i++ {
+		logE := uint(cfg.LogEntries[i])
+		if cfg.Infinite {
+			logE = 10
+		}
+		l := &p.locs[i]
+		t := &p.plan[i]
+		t.idxMask = uint64(1)<<logE - 1
+		t.tagMask = uint32(1)<<uint(cfg.TagBits[i]) - 1
+		t.idxWord, t.idxShift = l.idx.Word, l.idx.Shift
+		t.tag1Word, t.tag1Shift = l.tag1.Word, l.tag1.Shift
+		t.tag2Word, t.tag2Shift = l.tag2.Word, l.tag2.Shift
+		t.pcShift = uint8(logE - uint(i&3))
+		if cfg.HistLengths[i] >= 16 {
+			t.pathShift = uint8(i & 7)
 		}
 	}
 	return p, nil
 }
+
+// HistoryEngine exposes the shared folded-history engine so a composite
+// predictor can register its own folds on it (§V-B).
+func (p *Predictor) HistoryEngine() *history.Engine { return p.eng }
+
+// AdoptHistoryEngine transfers push ownership of the history engine to
+// the caller (the composite predictor): TAGE's update paths stop
+// advancing the global/folded histories — only the path history — and
+// the adopter must call Engine.Push exactly once per branch, after its
+// full update. It returns the engine for registration and pushing.
+func (p *Predictor) AdoptHistoryEngine() *history.Engine {
+	p.engOwner = false
+	return p.eng
+}
+
+// RebindHistoryEngine points the predictor at a cloned engine (the
+// composite's fork path). Cached fold locations remain valid: clones
+// share the parent's packed layout.
+func (p *Predictor) RebindHistoryEngine(e *history.Engine) { p.eng = e }
 
 // Name implements predictor.Predictor.
 func (p *Predictor) Name() string {
@@ -176,7 +251,8 @@ func (p *Predictor) index(pc uint64, i int) uint32 {
 	if p.cfg.Infinite {
 		logE = 10
 	}
-	h := (pc >> 2) ^ (pc >> (logE - uint(i&3))) ^ p.folds[i].idx.Value()
+	l := p.locs[i].idx
+	h := (pc >> 2) ^ (pc >> (logE - uint(i&3))) ^ ((p.eng.Word(l.Word) >> l.Shift) & l.Mask)
 	if p.cfg.HistLengths[i] >= 16 {
 		h ^= p.path.Value() >> uint(i&7)
 	} else {
@@ -187,8 +263,10 @@ func (p *Predictor) index(pc uint64, i int) uint32 {
 
 // tagHash computes the partial tag for table i.
 func (p *Predictor) tagHash(pc uint64, i int) uint32 {
-	f := &p.folds[i]
-	h := (pc >> 2) ^ f.tag1.Value() ^ (f.tag2.Value() << 1)
+	l := &p.locs[i]
+	f1 := (p.eng.Word(l.tag1.Word) >> l.tag1.Shift) & l.tag1.Mask
+	f2 := (p.eng.Word(l.tag2.Word) >> l.tag2.Shift) & l.tag2.Mask
+	h := (pc >> 2) ^ f1 ^ (f2 << 1)
 	return uint32(h & (uint64(1)<<uint(p.cfg.TagBits[i]) - 1))
 }
 
@@ -198,6 +276,7 @@ func (p *Predictor) ctrMin() int8 { return -int8(1) << (p.cfg.CounterBits - 1) }
 // lookup returns the entry for (pc, table i) if its tag matches, else nil.
 func (p *Predictor) lookup(i int, pc uint64, idx, tag uint32) *entry {
 	if p.cfg.Infinite {
+		//llbplint:allow hotpath -- Infinite is the unbounded-capacity ablation, never the evaluated hardware path; maps are its whole point
 		return p.inf[i][infKey{pc, idx, tag}]
 	}
 	e := &p.tables[i][idx]
@@ -217,12 +296,35 @@ func (p *Predictor) Predict(pc uint64) bool {
 	s.pc = pc
 	s.provider, s.alt = -1, -1
 	n := len(p.cfg.HistLengths)
-	for i := 0; i < n; i++ {
-		s.idx[i] = p.index(pc, i)
-		s.tag[i] = p.tagHash(pc, i)
-	}
-	for i := n - 1; i >= 0; i-- {
-		if e := p.lookup(i, pc, s.idx[i], s.tag[i]); e != nil {
+	// Fill the index/tag scratch from the flattened hash plan: the packed
+	// word slice and path value live in locals so the loop body is three
+	// indexed loads plus shifts/xors per table, with no method calls.
+	// index()/tagHash() are the reference formulation of the same hashes.
+	words := p.eng.Words()
+	pv := p.path.Value()
+	base := pc >> 2
+	if !p.cfg.Infinite {
+		// Finite fast path: the candidate entry of every table is copied
+		// into the scratch during the fill loop, so the 21 random table
+		// loads issue back to back (memory-level parallelism) instead of
+		// serializing through the longest-match scan below.
+		tables := p.tables
+		for i := range p.plan {
+			t := &p.plan[i]
+			h := base ^ (pc >> t.pcShift) ^ (words[t.idxWord] >> t.idxShift) ^ (pv >> t.pathShift)
+			idx := uint32(h & t.idxMask)
+			s.idx[i] = idx
+			th := base ^ (words[t.tag1Word] >> t.tag1Shift) ^ ((words[t.tag2Word] >> t.tag2Shift) << 1)
+			s.tag[i] = uint32(th) & t.tagMask
+			s.ent[i] = tables[i][idx]
+		}
+		for i := n - 1; i >= 0; i-- {
+			e := &s.ent[i]
+			// Same validity rule as lookup(): tag match, and the all-zero
+			// entry never matches.
+			if e.tag != s.tag[i] || (e.ctr == 0 && e.useful == 0 && e.tag == 0) {
+				continue
+			}
 			if s.provider < 0 {
 				s.provider = i
 				s.providerKey = infKey{pc, s.idx[i], s.tag[i]}
@@ -234,6 +336,30 @@ func (p *Predictor) Predict(pc uint64) bool {
 				s.altKey = infKey{pc, s.idx[i], s.tag[i]}
 				s.altTaken = e.ctr >= 0
 				break
+			}
+		}
+	} else {
+		for i := range p.plan {
+			t := &p.plan[i]
+			h := base ^ (pc >> t.pcShift) ^ (words[t.idxWord] >> t.idxShift) ^ (pv >> t.pathShift)
+			s.idx[i] = uint32(h & t.idxMask)
+			th := base ^ (words[t.tag1Word] >> t.tag1Shift) ^ ((words[t.tag2Word] >> t.tag2Shift) << 1)
+			s.tag[i] = uint32(th) & t.tagMask
+		}
+		for i := n - 1; i >= 0; i-- {
+			if e := p.lookup(i, pc, s.idx[i], s.tag[i]); e != nil {
+				if s.provider < 0 {
+					s.provider = i
+					s.providerKey = infKey{pc, s.idx[i], s.tag[i]}
+					s.providerCtr = e.ctr
+					s.predTaken = e.ctr >= 0
+					s.newlyAlloc = e.useful == 0 && (e.ctr == 0 || e.ctr == -1)
+				} else {
+					s.alt = i
+					s.altKey = infKey{pc, s.idx[i], s.tag[i]}
+					s.altTaken = e.ctr >= 0
+					break
+				}
 			}
 		}
 	}
@@ -385,7 +511,9 @@ func (p *Predictor) allocate(taken bool) {
 			i = n - 1
 		}
 		k := infKey{s.pc, s.idx[i], s.tag[i]}
+		//llbplint:allow hotpath -- Infinite is the unbounded-capacity ablation, never the evaluated hardware path; maps are its whole point
 		if _, ok := p.inf[i][k]; !ok {
+			//llbplint:allow hotpath -- Infinite ablation: entries live on the heap by design, one allocation per new (pc,idx,tag)
 			p.inf[i][k] = &entry{tag: s.tag[i], ctr: weakCtr(taken)}
 			p.allocations++
 			p.telAllocs.Inc()
@@ -450,22 +578,14 @@ func (p *Predictor) TrackOther(pc, target uint64, t trace.BranchType) {
 	p.pushHistory(pc, true, false)
 }
 
-// pushHistory advances the global, path and folded histories by one branch.
+// pushHistory advances the path history and — when this predictor still
+// owns its history engine — the global and folded histories. A composite
+// that adopted the engine pushes it once itself, after its whole update
+// (its allocation path must see pre-push folds, §V-D).
 func (p *Predictor) pushHistory(pc uint64, taken bool, _ bool) {
-	p.ghr.Push(taken)
 	p.path.Push(pc >> 2)
-	in := uint64(0)
-	if taken {
-		in = 1
-	}
-	// The index/tag1/tag2 folds of one table share a history length, so
-	// one outgoing-bit read serves all three.
-	for i := range p.folds {
-		f := &p.folds[i]
-		out := p.ghr.Bit(f.idx.OrigLength)
-		f.idx.UpdateBits(in, out)
-		f.tag1.UpdateBits(in, out)
-		f.tag2.UpdateBits(in, out)
+	if p.engOwner {
+		p.eng.Push(taken)
 	}
 }
 
@@ -557,26 +677,18 @@ func (p *Predictor) PatternCount() int {
 // recovery scheme (snapshotting folded histories in each branch's
 // checkpoint).
 type HistoryCheckpoint struct {
-	ghr      history.Global
-	path     uint64
-	foldIdx  []uint64
-	foldTag1 []uint64
-	foldTag2 []uint64
+	path uint64
+	// eng is captured only while this predictor owns the engine; a
+	// composite that adopted it checkpoints the engine itself, once.
+	eng *history.EngineCheckpoint
 }
 
 // CheckpointHistory snapshots the speculative history state.
 func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
-	cp := &HistoryCheckpoint{
-		ghr:      p.ghr.Snapshot(),
-		path:     p.path.Snapshot(),
-		foldIdx:  make([]uint64, len(p.folds)),
-		foldTag1: make([]uint64, len(p.folds)),
-		foldTag2: make([]uint64, len(p.folds)),
-	}
-	for i := range p.folds {
-		cp.foldIdx[i] = p.folds[i].idx.Snapshot()
-		cp.foldTag1[i] = p.folds[i].tag1.Snapshot()
-		cp.foldTag2[i] = p.folds[i].tag2.Snapshot()
+	cp := &HistoryCheckpoint{path: p.path.Snapshot()}
+	if p.engOwner {
+		e := p.eng.Checkpoint()
+		cp.eng = &e
 	}
 	return cp
 }
@@ -584,15 +696,8 @@ func (p *Predictor) CheckpointHistory() *HistoryCheckpoint {
 // RestoreHistory rewinds the speculative history state to a checkpoint
 // (the misprediction-recovery path of §V-E2).
 func (p *Predictor) RestoreHistory(cp *HistoryCheckpoint) {
-	if len(cp.foldIdx) != len(p.folds) {
-		assert.Failf("tage: checkpoint for %d tables restored into %d", len(cp.foldIdx), len(p.folds))
-		return
-	}
-	p.ghr.Restore(cp.ghr)
 	p.path.Restore(cp.path)
-	for i := range p.folds {
-		p.folds[i].idx.Restore(cp.foldIdx[i])
-		p.folds[i].tag1.Restore(cp.foldTag1[i])
-		p.folds[i].tag2.Restore(cp.foldTag2[i])
+	if cp.eng != nil {
+		p.eng.Restore(*cp.eng)
 	}
 }
